@@ -1,0 +1,72 @@
+// E4: offline communication per gate vs. committee size n (Section 5.2).
+//
+// The paper: the offline phase costs O(n) broadcast elements per gate
+// (Beaver contributions, wire randomness, epsilon/delta decryptions, and
+// the KFF re-encryptions each contribute Theta(n) per gate).  This bench
+// measures the real ledger across a sweep of n and prints the per-category
+// breakdown for one configuration.
+#include <cstdio>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "mpc/protocol.hpp"
+
+using namespace yoso;
+
+namespace {
+
+std::vector<std::vector<mpz_class>> make_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) {
+      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1 << 20))));
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: offline broadcast elements per multiplication gate ===\n");
+  std::printf("wide circuit of width n, |N| = 128\n\n");
+  std::printf("%4s %3s %3s | %16s | %16s\n", "n", "t", "k", "offline elems/gate",
+              "offline/(n*gate)");
+
+  double first_ratio = 0, last_ratio = 0;
+  unsigned n_first = 0, n_last = 0;
+  const Ledger* last_ledger = nullptr;
+  static std::vector<YosoMpc*> keep;  // keep ledgers alive for the breakdown
+  for (unsigned n : {4u, 6u, 8u, 12u, 16u}) {
+    auto params = ProtocolParams::for_gap(n, 0.25, 128);
+    Circuit c = wide_mul_circuit(n);
+    auto* mpc = new YosoMpc(params, c, AdversaryPlan::honest(n), 9200 + n);
+    keep.push_back(mpc);
+    mpc->run(make_inputs(c, n));
+    double per_gate =
+        static_cast<double>(mpc->ledger().phase_total(Phase::Offline).elements) /
+        static_cast<double>(c.num_mul_gates());
+    std::printf("%4u %3u %3u | %16.1f | %16.2f\n", n, params.t, params.k, per_gate,
+                per_gate / n);
+    if (n_first == 0) {
+      n_first = n;
+      first_ratio = per_gate;
+    }
+    n_last = n;
+    last_ratio = per_gate;
+    last_ledger = &mpc->ledger();
+  }
+
+  std::printf("\nShape check (n: %u -> %u): offline elems/gate grew %.2fx over a %.1fx "
+              "increase in n — paper predicts ~linear (O(n)).\n",
+              n_first, n_last, last_ratio / first_ratio,
+              static_cast<double>(n_last) / n_first);
+
+  std::printf("\nPer-category offline breakdown at n = %u:\n", n_last);
+  for (const auto& [cat, e] : last_ledger->categories(Phase::Offline)) {
+    std::printf("  %-22s %8zu msgs %10zu elems %12zu bytes\n", cat.c_str(), e.messages,
+                e.elements, e.bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Paper-scale end-to-end projection: the evaluation "figure" a full paper
+// would plot.  The analytic cost model is validated element-exact against
+// the measured ledger (costmodel_test.cpp), so projecting it to the
+// Table 1 committee sizes is pure arithmetic on verified per-message
+// counts.  For every feasible Table 1 cell this prints the full-execution
+// broadcast volume (offline + online, in ring elements) of the packed
+// protocol at committee size c vs. the CDN baseline at committee size c'
+// — i.e. each protocol at *its own* required committee — on a wide
+// circuit of 10 * c' multiplication gates.
+#include <cmath>
+#include <cstdio>
+
+#include "sortition/costmodel.hpp"
+#include "sortition/table1.hpp"
+
+using namespace yoso;
+
+int main() {
+  std::printf("=== Paper-scale projection: full-execution broadcast volume ===\n");
+  std::printf("(model validated element-exact vs. measured ledger at laptop scale)\n\n");
+  std::printf("%7s %5s | %7s %7s %6s | %13s %13s %8s | %13s %13s\n", "C", "f", "n=c",
+              "n'=c'", "k", "online/gate", "CDN onl/gate", "speedup", "our total",
+              "CDN total");
+
+  for (const auto& row : generate_table1()) {
+    if (!row.analysis.feasible) continue;
+    auto p = params_from_analysis(row.analysis, 2048);
+    // Baseline runs at its own (smaller) committee c' with k = 1.
+    ProtocolParams pb = p;
+    pb.n = static_cast<unsigned>(std::llround(row.analysis.c_prime));
+    pb.k = 1;
+
+    const std::size_t gates = 10 * pb.n;
+    auto shape_ours = CircuitShape::wide(gates);
+    auto ours = packed_cost(p, shape_ours);
+    auto cdn = cdn_cost(pb, shape_ours);
+
+    std::printf("%7.0f %5.2f | %7u %7u %6u | %13.1f %13.1f %7.0fx | %13.3e %13.3e\n", row.C,
+                row.f, p.n, pb.n, p.k, ours.online_per_gate, cdn.online_per_gate,
+                cdn.online_per_gate / ours.online_per_gate,
+                ours.offline + ours.online, cdn.offline + cdn.online);
+  }
+
+  std::printf("\nReading: the online-per-gate column is ~n/k = 1/eps for ours and 2n for\n"
+              "CDN; the speedup column lands at ~2k, bracketing the paper's 'factor k'\n"
+              "claim (constants differ: CDN posts two partial-decryption rounds per\n"
+              "gate, ours one mu-share per packed slot).  Totals include the offline\n"
+              "phase, where both protocols are Theta(n) per gate.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+// E8: microbenchmarks of every cryptographic primitive in the stack
+// (google-benchmark).  These calibrate the cost model used to extrapolate
+// the communication benches to paper-scale committees, and back the
+// ablation notes in DESIGN.md (Delta = n! resharing cost, proof sizes).
+#include <benchmark/benchmark.h>
+
+#include "crypto/rand.hpp"
+#include "field/fp61.hpp"
+#include "nizk/pdec_proof.hpp"
+#include "nizk/plaintext_proof.hpp"
+#include "paillier/threshold.hpp"
+#include "sharing/packed.hpp"
+
+using namespace yoso;
+
+namespace {
+
+struct Fixture {
+  Rng rng{0xBEEF};
+  PaillierSK sk;
+  ThresholdKeys tk;
+  Fixture()
+      : sk(paillier_keygen(512, 1, rng, /*safe_primes=*/false)),
+        tk(tkgen(256, 1, 8, 3, rng)) {}
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Fp61Mul(benchmark::State& state) {
+  Fp61::Elem a = 123456789, b = 987654321;
+  for (auto _ : state) {
+    a = Fp61::mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp61Mul);
+
+void BM_Fp61Inv(benchmark::State& state) {
+  Fp61::Elem a = 123456789;
+  for (auto _ : state) {
+    a = Fp61::inv(a) + 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp61Inv);
+
+void BM_PackedShare(benchmark::State& state) {
+  Fp61Ring ring;
+  Rng rng(1);
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = n / 4, d = n / 2 + k - 1;
+  std::vector<Fp61::Elem> secrets(k);
+  for (auto& s : secrets) s = ring.random(rng);
+  for (auto _ : state) {
+    auto sh = packed_share(ring, secrets, d, n, rng);
+    benchmark::DoNotOptimize(sh);
+  }
+}
+BENCHMARK(BM_PackedShare)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PackedReconstruct(benchmark::State& state) {
+  Fp61Ring ring;
+  Rng rng(2);
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = n / 4, d = n / 2 + k - 1;
+  std::vector<Fp61::Elem> secrets(k);
+  for (auto& s : secrets) s = ring.random(rng);
+  auto sh = packed_share(ring, secrets, d, n, rng);
+  for (auto _ : state) {
+    auto rec = packed_reconstruct(ring, sh.points, sh.shares, d, k);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_PackedReconstruct)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PaillierEnc(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class m = f.rng.below(f.sk.pk.ns);
+  for (auto _ : state) {
+    auto c = f.sk.pk.enc(m, f.rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierEnc);
+
+void BM_PaillierDec(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class c = f.sk.pk.enc(f.rng.below(f.sk.pk.ns), f.rng);
+  for (auto _ : state) {
+    auto m = f.sk.dec(c);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PaillierDec);
+
+void BM_PaillierEval(benchmark::State& state) {
+  auto& f = fx();
+  std::vector<mpz_class> cts, coeffs;
+  for (int i = 0; i < 8; ++i) {
+    cts.push_back(f.sk.pk.enc(f.rng.below(f.sk.pk.ns), f.rng));
+    coeffs.push_back(f.rng.below(f.sk.pk.ns));
+  }
+  for (auto _ : state) {
+    auto c = f.sk.pk.eval(cts, coeffs);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierEval);
+
+void BM_ThresholdPartialDec(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class c = f.tk.tpk.pk.enc(mpz_class(42), f.rng);
+  for (auto _ : state) {
+    auto p = tpdec(f.tk.tpk, f.tk.shares[0], c);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ThresholdPartialDec);
+
+void BM_ThresholdCombine(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class c = f.tk.tpk.pk.enc(mpz_class(42), f.rng);
+  std::vector<unsigned> idx{1, 2, 3, 4};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(f.tk.tpk, f.tk.shares[i - 1], c));
+  for (auto _ : state) {
+    auto m = tdec(f.tk.tpk, idx, partials);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ThresholdCombine);
+
+void BM_ThresholdReshare(benchmark::State& state) {
+  auto& f = fx();
+  for (auto _ : state) {
+    auto msg = tkres(f.tk.tpk, f.tk.shares[0], f.rng);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_ThresholdReshare);
+
+void BM_VerifyReshare(benchmark::State& state) {
+  auto& f = fx();
+  auto msg = tkres(f.tk.tpk, f.tk.shares[0], f.rng);
+  for (auto _ : state) {
+    bool ok = verify_reshare(f.tk.tpk, msg);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_VerifyReshare);
+
+void BM_PlaintextProve(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class m = f.rng.below(f.sk.pk.ns), r;
+  mpz_class c = f.sk.pk.enc(m, f.rng, &r);
+  for (auto _ : state) {
+    auto proof = prove_plaintext(f.sk.pk, c, m, r, f.rng);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_PlaintextProve);
+
+void BM_PlaintextVerify(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class m = f.rng.below(f.sk.pk.ns), r;
+  mpz_class c = f.sk.pk.enc(m, f.rng, &r);
+  auto proof = prove_plaintext(f.sk.pk, c, m, r, f.rng);
+  for (auto _ : state) {
+    bool ok = verify_plaintext(f.sk.pk, c, proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_PlaintextVerify);
+
+void BM_PdecProve(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class c = f.tk.tpk.pk.enc(mpz_class(7), f.rng);
+  mpz_class partial = tpdec(f.tk.tpk, f.tk.shares[0], c);
+  for (auto _ : state) {
+    auto proof = prove_pdec(f.tk.tpk, f.tk.shares[0], c, partial, f.rng);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_PdecProve);
+
+void BM_PdecVerify(benchmark::State& state) {
+  auto& f = fx();
+  mpz_class c = f.tk.tpk.pk.enc(mpz_class(7), f.rng);
+  mpz_class partial = tpdec(f.tk.tpk, f.tk.shares[0], c);
+  auto proof = prove_pdec(f.tk.tpk, f.tk.shares[0], c, partial, f.rng);
+  for (auto _ : state) {
+    bool ok = verify_pdec(f.tk.tpk, 1, c, partial, proof);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_PdecVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

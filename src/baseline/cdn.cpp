@@ -1,0 +1,179 @@
+#include "baseline/cdn.hpp"
+
+#include "field/zn_ring.hpp"
+#include "mpc/contrib.hpp"
+#include "nizk/plaintext_proof.hpp"
+
+namespace yoso {
+
+CdnBaseline::CdnBaseline(ProtocolParams params, Circuit circuit, AdversaryPlan plan,
+                         std::uint64_t seed)
+    : params_(params), circuit_(std::move(circuit)), plan_(std::move(plan)), rng_(seed),
+      bulletin_(ledger_) {
+  params_.planned_epochs = circuit_.mul_depth() + 2;
+  params_.validate();
+  if (plan_.n() != params_.n) throw std::invalid_argument("CdnBaseline: plan size != n");
+}
+
+Committee& CdnBaseline::spawn(const std::string& name, unsigned plain_bits) {
+  unsigned s = params_.exponent_for(plain_bits);
+  committees_.push_back(make_committee(name, params_.paillier_bits, s,
+                                       plan_.committee(committee_counter_++), rng_));
+  return committees_.back();
+}
+
+void CdnBaseline::preprocess() {
+  if (preprocessed_) throw std::logic_error("CdnBaseline: preprocess called twice");
+  preprocessed_ = true;
+
+  ThresholdKeys keys = tkgen(params_.paillier_bits, params_.s, params_.n, params_.t, rng_);
+  tkeys_ = keys;
+  bulletin_.publish_external("dealer", Phase::Setup, "setup.tpk",
+                             mpz_wire_size(keys.tpk.pk.n), 1 + params_.n);
+  for (unsigned c = 0; c < circuit_.num_clients(); ++c) {
+    client_keys_.push_back(paillier_keygen(
+        params_.paillier_bits, params_.exponent_for(params_.client_plain_bits()), rng_,
+        /*safe_primes=*/false));
+  }
+  chain_.emplace(keys.tpk, keys.shares, params_, bulletin_, rng_);
+
+  const unsigned tiny = params_.paillier_bits;
+  Committee& beaver_a = spawn("cdn.beaver.a", tiny);
+  Committee& beaver_b = spawn("cdn.beaver.b", tiny);
+  for (unsigned l = 1; l <= circuit_.mul_depth(); ++l) {
+    layer_holders_.push_back(&spawn("cdn.holder.L" + std::to_string(l),
+                                    params_.holder_plain_bits()));
+  }
+  out_masker_ = &spawn("cdn.out.mask", tiny);
+  out_holder_ = &spawn("cdn.out.holder", params_.holder_plain_bits());
+
+  std::size_t mul_count = circuit_.num_mul_gates();
+  if (mul_count > 0) {
+    auto triples = make_beaver_triples(tkeys_->tpk, beaver_a, beaver_b, mul_count,
+                                       Phase::Offline, bulletin_, rng_);
+    triples_.reserve(mul_count);
+    for (auto& t : triples) triples_.push_back(Triple{t.a, t.b, t.c});
+  }
+}
+
+CdnResult CdnBaseline::evaluate(const std::vector<std::vector<mpz_class>>& inputs) {
+  if (!preprocessed_) throw std::logic_error("CdnBaseline: evaluate before preprocess");
+  if (evaluated_) throw std::logic_error("CdnBaseline: evaluate called twice");
+  evaluated_ = true;
+
+  const PaillierPK& pk = chain_->tpk().pk;
+  ZnRing ring(pk.ns);
+  const auto& gates = circuit_.gates();
+
+  // ----- Inputs: clients broadcast encryptions with plaintext proofs -------
+  std::vector<mpz_class> wire_ct(gates.size());
+  std::vector<std::size_t> next_input(circuit_.num_clients(), 0);
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind != GateKind::Input) continue;
+    unsigned c = gates[w].client;
+    if (c >= inputs.size() || next_input[c] >= inputs[c].size()) {
+      throw std::invalid_argument("CdnBaseline: missing input for client " + std::to_string(c));
+    }
+    mpz_class v = ring.mod(inputs[c][next_input[c]++]);
+    mpz_class r;
+    wire_ct[w] = pk.enc(v, rng_, &r);
+    PlaintextProof proof = prove_plaintext(pk, wire_ct[w], v, r, rng_);
+    bulletin_.publish_external("client" + std::to_string(c), Phase::Online, "cdn.input",
+                               mpz_wire_size(wire_ct[w]) + proof.wire_bytes(), 1);
+  }
+
+  // ----- Gate-by-gate evaluation under encryption ---------------------------
+  std::map<WireId, std::size_t> triple_of;
+  {
+    std::size_t i = 0;
+    for (WireId w = 0; w < gates.size(); ++w) {
+      if (gates[w].kind == GateKind::Mul) triple_of[w] = i++;
+    }
+  }
+  auto layers = circuit_.mul_layers();
+  auto by_layer = circuit_.mul_gates_by_layer();
+
+  // Propagate the linear gates below a given layer.
+  auto sweep_linear = [&](unsigned max_layer) {
+    for (WireId w = 0; w < gates.size(); ++w) {
+      const Gate& g = gates[w];
+      if (wire_ct[w] != 0 || layers[w] > max_layer) continue;
+      switch (g.kind) {
+        case GateKind::Add:
+          if (wire_ct[g.in0] != 0 && wire_ct[g.in1] != 0) {
+            wire_ct[w] = pk.add(wire_ct[g.in0], wire_ct[g.in1]);
+          }
+          break;
+        case GateKind::Sub:
+          if (wire_ct[g.in0] != 0 && wire_ct[g.in1] != 0) {
+            wire_ct[w] = pk.add(wire_ct[g.in0], pk.scal(wire_ct[g.in1], -1));
+          }
+          break;
+        case GateKind::AddConst:
+          if (wire_ct[g.in0] != 0) {
+            wire_ct[w] = pk.add(wire_ct[g.in0], pk.enc(g.constant, mpz_class(1)));
+          }
+          break;
+        case GateKind::MulConst:
+          if (wire_ct[g.in0] != 0) wire_ct[w] = pk.scal(wire_ct[g.in0], ring.mod(g.constant));
+          break;
+        default:
+          break;
+      }
+    }
+  };
+  sweep_linear(0);
+
+  for (unsigned layer = 1; layer <= by_layer.size(); ++layer) {
+    const auto& ids = by_layer[layer - 1];
+    std::vector<mpz_class> to_open;
+    to_open.reserve(2 * ids.size());
+    for (WireId w : ids) {
+      const Gate& g = gates[w];
+      const Triple& tr = triples_[triple_of[w]];
+      to_open.push_back(pk.add(wire_ct[g.in0], tr.a));  // epsilon = x + a
+      to_open.push_back(pk.add(wire_ct[g.in1], tr.b));  // delta = y + b
+    }
+    Committee* next = (layer < by_layer.size()) ? layer_holders_[layer] : out_holder_;
+    auto opened = chain_->run_decrypt_committee(*layer_holders_[layer - 1], to_open,
+                                                Phase::Online, "cdn.mult", next);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      WireId w = ids[i];
+      const Gate& g = gates[w];
+      const Triple& tr = triples_[triple_of[w]];
+      const mpz_class& eps = opened[2 * i];
+      const mpz_class& del = opened[2 * i + 1];
+      // x*y = eps*y - a*delta + a*b
+      wire_ct[w] = pk.eval({wire_ct[g.in1], tr.a, tr.c}, {eps, ring.neg(del), ring.one()});
+    }
+    sweep_linear(layer);
+  }
+
+  // ----- Outputs: re-encrypt toward the receiving clients ------------------
+  std::vector<mpz_class> out_cts;
+  std::vector<const PaillierPK*> out_targets;
+  for (const auto& spec : circuit_.outputs()) {
+    out_cts.push_back(wire_ct[spec.wire]);
+    out_targets.push_back(&client_keys_[spec.client].pk);
+  }
+  auto fcts = chain_->reencrypt_batch(*out_masker_, *out_holder_, out_cts, out_targets,
+                                      Phase::Online, "cdn.output", nullptr);
+  CdnResult result;
+  for (std::size_t r = 0; r < circuit_.outputs().size(); ++r) {
+    const auto& spec = circuit_.outputs()[r];
+    result.outputs.push_back(open_future(client_keys_[spec.client], fcts[r], pk.ns));
+  }
+  return result;
+}
+
+CdnResult CdnBaseline::run(const std::vector<std::vector<mpz_class>>& inputs) {
+  preprocess();
+  return evaluate(inputs);
+}
+
+const mpz_class& CdnBaseline::plaintext_modulus() const {
+  if (!tkeys_) throw std::logic_error("CdnBaseline: no setup yet");
+  return tkeys_->tpk.pk.ns;
+}
+
+}  // namespace yoso

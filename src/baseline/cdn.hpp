@@ -1,0 +1,68 @@
+// The CDN-style YOSO MPC baseline (Gentry et al. [29], Braun et al. [10]):
+// every wire value stays encrypted under tpk, and every multiplication gate
+// consumes a Beaver triple plus two *public threshold decryptions*, each
+// requiring n partial decryptions with proofs.
+//
+// The offline phase prepares the encrypted Beaver triples (the most
+// favourable split for the baseline); the online phase still pays
+// Theta(n) broadcast elements per gate because each masked value needs n
+// partials to open — this is the cost the paper's packed protocol removes.
+// This module exists so the benchmarks can regenerate the paper's
+// comparison (online O(n) per gate vs. our O(1)).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "mpc/reencrypt.hpp"
+#include "mpc/setup.hpp"
+
+namespace yoso {
+
+struct CdnResult {
+  std::vector<mpz_class> outputs;  // in circuit.outputs() order
+};
+
+class CdnBaseline {
+public:
+  CdnBaseline(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed);
+
+  // Offline: threshold key setup + encrypted Beaver triples.
+  void preprocess();
+  // Online: encrypted inputs, homomorphic additions, two threshold
+  // decryptions per multiplication, re-encrypted outputs.
+  CdnResult evaluate(const std::vector<std::vector<mpz_class>>& inputs);
+  CdnResult run(const std::vector<std::vector<mpz_class>>& inputs);
+
+  const Ledger& ledger() const { return ledger_; }
+  const ProtocolParams& params() const { return params_; }
+  const mpz_class& plaintext_modulus() const;
+
+private:
+  Committee& spawn(const std::string& name, unsigned plain_bits);
+
+  ProtocolParams params_;
+  Circuit circuit_;
+  AdversaryPlan plan_;
+  Rng rng_;
+  Ledger ledger_;
+  Bulletin bulletin_;
+  unsigned committee_counter_ = 0;
+
+  std::deque<Committee> committees_;
+  std::optional<ThresholdKeys> tkeys_;
+  std::optional<DecryptChain> chain_;
+  std::vector<PaillierSK> client_keys_;
+  struct Triple {
+    mpz_class a, b, c;
+  };
+  std::vector<Triple> triples_;          // one per mul gate, in gate order
+  std::vector<Committee*> layer_holders_;
+  Committee* out_masker_ = nullptr;
+  Committee* out_holder_ = nullptr;
+  bool preprocessed_ = false;
+  bool evaluated_ = false;
+};
+
+}  // namespace yoso

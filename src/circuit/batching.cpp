@@ -1,0 +1,36 @@
+#include "circuit/batching.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+std::vector<MulBatch> make_batches(const Circuit& c, unsigned k) {
+  if (k == 0) throw std::invalid_argument("make_batches: k must be positive");
+  std::vector<MulBatch> out;
+  const auto& gates = c.gates();
+  auto by_layer = c.mul_gates_by_layer();
+  for (unsigned layer = 1; layer <= by_layer.size(); ++layer) {
+    const auto& ids = by_layer[layer - 1];
+    for (std::size_t start = 0; start < ids.size(); start += k) {
+      MulBatch b;
+      b.layer = layer;
+      b.real = static_cast<unsigned>(std::min<std::size_t>(k, ids.size() - start));
+      for (unsigned j = 0; j < k; ++j) {
+        WireId id = ids[start + (j < b.real ? j : 0)];  // pad by repeating slot 0
+        b.gamma.push_back(id);
+        b.alpha.push_back(gates[id].in0);
+        b.beta.push_back(gates[id].in1);
+      }
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+std::size_t batch_count(const Circuit& c, unsigned k) {
+  std::size_t total = 0;
+  for (const auto& ids : c.mul_gates_by_layer()) total += (ids.size() + k - 1) / k;
+  return total;
+}
+
+}  // namespace yoso

@@ -1,0 +1,30 @@
+// Batching of multiplication gates into packed groups of k (Section 3.1).
+//
+// Every layer's Mul gates are chopped into batches of k; the last batch of
+// a layer may be padded with "dummy" slots (encodes as repeating the first
+// gate of the batch — the protocol simply computes that product again in
+// the spare slots, which is always safe).  Batches carry the wire vectors
+// alpha (left inputs), beta (right inputs), gamma (outputs) that the
+// offline phase must route packed sharings for.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace yoso {
+
+struct MulBatch {
+  unsigned layer = 1;                // 1-based multiplicative layer
+  std::vector<WireId> alpha, beta;   // input wire vectors, size k
+  std::vector<WireId> gamma;         // output (gate) ids, size k
+  unsigned real = 0;                 // first `real` slots are genuine gates
+};
+
+// Splits the circuit's Mul gates into batches of k per layer.
+std::vector<MulBatch> make_batches(const Circuit& c, unsigned k);
+
+// Total number of batches a circuit needs at packing k.
+std::size_t batch_count(const Circuit& c, unsigned k);
+
+}  // namespace yoso

@@ -1,0 +1,181 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+namespace yoso {
+
+WireId Circuit::push(Gate g) {
+  gates_.push_back(std::move(g));
+  return static_cast<WireId>(gates_.size() - 1);
+}
+
+void Circuit::check_wire(WireId w) const {
+  if (w >= gates_.size()) throw std::out_of_range("Circuit: wire refers to a later gate");
+}
+
+WireId Circuit::input(unsigned client) {
+  num_clients_ = std::max(num_clients_, client + 1);
+  Gate g;
+  g.kind = GateKind::Input;
+  g.client = client;
+  return push(std::move(g));
+}
+
+WireId Circuit::add(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  Gate g;
+  g.kind = GateKind::Add;
+  g.in0 = a;
+  g.in1 = b;
+  return push(std::move(g));
+}
+
+WireId Circuit::sub(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  Gate g;
+  g.kind = GateKind::Sub;
+  g.in0 = a;
+  g.in1 = b;
+  return push(std::move(g));
+}
+
+WireId Circuit::add_const(WireId a, mpz_class c) {
+  check_wire(a);
+  Gate g;
+  g.kind = GateKind::AddConst;
+  g.in0 = a;
+  g.constant = std::move(c);
+  return push(std::move(g));
+}
+
+WireId Circuit::mul_const(WireId a, mpz_class c) {
+  check_wire(a);
+  Gate g;
+  g.kind = GateKind::MulConst;
+  g.in0 = a;
+  g.constant = std::move(c);
+  return push(std::move(g));
+}
+
+WireId Circuit::mul(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  Gate g;
+  g.kind = GateKind::Mul;
+  g.in0 = a;
+  g.in1 = b;
+  return push(std::move(g));
+}
+
+void Circuit::output(WireId w, unsigned client) {
+  check_wire(w);
+  num_clients_ = std::max(num_clients_, client + 1);
+  outputs_.push_back(OutputSpec{w, client});
+}
+
+std::size_t Circuit::num_inputs() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.kind == GateKind::Input; }));
+}
+
+std::size_t Circuit::num_mul_gates() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.kind == GateKind::Mul; }));
+}
+
+std::vector<WireId> Circuit::inputs_of(unsigned client) const {
+  std::vector<WireId> out;
+  for (WireId w = 0; w < gates_.size(); ++w) {
+    if (gates_[w].kind == GateKind::Input && gates_[w].client == client) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<unsigned> Circuit::mul_layers() const {
+  std::vector<unsigned> layer(gates_.size(), 0);
+  for (WireId w = 0; w < gates_.size(); ++w) {
+    const Gate& g = gates_[w];
+    switch (g.kind) {
+      case GateKind::Input:
+        layer[w] = 0;
+        break;
+      case GateKind::Add:
+      case GateKind::Sub:
+        layer[w] = std::max(layer[g.in0], layer[g.in1]);
+        break;
+      case GateKind::AddConst:
+      case GateKind::MulConst:
+        layer[w] = layer[g.in0];
+        break;
+      case GateKind::Mul:
+        layer[w] = 1 + std::max(layer[g.in0], layer[g.in1]);
+        break;
+    }
+  }
+  return layer;
+}
+
+unsigned Circuit::mul_depth() const {
+  auto layers = mul_layers();
+  unsigned d = 0;
+  for (auto l : layers) d = std::max(d, l);
+  return d;
+}
+
+std::vector<std::vector<WireId>> Circuit::mul_gates_by_layer() const {
+  auto layers = mul_layers();
+  std::vector<std::vector<WireId>> out(mul_depth());
+  for (WireId w = 0; w < gates_.size(); ++w) {
+    if (gates_[w].kind == GateKind::Mul) out[layers[w] - 1].push_back(w);
+  }
+  return out;
+}
+
+std::vector<mpz_class> Circuit::eval(const std::vector<std::vector<mpz_class>>& inputs,
+                                     const mpz_class& modulus) const {
+  std::vector<std::size_t> next_input(num_clients_, 0);
+  std::vector<mpz_class> value(gates_.size());
+  auto mod = [&](const mpz_class& v) {
+    mpz_class r;
+    mpz_mod(r.get_mpz_t(), v.get_mpz_t(), modulus.get_mpz_t());
+    return r;
+  };
+  for (WireId w = 0; w < gates_.size(); ++w) {
+    const Gate& g = gates_[w];
+    switch (g.kind) {
+      case GateKind::Input: {
+        if (g.client >= inputs.size() || next_input[g.client] >= inputs[g.client].size()) {
+          throw std::invalid_argument("Circuit::eval: missing input for client " +
+                                      std::to_string(g.client));
+        }
+        value[w] = mod(inputs[g.client][next_input[g.client]++]);
+        break;
+      }
+      case GateKind::Add:
+        value[w] = mod(value[g.in0] + value[g.in1]);
+        break;
+      case GateKind::Sub:
+        value[w] = mod(value[g.in0] - value[g.in1]);
+        break;
+      case GateKind::AddConst:
+        value[w] = mod(value[g.in0] + g.constant);
+        break;
+      case GateKind::MulConst:
+        value[w] = mod(value[g.in0] * g.constant);
+        break;
+      case GateKind::Mul:
+        value[w] = mod(value[g.in0] * value[g.in1]);
+        break;
+    }
+  }
+  std::vector<mpz_class> out;
+  out.reserve(outputs_.size());
+  for (const auto& o : outputs_) out.push_back(value[o.wire]);
+  return out;
+}
+
+}  // namespace yoso

@@ -1,0 +1,78 @@
+// Arithmetic circuits over the plaintext ring Z_{N^s}.
+//
+// Wires are identified with the gate that produces them (Input / Add / Mul
+// gates each produce exactly one wire).  Output gates mark which wires are
+// revealed to which client.  The layering used by the protocol is the
+// multiplicative depth: a Mul gate is in layer 1 + max(layer of inputs),
+// where Input gates and everything reachable through additions only stay in
+// the layer of their deepest Mul ancestor (layer 0 if none).
+#pragma once
+
+#include <cstdint>
+#include <gmpxx.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace yoso {
+
+using WireId = std::uint32_t;
+
+enum class GateKind : std::uint8_t { Input, Add, Sub, AddConst, MulConst, Mul };
+
+struct Gate {
+  GateKind kind = GateKind::Input;
+  WireId in0 = 0, in1 = 0;  // operand wires (unused fields are 0)
+  unsigned client = 0;      // Input: which client supplies the value
+  mpz_class constant;       // AddConst / MulConst operand
+};
+
+struct OutputSpec {
+  WireId wire = 0;
+  unsigned client = 0;  // who learns this output
+};
+
+class Circuit {
+public:
+  // --- Builder API ---------------------------------------------------
+  WireId input(unsigned client);
+  WireId add(WireId a, WireId b);
+  WireId sub(WireId a, WireId b);
+  WireId add_const(WireId a, mpz_class c);
+  WireId mul_const(WireId a, mpz_class c);
+  WireId mul(WireId a, WireId b);
+  void output(WireId w, unsigned client);
+
+  // --- Introspection ---------------------------------------------------
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<OutputSpec>& outputs() const { return outputs_; }
+  std::size_t num_wires() const { return gates_.size(); }
+  unsigned num_clients() const { return num_clients_; }
+  std::size_t num_inputs() const;
+  std::size_t num_mul_gates() const;
+  // Input wires owned by `client`, in declaration order.
+  std::vector<WireId> inputs_of(unsigned client) const;
+
+  // Multiplicative layer of every wire (layer of a Mul gate is >= 1).
+  std::vector<unsigned> mul_layers() const;
+  unsigned mul_depth() const;
+  // Mul gate ids grouped by layer, layers ascending starting at 1.
+  std::vector<std::vector<WireId>> mul_gates_by_layer() const;
+
+  // Reference cleartext evaluation over Z_modulus.  `inputs[c]` holds
+  // client c's inputs in declaration order.  Returns the output wire
+  // values in outputs() order.
+  std::vector<mpz_class> eval(const std::vector<std::vector<mpz_class>>& inputs,
+                              const mpz_class& modulus) const;
+
+private:
+  WireId push(Gate g);
+  void check_wire(WireId w) const;
+
+  std::vector<Gate> gates_;
+  std::vector<OutputSpec> outputs_;
+  unsigned num_clients_ = 0;
+};
+
+}  // namespace yoso

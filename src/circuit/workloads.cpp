@@ -1,0 +1,139 @@
+#include "circuit/workloads.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+Circuit inner_product_circuit(unsigned m) {
+  if (m == 0) throw std::invalid_argument("inner_product_circuit: m must be positive");
+  Circuit c;
+  std::vector<WireId> xs, ys;
+  for (unsigned i = 0; i < m; ++i) xs.push_back(c.input(0));
+  for (unsigned i = 0; i < m; ++i) ys.push_back(c.input(1));
+  WireId acc = c.mul(xs[0], ys[0]);
+  for (unsigned i = 1; i < m; ++i) acc = c.add(acc, c.mul(xs[i], ys[i]));
+  c.output(acc, 0);
+  return c;
+}
+
+Circuit wide_mul_circuit(unsigned width) {
+  if (width == 0) throw std::invalid_argument("wide_mul_circuit: width must be positive");
+  Circuit c;
+  for (unsigned i = 0; i < width; ++i) {
+    WireId a = c.input(0);
+    WireId b = c.input(1);
+    c.output(c.mul(a, b), 0);
+  }
+  return c;
+}
+
+Circuit mul_tree_circuit(unsigned leaves) {
+  if (leaves < 2) throw std::invalid_argument("mul_tree_circuit: need >= 2 leaves");
+  Circuit c;
+  std::vector<WireId> level;
+  for (unsigned i = 0; i < leaves; ++i) level.push_back(c.input(0));
+  while (level.size() > 1) {
+    std::vector<WireId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(c.mul(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  c.output(level[0], 0);
+  return c;
+}
+
+Circuit chain_circuit(unsigned depth) {
+  if (depth == 0) throw std::invalid_argument("chain_circuit: depth must be positive");
+  Circuit c;
+  WireId x = c.input(0);
+  WireId acc = x;
+  for (unsigned i = 0; i < depth; ++i) {
+    acc = c.mul(acc, acc);
+    acc = c.add_const(acc, mpz_class(i + 1));
+  }
+  c.output(acc, 0);
+  return c;
+}
+
+Circuit statistics_circuit(unsigned parties) {
+  if (parties == 0) throw std::invalid_argument("statistics_circuit: need parties");
+  Circuit c;
+  std::vector<WireId> xs;
+  for (unsigned i = 0; i < parties; ++i) xs.push_back(c.input(i));
+  WireId sum = xs[0];
+  for (unsigned i = 1; i < parties; ++i) sum = c.add(sum, xs[i]);
+  WireId sq_sum = c.mul(xs[0], xs[0]);
+  for (unsigned i = 1; i < parties; ++i) sq_sum = c.add(sq_sum, c.mul(xs[i], xs[i]));
+  c.output(sum, 0);
+  c.output(sq_sum, 0);
+  return c;
+}
+
+Circuit matmul_circuit(unsigned dim) {
+  if (dim == 0) throw std::invalid_argument("matmul_circuit: dim must be positive");
+  Circuit c;
+  std::vector<WireId> a(dim * dim), b(dim * dim);
+  for (auto& w : a) w = c.input(0);
+  for (auto& w : b) w = c.input(1);
+  for (unsigned i = 0; i < dim; ++i) {
+    for (unsigned j = 0; j < dim; ++j) {
+      WireId acc = c.mul(a[i * dim], b[j]);
+      for (unsigned l = 1; l < dim; ++l) {
+        acc = c.add(acc, c.mul(a[i * dim + l], b[l * dim + j]));
+      }
+      c.output(acc, 0);
+    }
+  }
+  return c;
+}
+
+Circuit poly_eval_circuit(unsigned degree) {
+  if (degree == 0) throw std::invalid_argument("poly_eval_circuit: degree must be positive");
+  Circuit c;
+  std::vector<WireId> coeffs(degree + 1);
+  for (auto& w : coeffs) w = c.input(0);
+  WireId x = c.input(1);
+  // Horner: acc = c_d; acc = acc * x + c_{i}.
+  WireId acc = coeffs[degree];
+  for (unsigned i = degree; i-- > 0;) {
+    acc = c.add(c.mul(acc, x), coeffs[i]);
+  }
+  c.output(acc, 1);  // the evaluator learns p(x)
+  return c;
+}
+
+Circuit mimc_circuit(unsigned rounds) {
+  if (rounds == 0) throw std::invalid_argument("mimc_circuit: rounds must be positive");
+  Circuit c;
+  WireId x = c.input(0);
+  WireId key = c.input(1);
+  WireId state = x;
+  for (unsigned r = 0; r < rounds; ++r) {
+    WireId mixed = c.add_const(c.add(state, key), mpz_class(r * 2 + 1));  // round constant
+    WireId sq = c.mul(mixed, mixed);
+    state = c.mul(sq, mixed);  // cube
+  }
+  c.output(c.add(state, key), 0);  // final key addition
+  return c;
+}
+
+Circuit auction_scoring_circuit(unsigned bidders) {
+  if (bidders == 0) throw std::invalid_argument("auction_scoring_circuit: need bidders");
+  Circuit c;
+  std::vector<WireId> scores;
+  for (unsigned i = 0; i < bidders; ++i) {
+    WireId bid = c.input(i);     // bidder's private bid
+    WireId weight = c.input(i);  // bidder's private quality weight
+    WireId score = c.mul(bid, weight);
+    scores.push_back(score);
+    c.output(score, 0);
+  }
+  WireId total = scores[0];
+  for (unsigned i = 1; i < bidders; ++i) total = c.add(total, scores[i]);
+  c.output(total, 0);
+  return c;
+}
+
+}  // namespace yoso

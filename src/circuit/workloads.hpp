@@ -1,0 +1,47 @@
+// Standard benchmark workloads: the circuit families used by the test
+// suite, the examples, and the communication benchmarks (E3/E4).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace yoso {
+
+// <x, y> for two clients holding the two m-vectors; one output to client 0.
+Circuit inner_product_circuit(unsigned m);
+
+// Wide single-layer circuit: `width` independent products a_i * b_i, all
+// output to client 0.  This is the "circuit width O(n)" regime where the
+// paper's amortization claims live.
+Circuit wide_mul_circuit(unsigned width);
+
+// A multiplication tree over `leaves` inputs of client 0 (depth log2).
+Circuit mul_tree_circuit(unsigned leaves);
+
+// `depth` sequential squarings interleaved with additions (deep & narrow —
+// the adversarial regime for packing).
+Circuit chain_circuit(unsigned depth);
+
+// Federated statistics: `parties` clients each hold one value; outputs
+// (to client 0) the sum and the sum of squares, from which mean/variance
+// follow.  Exercise: additions across many clients + one square per input.
+Circuit statistics_circuit(unsigned parties);
+
+// dim x dim matrix product C = A * B, A held by client 0 and B by client 1,
+// all entries of C output to client 0.  dim^3 multiplications in one layer.
+Circuit matmul_circuit(unsigned dim);
+
+// Horner evaluation of a degree-`degree` polynomial: client 0 holds the
+// coefficients, client 1 holds the evaluation point.  Deep and narrow.
+Circuit poly_eval_circuit(unsigned degree);
+
+// A MiMC-like keyed permutation: `rounds` rounds of x <- (x + key + c_i)^3.
+// Client 0 holds x, client 1 the key; classic block-cipher-style MPC load.
+Circuit mimc_circuit(unsigned rounds);
+
+// Second-price (Vickrey) auction over 2^log_bidders bidders is beyond an
+// arithmetic circuit without comparisons; instead this models the payment
+// computation of a *scoring auction*: score_i = bid_i * weight_i, plus the
+// total, all revealed to the auctioneer (client 0).  `bidders` clients.
+Circuit auction_scoring_circuit(unsigned bidders);
+
+}  // namespace yoso

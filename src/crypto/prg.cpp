@@ -1,0 +1,69 @@
+#include "crypto/prg.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace yoso {
+
+Prg::Prg(const std::vector<std::uint8_t>& seed) {
+  Sha256 h;
+  h.update("yoso.prg.seed");
+  h.update(seed);
+  seed_hash_ = h.finalize();
+}
+
+Prg::Prg(std::uint64_t seed) {
+  Sha256 h;
+  h.update("yoso.prg.seed.u64");
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  h.update(buf, 8);
+  seed_hash_ = h.finalize();
+}
+
+void Prg::refill() {
+  Sha256 h;
+  h.update(seed_hash_.data(), seed_hash_.size());
+  std::uint8_t ctr[8];
+  for (int i = 0; i < 8; ++i) ctr[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+  h.update(ctr, 8);
+  block_ = h.finalize();
+  ++counter_;
+  block_pos_ = 0;
+}
+
+void Prg::bytes(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (block_pos_ == block_.size()) refill();
+    std::size_t take = std::min(len, block_.size() - block_pos_);
+    std::memcpy(out, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+std::uint64_t Prg::u64() {
+  std::uint8_t buf[8];
+  bytes(buf, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+mpz_class Prg::below(const mpz_class& bound) {
+  if (bound <= 0) throw std::invalid_argument("Prg::below: bound must be positive");
+  const std::size_t bits = mpz_sizeinbase(bound.get_mpz_t(), 2);
+  const std::size_t nbytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf(nbytes);
+  for (;;) {
+    bytes(buf.data(), buf.size());
+    mpz_class v;
+    mpz_import(v.get_mpz_t(), buf.size(), 1, 1, 0, 0, buf.data());
+    // Mask down to `bits` bits to keep the rejection rate below 1/2.
+    mpz_class masked = v >> static_cast<unsigned long>(8 * nbytes - bits);
+    if (masked < bound) return masked;
+  }
+}
+
+}  // namespace yoso

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random generator: SHA-256 in counter mode.
+//
+// Used wherever the protocol needs randomness that must be re-derivable
+// from a seed (e.g. Fiat-Shamir simulators, reproducible workloads).
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace yoso {
+
+class Prg {
+public:
+  explicit Prg(const std::vector<std::uint8_t>& seed);
+  explicit Prg(std::uint64_t seed);
+
+  // Fills `out` with the next `len` pseudo-random bytes.
+  void bytes(std::uint8_t* out, std::size_t len);
+
+  std::uint64_t u64();
+
+  // Uniform in [0, bound) by rejection sampling. Precondition: bound > 0.
+  mpz_class below(const mpz_class& bound);
+
+private:
+  void refill();
+
+  Sha256::Digest seed_hash_;
+  std::uint64_t counter_ = 0;
+  Sha256::Digest block_{};
+  std::size_t block_pos_ = Sha256::kDigestSize;  // force refill on first use
+};
+
+}  // namespace yoso

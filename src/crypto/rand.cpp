@@ -1,0 +1,78 @@
+#include "crypto/rand.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+std::uint64_t os_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+}  // namespace
+
+Rng::Rng() : Rng(os_seed()) {}
+
+Rng::Rng(std::uint64_t seed) : state_(gmp_randinit_mt) {
+  state_.seed(mpz_class(static_cast<unsigned long>(seed & 0xffffffffu)) +
+              (mpz_class(static_cast<unsigned long>(seed >> 32)) << 32));
+}
+
+mpz_class Rng::below(const mpz_class& bound) {
+  if (bound <= 0) throw std::invalid_argument("Rng::below: bound must be positive");
+  return state_.get_z_range(bound);
+}
+
+mpz_class Rng::bits(unsigned bits) { return state_.get_z_bits(bits); }
+
+mpz_class Rng::unit_mod(const mpz_class& n) {
+  mpz_class g, r;
+  do {
+    r = below(n);
+    mpz_gcd(g.get_mpz_t(), r.get_mpz_t(), n.get_mpz_t());
+  } while (g != 1 || r == 0);
+  return r;
+}
+
+mpz_class Rng::prime(unsigned bits) {
+  if (bits < 3) throw std::invalid_argument("Rng::prime: too few bits");
+  mpz_class p;
+  do {
+    p = this->bits(bits);
+    mpz_setbit(p.get_mpz_t(), bits - 1);  // force exact bit length
+    mpz_setbit(p.get_mpz_t(), 0);         // force odd
+    mpz_nextprime(p.get_mpz_t(), p.get_mpz_t());
+  } while (mpz_sizeinbase(p.get_mpz_t(), 2) != bits);
+  return p;
+}
+
+mpz_class Rng::safe_prime(unsigned bits) {
+  if (bits < 4) throw std::invalid_argument("Rng::safe_prime: too few bits");
+  for (;;) {
+    mpz_class q = prime(bits - 1);
+    mpz_class p = 2 * q + 1;
+    if (mpz_sizeinbase(p.get_mpz_t(), 2) == bits &&
+        mpz_probab_prime_p(p.get_mpz_t(), 30) != 0) {
+      return p;
+    }
+  }
+}
+
+std::uint64_t Rng::u64() {
+  mpz_class z = bits(64);
+  std::uint64_t lo = mpz_get_ui(z.get_mpz_t());  // low bits (GMP limb is 64-bit here)
+  return lo;
+}
+
+std::uint64_t Rng::u64_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::u64_below: bound must be positive");
+  mpz_class z = below(mpz_class(static_cast<unsigned long>(bound)));
+  return mpz_get_ui(z.get_mpz_t());
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+}  // namespace yoso

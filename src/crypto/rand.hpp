@@ -1,0 +1,45 @@
+// Randomness source wrapping GMP's Mersenne-Twister state.
+//
+// All protocol code draws randomness through this class so that tests can
+// run deterministically from a fixed seed.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace yoso {
+
+class Rng {
+public:
+  // Seeds from the OS entropy source.
+  Rng();
+  // Deterministic seed (tests, reproducible benches).
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  mpz_class below(const mpz_class& bound);
+
+  // Uniform `bits`-bit integer (top bit not forced).
+  mpz_class bits(unsigned bits);
+
+  // Uniform unit in Z_n^* (retries until gcd == 1).
+  mpz_class unit_mod(const mpz_class& n);
+
+  // Random prime of exactly `bits` bits.
+  mpz_class prime(unsigned bits);
+
+  // Random safe prime p = 2q + 1 of exactly `bits` bits (q prime).
+  mpz_class safe_prime(unsigned bits);
+
+  std::uint64_t u64();
+  // Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t u64_below(std::uint64_t bound);
+  double uniform01();
+
+private:
+  gmp_randclass state_;
+};
+
+}  // namespace yoso

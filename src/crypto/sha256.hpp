@@ -1,0 +1,40 @@
+// Self-contained SHA-256 (FIPS 180-4).  Used by the Fiat-Shamir transcript
+// and the counter-mode PRG; tested against the FIPS test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace yoso {
+
+class Sha256 {
+public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(const void* data, std::size_t len);
+  Sha256& update(const std::vector<std::uint8_t>& v) { return update(v.data(), v.size()); }
+  Sha256& update(const std::string& s) { return update(s.data(), s.size()); }
+
+  // Finalizes and returns the digest.  The object must not be reused after.
+  Digest finalize();
+
+  static Digest hash(const void* data, std::size_t len);
+  static std::string hex(const Digest& d);
+
+private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace yoso

@@ -1,0 +1,109 @@
+#include "crypto/transcript.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace yoso {
+
+std::vector<std::uint8_t> mpz_to_bytes(const mpz_class& z) {
+  std::vector<std::uint8_t> out;
+  out.push_back(sgn(z) < 0 ? 1 : 0);
+  if (z == 0) return out;
+  std::size_t count = 0;
+  mpz_class mag = abs(z);
+  const std::size_t nbytes = (mpz_sizeinbase(mag.get_mpz_t(), 2) + 7) / 8;
+  out.resize(1 + nbytes);
+  mpz_export(out.data() + 1, &count, 1, 1, 0, 0, mag.get_mpz_t());
+  out.resize(1 + count);
+  return out;
+}
+
+mpz_class mpz_from_bytes(const std::vector<std::uint8_t>& b) {
+  if (b.empty()) throw std::invalid_argument("mpz_from_bytes: empty");
+  mpz_class v;
+  if (b.size() > 1) {
+    mpz_import(v.get_mpz_t(), b.size() - 1, 1, 1, 0, 0, b.data() + 1);
+  }
+  if (b[0]) v = -v;
+  return v;
+}
+
+std::size_t mpz_wire_size(const mpz_class& z) {
+  if (z == 0) return 1;
+  return 1 + (mpz_sizeinbase(z.get_mpz_t(), 2) + 7) / 8;
+}
+
+Transcript::Transcript(const std::string& domain_label) {
+  Sha256 h;
+  h.update("yoso.transcript.v1");
+  h.update(domain_label);
+  state_ = h.finalize();
+}
+
+void Transcript::absorb(const std::string& label, const void* data, std::size_t len) {
+  Sha256 h;
+  h.update(state_.data(), state_.size());
+  h.update(label);
+  std::uint8_t lenbuf[8];
+  for (int i = 0; i < 8; ++i) lenbuf[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  h.update(lenbuf, 8);
+  h.update(data, len);
+  state_ = h.finalize();
+}
+
+void Transcript::absorb(const std::string& label, const std::string& s) {
+  absorb(label, s.data(), s.size());
+}
+
+void Transcript::absorb(const std::string& label, const mpz_class& z) {
+  auto bytes = mpz_to_bytes(z);
+  absorb(label, bytes.data(), bytes.size());
+}
+
+void Transcript::absorb_u64(const std::string& label, std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  absorb(label, buf, 8);
+}
+
+void Transcript::ratchet(const std::string& label) {
+  Sha256 h;
+  h.update(state_.data(), state_.size());
+  h.update("ratchet");
+  h.update(label);
+  state_ = h.finalize();
+}
+
+mpz_class Transcript::challenge_bits(const std::string& label, unsigned bits) {
+  ratchet(label);
+  // Expand the state in counter mode until we have enough bits.
+  mpz_class acc = 0;
+  unsigned got = 0;
+  std::uint64_t ctr = 0;
+  while (got < bits) {
+    Sha256 h;
+    h.update(state_.data(), state_.size());
+    h.update("expand");
+    std::uint8_t cbuf[8];
+    for (int i = 0; i < 8; ++i) cbuf[i] = static_cast<std::uint8_t>(ctr >> (8 * i));
+    h.update(cbuf, 8);
+    auto d = h.finalize();
+    mpz_class block;
+    mpz_import(block.get_mpz_t(), d.size(), 1, 1, 0, 0, d.data());
+    acc = (acc << 256) + block;
+    got += 256;
+    ++ctr;
+  }
+  mpz_class mask = (mpz_class(1) << bits) - 1;
+  return acc & mask;
+}
+
+mpz_class Transcript::challenge_below(const std::string& label, const mpz_class& bound) {
+  if (bound <= 0) throw std::invalid_argument("Transcript::challenge_below: bad bound");
+  const unsigned bits = static_cast<unsigned>(mpz_sizeinbase(bound.get_mpz_t(), 2));
+  // Oversample by 64 bits so the mod bias is negligible.
+  mpz_class wide = challenge_bits(label, bits + 64);
+  return wide % bound;
+}
+
+}  // namespace yoso

@@ -1,0 +1,51 @@
+// Fiat-Shamir transcript: a running hash absorbing labelled protocol data,
+// from which non-interactive challenges are squeezed.
+//
+// Every sigma-protocol NIZK in src/nizk derives its challenge from a
+// Transcript seeded with a domain-separation label, the statement, and the
+// prover's first message, making proofs non-interactive in the ROM.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace yoso {
+
+class Transcript {
+public:
+  explicit Transcript(const std::string& domain_label);
+
+  // Absorbs a labelled byte string.
+  void absorb(const std::string& label, const void* data, std::size_t len);
+  void absorb(const std::string& label, const std::string& s);
+  // Absorbs a labelled big integer (sign + magnitude, length-prefixed).
+  void absorb(const std::string& label, const mpz_class& z);
+  void absorb_u64(const std::string& label, std::uint64_t v);
+
+  // Squeezes a challenge in [0, 2^bits).  Advances the transcript state so
+  // successive challenges are independent.
+  mpz_class challenge_bits(const std::string& label, unsigned bits);
+
+  // Squeezes a challenge in [0, bound).
+  mpz_class challenge_below(const std::string& label, const mpz_class& bound);
+
+private:
+  void ratchet(const std::string& label);
+
+  Sha256::Digest state_{};
+};
+
+// Serializes an mpz to a canonical byte string (sign byte + magnitude).
+std::vector<std::uint8_t> mpz_to_bytes(const mpz_class& z);
+mpz_class mpz_from_bytes(const std::vector<std::uint8_t>& b);
+
+// Byte size of the canonical serialization; used by the communication
+// ledger to price messages.
+std::size_t mpz_wire_size(const mpz_class& z);
+
+}  // namespace yoso

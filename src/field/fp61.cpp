@@ -1,0 +1,34 @@
+#include "field/fp61.hpp"
+
+namespace yoso {
+
+Fp61::Elem Fp61::pow(Elem base, std::uint64_t exp) {
+  Elem acc = 1;
+  Elem b = reduce(base);
+  while (exp != 0) {
+    if (exp & 1) acc = mul(acc, b);
+    b = mul(b, b);
+    exp >>= 1;
+  }
+  return acc;
+}
+
+Fp61::Elem Fp61::inv(Elem a) { return pow(a, kModulus - 2); }
+
+void Fp61::batch_inv(std::vector<Elem>& xs) {
+  if (xs.empty()) return;
+  std::vector<Elem> prefix(xs.size());
+  Elem acc = 1;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    prefix[i] = acc;
+    acc = mul(acc, xs[i]);
+  }
+  Elem inv_all = inv(acc);
+  for (std::size_t i = xs.size(); i-- > 0;) {
+    Elem orig = xs[i];
+    xs[i] = mul(inv_all, prefix[i]);
+    inv_all = mul(inv_all, orig);
+  }
+}
+
+}  // namespace yoso

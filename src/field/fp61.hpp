@@ -1,0 +1,84 @@
+// Fast prime field F_p for p = 2^61 - 1 (a Mersenne prime).
+//
+// This field backs the information-theoretic sharing layer, property tests,
+// and any protocol component that does not need the Paillier plaintext ring.
+// Elements are stored in canonical form, i.e. in [0, p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rand.hpp"
+
+namespace yoso {
+
+class Fp61 {
+public:
+  using Elem = std::uint64_t;
+
+  static constexpr Elem kModulus = (std::uint64_t{1} << 61) - 1;
+
+  // Reduces an arbitrary 64-bit value into canonical form.
+  static constexpr Elem reduce(std::uint64_t x) {
+    x = (x & kModulus) + (x >> 61);
+    if (x >= kModulus) x -= kModulus;
+    return x;
+  }
+
+  static constexpr Elem add(Elem a, Elem b) {
+    std::uint64_t s = a + b;  // < 2^62, no overflow
+    if (s >= kModulus) s -= kModulus;
+    return s;
+  }
+
+  static constexpr Elem sub(Elem a, Elem b) { return a >= b ? a - b : a + kModulus - b; }
+
+  static constexpr Elem neg(Elem a) { return a == 0 ? 0 : kModulus - a; }
+
+  static Elem mul(Elem a, Elem b) {
+    unsigned __int128 t = static_cast<unsigned __int128>(a) * b;
+    std::uint64_t lo = static_cast<std::uint64_t>(t & kModulus);
+    std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kModulus) s -= kModulus;
+    return s;
+  }
+
+  static Elem pow(Elem base, std::uint64_t exp);
+
+  // Multiplicative inverse of a non-zero element (Fermat).
+  // Precondition: a != 0.
+  static Elem inv(Elem a);
+
+  // Maps a signed integer into the field (negative values wrap).
+  static constexpr Elem from_int(std::int64_t v) {
+    if (v >= 0) return reduce(static_cast<std::uint64_t>(v));
+    std::uint64_t mag = reduce(static_cast<std::uint64_t>(-v));
+    return neg(mag);
+  }
+
+  // Batch inversion via Montgomery's trick: inverts every element of `xs`.
+  // Precondition: no element is zero.
+  static void batch_inv(std::vector<Elem>& xs);
+};
+
+// Ring-traits adapter so templated sharing/polynomial code can use F_p
+// interchangeably with Z_N.  All traits objects are cheap to copy.
+class Fp61Ring {
+public:
+  using Elem = Fp61::Elem;
+
+  Elem add(Elem a, Elem b) const { return Fp61::add(a, b); }
+  Elem sub(Elem a, Elem b) const { return Fp61::sub(a, b); }
+  Elem mul(Elem a, Elem b) const { return Fp61::mul(a, b); }
+  Elem neg(Elem a) const { return Fp61::neg(a); }
+  Elem inv(Elem a) const { return Fp61::inv(a); }
+  Elem zero() const { return 0; }
+  Elem one() const { return 1; }
+  Elem from_int(std::int64_t v) const { return Fp61::from_int(v); }
+  bool eq(Elem a, Elem b) const { return a == b; }
+  bool is_unit(Elem a) const { return a != 0; }
+  Elem random(Rng& rng) const { return rng.u64_below(Fp61::kModulus); }
+};
+
+}  // namespace yoso

@@ -1,0 +1,31 @@
+#include "field/poly.hpp"
+
+namespace yoso {
+
+mpz_class factorial(unsigned n) {
+  mpz_class f;
+  mpz_fac_ui(f.get_mpz_t(), n);
+  return f;
+}
+
+std::vector<mpz_class> integer_lagrange(const std::vector<std::int64_t>& points,
+                                        std::int64_t at, const mpz_class& delta) {
+  std::vector<mpz_class> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    mpq_class acc(delta);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      mpq_class term(mpz_class(static_cast<long>(at - points[j])),
+                     mpz_class(static_cast<long>(points[i] - points[j])));
+      term.canonicalize();
+      acc *= term;
+    }
+    if (acc.get_den() != 1) {
+      throw std::invalid_argument("integer_lagrange: Delta does not clear denominators");
+    }
+    out[i] = acc.get_num();
+  }
+  return out;
+}
+
+}  // namespace yoso

@@ -1,0 +1,136 @@
+// Polynomial utilities over an abstract ring, plus exact integer Lagrange
+// coefficients for the Shoup Delta = n! trick used by threshold decryption.
+//
+// The ring concept (see Fp61Ring / ZnRing) provides:
+//   Elem, add, sub, mul, neg, inv, zero, one, from_int, eq, is_unit.
+//
+// Evaluation points throughout the library are *signed small integers*:
+// packed sharings store secrets at 0, -1, ..., -(k-1) and shares at 1..n.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace yoso {
+
+// Evaluates the polynomial with coefficient vector `coeffs` (low order
+// first) at ring element `x` by Horner's rule.
+template <typename R>
+typename R::Elem poly_eval(const R& ring, const std::vector<typename R::Elem>& coeffs,
+                           const typename R::Elem& x) {
+  typename R::Elem acc = ring.zero();
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = ring.add(ring.mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+// Lagrange-interpolates the unique polynomial of degree < points.size()
+// through (points[i], values[i]) and returns its value at `at`.
+// Precondition: pairwise differences of points are units in the ring.
+template <typename R>
+typename R::Elem lagrange_at(const R& ring, const std::vector<std::int64_t>& points,
+                             const std::vector<typename R::Elem>& values, std::int64_t at) {
+  if (points.size() != values.size() || points.empty()) {
+    throw std::invalid_argument("lagrange_at: size mismatch");
+  }
+  using Elem = typename R::Elem;
+  Elem result = ring.zero();
+  const Elem x = ring.from_int(at);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Elem num = ring.one();
+    Elem den = ring.one();
+    const Elem xi = ring.from_int(points[i]);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const Elem xj = ring.from_int(points[j]);
+      num = ring.mul(num, ring.sub(x, xj));
+      den = ring.mul(den, ring.sub(xi, xj));
+    }
+    result = ring.add(result, ring.mul(values[i], ring.mul(num, ring.inv(den))));
+  }
+  return result;
+}
+
+// Lagrange basis coefficients: returns L with L[i] = l_i(at), so that the
+// interpolated value at `at` is sum_i L[i] * values[i].  Reusable across
+// many sharings with the same point set.
+template <typename R>
+std::vector<typename R::Elem> lagrange_coeffs(const R& ring,
+                                              const std::vector<std::int64_t>& points,
+                                              std::int64_t at) {
+  using Elem = typename R::Elem;
+  std::vector<Elem> out(points.size());
+  const Elem x = ring.from_int(at);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Elem num = ring.one();
+    Elem den = ring.one();
+    const Elem xi = ring.from_int(points[i]);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const Elem xj = ring.from_int(points[j]);
+      num = ring.mul(num, ring.sub(x, xj));
+      den = ring.mul(den, ring.sub(xi, xj));
+    }
+    out[i] = ring.mul(num, ring.inv(den));
+  }
+  return out;
+}
+
+// Interpolates coefficient form: returns the coefficient vector (low order
+// first) of the unique polynomial of degree < points.size() through the
+// given (point, value) pairs.  O(m^2); used at setup time only.
+template <typename R>
+std::vector<typename R::Elem> interpolate_coeffs(const R& ring,
+                                                 const std::vector<std::int64_t>& points,
+                                                 const std::vector<typename R::Elem>& values) {
+  using Elem = typename R::Elem;
+  const std::size_t m = points.size();
+  if (values.size() != m || m == 0) throw std::invalid_argument("interpolate_coeffs: size");
+  // Newton's divided differences.
+  std::vector<Elem> xs(m);
+  for (std::size_t i = 0; i < m; ++i) xs[i] = ring.from_int(points[i]);
+  std::vector<Elem> dd = values;  // dd[i] becomes the i-th divided difference
+  for (std::size_t level = 1; level < m; ++level) {
+    for (std::size_t i = m - 1; i >= level; --i) {
+      Elem num = ring.sub(dd[i], dd[i - 1]);
+      Elem den = ring.sub(xs[i], xs[i - level]);
+      dd[i] = ring.mul(num, ring.inv(den));
+      if (i == level) break;
+    }
+  }
+  // Expand the Newton form into monomial coefficients.
+  std::vector<Elem> coeffs(m, ring.zero());
+  std::vector<Elem> basis{ring.one()};  // product (x - x_0)...(x - x_{j-1})
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t c = 0; c < basis.size(); ++c) {
+      coeffs[c] = ring.add(coeffs[c], ring.mul(dd[j], basis[c]));
+    }
+    if (j + 1 < m) {
+      // basis *= (x - x_j)
+      std::vector<Elem> next(basis.size() + 1, ring.zero());
+      for (std::size_t c = 0; c < basis.size(); ++c) {
+        next[c + 1] = ring.add(next[c + 1], basis[c]);
+        next[c] = ring.add(next[c], ring.mul(basis[c], ring.neg(xs[j])));
+      }
+      basis = std::move(next);
+    }
+  }
+  return coeffs;
+}
+
+// Exact integer-scaled Lagrange coefficients for the Shoup trick: returns
+// lambda[i] = Delta * l_i(at) as exact integers, where l_i is the Lagrange
+// basis for the given distinct nonzero points and Delta = delta_factorial.
+// Precondition: Delta * l_i(at) is integral (guaranteed when Delta = n! and
+// points are distinct integers in [-(k-1), n]).
+std::vector<mpz_class> integer_lagrange(const std::vector<std::int64_t>& points,
+                                        std::int64_t at, const mpz_class& delta);
+
+// Delta = n!.
+mpz_class factorial(unsigned n);
+
+}  // namespace yoso

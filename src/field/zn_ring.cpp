@@ -1,0 +1,32 @@
+#include "field/zn_ring.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+ZnRing::Elem ZnRing::inv(const Elem& a) const {
+  mpz_class r;
+  mpz_class am = mod(a);
+  if (mpz_invert(r.get_mpz_t(), am.get_mpz_t(), n_.get_mpz_t()) == 0) {
+    throw std::domain_error("ZnRing::inv: element is not a unit");
+  }
+  return r;
+}
+
+bool ZnRing::is_unit(const Elem& a) const {
+  mpz_class g;
+  mpz_class am = mod(a);
+  mpz_gcd(g.get_mpz_t(), am.get_mpz_t(), n_.get_mpz_t());
+  return g == 1;
+}
+
+bool ZnRing::points_ok(const std::vector<std::int64_t>& points) const {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (!is_unit(from_int(points[i] - points[j]))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace yoso

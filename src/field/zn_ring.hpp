@@ -1,0 +1,55 @@
+// The ring Z_N for an RSA-style modulus N (the Paillier plaintext space).
+//
+// Shamir secret sharing over Z_N requires the differences of evaluation
+// points to be units; for evaluation points of magnitude <= n + k << p, q
+// this always holds for honestly generated N (checked by `points_ok`).
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rand.hpp"
+
+namespace yoso {
+
+class ZnRing {
+public:
+  using Elem = mpz_class;
+
+  ZnRing() : n_(1) {}
+  explicit ZnRing(mpz_class n) : n_(std::move(n)) {}
+
+  const mpz_class& modulus() const { return n_; }
+
+  Elem add(const Elem& a, const Elem& b) const { return mod(a + b); }
+  Elem sub(const Elem& a, const Elem& b) const { return mod(a - b); }
+  Elem mul(const Elem& a, const Elem& b) const { return mod(a * b); }
+  Elem neg(const Elem& a) const { return mod(-a); }
+
+  // Multiplicative inverse; precondition: gcd(a, N) == 1.
+  Elem inv(const Elem& a) const;
+
+  Elem zero() const { return 0; }
+  Elem one() const { return 1; }
+  Elem from_int(std::int64_t v) const { return mod(mpz_class(static_cast<long>(v))); }
+  bool eq(const Elem& a, const Elem& b) const { return mod(a) == mod(b); }
+  bool is_unit(const Elem& a) const;
+  Elem random(Rng& rng) const { return rng.below(n_); }
+
+  Elem mod(const Elem& a) const {
+    mpz_class r;
+    mpz_mod(r.get_mpz_t(), a.get_mpz_t(), n_.get_mpz_t());
+    return r;
+  }
+
+  // True iff all pairwise differences of the signed points are units mod N
+  // (the precondition for Shamir interpolation over Z_N).
+  bool points_ok(const std::vector<std::int64_t>& points) const;
+
+private:
+  mpz_class n_;
+};
+
+}  // namespace yoso

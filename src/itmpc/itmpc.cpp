@@ -1,0 +1,223 @@
+#include "itmpc/itmpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sharing/packed.hpp"
+
+namespace yoso {
+
+void ItParams::validate() const {
+  if (n == 0 || k == 0) throw std::invalid_argument("ItParams: zero n or k");
+  if (recon_threshold() > n) {
+    throw std::invalid_argument("ItParams: reconstruction threshold exceeds n");
+  }
+  if (packed_degree() >= n) throw std::invalid_argument("ItParams: degree >= n");
+}
+
+ItParams ItParams::for_gap(unsigned n, double eps, bool failstop_mode) {
+  ItParams p;
+  p.n = n;
+  double bound = n * (0.5 - eps);
+  unsigned t = static_cast<unsigned>(std::floor(bound - 1e-9));
+  p.t = t;
+  double keps = failstop_mode ? eps / 2.0 : eps;
+  unsigned k = static_cast<unsigned>(std::floor(n * keps + 1e-9)) + 1;
+  while (k > 1 && p.t + 2 * (k - 1) + 1 > n - p.t) --k;
+  p.k = k;
+  p.validate();
+  return p;
+}
+
+ItCorrelations it_deal(const Circuit& circuit, const ItParams& params, Rng& rng) {
+  Fp61Ring ring;
+  const auto& gates = circuit.gates();
+  ItCorrelations corr;
+  corr.batches = make_batches(circuit, params.k);
+
+  // Wire lambdas: fresh for input/mul outputs, derived through linear gates
+  // (the dealer plays the role of the whole offline phase).
+  corr.wire_lambda.resize(gates.size());
+  for (WireId w = 0; w < gates.size(); ++w) {
+    const Gate& g = gates[w];
+    switch (g.kind) {
+      case GateKind::Input:
+      case GateKind::Mul:
+        corr.wire_lambda[w] = ring.random(rng);
+        break;
+      case GateKind::Add:
+        corr.wire_lambda[w] = ring.add(corr.wire_lambda[g.in0], corr.wire_lambda[g.in1]);
+        break;
+      case GateKind::Sub:
+        corr.wire_lambda[w] = ring.sub(corr.wire_lambda[g.in0], corr.wire_lambda[g.in1]);
+        break;
+      case GateKind::AddConst:
+        corr.wire_lambda[w] = corr.wire_lambda[g.in0];
+        break;
+      case GateKind::MulConst: {
+        mpz_class c = g.constant % Fp61::kModulus;
+        if (c < 0) c += Fp61::kModulus;
+        corr.wire_lambda[w] = ring.mul(corr.wire_lambda[g.in0], c.get_ui());
+        break;
+      }
+    }
+  }
+
+  // Packed sharings per batch: lambda_alpha, lambda_beta and
+  // Gamma = lambda_alpha * lambda_beta - lambda_gamma, all degree t+k-1.
+  const unsigned d = params.packed_degree();
+  corr.packed_alpha.resize(corr.batches.size());
+  corr.packed_beta.resize(corr.batches.size());
+  corr.packed_gamma.resize(corr.batches.size());
+  for (std::size_t b = 0; b < corr.batches.size(); ++b) {
+    const MulBatch& batch = corr.batches[b];
+    std::vector<Fp61::Elem> la, lb, gm;
+    for (unsigned j = 0; j < params.k; ++j) {
+      Fp61::Elem a = corr.wire_lambda[batch.alpha[j]];
+      Fp61::Elem bb = corr.wire_lambda[batch.beta[j]];
+      Fp61::Elem g = corr.wire_lambda[batch.gamma[j]];
+      la.push_back(a);
+      lb.push_back(bb);
+      gm.push_back(ring.sub(ring.mul(a, bb), g));
+    }
+    corr.packed_alpha[b] = packed_share(ring, la, d, params.n, rng).shares;
+    corr.packed_beta[b] = packed_share(ring, lb, d, params.n, rng).shares;
+    corr.packed_gamma[b] = packed_share(ring, gm, d, params.n, rng).shares;
+  }
+
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind == GateKind::Input) corr.input_lambda[w] = corr.wire_lambda[w];
+  }
+  for (const auto& spec : circuit.outputs()) {
+    corr.output_lambda[spec.wire] = corr.wire_lambda[spec.wire];
+  }
+  return corr;
+}
+
+ItResult it_online(const Circuit& circuit, const ItParams& params,
+                   const ItCorrelations& corr,
+                   const std::vector<std::vector<Fp61::Elem>>& inputs,
+                   unsigned failstops_per_committee, std::uint64_t seed) {
+  Fp61Ring ring;
+  const auto& gates = circuit.gates();
+  ItResult result;
+
+  // --- Inputs -------------------------------------------------------------
+  std::vector<bool> known(gates.size(), false);
+  std::vector<Fp61::Elem> mu(gates.size(), 0);
+  std::vector<std::size_t> next_input(circuit.num_clients(), 0);
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind != GateKind::Input) continue;
+    unsigned c = gates[w].client;
+    if (c >= inputs.size() || next_input[c] >= inputs[c].size()) {
+      throw std::invalid_argument("it_online: missing input");
+    }
+    Fp61::Elem v = Fp61::reduce(inputs[c][next_input[c]++]);
+    mu[w] = ring.sub(v, corr.input_lambda.at(w));
+    known[w] = true;
+    ++result.input_elements;
+  }
+
+  auto sweep_linear = [&]() {
+    for (WireId w = 0; w < gates.size(); ++w) {
+      if (known[w]) continue;
+      const Gate& g = gates[w];
+      switch (g.kind) {
+        case GateKind::Add:
+          if (known[g.in0] && known[g.in1]) {
+            mu[w] = ring.add(mu[g.in0], mu[g.in1]);
+            known[w] = true;
+          }
+          break;
+        case GateKind::Sub:
+          if (known[g.in0] && known[g.in1]) {
+            mu[w] = ring.sub(mu[g.in0], mu[g.in1]);
+            known[w] = true;
+          }
+          break;
+        case GateKind::AddConst:
+          if (known[g.in0]) {
+            mu[w] = ring.add(mu[g.in0], Fp61::from_int(g.constant.get_si()));
+            known[w] = true;
+          }
+          break;
+        case GateKind::MulConst:
+          if (known[g.in0]) {
+            mpz_class c = g.constant % Fp61::kModulus;
+            if (c < 0) c += Fp61::kModulus;
+            mu[w] = ring.mul(mu[g.in0], c.get_ui());
+            known[w] = true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  };
+  sweep_linear();
+
+  // --- Multiplication layers ----------------------------------------------
+  Rng crash_rng(seed);
+  const unsigned depth = circuit.mul_depth();
+  for (unsigned layer = 1; layer <= depth; ++layer) {
+    // Crash a random subset of this layer's committee.
+    std::vector<bool> alive(params.n, true);
+    unsigned crashed = 0;
+    while (crashed < std::min(failstops_per_committee, params.n)) {
+      unsigned i = static_cast<unsigned>(crash_rng.u64_below(params.n));
+      if (alive[i]) {
+        alive[i] = false;
+        ++crashed;
+      }
+    }
+
+    for (std::size_t b = 0; b < corr.batches.size(); ++b) {
+      const MulBatch& batch = corr.batches[b];
+      if (batch.layer != layer) continue;
+      std::vector<Fp61::Elem> mu_a, mu_b;
+      for (unsigned j = 0; j < params.k; ++j) {
+        mu_a.push_back(mu[batch.alpha[j]]);
+        mu_b.push_back(mu[batch.beta[j]]);
+      }
+      auto mu_a_sh = packed_share_public(ring, mu_a, params.n).shares;
+      auto mu_b_sh = packed_share_public(ring, mu_b, params.n).shares;
+
+      // Every alive role broadcasts its mu-share (one field element).
+      std::vector<std::int64_t> pts;
+      std::vector<Fp61::Elem> shares;
+      for (unsigned i = 0; i < params.n; ++i) {
+        if (!alive[i]) continue;
+        // mu_i^gamma = mu_a mu_b + mu_a lam_b + mu_b lam_a + Gamma_i
+        Fp61::Elem s = ring.add(
+            ring.add(ring.mul(mu_a_sh[i], mu_b_sh[i]),
+                     ring.mul(mu_a_sh[i], corr.packed_beta[b][i])),
+            ring.add(ring.mul(mu_b_sh[i], corr.packed_alpha[b][i]), corr.packed_gamma[b][i]));
+        ++result.mult_share_elements;
+        if (pts.size() < params.recon_threshold()) {
+          pts.push_back(static_cast<std::int64_t>(i) + 1);
+          shares.push_back(s);
+        }
+      }
+      if (pts.size() < params.recon_threshold()) {
+        result.delivered = false;
+        return result;
+      }
+      for (unsigned j = 0; j < batch.real; ++j) {
+        mu[batch.gamma[j]] = lagrange_at(ring, pts, shares, secret_point(j));
+        known[batch.gamma[j]] = true;
+      }
+    }
+    sweep_linear();
+  }
+
+  // --- Outputs --------------------------------------------------------------
+  result.delivered = true;
+  for (const auto& spec : circuit.outputs()) {
+    if (!known[spec.wire]) throw std::logic_error("it_online: output wire not evaluated");
+    result.outputs.push_back(ring.add(mu[spec.wire], corr.output_lambda.at(spec.wire)));
+  }
+  return result;
+}
+
+}  // namespace yoso

@@ -1,0 +1,75 @@
+// Information-theoretic packed YOSO MPC (the paper's future-work item:
+// "explore what the impact of the gap is in the context of
+// information-theoretic security").
+//
+// This module instantiates the same online structure as the computational
+// protocol — public mu = v - lambda per wire, one broadcast share per role
+// per batch of k multiplications, reconstruction from t + 2(k-1) + 1
+// shares — but over the fast prime field F_{2^61-1} with the offline
+// correlations produced by a trusted dealer (the IT analogue of the
+// preprocessing functionality; in a deployment this would itself be a
+// committee protocol a la BGW).  Security is semi-honest /
+// information-theoretic: there are no proofs, so a mu-share is one field
+// element, and honest-but-silent (fail-stop) roles are tolerated exactly
+// as in Section 5.4.
+//
+// Because no public-key operations are involved, this engine runs
+// committees of thousands of roles on a laptop, which is how
+// bench_it_scaling demonstrates the O(1)-per-gate online shape at
+// paper-scale committee sizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "circuit/batching.hpp"
+#include "circuit/circuit.hpp"
+#include "crypto/rand.hpp"
+#include "field/fp61.hpp"
+#include "mpc/params.hpp"
+
+namespace yoso {
+
+struct ItParams {
+  unsigned n = 0;  // committee size
+  unsigned t = 0;  // privacy threshold (shares of any t roles leak nothing)
+  unsigned k = 1;  // packing factor
+
+  unsigned recon_threshold() const { return t + 2 * (k - 1) + 1; }
+  unsigned packed_degree() const { return t + k - 1; }
+  void validate() const;
+
+  static ItParams for_gap(unsigned n, double eps, bool failstop_mode = false);
+};
+
+// The dealer's output: everything the online phase consumes.
+struct ItCorrelations {
+  std::vector<Fp61::Elem> wire_lambda;  // lambda per wire (dealer-internal;
+                                        // exposed for tests/simulation)
+  std::vector<MulBatch> batches;
+  // packed_*[b][i] = role i's share for batch b.
+  std::vector<std::vector<Fp61::Elem>> packed_alpha, packed_beta, packed_gamma;
+  std::map<WireId, Fp61::Elem> input_lambda;   // handed to the owning client
+  std::map<WireId, Fp61::Elem> output_lambda;  // handed to the receiving client
+};
+
+// Trusted-dealer offline phase.
+ItCorrelations it_deal(const Circuit& circuit, const ItParams& params, Rng& rng);
+
+struct ItResult {
+  bool delivered = false;              // false if too few shares survived
+  std::vector<Fp61::Elem> outputs;     // valid when delivered
+  // Online accounting: field elements broadcast, split by source.
+  std::size_t input_elements = 0;
+  std::size_t mult_share_elements = 0;
+};
+
+// Online phase.  `failstops_per_committee` roles per layer committee stay
+// silent (chosen deterministically from `seed`, modelling random crashes).
+ItResult it_online(const Circuit& circuit, const ItParams& params,
+                   const ItCorrelations& corr,
+                   const std::vector<std::vector<Fp61::Elem>>& inputs,
+                   unsigned failstops_per_committee, std::uint64_t seed);
+
+}  // namespace yoso

@@ -1,0 +1,129 @@
+#include "mpc/contrib.hpp"
+
+#include "mpc/reencrypt.hpp"  // ProtocolAbort
+#include "nizk/mult_proof.hpp"
+#include "nizk/plaintext_proof.hpp"
+
+namespace yoso {
+
+std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com,
+                                          std::size_t count, Phase phase,
+                                          const std::string& label, Bulletin& bulletin,
+                                          Rng& rng) {
+  const unsigned n = com.n();
+  struct Contribution {
+    mpz_class ct;
+    PlaintextProof proof;
+  };
+  std::vector<std::vector<Contribution>> msgs(n);
+  for (unsigned j = 0; j < n; ++j) {
+    if (!com.corruption.is_active(j)) continue;
+    com.speak(j);
+    const bool bad = com.corruption.is_malicious(j);
+    const auto strat = com.corruption.strategy;
+    msgs[j].reserve(count);
+    std::size_t bytes = 0;
+    for (std::size_t v = 0; v < count; ++v) {
+      mpz_class m = rng.below(tpk.pk.ns);
+      mpz_class r;
+      mpz_class ct = tpk.pk.enc(m, rng, &r);
+      PlaintextProof proof = prove_plaintext(tpk.pk, ct, m, r, rng);
+      if (bad && strat == MaliciousStrategy::BadShare) {
+        ct = tpk.pk.add(ct, tpk.pk.enc(mpz_class(1), rng));  // proof no longer matches
+      }
+      if (bad && strat == MaliciousStrategy::BadProof) proof.inner.z += 1;
+      bytes += mpz_wire_size(ct) + proof.wire_bytes();
+      msgs[j].push_back(Contribution{std::move(ct), std::move(proof)});
+    }
+    bulletin.publish(com, j, phase, label, bytes, count, /*first_post_of_role=*/false);
+  }
+
+  std::vector<mpz_class> out(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    mpz_class sum;
+    bool first = true;
+    unsigned verified = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (msgs[j].empty()) continue;
+      const auto& c = msgs[j][v];
+      if (!verify_plaintext(tpk.pk, c.ct, c.proof)) continue;
+      ++verified;
+      if (first) {
+        sum = c.ct;
+        first = false;
+      } else {
+        sum = tpk.pk.add(sum, c.ct);
+      }
+    }
+    if (verified < tpk.t + 1) {
+      throw ProtocolAbort("randomness contribution: fewer than t+1 verified");
+    }
+    out[v] = std::move(sum);
+  }
+  return out;
+}
+
+std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee& com_a,
+                                              Committee& com_b, std::size_t count, Phase phase,
+                                              Bulletin& bulletin, Rng& rng) {
+  std::vector<mpz_class> c_a =
+      contribute_randoms(tpk, com_a, count, phase, "beaver.a", bulletin, rng);
+
+  const unsigned n = com_b.n();
+  struct BC {
+    mpz_class cb, cc;
+    MultProof proof;
+  };
+  std::vector<std::vector<BC>> msgs(n);
+  for (unsigned j = 0; j < n; ++j) {
+    if (!com_b.corruption.is_active(j)) continue;
+    com_b.speak(j);
+    const bool bad = com_b.corruption.is_malicious(j);
+    const auto strat = com_b.corruption.strategy;
+    msgs[j].reserve(count);
+    std::size_t bytes = 0;
+    for (std::size_t g = 0; g < count; ++g) {
+      mpz_class b = rng.below(tpk.pk.ns);
+      mpz_class rb, rho;
+      mpz_class cb = tpk.pk.enc(b, rng, &rb);
+      mpz_class cc = tpk.pk.rerandomize(tpk.pk.scal(c_a[g], b), rng, &rho);
+      if (bad && strat == MaliciousStrategy::BadShare) {
+        cc = tpk.pk.add(cc, tpk.pk.enc(mpz_class(1), rng));  // c no longer a*b
+      }
+      MultProof proof = prove_mult(tpk.pk, c_a[g], cb, cc, b, rb, rho, rng);
+      if (bad && strat == MaliciousStrategy::BadProof) proof.z += 1;
+      bytes += mpz_wire_size(cb) + mpz_wire_size(cc) + proof.wire_bytes();
+      msgs[j].push_back(BC{std::move(cb), std::move(cc), std::move(proof)});
+    }
+    bulletin.publish(com_b, j, phase, "beaver.bc", bytes, 2 * count,
+                     /*first_post_of_role=*/false);
+  }
+
+  std::vector<BeaverTriple> out(count);
+  for (std::size_t g = 0; g < count; ++g) {
+    mpz_class sb, sc;
+    bool first = true;
+    unsigned verified = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (msgs[j].empty()) continue;
+      const auto& m = msgs[j][g];
+      if (!verify_mult(tpk.pk, c_a[g], m.cb, m.cc, m.proof)) continue;
+      ++verified;
+      if (first) {
+        sb = m.cb;
+        sc = m.cc;
+        first = false;
+      } else {
+        sb = tpk.pk.add(sb, m.cb);
+        sc = tpk.pk.add(sc, m.cc);
+      }
+    }
+    if (verified < tpk.t + 1) {
+      throw ProtocolAbort("beaver: fewer than t+1 verified contributions");
+    }
+    out[g] = BeaverTriple{c_a[g], std::move(sb), std::move(sc)};
+  }
+  return out;
+}
+
+}  // namespace yoso

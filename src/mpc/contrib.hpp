@@ -1,0 +1,31 @@
+// Committee contribution sub-protocols shared by the packed protocol and
+// the CDN baseline:
+//   * contribute_randoms — each role of a committee encrypts a fresh random
+//     value under tpk with a plaintext proof; the value becomes the sum of
+//     the verified contributions (>= t+1 required).
+//   * make_beaver_triples — Protocol 3: two committees jointly produce
+//     encrypted Beaver triples, the second proving consistency with a CDN
+//     multiplication proof.
+#pragma once
+
+#include <vector>
+
+#include "paillier/threshold.hpp"
+#include "yoso/bulletin.hpp"
+
+namespace yoso {
+
+std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com,
+                                          std::size_t count, Phase phase,
+                                          const std::string& label, Bulletin& bulletin,
+                                          Rng& rng);
+
+struct BeaverTriple {
+  mpz_class a, b, c;  // ciphertexts under tpk, c encrypts a*b
+};
+
+std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee& com_a,
+                                              Committee& com_b, std::size_t count, Phase phase,
+                                              Bulletin& bulletin, Rng& rng);
+
+}  // namespace yoso

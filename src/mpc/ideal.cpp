@@ -1,0 +1,82 @@
+#include "mpc/ideal.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+IdealMpc::IdealMpc(unsigned input_roles, unsigned output_roles, Function f)
+    : inputs_(input_roles), outputs_(output_roles), f_(std::move(f)),
+      x_(input_roles, mpz_class(0)),  // default input 0 for all roles
+      spoken_(input_roles, false),
+      cls_(input_roles, IdealRoleClass::Honest),
+      out_cls_(output_roles, IdealRoleClass::Honest) {}
+
+void IdealMpc::set_role_class(unsigned input_role, IdealRoleClass c) {
+  cls_.at(input_role) = c;
+}
+
+void IdealMpc::set_output_class(unsigned output_role, IdealRoleClass c) {
+  out_cls_.at(output_role) = c;
+}
+
+std::string IdealMpc::input(unsigned role, const mpz_class& x, unsigned round) {
+  if (role >= inputs_) throw std::out_of_range("IdealMpc: no such input role");
+  if (evaluated_) throw std::logic_error("IdealMpc: stage is already Evaluated");
+  const bool honest = cls_[role] == IdealRoleClass::Honest;
+  if (honest) {
+    // Only the first input, and only in round 1, is considered; then Spoke.
+    if (!spoken_[role] && round == 1) x_[role] = x;
+    spoken_[role] = true;
+    return std::to_string(mpz_sizeinbase(x.get_mpz_t(), 2));  // leak |x|
+  }
+  // Corrupt roles may (re)commit later; their input leaks in full.
+  x_[role] = x;
+  return x.get_str();
+}
+
+bool IdealMpc::has_spoken(unsigned input_role) const { return spoken_.at(input_role); }
+
+std::map<unsigned, mpz_class> IdealMpc::evaluate(unsigned round) {
+  if (round <= 1) throw std::logic_error("IdealMpc: Evaluated only in a round r > 1");
+  if (evaluated_) throw std::logic_error("IdealMpc: already Evaluated");
+  evaluated_ = true;
+  y_ = f_(x_);
+  if (y_.size() != outputs_) throw std::logic_error("IdealMpc: function arity mismatch");
+  std::map<unsigned, mpz_class> leaked;
+  for (unsigned r = 0; r < outputs_; ++r) {
+    if (out_cls_[r] != IdealRoleClass::Honest) leaked[r] = y_[r];
+  }
+  return leaked;
+}
+
+std::optional<mpz_class> IdealMpc::read(unsigned output_role) const {
+  if (output_role >= outputs_) throw std::out_of_range("IdealMpc: no such output role");
+  if (!evaluated_) return std::nullopt;
+  return y_[output_role];
+}
+
+const std::string& IdealBroadcast::send(const std::string& role, std::string x,
+                                        unsigned round) {
+  if (spoken_.count(role)) {
+    throw std::logic_error("IdealBroadcast: role " + role + " spoke twice");
+  }
+  spoken_.insert(role);
+  auto [it, _] = rounds_[round].emplace(role, std::move(x));
+  return it->second;  // rushing leakage
+}
+
+std::map<std::string, std::string> IdealBroadcast::read(unsigned round_read,
+                                                        unsigned current_round) const {
+  if (round_read >= current_round) {
+    throw std::logic_error("IdealBroadcast: can only read past rounds");
+  }
+  auto it = rounds_.find(round_read);
+  if (it == rounds_.end()) return {};
+  return it->second;
+}
+
+bool IdealBroadcast::has_spoken(const std::string& role) const {
+  return spoken_.count(role) > 0;
+}
+
+}  // namespace yoso

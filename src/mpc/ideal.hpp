@@ -1,0 +1,89 @@
+// The ideal functionalities of the YOSO framework, as executable code:
+//
+//   * F_MPC  (Section 2)  — the two-stage (GettingInputs / Evaluated) MPC
+//     functionality with default inputs, first-round input commitment for
+//     honest roles, adversarial leakage of corrupt inputs, and Spoke
+//     tokens; and
+//   * F_BC   (Appendix C) — the round-based broadcast functionality with
+//     rushing leakage.
+//
+// These serve two purposes: they pin down the security target in code (the
+// test suite checks the real protocol's I/O behaviour coincides with
+// F_MPC's on identical inputs — the correctness half of UC emulation), and
+// they document the model for library users extending the protocol.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace yoso {
+
+enum class IdealRoleClass { Honest, Leaky, Malicious };
+
+class IdealMpc {
+public:
+  // `f` maps the full input map to one output per output-role.
+  using Function = std::function<std::vector<mpz_class>(const std::vector<mpz_class>&)>;
+
+  IdealMpc(unsigned input_roles, unsigned output_roles, Function f);
+
+  void set_role_class(unsigned input_role, IdealRoleClass c);
+
+  // (Input, R, x) in round `round`.  Honest roles: only the first input,
+  // and only in round 1, is considered; the role receives Spoke.  Returns
+  // what leaks to the simulator: |x| for honest roles, x itself for leaky
+  // or malicious ones (as a decimal string for the length case).
+  std::string input(unsigned role, const mpz_class& x, unsigned round);
+
+  bool has_spoken(unsigned input_role) const;
+
+  // S's Evaluated signal; only valid in a round r > 1 while still in the
+  // GettingInputs stage.  Returns the outputs leaked to the simulator
+  // (those of leaky/malicious output roles).
+  std::map<unsigned, mpz_class> evaluate(unsigned round);
+
+  // (Read, R): delivery of role R's output once Evaluated.
+  std::optional<mpz_class> read(unsigned output_role) const;
+
+  bool evaluated() const { return evaluated_; }
+
+private:
+  unsigned inputs_, outputs_;
+  Function f_;
+  std::vector<mpz_class> x_;
+  std::vector<bool> spoken_;
+  std::vector<IdealRoleClass> cls_;
+  std::vector<IdealRoleClass> out_cls_;
+  std::vector<mpz_class> y_;
+  bool evaluated_ = false;
+
+public:
+  void set_output_class(unsigned output_role, IdealRoleClass c);
+};
+
+// F_BC: the broadcast functionality with per-round message maps and
+// rushing leakage (the adversary sees honest messages before corrupt roles
+// must commit to theirs — modeled by leak-on-send).
+class IdealBroadcast {
+public:
+  // (Send, R, x) in round r; each role sends once.  Returns the leaked
+  // message (rushing adversaries see it immediately).
+  const std::string& send(const std::string& role, std::string x, unsigned round);
+
+  // (Read, R, r') in a later round: the full map of round r'.
+  std::map<std::string, std::string> read(unsigned round_read, unsigned current_round) const;
+
+  bool has_spoken(const std::string& role) const;
+
+private:
+  std::map<unsigned, std::map<std::string, std::string>> rounds_;
+  std::set<std::string> spoken_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,182 @@
+#include "mpc/offline.hpp"
+
+#include <array>
+
+#include "field/poly.hpp"
+#include "field/zn_ring.hpp"
+#include "mpc/contrib.hpp"
+#include "sharing/packed.hpp"
+#include "nizk/mult_proof.hpp"
+#include "nizk/plaintext_proof.hpp"
+
+namespace yoso {
+
+OfflineArtifacts run_offline(const ProtocolParams& params, const Circuit& circuit,
+                             const SetupArtifacts& setup, DecryptChain& chain,
+                             OfflineCommittees committees, Bulletin& bulletin, Rng& rng) {
+  const PaillierPK& pk = chain.tpk().pk;  // the pk part never changes across epochs
+  ZnRing ring(pk.ns);
+  OfflineArtifacts out;
+  out.batches = make_batches(circuit, params.k);
+
+  // ----- Step 1: Beaver triples, one per multiplication gate --------------
+  const auto& gates = circuit.gates();
+  std::vector<WireId> mul_ids;
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind == GateKind::Mul) mul_ids.push_back(w);
+  }
+  std::map<WireId, std::size_t> triple_of;  // mul gate -> triple index
+  for (std::size_t i = 0; i < mul_ids.size(); ++i) triple_of[mul_ids[i]] = i;
+  std::vector<BeaverTriple> triples;
+  if (!mul_ids.empty()) {
+    triples = make_beaver_triples(chain.tpk(), *committees.beaver_a, *committees.beaver_b,
+                                  mul_ids.size(), Phase::Offline, bulletin, rng);
+  }
+
+  // ----- Step 2: random wire values + packing helpers ---------------------
+  // Fresh randomness is needed for every input wire, every mul output wire,
+  // and 3t helpers per batch (for packing alpha, beta, Gamma).
+  std::vector<WireId> fresh_wires;
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind == GateKind::Input || gates[w].kind == GateKind::Mul) {
+      fresh_wires.push_back(w);
+    }
+  }
+  const std::size_t helper_count = out.batches.size() * 3 * params.t;
+  std::vector<mpz_class> fresh = contribute_randoms(
+      chain.tpk(), *committees.randomness, fresh_wires.size() + helper_count, Phase::Offline,
+      "lambda.fresh", bulletin, rng);
+  // helpers[b][which in 0..2][j in 0..t-1]
+  auto helper_at = [&](std::size_t batch, unsigned which, unsigned j) -> const mpz_class& {
+    return fresh[fresh_wires.size() + (batch * 3 + which) * params.t + j];
+  };
+
+  // ----- Step 3: dependent wire values -------------------------------------
+  out.wire_lambda_ct.resize(gates.size());
+  {
+    std::size_t next_fresh = 0;
+    for (WireId w = 0; w < gates.size(); ++w) {
+      const Gate& g = gates[w];
+      switch (g.kind) {
+        case GateKind::Input:
+        case GateKind::Mul:
+          out.wire_lambda_ct[w] = fresh[next_fresh++];
+          break;
+        case GateKind::Add:
+          out.wire_lambda_ct[w] = pk.add(out.wire_lambda_ct[g.in0], out.wire_lambda_ct[g.in1]);
+          break;
+        case GateKind::Sub:
+          out.wire_lambda_ct[w] =
+              pk.add(out.wire_lambda_ct[g.in0], pk.scal(out.wire_lambda_ct[g.in1], -1));
+          break;
+        case GateKind::AddConst:
+          out.wire_lambda_ct[w] = out.wire_lambda_ct[g.in0];  // lambda unchanged
+          break;
+        case GateKind::MulConst:
+          out.wire_lambda_ct[w] = pk.scal(out.wire_lambda_ct[g.in0], ring.mod(g.constant));
+          break;
+      }
+    }
+  }
+
+  // Per multiplicative layer: decrypt epsilon/delta and derive Gamma.
+  std::map<WireId, mpz_class> gamma_ct;  // mul gate -> TEnc(Gamma)
+  auto by_layer = circuit.mul_gates_by_layer();
+  for (unsigned layer = 1; layer <= by_layer.size(); ++layer) {
+    const auto& ids = by_layer[layer - 1];
+    std::vector<mpz_class> to_decrypt;
+    to_decrypt.reserve(2 * ids.size());
+    for (WireId w : ids) {
+      const Gate& g = gates[w];
+      const BeaverTriple& tr = triples[triple_of[w]];
+      to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in0], tr.a));  // epsilon
+      to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in1], tr.b));  // delta
+    }
+    Committee* next = (layer < by_layer.size()) ? committees.layer_holders[layer]
+                                                : committees.reenc_holder;
+    std::vector<mpz_class> opened = chain.run_decrypt_committee(
+        *committees.layer_holders[layer - 1], to_decrypt, Phase::Offline,
+        "offline.epsdelta", next);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      WireId w = ids[i];
+      const Gate& g = gates[w];
+      const BeaverTriple& tr = triples[triple_of[w]];
+      const mpz_class& eps = opened[2 * i];
+      const mpz_class& del = opened[2 * i + 1];
+      // Gamma = eps * lambda^beta - delta * lambda^x + lambda^z - lambda^gamma
+      gamma_ct[w] = pk.eval({out.wire_lambda_ct[g.in1], tr.a, tr.c, out.wire_lambda_ct[w]},
+                            {eps, ring.neg(del), ring.one(), ring.neg(ring.one())});
+    }
+  }
+
+  // ----- Step 4: packing (local homomorphic interpolation) ----------------
+  // Polynomial through secrets at 0, -1, ..., -(k-1) and helpers at 1..t;
+  // party i's packed share is its evaluation at i.
+  std::vector<std::int64_t> src_points;
+  for (unsigned j = 0; j < params.k; ++j) src_points.push_back(secret_point(j));
+  for (unsigned j = 1; j <= params.t; ++j) src_points.push_back(j);
+  std::vector<std::vector<mpz_class>> coeffs_at(params.n);
+  for (unsigned i = 0; i < params.n; ++i) {
+    coeffs_at[i] = lagrange_coeffs(ring, src_points, static_cast<std::int64_t>(i) + 1);
+  }
+
+  // packed[b][which][i]: ciphertext of role i's packed share.
+  std::vector<std::array<std::vector<mpz_class>, 3>> packed(out.batches.size());
+  for (std::size_t b = 0; b < out.batches.size(); ++b) {
+    const MulBatch& batch = out.batches[b];
+    for (unsigned which = 0; which < 3; ++which) {
+      std::vector<mpz_class> sources;
+      sources.reserve(params.k + params.t);
+      for (unsigned j = 0; j < params.k; ++j) {
+        WireId w = (which == 0) ? batch.alpha[j] : (which == 1) ? batch.beta[j] : batch.gamma[j];
+        sources.push_back(which == 2 ? gamma_ct.at(w) : out.wire_lambda_ct[w]);
+      }
+      for (unsigned j = 0; j < params.t; ++j) sources.push_back(helper_at(b, which, j));
+      packed[b][which].reserve(params.n);
+      for (unsigned i = 0; i < params.n; ++i) {
+        packed[b][which].push_back(pk.eval(sources, coeffs_at[i]));
+      }
+    }
+  }
+
+  // ----- Steps 5 + 6: re-encrypt toward the KFFs --------------------------
+  std::vector<mpz_class> reenc_cts;
+  std::vector<const PaillierPK*> reenc_targets;
+  std::vector<WireId> input_wires;
+  for (WireId w = 0; w < gates.size(); ++w) {
+    if (gates[w].kind == GateKind::Input) {
+      input_wires.push_back(w);
+      reenc_cts.push_back(out.wire_lambda_ct[w]);
+      reenc_targets.push_back(&setup.kff_client[gates[w].client].sk.pk);
+    }
+  }
+  for (std::size_t b = 0; b < out.batches.size(); ++b) {
+    const unsigned layer = out.batches[b].layer;
+    for (unsigned which = 0; which < 3; ++which) {
+      for (unsigned i = 0; i < params.n; ++i) {
+        reenc_cts.push_back(packed[b][which][i]);
+        reenc_targets.push_back(&setup.kff_mult[layer - 1][i].sk.pk);
+      }
+    }
+  }
+
+  std::vector<FutureCt> fcts = chain.reencrypt_batch(
+      *committees.reenc_masker, *committees.reenc_holder, reenc_cts, reenc_targets,
+      Phase::Offline, "offline.reenc", committees.next_after);
+
+  std::size_t pos = 0;
+  for (WireId w : input_wires) out.input_lambda[w] = std::move(fcts[pos++]);
+  out.batch_shares.resize(out.batches.size());
+  for (std::size_t b = 0; b < out.batches.size(); ++b) {
+    for (unsigned which = 0; which < 3; ++which) {
+      auto& dst = (which == 0)   ? out.batch_shares[b].alpha
+                  : (which == 1) ? out.batch_shares[b].beta
+                                 : out.batch_shares[b].gamma;
+      dst.reserve(params.n);
+      for (unsigned i = 0; i < params.n; ++i) dst.push_back(std::move(fcts[pos++]));
+    }
+  }
+  return out;
+}
+
+}  // namespace yoso

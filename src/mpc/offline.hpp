@@ -1,0 +1,58 @@
+// Pi_YOSO-Offline (Section 5.2, Protocol 4).
+//
+// Step 1  Beaver triples (Protocol 3) by two contribution committees.
+// Step 2  random wire values lambda^alpha, contributed by a committee and
+//         summed homomorphically under tpk.
+// Step 3  dependent wire values: additions homomorphic; per multiplication
+//         gate, consume a Beaver triple and publicly threshold-decrypt
+//         epsilon/delta (one decrypt committee per multiplicative layer).
+// Step 4  packing: per batch of k gates, interpolate packed-share
+//         ciphertexts of lambda^alpha, lambda^beta and Gamma^gamma from the
+//         per-wire ciphertexts plus t contributed helper randoms.
+// Step 5  re-encrypt each input wire's lambda toward the owning client's
+//         KFF key.
+// Step 6  re-encrypt every packed share toward the KFF of the online role
+//         that will consume it.
+#pragma once
+
+#include <map>
+
+#include "circuit/batching.hpp"
+#include "circuit/circuit.hpp"
+#include "mpc/reencrypt.hpp"
+#include "mpc/setup.hpp"
+
+namespace yoso {
+
+// Everything the online phase consumes.
+struct BatchShares {
+  std::vector<FutureCt> alpha, beta, gamma;  // per role i in [0, n)
+};
+
+struct OfflineArtifacts {
+  std::vector<mpz_class> wire_lambda_ct;  // TEnc(tpk, lambda^w) per wire id
+  std::vector<MulBatch> batches;
+  std::vector<BatchShares> batch_shares;  // parallel to `batches`
+  std::map<WireId, FutureCt> input_lambda;  // input wire -> client-KFF FutureCt
+};
+
+// The committees the offline phase consumes, created by the driver so that
+// the adversary plan applies uniformly.  `layer_holders[l]` decrypts the
+// epsilon/delta values of multiplicative layer l+1; the last layer holder
+// hands tsk to `reenc_holder`, which in turn hands it to the (online)
+// committee passed as `next_after`.
+struct OfflineCommittees {
+  Committee* beaver_a = nullptr;
+  Committee* beaver_b = nullptr;
+  Committee* randomness = nullptr;             // wire lambdas + packing helpers
+  std::vector<Committee*> layer_holders;       // one per multiplicative layer
+  Committee* reenc_masker = nullptr;
+  Committee* reenc_holder = nullptr;
+  Committee* next_after = nullptr;             // first online holder (FKD)
+};
+
+OfflineArtifacts run_offline(const ProtocolParams& params, const Circuit& circuit,
+                             const SetupArtifacts& setup, DecryptChain& chain,
+                             OfflineCommittees committees, Bulletin& bulletin, Rng& rng);
+
+}  // namespace yoso

@@ -1,0 +1,43 @@
+// Pi_YOSO-Online (Section 5.3, Protocol 5).
+//
+// 1. Future key distribution: the first online committee re-encrypts every
+//    KFF secret (transported as a prime factor under tpk) toward the now
+//    known YOSO role keys / client keys.
+// 2. Input: each client opens its lambda FutureCts with its KFF key and
+//    broadcasts mu = v - lambda.
+// 3. Addition (and constant) gates: mu propagates locally, for free.
+// 4. Multiplication batches: role i of the layer committee opens its packed
+//    shares, publishes the integer pad combination P_int together with a
+//    RootProof that pins P_int to the public pad ciphertexts; everyone
+//    derives the verified mu-shares and reconstructs mu^gamma from
+//    t + 2(k-1) + 1 of them (guaranteed output delivery).
+// 5. Output: the last committee re-encrypts lambda^alpha toward the
+//    receiving client (Re-encrypt*, no further tsk hand-over); the client
+//    computes v = mu + lambda.
+#pragma once
+
+#include <map>
+
+#include "mpc/offline.hpp"
+
+namespace yoso {
+
+struct OnlineCommittees {
+  Committee* fkd_masker = nullptr;  // pads for FKD and for the output wires
+  Committee* fkd_holder = nullptr;  // first online tsk holder
+  std::vector<Committee*> mult;     // one per multiplicative layer
+  Committee* out_holder = nullptr;  // final tsk holder (Re-encrypt*)
+};
+
+struct OnlineResult {
+  std::vector<mpz_class> outputs;      // in circuit.outputs() order
+  std::map<WireId, mpz_class> mu;      // the public mu value of every wire
+};
+
+OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
+                        const SetupArtifacts& setup, const OfflineArtifacts& offline,
+                        DecryptChain& chain, OnlineCommittees committees,
+                        const std::vector<std::vector<mpz_class>>& inputs, Bulletin& bulletin,
+                        Rng& rng);
+
+}  // namespace yoso

@@ -1,0 +1,113 @@
+#include "mpc/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nizk/link_proof.hpp"  // kKappa / kStat
+
+namespace yoso {
+
+namespace {
+
+unsigned log2_ceil(unsigned v) {
+  unsigned b = 0;
+  while ((1u << b) < v) ++b;
+  return b;
+}
+
+// Bits of n! (Stirling-free overestimate: n * ceil(log2 n)).
+unsigned delta_bits(unsigned n) { return n * log2_ceil(n + 1) + 2; }
+
+}  // namespace
+
+unsigned ProtocolParams::pad_bound_bits() const {
+  return paillier_bits * s + pad_slack_bits;
+}
+
+unsigned ProtocolParams::pad_sum_bound_bits() const {
+  // Verified adversarial pads are bounded by the LinkProof extraction slack.
+  unsigned extracted = pad_bound_bits() + kKappa + kStat + 2;
+  return extracted + log2_ceil(n + 1) + 1;
+}
+
+unsigned ProtocolParams::pint_bound_bits() const {
+  // P_int = mu_a * p_b + mu_b * p_a + p_Gamma, mu < N^s.
+  return paillier_bits * s + pad_sum_bound_bits() + 2;
+}
+
+unsigned ProtocolParams::kff_plain_bits() const {
+  unsigned link_binding = pad_bound_bits() + kKappa + kStat + 4;
+  return std::max(pint_bound_bits(), link_binding) + 8;
+}
+
+unsigned ProtocolParams::role_plain_bits() const {
+  return pad_bound_bits() + kKappa + kStat + 12;
+}
+
+unsigned ProtocolParams::client_plain_bits() const { return role_plain_bits(); }
+
+unsigned ProtocolParams::holder_plain_bits() const {
+  // Replay the tsk share-size growth over the planned epochs (must agree
+  // with ThresholdPK::subshare_bound_bits / next_epoch_pk).
+  const unsigned ns1_bits = paillier_bits * (s + 1) + 1;
+  const unsigned logn = log2_ceil(n + 1);
+  const unsigned logt = log2_ceil(t + 2);
+  unsigned share_bound = ns1_bits + 1;
+  unsigned worst_subshare = 0;
+  for (unsigned e = 0; e < planned_epochs; ++e) {
+    unsigned mask_bits = ns1_bits + 40;  // ThresholdPK::stat_sec
+    unsigned subshare = std::max(share_bound, mask_bits + t * logn + 8) + 1;
+    worst_subshare = std::max(worst_subshare, subshare);
+    share_bound = subshare + (delta_bits(n) + t * logn) + logt + 1;
+  }
+  return worst_subshare + kKappa + kStat + 12;
+}
+
+unsigned ProtocolParams::exponent_for(unsigned plain_bits) const {
+  // N^{s'} has at least s' * (paillier_bits - 1) bits.
+  return (plain_bits + paillier_bits - 2) / (paillier_bits - 1);
+}
+
+void ProtocolParams::validate() const {
+  if (n == 0) throw std::invalid_argument("params: n == 0");
+  if (t + 1 > n) throw std::invalid_argument("params: t + 1 > n");
+  if (k == 0) throw std::invalid_argument("params: k == 0");
+  if (static_cast<double>(t) >= n * (0.5 - epsilon)) {
+    throw std::invalid_argument("params: t >= n(1/2 - eps)");
+  }
+  if (recon_threshold() > n - t) {
+    throw std::invalid_argument(
+        "params: reconstruction threshold t + 2(k-1) + 1 exceeds honest count");
+  }
+  if (paillier_bits < 64) throw std::invalid_argument("params: modulus too small");
+}
+
+ProtocolParams ProtocolParams::for_gap(unsigned n, double eps, unsigned paillier_bits,
+                                       bool failstop_mode) {
+  ProtocolParams p;
+  p.n = n;
+  p.epsilon = eps;
+  p.paillier_bits = paillier_bits;
+  p.failstop_mode = failstop_mode;
+  double bound = n * (0.5 - eps);
+  unsigned t = static_cast<unsigned>(std::floor(bound - 1e-9));
+  if (static_cast<double>(t) >= bound) t = (t == 0) ? 0 : t - 1;
+  p.t = t;
+  double keps = failstop_mode ? eps / 2.0 : eps;
+  unsigned k = static_cast<unsigned>(std::floor(n * keps + 1e-9)) + 1;
+  // Shrink k until the GOD condition holds (it always does at k = 1).
+  while (k > 1 && p.t + 2 * (k - 1) + 1 > n - p.t) --k;
+  p.k = k;
+  p.validate();
+  return p;
+}
+
+std::string ProtocolParams::describe() const {
+  std::ostringstream os;
+  os << "n=" << n << " t=" << t << " k=" << k << " eps=" << epsilon
+     << " |N|=" << paillier_bits << " s=" << s << " recon=" << recon_threshold()
+     << (failstop_mode ? " [fail-stop mode]" : "");
+  return os.str();
+}
+
+}  // namespace yoso

@@ -1,0 +1,64 @@
+// Protocol parameters (Theorem 1 + Section 5.4).
+//
+// Committee size n, corruption bound t < n(1/2 - eps), packing factor k
+// with k - 1 <= n*eps (guaranteed output delivery) or k - 1 <= n*eps/2
+// (additionally tolerating n*eps fail-stop honest parties).  The derived
+// Paillier exponents size every key class so that every NIZK in the
+// protocol gets integer binding and no homomorphic combination ever wraps.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace yoso {
+
+struct ProtocolParams {
+  unsigned n = 0;              // committee size
+  unsigned t = 0;              // active corruptions tolerated per committee
+  unsigned k = 1;              // packing factor
+  double epsilon = 0.0;        // the gap: t < n(1/2 - eps)
+  unsigned paillier_bits = 192;  // |N| of the threshold key (and role keys)
+  unsigned s = 1;              // threshold-key plaintext exponent (Z_{N^s})
+  unsigned planned_epochs = 8;   // upper bound on tsk resharing hand-overs
+  bool failstop_mode = false;  // k was chosen for the Section 5.4 regime
+
+  // --- Derived quantities -------------------------------------------------
+
+  // Shares needed to reconstruct an online mu-share polynomial
+  // (degree t + 2(k-1), Section 5.3/5.4).
+  unsigned recon_threshold() const { return t + 2 * (k - 1) + 1; }
+
+  // Degree of the packed lambda sharings produced by the offline phase.
+  unsigned packed_degree() const { return t + k - 1; }
+
+  // Pads are drawn from [0, N^s * 2^pad_slack_bits) so that revealing the
+  // masked integer combinations online leaks nothing (Section 5.3 of
+  // DESIGN.md's instantiation notes).
+  static constexpr unsigned pad_slack_bits = 40;
+
+  // Plaintext-space bit requirements per key class (see mpc/reencrypt.hpp
+  // for what each class receives).
+  unsigned pad_bound_bits() const;        // a single pad as an integer
+  unsigned pad_sum_bound_bits() const;    // sum of <= n pads
+  unsigned pint_bound_bits() const;       // online P_int combination
+  unsigned kff_plain_bits() const;        // KFF keys hold pads + P_int combos
+  unsigned role_plain_bits() const;       // online role keys receive FKD pads
+  unsigned holder_plain_bits() const;     // decrypt-committee keys hold tsk subshares
+  unsigned client_plain_bits() const;     // client keys receive output pads
+
+  // Paillier exponent s' needed for `plain_bits` of plaintext at the given
+  // modulus size.
+  unsigned exponent_for(unsigned plain_bits) const;
+
+  void validate() const;
+
+  // Convenience constructor: given n and the gap eps, picks the maximal
+  // t < n(1/2 - eps) and maximal packing (k - 1 = floor(n*eps), halved in
+  // fail-stop mode), mirroring the paper's parameter choices.
+  static ProtocolParams for_gap(unsigned n, double eps, unsigned paillier_bits,
+                                bool failstop_mode = false);
+
+  std::string describe() const;
+};
+
+}  // namespace yoso

@@ -1,0 +1,83 @@
+#include "mpc/protocol.hpp"
+
+namespace yoso {
+
+YosoMpc::YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed)
+    : params_(params), circuit_(std::move(circuit)), plan_(std::move(plan)), rng_(seed),
+      bulletin_(ledger_) {
+  // Holder committees: one per mul layer + re-encrypt + FKD + output.
+  params_.planned_epochs = circuit_.mul_depth() + 3;
+  params_.validate();
+  if (plan_.n() != params_.n) throw std::invalid_argument("YosoMpc: plan size != n");
+}
+
+Committee& YosoMpc::spawn(const std::string& name, unsigned plain_bits) {
+  unsigned s = params_.exponent_for(plain_bits);
+  committees_.push_back(make_committee(name, params_.paillier_bits, s,
+                                       plan_.committee(committee_counter_++), rng_));
+  return committees_.back();
+}
+
+void YosoMpc::preprocess() {
+  if (preprocessed_) throw std::logic_error("YosoMpc: preprocess called twice");
+  preprocessed_ = true;
+
+  const unsigned depth = circuit_.mul_depth();
+  setup_ = run_setup(params_, depth, circuit_.num_clients(), bulletin_, rng_);
+
+  // Spawn the full committee schedule.  Mask/contribution committees never
+  // receive private data, so their role keys are minimal.
+  const unsigned tiny = params_.paillier_bits;  // s = 1
+  OfflineCommittees off;
+  off.beaver_a = &spawn("off.beaver.a", tiny);
+  off.beaver_b = &spawn("off.beaver.b", tiny);
+  off.randomness = &spawn("off.lambda", tiny);
+  for (unsigned l = 1; l <= depth; ++l) {
+    off.layer_holders.push_back(&spawn("off.holder.L" + std::to_string(l),
+                                       params_.holder_plain_bits()));
+  }
+  off.reenc_masker = &spawn("off.reenc.mask", tiny);
+  off.reenc_holder = &spawn("off.reenc.holder", params_.holder_plain_bits());
+
+  online_coms_.fkd_masker = &spawn("on.fkd.mask", tiny);
+  online_coms_.fkd_holder = &spawn("on.fkd.holder", params_.holder_plain_bits());
+  for (unsigned l = 1; l <= depth; ++l) {
+    online_coms_.mult.push_back(&spawn("on.mult.L" + std::to_string(l),
+                                       params_.role_plain_bits()));
+  }
+  online_coms_.out_holder = &spawn("on.out.holder", params_.holder_plain_bits());
+  off.next_after = online_coms_.fkd_holder;
+
+  // The dealer hands the initial tsk shares to the first holder committee.
+  Committee* first_holder = depth > 0 ? off.layer_holders[0] : off.reenc_holder;
+  (void)first_holder;  // in the simulation the chain holds the shares directly
+  chain_.emplace(setup_->tkeys.tpk, setup_->tkeys.shares, params_, bulletin_, rng_);
+
+  if (depth == 0) {
+    // No layer holders: the re-encrypt holder is the first in the chain.
+    off.layer_holders.clear();
+  }
+  offline_ = run_offline(params_, circuit_, *setup_, *chain_, off, bulletin_, rng_);
+}
+
+OnlineResult YosoMpc::evaluate(const std::vector<std::vector<mpz_class>>& inputs) {
+  if (!preprocessed_) throw std::logic_error("YosoMpc: evaluate before preprocess");
+  if (evaluated_) throw std::logic_error("YosoMpc: roles speak once; evaluate called twice");
+  evaluated_ = true;
+  return run_online(params_, circuit_, *setup_, *offline_, *chain_, online_coms_, inputs,
+                    bulletin_, rng_);
+}
+
+OnlineResult YosoMpc::run(const std::vector<std::vector<mpz_class>>& inputs) {
+  preprocess();
+  return evaluate(inputs);
+}
+
+const mpz_class& YosoMpc::plaintext_modulus() const {
+  if (!setup_) throw std::logic_error("YosoMpc: no setup yet");
+  return setup_->tkeys.tpk.pk.ns;
+}
+
+unsigned YosoMpc::epochs() const { return chain_ ? chain_->epochs() : 0; }
+
+}  // namespace yoso

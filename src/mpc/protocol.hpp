@@ -1,0 +1,64 @@
+// The end-to-end protocol driver: spawns committees per the adversary plan,
+// wires the tsk hand-over chain through them, and runs
+// Pi_Setup -> Pi_Offline -> Pi_Online over a circuit.
+//
+// This is the main public entry point of the library:
+//
+//   ProtocolParams params = ProtocolParams::for_gap(8, 0.25, 256);
+//   Circuit c = inner_product_circuit(4);
+//   YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), /*seed=*/1);
+//   mpc.preprocess();                       // offline, input-independent
+//   auto result = mpc.evaluate(inputs);     // online, O(1)/gate broadcast
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "mpc/online.hpp"
+
+namespace yoso {
+
+class YosoMpc {
+public:
+  YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed);
+
+  // Setup + offline phase (circuit-dependent, input-independent).
+  void preprocess();
+
+  // Online phase; one evaluation per YosoMpc instance (roles speak once).
+  // `inputs[c]` holds client c's inputs in declaration order.
+  OnlineResult evaluate(const std::vector<std::vector<mpz_class>>& inputs);
+
+  // preprocess() + evaluate().
+  OnlineResult run(const std::vector<std::vector<mpz_class>>& inputs);
+
+  const ProtocolParams& params() const { return params_; }
+  const Circuit& circuit() const { return circuit_; }
+  const Ledger& ledger() const { return ledger_; }
+  const Bulletin& bulletin() const { return bulletin_; }
+  // Plaintext modulus N^s of the computation.
+  const mpz_class& plaintext_modulus() const;
+  // Number of tsk hand-overs executed so far.
+  unsigned epochs() const;
+
+private:
+  Committee& spawn(const std::string& name, unsigned plain_bits);
+
+  ProtocolParams params_;
+  Circuit circuit_;
+  AdversaryPlan plan_;
+  Rng rng_;
+  Ledger ledger_;
+  Bulletin bulletin_;
+  unsigned committee_counter_ = 0;
+
+  std::deque<Committee> committees_;  // stable addresses for the phase structs
+  std::optional<SetupArtifacts> setup_;
+  std::optional<OfflineArtifacts> offline_;
+  std::optional<DecryptChain> chain_;
+  OnlineCommittees online_coms_;
+  bool preprocessed_ = false;
+  bool evaluated_ = false;
+};
+
+}  // namespace yoso

@@ -1,0 +1,296 @@
+#include "mpc/reencrypt.hpp"
+
+#include <cassert>
+
+namespace yoso {
+
+mpz_class open_future(const PaillierSK& recipient, const FutureCt& fct, const mpz_class& ns) {
+  mpz_class pad = recipient.dec(fct.pad_ct);
+  mpz_class m = (fct.masked - pad) % ns;
+  if (m < 0) m += ns;
+  return m;
+}
+
+std::size_t MaskMsg::wire_bytes() const {
+  return mpz_wire_size(a) + mpz_wire_size(b) + proof.wire_bytes();
+}
+
+std::size_t HandoverMsg::wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : commitments) total += mpz_wire_size(c);
+  for (const auto& e : enc_subshares) total += mpz_wire_size(e);
+  for (const auto& p : proofs) total += p.wire_bytes();
+  return total;
+}
+
+DecryptChain::DecryptChain(ThresholdPK tpk, std::vector<ThresholdKeyShare> shares,
+                           const ProtocolParams& params, Bulletin& bulletin, Rng& rng)
+    : tpk_(std::move(tpk)), shares_(std::move(shares)), params_(&params), bulletin_(&bulletin),
+      rng_(&rng) {}
+
+namespace {
+
+LinkStatement pad_statement(const ThresholdPK& tpk, const PaillierPK& target,
+                            const mpz_class& a, const mpz_class& b, unsigned bound_bits) {
+  LinkStatement st;
+  st.domain = "pad";
+  st.paillier_legs = {PaillierLeg{tpk.pk, a}, PaillierLeg{target, b}};
+  st.bound_bits = bound_bits;
+  return st;
+}
+
+}  // namespace
+
+std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
+    Committee& masker, const std::vector<const PaillierPK*>& targets, Phase phase,
+    const std::string& label) {
+  const unsigned n = masker.n();
+  const std::size_t m = targets.size();
+  const unsigned bound_bits = params_->pad_bound_bits();
+  const mpz_class pad_space = mpz_class(1) << bound_bits;
+
+  // msgs[j][r]: role j's contribution for value r (inactive roles: empty).
+  std::vector<std::vector<MaskMsg>> msgs(n);
+  for (unsigned j = 0; j < n; ++j) {
+    if (!masker.corruption.is_active(j)) continue;
+    masker.speak(j);
+    const bool bad = masker.corruption.is_malicious(j);
+    const auto strat = masker.corruption.strategy;
+    msgs[j].reserve(m);
+    std::size_t bytes = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      mpz_class pad = rng_->below(pad_space);
+      MaskMsg msg;
+      mpz_class r1, r2;
+      msg.a = tpk_.pk.enc(pad, *rng_, &r1);
+      mpz_class b_plain = pad;
+      if (bad && strat == MaliciousStrategy::BadShare) b_plain += 1;  // inconsistent pad
+      msg.b = targets[r]->enc(b_plain, *rng_, &r2);
+      LinkWitness w{pad, {r1, r2}};
+      msg.proof = link_prove(pad_statement(tpk_, *targets[r], msg.a, msg.b, bound_bits), w,
+                             *rng_);
+      if (bad && strat == MaliciousStrategy::BadProof) msg.proof.z += 1;
+      bytes += msg.wire_bytes();
+      msgs[j].push_back(std::move(msg));
+    }
+    bulletin_->publish(masker, j, phase, label + ".mask", bytes, 2 * m);
+  }
+
+  // Everyone verifies; per value, sum over the roles whose proof checks.
+  std::vector<MaskSums> out(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    mpz_class a_sum = 0, b_sum = 0;  // 0 is not a valid ciphertext; start empty
+    bool first = true;
+    unsigned verified = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (msgs[j].empty()) continue;
+      const MaskMsg& msg = msgs[j][r];
+      if (!link_verify(pad_statement(tpk_, *targets[r], msg.a, msg.b, bound_bits), msg.proof)) {
+        continue;
+      }
+      ++verified;
+      if (first) {
+        a_sum = msg.a;
+        b_sum = msg.b;
+        first = false;
+      } else {
+        a_sum = tpk_.pk.add(a_sum, msg.a);
+        b_sum = targets[r]->add(b_sum, msg.b);
+      }
+    }
+    if (verified < tpk_.t + 1) {
+      throw ProtocolAbort("mask committee: fewer than t+1 verified pads");
+    }
+    out[r] = MaskSums{std::move(a_sum), std::move(b_sum)};
+  }
+  return out;
+}
+
+std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
+                                                           const std::vector<mpz_class>& cts,
+                                                           Phase phase, const std::string& label,
+                                                           Committee* next_holder) {
+  const unsigned n = holder.n();
+  const std::size_t m = cts.size();
+
+  struct RoleOutput {
+    std::vector<mpz_class> partials;
+    std::vector<PdecProof> proofs;
+  };
+  std::vector<std::optional<RoleOutput>> outputs(n);
+
+  for (unsigned j = 0; j < n; ++j) {
+    if (!holder.corruption.is_active(j)) continue;
+    holder.speak(j);
+    const bool bad = holder.corruption.is_malicious(j);
+    const auto strat = holder.corruption.strategy;
+    RoleOutput ro;
+    std::size_t bytes = 0;
+    for (const auto& c : cts) {
+      mpz_class partial = tpdec(tpk_, shares_[j], c);
+      if (bad && strat == MaliciousStrategy::BadShare) {
+        partial = partial * (tpk_.pk.n + 1) % tpk_.pk.ns1;  // shift the plaintext part
+      }
+      PdecProof proof = prove_pdec(tpk_, shares_[j], c, partial, *rng_);
+      if (bad && strat == MaliciousStrategy::BadProof) proof.inner.z += 1;
+      bytes += mpz_wire_size(partial) + proof.wire_bytes();
+      ro.partials.push_back(std::move(partial));
+      ro.proofs.push_back(std::move(proof));
+    }
+    bulletin_->publish(holder, j, phase, label + ".pdec", bytes, m);
+    outputs[j] = std::move(ro);
+  }
+
+  // Combine: per ciphertext, take the first t+1 verified partials.
+  std::vector<mpz_class> plain(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<unsigned> idx;
+    std::vector<mpz_class> parts;
+    for (unsigned j = 0; j < n && idx.size() < tpk_.t + 1; ++j) {
+      if (!outputs[j]) continue;
+      const auto& ro = *outputs[j];
+      if (!verify_pdec(tpk_, j + 1, cts[r], ro.partials[r], ro.proofs[r])) continue;
+      idx.push_back(j + 1);
+      parts.push_back(ro.partials[r]);
+    }
+    if (idx.size() < tpk_.t + 1) {
+      throw ProtocolAbort("decrypt committee: fewer than t+1 verified partials");
+    }
+    plain[r] = tdec(tpk_, idx, parts);
+  }
+
+  if (next_holder != nullptr) handover(holder, *next_holder, phase);
+  return plain;
+}
+
+void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase phase) {
+  const unsigned n = holder.n();
+  const unsigned bound_bits = tpk_.subshare_bound_bits();
+
+  std::vector<std::optional<HandoverMsg>> msgs(n);
+  for (unsigned j = 0; j < n; ++j) {
+    // The role already spoke its partials in run_decrypt_committee; the
+    // hand-over rides in the same single message, so no new speak().
+    if (!holder.corruption.is_active(j)) continue;
+    const bool bad = holder.corruption.is_malicious(j);
+    const auto strat = holder.corruption.strategy;
+
+    ReshareMsg res = tkres(tpk_, shares_[j], *rng_);
+    HandoverMsg msg;
+    msg.from_index = j + 1;
+    msg.commitments = res.commitments;
+    msg.enc_subshares.resize(n);
+    msg.proofs.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+      const PaillierPK& rpk = next_holder.role_pk(i);
+      mpz_class sub = res.subshares[i];
+      if (bad && strat == MaliciousStrategy::BadShare) sub += 1;
+      mpz_class renc;
+      msg.enc_subshares[i] = rpk.enc(sub, *rng_, &renc);
+      // Exponent leg: v^{f_j(i+1)}, publicly derivable from the commitments.
+      mpz_class v_fij = 1;
+      mpz_class pw = 1;
+      for (const auto& com : msg.commitments) {
+        mpz_class term;
+        mpz_powm(term.get_mpz_t(), com.get_mpz_t(), pw.get_mpz_t(), tpk_.pk.ns1.get_mpz_t());
+        v_fij = v_fij * term % tpk_.pk.ns1;
+        pw *= (i + 1);
+      }
+      LinkStatement st;
+      st.domain = "handover";
+      st.paillier_legs = {PaillierLeg{rpk, msg.enc_subshares[i]}};
+      st.exponent_legs = {ExponentLeg{tpk_.v, v_fij, tpk_.pk.ns1}};
+      st.bound_bits = bound_bits;
+      LinkWitness w{res.subshares[i], {renc}};
+      if (bad && strat == MaliciousStrategy::BadShare) {
+        // Witness does not match the tampered ciphertext; proof will fail.
+        msg.proofs[i] = link_prove(st, w, *rng_);
+      } else {
+        msg.proofs[i] = link_prove(st, w, *rng_);
+        if (bad && strat == MaliciousStrategy::BadProof) msg.proofs[i].z += 1;
+      }
+    }
+    bulletin_->publish(holder, j, phase, "tsk.handover", msg.wire_bytes(), n * 2,
+                       /*first_post_of_role=*/false);
+    msgs[j] = std::move(msg);
+  }
+
+  // Everyone verifies and agrees on the qualified set: the first t+1 roles
+  // whose commitments tie to their verification key and whose every
+  // subshare proof checks.
+  std::vector<unsigned> qualified;
+  std::vector<ReshareMsg> qualified_msgs;  // commitments only (for next_epoch_pk)
+  for (unsigned j = 0; j < n && qualified.size() < tpk_.t + 1; ++j) {
+    if (!msgs[j]) continue;
+    const HandoverMsg& msg = *msgs[j];
+    if (msg.commitments.size() != tpk_.t + 1) continue;
+    if (msg.commitments[0] != tpk_.vks[j]) continue;
+    bool all_ok = true;
+    for (unsigned i = 0; i < n && all_ok; ++i) {
+      mpz_class v_fij = 1;
+      mpz_class pw = 1;
+      for (const auto& com : msg.commitments) {
+        mpz_class term;
+        mpz_powm(term.get_mpz_t(), com.get_mpz_t(), pw.get_mpz_t(), tpk_.pk.ns1.get_mpz_t());
+        v_fij = v_fij * term % tpk_.pk.ns1;
+        pw *= (i + 1);
+      }
+      LinkStatement st;
+      st.domain = "handover";
+      st.paillier_legs = {PaillierLeg{next_holder.role_pk(i), msg.enc_subshares[i]}};
+      st.exponent_legs = {ExponentLeg{tpk_.v, v_fij, tpk_.pk.ns1}};
+      st.bound_bits = bound_bits;
+      all_ok = link_verify(st, msg.proofs[i]);
+    }
+    if (!all_ok) continue;
+    qualified.push_back(j + 1);
+    ReshareMsg rm;
+    rm.from_index = j + 1;
+    rm.commitments = msg.commitments;
+    qualified_msgs.push_back(std::move(rm));
+  }
+  if (qualified.size() < tpk_.t + 1) {
+    throw ProtocolAbort("tsk hand-over: fewer than t+1 qualified resharings");
+  }
+
+  // Each next-committee role decrypts the subshares addressed to it and
+  // recombines (this happens locally on the recipient machines).
+  const ThresholdPK old_tpk = tpk_;
+  std::vector<ThresholdKeyShare> next_shares(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const PaillierSK& rsk = next_holder.role_sks[i];
+    const mpz_class half = rsk.pk.ns / 2;
+    std::vector<mpz_class> subs;
+    for (unsigned q : qualified) {
+      mpz_class v = rsk.dec(msgs[q - 1]->enc_subshares[i]);
+      if (v > half) v -= rsk.pk.ns;  // lift to a signed integer
+      subs.push_back(v);
+    }
+    next_shares[i] = tkrec(old_tpk, i + 1, qualified, subs);
+  }
+  tpk_ = next_epoch_pk(old_tpk, qualified, qualified_msgs);
+  shares_ = std::move(next_shares);
+  ++epochs_;
+}
+
+std::vector<FutureCt> DecryptChain::reencrypt_batch(Committee& masker, Committee& holder,
+                                                    const std::vector<mpz_class>& cts,
+                                                    const std::vector<const PaillierPK*>& targets,
+                                                    Phase phase, const std::string& label,
+                                                    Committee* next_holder) {
+  assert(cts.size() == targets.size());
+  auto sums = run_mask_committee(masker, targets, phase, label);
+  std::vector<mpz_class> masked_cts;
+  masked_cts.reserve(cts.size());
+  for (std::size_t r = 0; r < cts.size(); ++r) {
+    masked_cts.push_back(tpk_.pk.add(cts[r], sums[r].a_sum));
+  }
+  auto opened = run_decrypt_committee(holder, masked_cts, phase, label, next_holder);
+  std::vector<FutureCt> out(cts.size());
+  for (std::size_t r = 0; r < cts.size(); ++r) {
+    out[r] = FutureCt{std::move(opened[r]), std::move(sums[r].b_sum)};
+  }
+  return out;
+}
+
+}  // namespace yoso

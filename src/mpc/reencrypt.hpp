@@ -1,0 +1,117 @@
+// The Re-encrypt / Decrypt engine (Protocols 1-2 of the paper).
+//
+// Our instantiation of Re-encrypt_{C}(pk, c) is the verifiable-masking
+// variant (documented in DESIGN.md): a *mask committee* publishes, per
+// re-encrypted value, a pad encrypted both under the threshold key tpk and
+// under the recipient key pk together with a LinkProof that the two
+// ciphertexts hold the same pad; a *decrypt committee* (the current holder
+// of tsk) then publicly threshold-decrypts c + sum-of-verified-pads with
+// per-partial PdecProofs.  The public masked value plus the pad-ciphertext
+// sum form a "ciphertext to the future" that only the recipient can open.
+// Every step is publicly verifiable, so any t+1 honest contributions
+// guarantee output delivery.  Communication: O(n) broadcast elements per
+// re-encrypted value, exactly the paper's cost.
+//
+// Decrypt_{C}(c) is the same without the mask step (the result is public).
+//
+// The tsk hand-over between consecutive decrypt committees (the TKRes /
+// TKRec part of Protocols 1-2) is realized with Feldman commitments plus
+// per-subshare LinkProofs binding the encrypted subshare to the committed
+// polynomial, making the resharing publicly verifiable; cost O(n^2) per
+// hand-over, the paper's one-time per-committee cost.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mpc/params.hpp"
+#include "nizk/link_proof.hpp"
+#include "nizk/pdec_proof.hpp"
+#include "paillier/threshold.hpp"
+#include "yoso/bulletin.hpp"
+
+namespace yoso {
+
+// Raised when the adversary manages to stall the protocol (must never
+// happen within the theorem's corruption bounds; tests assert on it).
+struct ProtocolAbort : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// A "ciphertext to the future": the public masked value together with the
+// pad ciphertext sum under the recipient's key.
+struct FutureCt {
+  mpz_class masked;  // (m + sum of pads) mod N^s, publicly known
+  mpz_class pad_ct;  // sum of the verified pad ciphertexts under target pk
+};
+
+// Recipient-side opening: m = masked - Dec(pad_ct) mod N^s.
+mpz_class open_future(const PaillierSK& recipient, const FutureCt& fct, const mpz_class& ns);
+
+// One role's mask contribution for one value.
+struct MaskMsg {
+  mpz_class a;  // TEnc(tpk, pad)
+  mpz_class b;  // Enc(target, pad)
+  LinkProof proof;
+  std::size_t wire_bytes() const;
+};
+
+// One role's verifiable hand-over of its tsk share to the next committee.
+struct HandoverMsg {
+  unsigned from_index = 0;                // 1-based
+  std::vector<mpz_class> commitments;     // Feldman commitments v^{a_c}
+  std::vector<mpz_class> enc_subshares;   // enc_subshares[j] under next role j+1
+  std::vector<LinkProof> proofs;          // one per subshare
+  std::size_t wire_bytes() const;
+};
+
+class DecryptChain {
+public:
+  DecryptChain(ThresholdPK tpk, std::vector<ThresholdKeyShare> shares,
+               const ProtocolParams& params, Bulletin& bulletin, Rng& rng);
+
+  const ThresholdPK& tpk() const { return tpk_; }
+  unsigned epochs() const { return epochs_; }
+
+  // --- Mask committee activation ----------------------------------------
+  // `targets[r]` is the recipient key of the r-th value.  The committee
+  // speaks once, contributing a pad for every value.  Returns per value the
+  // verified pad-ciphertext sums (a_sum under tpk, b_sum under target).
+  struct MaskSums {
+    mpz_class a_sum;
+    mpz_class b_sum;
+  };
+  std::vector<MaskSums> run_mask_committee(Committee& masker,
+                                           const std::vector<const PaillierPK*>& targets,
+                                           Phase phase, const std::string& label);
+
+  // --- Decrypt committee activation ---------------------------------------
+  // Publicly threshold-decrypts all of `cts`.  If `next_holder` is given,
+  // each role additionally hands its tsk share over to that committee (the
+  // chain's current shares then move to `next_holder`).  Throws
+  // ProtocolAbort if fewer than t+1 verified partials survive.
+  std::vector<mpz_class> run_decrypt_committee(Committee& holder,
+                                               const std::vector<mpz_class>& cts, Phase phase,
+                                               const std::string& label,
+                                               Committee* next_holder);
+
+  // Convenience composition: Re-encrypt a batch of values, each toward its
+  // own recipient key, using one mask committee + one decrypt committee.
+  std::vector<FutureCt> reencrypt_batch(Committee& masker, Committee& holder,
+                                        const std::vector<mpz_class>& cts,
+                                        const std::vector<const PaillierPK*>& targets,
+                                        Phase phase, const std::string& label,
+                                        Committee* next_holder);
+
+private:
+  void handover(Committee& holder, Committee& next_holder, Phase phase);
+
+  ThresholdPK tpk_;
+  std::vector<ThresholdKeyShare> shares_;  // shares of the *current* holder
+  const ProtocolParams* params_;
+  Bulletin* bulletin_;
+  Rng* rng_;
+  unsigned epochs_ = 0;
+};
+
+}  // namespace yoso

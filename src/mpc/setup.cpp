@@ -1,0 +1,55 @@
+#include "mpc/setup.hpp"
+
+#include "crypto/transcript.hpp"
+
+namespace yoso {
+
+namespace {
+
+KffKey make_kff(const ProtocolParams& params, const ThresholdPK& tpk, unsigned plain_bits,
+                Bulletin& bulletin, Rng& rng) {
+  KffKey kff;
+  kff.sk = paillier_keygen(params.paillier_bits, params.exponent_for(plain_bits), rng,
+                           /*safe_primes=*/false);
+  // Transport the smaller factor; it fits in Z_{N^s} of the threshold key.
+  const mpz_class& factor = kff.sk.p < kff.sk.q ? kff.sk.p : kff.sk.q;
+  kff.factor_ct = tpk.pk.enc(factor, rng);
+  bulletin.publish_external("dealer", Phase::Setup, "setup.kff",
+                            mpz_wire_size(kff.factor_ct) +
+                                mpz_wire_size(kff.sk.pk.n),
+                            2);
+  return kff;
+}
+
+}  // namespace
+
+SetupArtifacts run_setup(const ProtocolParams& params, unsigned online_layers,
+                         unsigned num_clients, Bulletin& bulletin, Rng& rng) {
+  SetupArtifacts out;
+  out.tkeys = tkgen(params.paillier_bits, params.s, params.n, params.t, rng);
+  bulletin.publish_external("dealer", Phase::Setup, "setup.tpk",
+                            mpz_wire_size(out.tkeys.tpk.pk.n) +
+                                mpz_wire_size(out.tkeys.tpk.v),
+                            2 + params.n);
+
+  out.kff_mult.resize(online_layers);
+  for (unsigned l = 0; l < online_layers; ++l) {
+    out.kff_mult[l].reserve(params.n);
+    for (unsigned i = 0; i < params.n; ++i) {
+      out.kff_mult[l].push_back(
+          make_kff(params, out.tkeys.tpk, params.kff_plain_bits(), bulletin, rng));
+    }
+  }
+  out.kff_client.reserve(num_clients);
+  out.client_keys.reserve(num_clients);
+  for (unsigned c = 0; c < num_clients; ++c) {
+    out.kff_client.push_back(
+        make_kff(params, out.tkeys.tpk, params.kff_plain_bits(), bulletin, rng));
+    out.client_keys.push_back(paillier_keygen(
+        params.paillier_bits, params.exponent_for(params.client_plain_bits()), rng,
+        /*safe_primes=*/false));
+  }
+  return out;
+}
+
+}  // namespace yoso

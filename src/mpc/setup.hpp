@@ -1,0 +1,42 @@
+// Pi_YOSO-Setup (Section 5.1).
+//
+// Generates, via the assumed trusted dealer:
+//   * the threshold key pair (tpk published, tsk Shamir-shared to the first
+//     decrypt committee);
+//   * keys for future (KFF) for every role of every online multiplication
+//     committee and for every input client; each KFF secret key is
+//     transported as its prime factor, encrypted under tpk;
+//   * client identity keys (the paper's known input/output machines).
+//
+// The Fiat-Shamir NIZKs used throughout are transparent (random-oracle),
+// so no structured CRS is needed; the NIZKAoK.Setup of the paper
+// degenerates to fixing the domain-separation labels.
+#pragma once
+
+#include <vector>
+
+#include "mpc/params.hpp"
+#include "paillier/threshold.hpp"
+#include "yoso/bulletin.hpp"
+
+namespace yoso {
+
+struct KffKey {
+  PaillierSK sk;        // held by the simulation; honest roles obtain it
+                        // only through the FKD re-encryption
+  mpz_class factor_ct;  // TEnc(tpk, p) where p is the smaller prime factor
+};
+
+struct SetupArtifacts {
+  ThresholdKeys tkeys;
+  std::vector<std::vector<KffKey>> kff_mult;  // [online layer][role index]
+  std::vector<KffKey> kff_client;             // [client]
+  std::vector<PaillierSK> client_keys;        // client identity keys
+};
+
+// `online_layers` = number of online multiplication committees the circuit
+// needs (its multiplicative depth).
+SetupArtifacts run_setup(const ProtocolParams& params, unsigned online_layers,
+                         unsigned num_clients, Bulletin& bulletin, Rng& rng);
+
+}  // namespace yoso

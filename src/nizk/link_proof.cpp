@@ -1,0 +1,178 @@
+#include "nizk/link_proof.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  return r;
+}
+
+Transcript statement_transcript(const LinkStatement& st) {
+  Transcript tr("yoso.nizk.link." + st.domain);
+  tr.absorb_u64("bound_bits", st.bound_bits);
+  tr.absorb_u64("n_paillier", st.paillier_legs.size());
+  for (const auto& leg : st.paillier_legs) {
+    tr.absorb("pk.n", leg.pk.n);
+    tr.absorb_u64("pk.s", leg.pk.s);
+    tr.absorb("c", leg.ciphertext);
+  }
+  tr.absorb_u64("n_exponent", st.exponent_legs.size());
+  for (const auto& leg : st.exponent_legs) {
+    tr.absorb("base", leg.base);
+    tr.absorb("target", leg.target);
+    tr.absorb("mod", leg.modulus);
+  }
+  return tr;
+}
+
+mpz_class derive_challenge(Transcript&& tr, const LinkProof& proof) {
+  for (const auto& a : proof.a_paillier) tr.absorb("a_p", a);
+  for (const auto& a : proof.a_exponent) tr.absorb("a_e", a);
+  return tr.challenge_bits("e", kKappa);
+}
+
+}  // namespace
+
+std::size_t LinkProof::wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : a_paillier) total += mpz_wire_size(a);
+  for (const auto& a : a_exponent) total += mpz_wire_size(a);
+  total += mpz_wire_size(z);
+  for (const auto& zr : z_rs) total += mpz_wire_size(zr);
+  return total;
+}
+
+LinkProof link_prove(const LinkStatement& st, const LinkWitness& w, Rng& rng) {
+  if (w.rs.size() != st.paillier_legs.size()) {
+    throw std::invalid_argument("link_prove: randomness count mismatch");
+  }
+  if (mpz_sizeinbase(w.x.get_mpz_t(), 2) > st.bound_bits) {
+    throw std::invalid_argument("link_prove: witness exceeds bound");
+  }
+  // Mask: y uniform in [0, 2^{bound + kappa + stat}).  Legs whose plaintext
+  // space is smaller than 2^{mask_bits} bind x only modulo their own N^s;
+  // callers needing integer binding must include a leg with a larger space
+  // (role keys are sized for this at setup).
+  const unsigned mask_bits = st.bound_bits + kKappa + kStat;
+  mpz_class y = rng.bits(mask_bits);
+
+  LinkProof proof;
+  std::vector<mpz_class> us;  // commitment randomness per Paillier leg
+  for (const auto& leg : st.paillier_legs) {
+    mpz_class u = rng.unit_mod(leg.pk.n);
+    us.push_back(u);
+    proof.a_paillier.push_back(leg.pk.enc(y, u));
+  }
+  for (const auto& leg : st.exponent_legs) {
+    proof.a_exponent.push_back(powm(leg.base, y, leg.modulus));
+  }
+
+  const mpz_class e = derive_challenge(statement_transcript(st), proof);
+
+  proof.z = y + e * w.x;  // over the integers (may be negative for x < 0)
+  for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
+    const auto& pk = st.paillier_legs[i].pk;
+    mpz_class re = powm(w.rs[i], e, pk.ns1);
+    proof.z_rs.push_back(us[i] * re % pk.ns1);
+  }
+  return proof;
+}
+
+namespace {
+
+// The verification equations, parameterized by the challenge.
+bool check_equations(const LinkStatement& st, const LinkProof& proof, const mpz_class& e) {
+  for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
+    const auto& leg = st.paillier_legs[i];
+    if (!leg.pk.valid_ciphertext(leg.ciphertext)) return false;
+    mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
+    mpz_class rhs = proof.a_paillier[i] * powm(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
+    if (lhs != rhs) return false;
+  }
+  for (std::size_t i = 0; i < st.exponent_legs.size(); ++i) {
+    const auto& leg = st.exponent_legs[i];
+    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
+    mpz_class rhs = proof.a_exponent[i] * powm(leg.target, e, leg.modulus) % leg.modulus;
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LinkProof link_simulate(const LinkStatement& st, const mpz_class& challenge, Rng& rng) {
+  LinkProof proof;
+  // Sample the responses exactly like an honest prover's marginals...
+  proof.z = rng.bits(st.bound_bits + kKappa + kStat);
+  for (const auto& leg : st.paillier_legs) proof.z_rs.push_back(rng.unit_mod(leg.pk.ns1));
+  // ...and solve the verification equations for the first messages.
+  for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
+    const auto& leg = st.paillier_legs[i];
+    mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
+    mpz_class ce_inv;
+    mpz_class ce = powm(leg.ciphertext, challenge, leg.pk.ns1);
+    if (mpz_invert(ce_inv.get_mpz_t(), ce.get_mpz_t(), leg.pk.ns1.get_mpz_t()) == 0) {
+      throw std::invalid_argument("link_simulate: statement ciphertext not a unit");
+    }
+    proof.a_paillier.push_back(lhs * ce_inv % leg.pk.ns1);
+  }
+  for (const auto& leg : st.exponent_legs) {
+    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
+    mpz_class ye = powm(leg.target, challenge, leg.modulus);
+    mpz_class ye_inv;
+    if (mpz_invert(ye_inv.get_mpz_t(), ye.get_mpz_t(), leg.modulus.get_mpz_t()) == 0) {
+      throw std::invalid_argument("link_simulate: exponent target not a unit");
+    }
+    proof.a_exponent.push_back(lhs * ye_inv % leg.modulus);
+  }
+  return proof;
+}
+
+bool link_verify_with_challenge(const LinkStatement& st, const LinkProof& proof,
+                                const mpz_class& challenge) {
+  if (proof.a_paillier.size() != st.paillier_legs.size() ||
+      proof.a_exponent.size() != st.exponent_legs.size() ||
+      proof.z_rs.size() != st.paillier_legs.size()) {
+    return false;
+  }
+  return check_equations(st, proof, challenge);
+}
+
+bool link_verify(const LinkStatement& st, const LinkProof& proof) {
+  if (proof.a_paillier.size() != st.paillier_legs.size() ||
+      proof.a_exponent.size() != st.exponent_legs.size() ||
+      proof.z_rs.size() != st.paillier_legs.size()) {
+    return false;
+  }
+  // Range check: |z| < 2^{bound + kappa + stat + 1} bounds the extracted
+  // witness by 2^{bound + kappa + stat + 2}.
+  if (mpz_sizeinbase(proof.z.get_mpz_t(), 2) > st.bound_bits + kKappa + kStat + 1) {
+    return false;
+  }
+
+  const mpz_class e = derive_challenge(statement_transcript(st), proof);
+
+  for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
+    const auto& leg = st.paillier_legs[i];
+    if (!leg.pk.valid_ciphertext(leg.ciphertext)) return false;
+    // (1+N)^z * z_r^{N^s} == a * c^e  (mod N^{s+1}); enc() reduces z mod N^s.
+    mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
+    mpz_class rhs = proof.a_paillier[i] * powm(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
+    if (lhs != rhs) return false;
+  }
+  for (std::size_t i = 0; i < st.exponent_legs.size(); ++i) {
+    const auto& leg = st.exponent_legs[i];
+    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
+    mpz_class rhs =
+        proof.a_exponent[i] * powm(leg.target, e, leg.modulus) % leg.modulus;
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace yoso

@@ -1,0 +1,85 @@
+// Generic "linked value" Fiat-Shamir sigma protocol: proves knowledge of a
+// single integer x (range-bounded) that simultaneously opens several "legs":
+//
+//   * a PAILLIER leg:  c = (1+N)^x * r^{N^s} mod N^{s+1}   (knows r too)
+//   * an EXPONENT leg: y = g^x mod M                        (unknown order)
+//
+// This one protocol instantiates every composite relation of the paper's
+// Protocols 1-3:
+//   - plaintext equality across two Paillier keys (mask re-encryption in
+//     Re-encrypt: the same pad is encrypted under tpk and under the KFF);
+//   - subshare <-> Feldman-commitment linkage in TKRes (Paillier +
+//     exponent legs), making key resharing publicly verifiable;
+//   - correct partial decryption (two exponent legs; see pdec_proof.hpp
+//     which wraps this).
+//
+// Soundness gives equality of x across all legs as an *integer* in
+// (-2^B, 2^B) with B = bound_bits + kKappa + kStat + 2, provided every
+// Paillier leg's plaintext modulus exceeds 2^{B+1} (checked by the prover
+// and required of callers).  Honest-verifier zero-knowledge comes from the
+// statistical masking of z.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/rand.hpp"
+#include "crypto/transcript.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+
+inline constexpr unsigned kKappa = 128;  // Fiat-Shamir challenge bits
+inline constexpr unsigned kStat = 40;    // statistical masking slack bits
+
+struct PaillierLeg {
+  PaillierPK pk;
+  mpz_class ciphertext;
+};
+
+struct ExponentLeg {
+  mpz_class base;
+  mpz_class target;
+  mpz_class modulus;
+};
+
+struct LinkStatement {
+  std::string domain;            // domain-separation label
+  std::vector<PaillierLeg> paillier_legs;
+  std::vector<ExponentLeg> exponent_legs;
+  unsigned bound_bits = 0;       // public bound: |x| < 2^bound_bits
+};
+
+struct LinkWitness {
+  mpz_class x;
+  std::vector<mpz_class> rs;  // randomness per Paillier leg, same order
+};
+
+struct LinkProof {
+  std::vector<mpz_class> a_paillier;  // first messages per Paillier leg
+  std::vector<mpz_class> a_exponent;  // first messages per exponent leg
+  mpz_class z;                        // masked response for x (signed)
+  std::vector<mpz_class> z_rs;        // masked randomness per Paillier leg
+
+  std::size_t wire_bytes() const;
+};
+
+LinkProof link_prove(const LinkStatement& st, const LinkWitness& w, Rng& rng);
+bool link_verify(const LinkStatement& st, const LinkProof& proof);
+
+// The paper's NIZKAoK.SimP, at the sigma-protocol level: produces an
+// accepting transcript for `challenge` *without* a witness (sample the
+// responses, solve for the first messages).  In the random-oracle
+// instantiation the UC simulator programs the oracle to return `challenge`
+// at this transcript; the test suite uses it to check honest proofs are
+// distributed like simulated ones (honest-verifier zero knowledge).
+LinkProof link_simulate(const LinkStatement& st, const mpz_class& challenge, Rng& rng);
+
+// Verification with an explicit challenge (bypassing Fiat-Shamir); used
+// together with link_simulate by the ZK tests.
+bool link_verify_with_challenge(const LinkStatement& st, const LinkProof& proof,
+                                const mpz_class& challenge);
+
+}  // namespace yoso

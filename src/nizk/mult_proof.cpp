@@ -1,0 +1,72 @@
+#include "nizk/mult_proof.hpp"
+
+#include "crypto/transcript.hpp"
+#include "nizk/link_proof.hpp"  // for kKappa / kStat
+
+namespace yoso {
+
+namespace {
+
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  return r;
+}
+
+mpz_class challenge(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
+                    const mpz_class& c_p, const mpz_class& a1, const mpz_class& a2) {
+  Transcript tr("yoso.nizk.mult");
+  tr.absorb("pk.n", pk.n);
+  tr.absorb_u64("pk.s", pk.s);
+  tr.absorb("c_a", c_a);
+  tr.absorb("c_b", c_b);
+  tr.absorb("c_p", c_p);
+  tr.absorb("a1", a1);
+  tr.absorb("a2", a2);
+  return tr.challenge_bits("e", kKappa);
+}
+
+}  // namespace
+
+std::size_t MultProof::wire_bytes() const {
+  return mpz_wire_size(a1) + mpz_wire_size(a2) + mpz_wire_size(z) + mpz_wire_size(z1) +
+         mpz_wire_size(z2);
+}
+
+MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
+                     const mpz_class& c_p, const mpz_class& b, const mpz_class& r_b,
+                     const mpz_class& rho, Rng& rng) {
+  const unsigned mask_bits =
+      static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2)) + kKappa + kStat;
+  mpz_class x = rng.bits(mask_bits);
+  mpz_class u = rng.unit_mod(pk.n);
+  mpz_class w = rng.unit_mod(pk.n);
+
+  MultProof proof;
+  proof.a1 = pk.enc(x, u);
+  proof.a2 = powm(c_a, x, pk.ns1) * powm(w, pk.ns, pk.ns1) % pk.ns1;
+
+  const mpz_class e = challenge(pk, c_a, c_b, c_p, proof.a1, proof.a2);
+  proof.z = x + e * b;
+  proof.z1 = u * powm(r_b, e, pk.ns1) % pk.ns1;
+  proof.z2 = w * powm(rho, e, pk.ns1) % pk.ns1;
+  return proof;
+}
+
+bool verify_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
+                 const mpz_class& c_p, const MultProof& proof) {
+  if (!pk.valid_ciphertext(c_a) || !pk.valid_ciphertext(c_b) || !pk.valid_ciphertext(c_p)) {
+    return false;
+  }
+  const mpz_class e = challenge(pk, c_a, c_b, c_p, proof.a1, proof.a2);
+  // (1+N)^z * z1^{N^s} == a1 * c_b^e
+  mpz_class lhs1 = pk.enc(proof.z, proof.z1);
+  mpz_class rhs1 = proof.a1 * powm(c_b, e, pk.ns1) % pk.ns1;
+  if (lhs1 != rhs1) return false;
+  // c_a^z * z2^{N^s} == a2 * c_p^e
+  mpz_class lhs2 = powm(c_a, proof.z, pk.ns1) * powm(proof.z2, pk.ns, pk.ns1) % pk.ns1;
+  mpz_class rhs2 = proof.a2 * powm(c_p, e, pk.ns1) % pk.ns1;
+  return lhs2 == rhs2;
+}
+
+}  // namespace yoso

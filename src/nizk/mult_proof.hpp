@@ -1,0 +1,36 @@
+// CDN-style NIZK proof of correct multiplication: the prover knows
+// (b, r_b, rho) such that
+//
+//   c_b = (1+N)^b * r_b^{N^s}        (a fresh encryption of b), and
+//   c_p = c_a^b * rho^{N^s}          (the homomorphic product, blinded),
+//
+// i.e. c_p encrypts a * b where c_a encrypts a.  Used by the second
+// committee in Protocol 3 (Beaver triple generation): each role proves
+// that its published c_i^c really is c^a scaled by its own b_i.
+#pragma once
+
+#include <gmpxx.h>
+
+#include "crypto/rand.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+
+struct MultProof {
+  mpz_class a1;   // commitment for the c_b relation
+  mpz_class a2;   // commitment for the c_p relation
+  mpz_class z;    // masked b
+  mpz_class z1;   // masked r_b
+  mpz_class z2;   // masked rho
+
+  std::size_t wire_bytes() const;
+};
+
+MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
+                     const mpz_class& c_p, const mpz_class& b, const mpz_class& r_b,
+                     const mpz_class& rho, Rng& rng);
+
+bool verify_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
+                 const mpz_class& c_p, const MultProof& proof);
+
+}  // namespace yoso

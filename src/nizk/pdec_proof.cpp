@@ -1,0 +1,34 @@
+#include "nizk/pdec_proof.hpp"
+
+namespace yoso {
+
+namespace {
+
+LinkStatement make_statement(const ThresholdPK& tpk, unsigned index, const mpz_class& c,
+                             const mpz_class& partial) {
+  LinkStatement st;
+  st.domain = "pdec";
+  const mpz_class c2 = c * c % tpk.pk.ns1;
+  st.exponent_legs.push_back(ExponentLeg{c2, partial, tpk.pk.ns1});
+  st.exponent_legs.push_back(ExponentLeg{tpk.v, tpk.vks.at(index - 1), tpk.pk.ns1});
+  st.bound_bits = tpk.share_bound_bits;
+  return st;
+}
+
+}  // namespace
+
+PdecProof prove_pdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c,
+                     const mpz_class& partial, Rng& rng) {
+  LinkStatement st = make_statement(tpk, share.index, c, partial);
+  LinkWitness w;
+  w.x = share.d_i;
+  return PdecProof{link_prove(st, w, rng)};
+}
+
+bool verify_pdec(const ThresholdPK& tpk, unsigned index, const mpz_class& c,
+                 const mpz_class& partial, const PdecProof& proof) {
+  if (index == 0 || index > tpk.n) return false;
+  return link_verify(make_statement(tpk, index, c, partial), proof.inner);
+}
+
+}  // namespace yoso

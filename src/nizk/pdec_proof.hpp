@@ -1,0 +1,29 @@
+// NIZK proof of correct partial decryption (Shoup-style equality of
+// discrete logarithms): the prover knows d_i such that
+//
+//   partial = (c^2)^{d_i}   and   vk_i = v^{d_i}   (mod N^{s+1}).
+//
+// This is the proof each committee role attaches to its TPDec share in
+// Protocols 1-2 (Re-encrypt / Decrypt), enabling everyone to select a
+// qualified set of t+1 correct partials and guaranteeing output delivery.
+//
+// Thin wrapper over the generic LinkProof with two exponent legs.
+#pragma once
+
+#include "nizk/link_proof.hpp"
+#include "paillier/threshold.hpp"
+
+namespace yoso {
+
+struct PdecProof {
+  LinkProof inner;
+  std::size_t wire_bytes() const { return inner.wire_bytes(); }
+};
+
+PdecProof prove_pdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c,
+                     const mpz_class& partial, Rng& rng);
+
+bool verify_pdec(const ThresholdPK& tpk, unsigned index, const mpz_class& c,
+                 const mpz_class& partial, const PdecProof& proof);
+
+}  // namespace yoso

@@ -1,0 +1,30 @@
+#include "nizk/plaintext_proof.hpp"
+
+namespace yoso {
+
+namespace {
+
+LinkStatement make_statement(const PaillierPK& pk, const mpz_class& c) {
+  LinkStatement st;
+  st.domain = "plaintext";
+  st.paillier_legs.push_back(PaillierLeg{pk, c});
+  st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2));
+  return st;
+}
+
+}  // namespace
+
+PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const mpz_class& m,
+                               const mpz_class& r, Rng& rng) {
+  LinkStatement st = make_statement(pk, c);
+  LinkWitness w;
+  w.x = m;
+  w.rs = {r};
+  return PlaintextProof{link_prove(st, w, rng)};
+}
+
+bool verify_plaintext(const PaillierPK& pk, const mpz_class& c, const PlaintextProof& proof) {
+  return link_verify(make_statement(pk, c), proof.inner);
+}
+
+}  // namespace yoso

@@ -1,0 +1,24 @@
+// NIZK proof of plaintext knowledge: the prover knows (m, r) such that
+// c = TEnc(tpk, m; r).  Used for every fresh ciphertext a role broadcasts
+// during the offline phase (Beaver contributions, random wire values,
+// packing helpers), per Protocols 3-4 of the paper.
+//
+// Thin wrapper over the generic LinkProof with a single Paillier leg.
+#pragma once
+
+#include "nizk/link_proof.hpp"
+
+namespace yoso {
+
+struct PlaintextProof {
+  LinkProof inner;
+  std::size_t wire_bytes() const { return inner.wire_bytes(); }
+};
+
+// Proves knowledge of (m, r) for c under pk.  `m` must lie in [0, N^s).
+PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const mpz_class& m,
+                               const mpz_class& r, Rng& rng);
+
+bool verify_plaintext(const PaillierPK& pk, const mpz_class& c, const PlaintextProof& proof);
+
+}  // namespace yoso

@@ -1,0 +1,30 @@
+// NIZK proof of knowledge of an N^s-th root: the prover knows rho with
+//
+//   rho^{N^s} = u  (mod N^{s+1}),
+//
+// i.e. u is a Paillier encryption of 0 under pk.  This is the online-phase
+// correctness proof: a role claims a public ciphertext combination
+// c_combined encrypts exactly the integer P it published, by proving that
+// c_combined * Enc(P; 1)^{-1} encrypts 0.  Only the holder of the matching
+// secret key can extract the root (PaillierSK::extract_root), so the proof
+// doubles as evidence that the role actually decrypted its packed shares.
+#pragma once
+
+#include <gmpxx.h>
+
+#include "crypto/rand.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+
+struct RootProof {
+  mpz_class a;  // u0^{N^s} for random unit u0
+  mpz_class z;  // u0 * rho^e
+
+  std::size_t wire_bytes() const;
+};
+
+RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const mpz_class& rho, Rng& rng);
+bool verify_root(const PaillierPK& pk, const mpz_class& u, const RootProof& proof);
+
+}  // namespace yoso

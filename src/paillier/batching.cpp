@@ -1,0 +1,29 @@
+#include "paillier/batching.hpp"
+
+namespace yoso {
+
+mpz_class PlaintextBatcher::pack(const std::vector<mpz_class>& values) const {
+  mpz_class acc = 0;
+  const mpz_class bound = mpz_class(1) << value_bits_;
+  for (std::size_t i = values.size(); i-- > 0;) {
+    if (values[i] < 0 || values[i] >= bound) {
+      throw std::invalid_argument("PlaintextBatcher::pack: value out of range");
+    }
+    acc = (acc << limb_bits()) + values[i];
+  }
+  return acc;
+}
+
+std::vector<mpz_class> PlaintextBatcher::unpack(const mpz_class& plain, unsigned count) const {
+  std::vector<mpz_class> out;
+  out.reserve(count);
+  mpz_class rest = plain;
+  const mpz_class mask = (mpz_class(1) << limb_bits()) - 1;
+  for (unsigned i = 0; i < count; ++i) {
+    out.push_back(rest & mask);
+    rest >>= limb_bits();
+  }
+  return out;
+}
+
+}  // namespace yoso

@@ -1,0 +1,47 @@
+// Paillier plaintext batching: packs a vector of bounded values into one
+// Z_{N^s} plaintext as base-2^limb_bits limbs with headroom for
+// homomorphic additions.
+//
+// This is the classic amortization companion to the protocol: the offline
+// phase ships Theta(n) ciphertexts per re-encrypted value, and batching j
+// values per ciphertext divides the *byte* cost by ~j without changing
+// the protocol logic (each limb behaves additively as long as fewer than
+// 2^slack_bits additions occur, so carries never cross limbs).  Exposed as
+// a standalone utility + bench-backed optimization; DESIGN.md lists it as
+// an ablation.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace yoso {
+
+class PlaintextBatcher {
+public:
+  // Values must be < 2^value_bits; up to 2^slack_bits batched ciphertexts
+  // may be summed homomorphically before limbs overflow.
+  PlaintextBatcher(unsigned value_bits, unsigned slack_bits)
+      : value_bits_(value_bits), slack_bits_(slack_bits) {
+    if (value_bits == 0) throw std::invalid_argument("PlaintextBatcher: zero value bits");
+  }
+
+  unsigned limb_bits() const { return value_bits_ + slack_bits_; }
+
+  // How many values fit into a plaintext space of `plain_bits` bits.
+  unsigned capacity(unsigned plain_bits) const { return plain_bits / limb_bits(); }
+
+  // Packs values (each < 2^value_bits) into one plaintext.
+  mpz_class pack(const std::vector<mpz_class>& values) const;
+
+  // Unpacks `count` limbs.  Values that accumulated homomorphic additions
+  // come back as the limb sums (hence the slack headroom).
+  std::vector<mpz_class> unpack(const mpz_class& plain, unsigned count) const;
+
+private:
+  unsigned value_bits_;
+  unsigned slack_bits_;
+};
+
+}  // namespace yoso

@@ -1,0 +1,189 @@
+#include "paillier/paillier.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  return r;
+}
+
+}  // namespace
+
+mpz_class PaillierPK::enc(const mpz_class& m, const mpz_class& r) const {
+  mpz_class mm = m % ns;
+  if (mm < 0) mm += ns;
+  mpz_class g_m = powm(n + 1, mm, ns1);
+  mpz_class r_ns = powm(r, ns, ns1);
+  return g_m * r_ns % ns1;
+}
+
+mpz_class PaillierPK::enc(const mpz_class& m, Rng& rng, mpz_class* r_out) const {
+  mpz_class r = rng.unit_mod(n);
+  if (r_out != nullptr) *r_out = r;
+  return enc(m, r);
+}
+
+mpz_class PaillierPK::add(const mpz_class& c1, const mpz_class& c2) const {
+  return c1 * c2 % ns1;
+}
+
+mpz_class PaillierPK::scal(const mpz_class& c, const mpz_class& k) const {
+  return powm(c, k, ns1);  // GMP inverts the base for negative exponents
+}
+
+mpz_class PaillierPK::rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out) const {
+  mpz_class r = rng.unit_mod(n);
+  if (r_out != nullptr) *r_out = r;
+  return c * powm(r, ns, ns1) % ns1;
+}
+
+mpz_class PaillierPK::eval(const std::vector<mpz_class>& cts,
+                           const std::vector<mpz_class>& coeffs) const {
+  if (cts.size() != coeffs.size()) throw std::invalid_argument("PaillierPK::eval: size mismatch");
+  mpz_class acc = 1;
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    acc = acc * scal(cts[i], coeffs[i]) % ns1;
+  }
+  return acc;
+}
+
+std::size_t PaillierPK::ciphertext_bytes() const {
+  return (mpz_sizeinbase(ns1.get_mpz_t(), 2) + 7) / 8;
+}
+
+bool PaillierPK::valid_ciphertext(const mpz_class& c) const {
+  if (c <= 0 || c >= ns1) return false;
+  mpz_class g;
+  mpz_gcd(g.get_mpz_t(), c.get_mpz_t(), ns1.get_mpz_t());
+  return g == 1;
+}
+
+mpz_class dlog_1pn(const PaillierPK& pk, const mpz_class& u) {
+  // Damgard-Jurik iterative extraction of m from (1+N)^m mod N^{s+1}.
+  const mpz_class& n = pk.n;
+  mpz_class i = 0;
+  mpz_class n_pow_j = 1;  // N^j
+  for (unsigned j = 1; j <= pk.s; ++j) {
+    n_pow_j *= n;                       // N^j
+    mpz_class n_pow_j1 = n_pow_j * n;   // N^{j+1}
+    mpz_class u_mod = u % n_pow_j1;
+    mpz_class t1 = (u_mod - 1) / n;     // L(u mod N^{j+1}); exact by construction
+    if ((u_mod - 1) % n != 0) throw std::domain_error("dlog_1pn: input is not a power of 1+N");
+    mpz_class t2 = i;
+    mpz_class kfac = 1;
+    mpz_class ii = i;
+    for (unsigned k = 2; k <= j; ++k) {
+      ii -= 1;
+      t2 = t2 * ii % n_pow_j;
+      kfac *= k;
+      // t1 -= t2 * N^{k-1} / k!  (division via modular inverse of k!)
+      mpz_class kfac_inv;
+      if (mpz_invert(kfac_inv.get_mpz_t(), kfac.get_mpz_t(), n_pow_j.get_mpz_t()) == 0) {
+        throw std::domain_error("dlog_1pn: k! not invertible (modulus has tiny factor)");
+      }
+      mpz_class n_pow_k1 = 1;
+      for (unsigned h = 1; h < k; ++h) n_pow_k1 *= n;
+      t1 = (t1 - t2 * n_pow_k1 % n_pow_j * kfac_inv) % n_pow_j;
+      if (t1 < 0) t1 += n_pow_j;
+    }
+    i = t1 % n_pow_j;
+    if (i < 0) i += n_pow_j;
+  }
+  return i;
+}
+
+mpz_class PaillierSK::dec(const mpz_class& c) const {
+  mpz_class u;
+  mpz_powm(u.get_mpz_t(), c.get_mpz_t(), d.get_mpz_t(), pk.ns1.get_mpz_t());
+  return dlog_1pn(pk, u);
+}
+
+mpz_class PaillierSK::extract_root(const mpz_class& u) const {
+  // u = rho^{N^s} for some unit rho; the (1+N)-component of u is trivial,
+  // so a root is u^{(N^s)^{-1} mod lambda} where lambda = lcm(p-1, q-1).
+  mpz_class lambda;
+  mpz_lcm(lambda.get_mpz_t(), mpz_class(p - 1).get_mpz_t(), mpz_class(q - 1).get_mpz_t());
+  mpz_class e_inv;
+  if (mpz_invert(e_inv.get_mpz_t(), pk.ns.get_mpz_t(), lambda.get_mpz_t()) == 0) {
+    throw std::domain_error("extract_root: N^s not invertible mod lambda");
+  }
+  mpz_class rho;
+  mpz_powm(rho.get_mpz_t(), u.get_mpz_t(), e_inv.get_mpz_t(), pk.ns1.get_mpz_t());
+  return rho;
+}
+
+PaillierSK paillier_sk_from_factor(const PaillierPK& pk, const mpz_class& p) {
+  if (p <= 1 || pk.n % p != 0) throw std::invalid_argument("sk_from_factor: not a factor");
+  PaillierSK sk;
+  sk.pk = pk;
+  sk.p = p;
+  sk.q = pk.n / p;
+  mpz_class l;
+  mpz_lcm(l.get_mpz_t(), mpz_class(sk.p - 1).get_mpz_t(), mpz_class(sk.q - 1).get_mpz_t());
+  sk.m_order = l;
+  mpz_class m_inv;
+  if (mpz_invert(m_inv.get_mpz_t(), sk.m_order.get_mpz_t(), sk.pk.ns.get_mpz_t()) == 0) {
+    throw std::domain_error("sk_from_factor: gcd(m, N^s) != 1");
+  }
+  sk.d = sk.m_order * (m_inv % sk.pk.ns);
+  return sk;
+}
+
+PaillierSK paillier_keygen(unsigned modulus_bits, unsigned s, Rng& rng, bool safe_primes) {
+  if (s < 1) throw std::invalid_argument("paillier_keygen: s must be >= 1");
+  if (modulus_bits < 32) throw std::invalid_argument("paillier_keygen: modulus too small");
+  PaillierSK sk;
+  const unsigned half = modulus_bits / 2;
+  for (;;) {
+    if (safe_primes) {
+      sk.p = rng.safe_prime(half);
+      do {
+        sk.q = rng.safe_prime(modulus_bits - half);
+      } while (sk.q == sk.p);
+    } else {
+      sk.p = rng.prime(half);
+      do {
+        sk.q = rng.prime(modulus_bits - half);
+      } while (sk.q == sk.p);
+    }
+    mpz_class n = sk.p * sk.q;
+    if (mpz_sizeinbase(n.get_mpz_t(), 2) == modulus_bits) {
+      sk.pk.n = n;
+      break;
+    }
+  }
+  sk.pk.s = s;
+  sk.pk.ns = 1;
+  for (unsigned i = 0; i < s; ++i) sk.pk.ns *= sk.pk.n;
+  sk.pk.ns1 = sk.pk.ns * sk.pk.n;
+
+  if (safe_primes) {
+    sk.m_order = (sk.p - 1) / 2 * ((sk.q - 1) / 2);
+  } else {
+    // lambda(N) / gcd(p-1, q-1) would be the exponent; for the plain scheme
+    // we only need d == 0 mod lambda', where lambda' = lcm(p-1, q-1)/2 works
+    // for the r-part.  Use m_order = lcm(p-1, q-1).
+    mpz_class l;
+    mpz_lcm(l.get_mpz_t(), mpz_class(sk.p - 1).get_mpz_t(), mpz_class(sk.q - 1).get_mpz_t());
+    sk.m_order = l;
+  }
+
+  // d == 1 mod N^s and d == 0 mod lambda (CRT; gcd(lambda, N^s) == 1).
+  // For safe primes lambda = 2 * m_order; the factor 2 kills the order-2
+  // component of r^{N^s d} in direct decryption.
+  mpz_class lambda = safe_primes ? mpz_class(2 * sk.m_order) : sk.m_order;
+  mpz_class l_inv;
+  if (mpz_invert(l_inv.get_mpz_t(), lambda.get_mpz_t(), sk.pk.ns.get_mpz_t()) == 0) {
+    throw std::domain_error("paillier_keygen: gcd(lambda, N^s) != 1");
+  }
+  sk.d = lambda * (l_inv % sk.pk.ns);
+  // Now d == 0 mod lambda and d == 1 mod N^s.
+  return sk;
+}
+
+}  // namespace yoso

@@ -1,0 +1,77 @@
+// Paillier encryption in its Damgard-Jurik generalization (IJIS 2010, the
+// paper's reference [19]): plaintext space Z_{N^s}, ciphertexts mod N^{s+1}.
+//
+//   Enc(m; r) = (1 + N)^m * r^{N^s}  mod N^{s+1},   r a unit mod N.
+//
+// The scheme is linearly homomorphic: multiplying ciphertexts adds
+// plaintexts; raising to a scalar multiplies the plaintext.  s = 1 is
+// textbook Paillier; higher s widens the plaintext space (used for
+// encrypting threshold key shares under role keys, see threshold.hpp).
+#pragma once
+
+#include <gmpxx.h>
+
+#include "crypto/rand.hpp"
+
+namespace yoso {
+
+struct PaillierPK {
+  mpz_class n;    // RSA modulus N
+  unsigned s = 1;
+  mpz_class ns;   // N^s  (plaintext modulus)
+  mpz_class ns1;  // N^{s+1} (ciphertext modulus)
+
+  // Deterministic encryption with caller-supplied randomness r (unit mod N).
+  mpz_class enc(const mpz_class& m, const mpz_class& r) const;
+  // Randomized encryption; `r_out`, if non-null, receives the randomness
+  // (needed by the NIZK provers).
+  mpz_class enc(const mpz_class& m, Rng& rng, mpz_class* r_out = nullptr) const;
+
+  // Homomorphic addition of plaintexts.
+  mpz_class add(const mpz_class& c1, const mpz_class& c2) const;
+  // Homomorphic scalar multiplication (scalar may be negative).
+  mpz_class scal(const mpz_class& c, const mpz_class& k) const;
+  // Fresh randomization of a ciphertext.
+  mpz_class rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out = nullptr) const;
+
+  // TEval from Section 4.1: sum_i lambda_i * m_i.
+  mpz_class eval(const std::vector<mpz_class>& cts, const std::vector<mpz_class>& coeffs) const;
+
+  // Wire size of one ciphertext in bytes (for the communication ledger).
+  std::size_t ciphertext_bytes() const;
+
+  bool valid_ciphertext(const mpz_class& c) const;
+};
+
+struct PaillierSK {
+  PaillierPK pk;
+  mpz_class p, q;
+  mpz_class m_order;  // p' * q' for safe primes p = 2p'+1, q = 2q'+1
+  mpz_class d;        // d == 1 mod N^s, d == 0 mod m_order
+
+  mpz_class dec(const mpz_class& c) const;
+
+  // Extracts an N^s-th root of u, assuming one exists (i.e. u encrypts 0).
+  // Used by the online-phase correctness proofs: a role holding the key can
+  // prove that a public ciphertext combination encrypts a claimed value by
+  // exhibiting the root of the difference.
+  mpz_class extract_root(const mpz_class& u) const;
+};
+
+// Rebuilds a full secret key from the public key and one prime factor p.
+// This is how compact "keys for future" are transported: only the factor
+// (half the modulus size) is ever encrypted under the threshold key.
+PaillierSK paillier_sk_from_factor(const PaillierPK& pk, const mpz_class& p);
+
+// Generates a key with |N| = modulus_bits.  With `safe_primes` the factors
+// are safe primes (required by the threshold variant's verification keys);
+// otherwise m_order = lambda(N)/2 may share factors with small integers,
+// which is fine for the plain scheme.
+PaillierSK paillier_keygen(unsigned modulus_bits, unsigned s, Rng& rng,
+                           bool safe_primes = true);
+
+// Discrete log of u = (1+N)^m mod N^{s+1} (Damgard-Jurik extraction).
+// Returns m mod N^s.
+mpz_class dlog_1pn(const PaillierPK& pk, const mpz_class& u);
+
+}  // namespace yoso

@@ -1,0 +1,233 @@
+#include "paillier/threshold.hpp"
+
+#include <stdexcept>
+
+#include "field/zn_ring.hpp"
+
+namespace yoso {
+
+namespace {
+
+mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  return r;
+}
+
+// Evaluates the integer polynomial (coeffs low-order first) at x.
+mpz_class int_poly_eval(const std::vector<mpz_class>& coeffs, const mpz_class& x) {
+  mpz_class acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+// Bits of the largest integer-scaled Lagrange coefficient: |Delta * l_i(0)|
+// <= Delta * n^t (crude but public).
+unsigned lagrange_bound_bits(const ThresholdPK& tpk) {
+  unsigned delta_bits = static_cast<unsigned>(mpz_sizeinbase(tpk.delta.get_mpz_t(), 2));
+  unsigned log_n = 1;
+  while ((1u << log_n) < tpk.n + 1) ++log_n;
+  return delta_bits + tpk.t * log_n;
+}
+
+}  // namespace
+
+unsigned ThresholdPK::subshare_bound_bits() const {
+  // |f_i(j)| <= |d_i| + (t+1) * B * n^t  with B = N^{s+1} * 2^stat.
+  unsigned mask_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns1.get_mpz_t(), 2)) + stat_sec;
+  unsigned log_n = 1;
+  while ((1u << log_n) < n + 1) ++log_n;
+  unsigned poly_bits = mask_bits + t * log_n + 8;
+  return std::max(share_bound_bits, poly_bits) + 1;
+}
+
+ThresholdKeys tkgen(unsigned modulus_bits, unsigned s, unsigned n, unsigned t, Rng& rng) {
+  if (n == 0 || t + 1 > n) throw std::invalid_argument("tkgen: need t + 1 <= n");
+  ThresholdKeys out;
+  out.dealer_sk = paillier_keygen(modulus_bits, s, rng, /*safe_primes=*/true);
+  out.tpk.pk = out.dealer_sk.pk;
+  out.tpk.n = n;
+  out.tpk.t = t;
+  out.tpk.delta = factorial(n);
+  out.tpk.scale = out.tpk.delta;
+  out.tpk.share_bound_bits =
+      static_cast<unsigned>(mpz_sizeinbase(out.tpk.pk.ns1.get_mpz_t(), 2)) + 1;
+
+  // Shamir-share d over Z_{m N^s} with a degree-t polynomial.
+  const mpz_class share_mod = out.dealer_sk.m_order * out.tpk.pk.ns;
+  std::vector<mpz_class> coeffs(t + 1);
+  coeffs[0] = out.dealer_sk.d % share_mod;
+  for (unsigned c = 1; c <= t; ++c) coeffs[c] = rng.below(share_mod);
+
+  out.shares.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    out.shares[i].index = i + 1;
+    out.shares[i].d_i = int_poly_eval(coeffs, mpz_class(i + 1)) % share_mod;
+  }
+
+  // Verification base: a random square generates (w.h.p.) the cyclic part
+  // of Z*_{N^{s+1}} of order m N^s.
+  mpz_class r = rng.unit_mod(out.tpk.pk.ns1);
+  out.tpk.v = r * r % out.tpk.pk.ns1;
+  out.tpk.vks.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    out.tpk.vks[i] = powm(out.tpk.v, out.shares[i].d_i, out.tpk.pk.ns1);
+  }
+  return out;
+}
+
+mpz_class tpdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c) {
+  return powm(c, 2 * share.d_i, tpk.pk.ns1);
+}
+
+mpz_class tdec(const ThresholdPK& tpk, const std::vector<unsigned>& indices,
+               const std::vector<mpz_class>& partials, const mpz_class& /*c_unused*/) {
+  if (indices.size() != partials.size()) throw std::invalid_argument("tdec: size mismatch");
+  if (indices.size() < tpk.t + 1) throw std::invalid_argument("tdec: not enough partials");
+  std::vector<std::int64_t> pts(indices.begin(), indices.end());
+  const auto lambda = integer_lagrange(pts, 0, tpk.delta);
+  mpz_class acc = 1;
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    acc = acc * powm(partials[i], 2 * lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
+  }
+  mpz_class u = dlog_1pn(tpk.pk, acc);  // = 4 * scale * m  (mod N^s)
+  mpz_class denom_inv;
+  mpz_class denom = 4 * tpk.scale % tpk.pk.ns;
+  if (mpz_invert(denom_inv.get_mpz_t(), denom.get_mpz_t(), tpk.pk.ns.get_mpz_t()) == 0) {
+    throw std::domain_error("tdec: scale not invertible mod N^s");
+  }
+  return u * denom_inv % tpk.pk.ns;
+}
+
+ReshareMsg tkres(const ThresholdPK& tpk, const ThresholdKeyShare& share, Rng& rng) {
+  ReshareMsg msg;
+  msg.from_index = share.index;
+  // Integer polynomial with constant term d_i and statistically masking
+  // higher coefficients (parties do not know m N^s, so they mask with the
+  // public bound N^{s+1} * 2^stat_sec).
+  mpz_class bound = tpk.pk.ns1 << tpk.stat_sec;
+  std::vector<mpz_class> coeffs(tpk.t + 1);
+  coeffs[0] = share.d_i;
+  for (unsigned c = 1; c <= tpk.t; ++c) coeffs[c] = rng.below(bound);
+
+  msg.subshares.resize(tpk.n);
+  for (unsigned j = 0; j < tpk.n; ++j) {
+    msg.subshares[j] = int_poly_eval(coeffs, mpz_class(j + 1));
+  }
+  msg.commitments.resize(tpk.t + 1);
+  for (unsigned c = 0; c <= tpk.t; ++c) {
+    msg.commitments[c] = powm(tpk.v, coeffs[c], tpk.pk.ns1);
+  }
+  return msg;
+}
+
+bool verify_reshare(const ThresholdPK& tpk, const ReshareMsg& msg) {
+  if (msg.from_index == 0 || msg.from_index > tpk.n) return false;
+  if (msg.subshares.size() != tpk.n || msg.commitments.size() != tpk.t + 1) return false;
+  // The constant-term commitment must match the resharer's verification key
+  // (ties f(0) to the share it is supposed to reshare).
+  if (msg.commitments[0] != tpk.vks[msg.from_index - 1]) return false;
+  for (unsigned j = 1; j <= tpk.n; ++j) {
+    mpz_class lhs = powm(tpk.v, msg.subshares[j - 1], tpk.pk.ns1);
+    mpz_class rhs = 1;
+    mpz_class j_pow = 1;
+    for (unsigned c = 0; c <= tpk.t; ++c) {
+      rhs = rhs * powm(msg.commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
+      j_pow *= j;
+    }
+    if (lhs != rhs) return false;
+  }
+  return true;
+}
+
+ThresholdKeyShare tkrec(const ThresholdPK& tpk, unsigned my_index,
+                        const std::vector<unsigned>& from,
+                        const std::vector<mpz_class>& subshares_for_me) {
+  if (from.size() != subshares_for_me.size() || from.size() < tpk.t + 1) {
+    throw std::invalid_argument("tkrec: need >= t + 1 verified resharings");
+  }
+  std::vector<std::int64_t> pts(from.begin(), from.end());
+  const auto lambda = integer_lagrange(pts, 0, tpk.delta);
+  ThresholdKeyShare out;
+  out.index = my_index;
+  out.d_i = 0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    out.d_i += lambda[i] * subshares_for_me[i];
+  }
+  return out;
+}
+
+ThresholdPK next_epoch_pk(const ThresholdPK& tpk, const std::vector<unsigned>& from,
+                          const std::vector<ReshareMsg>& msgs) {
+  if (from.size() != msgs.size() || from.size() < tpk.t + 1) {
+    throw std::invalid_argument("next_epoch_pk: need >= t + 1 resharings");
+  }
+  ThresholdPK out = tpk;
+  out.scale = tpk.scale * tpk.delta;
+  unsigned log_t = 1;
+  while ((1u << log_t) < tpk.t + 2) ++log_t;
+  out.share_bound_bits = tpk.subshare_bound_bits() + lagrange_bound_bits(tpk) + log_t + 1;
+  std::vector<std::int64_t> pts(from.begin(), from.end());
+  const auto lambda = integer_lagrange(pts, 0, tpk.delta);
+  for (unsigned j = 1; j <= tpk.n; ++j) {
+    mpz_class vk = 1;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      // v^{f_i(j)} from the Feldman commitments, then Lagrange-weighted.
+      mpz_class vfij = 1;
+      mpz_class j_pow = 1;
+      for (std::size_t c = 0; c < msgs[i].commitments.size(); ++c) {
+        vfij = vfij * powm(msgs[i].commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
+        j_pow *= j;
+      }
+      vk = vk * powm(vfij, lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
+    }
+    out.vks[j - 1] = vk;
+  }
+  return out;
+}
+
+std::vector<mpz_class> sim_tpdec(const ThresholdPK& tpk, const mpz_class& c,
+                                 const mpz_class& m_target, const mpz_class& m_true,
+                                 const std::vector<ThresholdKeyShare>& honest_shares,
+                                 const std::vector<unsigned>& corrupt_indices) {
+  if (corrupt_indices.size() > tpk.t) {
+    throw std::invalid_argument("sim_tpdec: more than t corruptions");
+  }
+  // Build the correction polynomial h over Z_{N^s}: degree t, h(i) = 0 for
+  // corrupt i, h(0) = scale * (m_target - m_true) * Delta^{-1}.
+  ZnRing ring(tpk.pk.ns);
+  Rng pad_rng(0xD15EA5E);  // padding points carry no secret; fixed seed is fine
+  mpz_class delta_inv;
+  if (mpz_invert(delta_inv.get_mpz_t(), tpk.delta.get_mpz_t(), tpk.pk.ns.get_mpz_t()) == 0) {
+    throw std::domain_error("sim_tpdec: Delta not invertible mod N^s");
+  }
+  mpz_class h0 = ring.mod(tpk.scale * ring.sub(m_target, m_true) % tpk.pk.ns * delta_inv);
+
+  std::vector<std::int64_t> pts{0};
+  std::vector<mpz_class> vals{h0};
+  for (unsigned idx : corrupt_indices) {
+    pts.push_back(static_cast<std::int64_t>(idx));
+    vals.push_back(ring.zero());
+  }
+  // Pad with random constraints at points beyond the party range so the
+  // polynomial has degree exactly t regardless of |corrupt|.
+  std::int64_t pad_pt = static_cast<std::int64_t>(tpk.n) + 1;
+  while (pts.size() < tpk.t + 1) {
+    pts.push_back(pad_pt++);
+    vals.push_back(ring.random(pad_rng));
+  }
+  const auto coeffs = interpolate_coeffs(ring, pts, vals);
+
+  std::vector<mpz_class> out;
+  out.reserve(honest_shares.size());
+  const mpz_class one_pn = tpk.pk.n + 1;
+  for (const auto& sh : honest_shares) {
+    mpz_class w = poly_eval(ring, coeffs, ring.from_int(static_cast<std::int64_t>(sh.index)));
+    mpz_class honest = powm(c, 2 * sh.d_i, tpk.pk.ns1);
+    mpz_class corr = powm(one_pn, 2 * w % tpk.pk.ns, tpk.pk.ns1);
+    out.push_back(honest * corr % tpk.pk.ns1);
+  }
+  return out;
+}
+
+}  // namespace yoso

@@ -1,0 +1,118 @@
+// Linearly homomorphic *key-rerandomizable* threshold encryption
+// (Section 4.1 of the paper), instantiated as threshold Damgard-Jurik with
+// Shoup's Delta = n! trick so no party ever learns the group order:
+//
+//   * TKGen   : Shamir-shares d (d == 1 mod N^s, d == 0 mod p'q') with a
+//               degree-t polynomial over Z_{m N^s}; publishes verification
+//               keys v_i = v^{d_i} for a random square v.
+//   * TPDec   : partial decryption c_i = c^{2 d_i}.
+//   * TDec    : combine >= t+1 partials with integer-scaled Lagrange
+//               coefficients; extract the plaintext with dlog_1pn and divide
+//               by 4 * scale (scale accumulates a Delta factor per epoch).
+//   * TKRes   : verifiable resharing of a key share toward the next
+//               committee: integer Shamir with statistical masking plus
+//               Feldman commitments v^{a_c} so anyone can derive the next
+//               epoch's verification keys.
+//   * TKRec   : Lagrange-combine received subshares into the next share.
+//   * SimTPDec: the simulatability algorithm used by the security proof /
+//               simulator tests (needs the game challenger's knowledge: the
+//               true plaintext and the honest shares, as in Definition 2).
+//
+// TEval is inherited from PaillierPK::eval.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "field/poly.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+
+struct ThresholdPK {
+  PaillierPK pk;
+  unsigned n = 0;       // committee size
+  unsigned t = 0;       // sharing degree; any t+1 partials decrypt
+  mpz_class delta;      // n!
+  mpz_class v;          // verification base, a square in Z*_{N^{s+1}}
+  std::vector<mpz_class> vks;  // vks[i] = v^{d_{i+1}} for the current epoch
+  mpz_class scale;      // Delta^{epoch+1}; TDec divides by 4 * scale
+
+  // Statistical masking bound for integer resharing polynomials.
+  unsigned stat_sec = 40;
+
+  // Public upper bound (in bits) on |d_i| for the current epoch; NIZK
+  // masks and recipient plaintext spaces are sized from this.
+  unsigned share_bound_bits = 0;
+  // Bound (in bits) on the subshares produced by tkres this epoch.
+  unsigned subshare_bound_bits() const;
+};
+
+struct ThresholdKeyShare {
+  unsigned index = 0;  // 1-based party index (the Shamir evaluation point)
+  mpz_class d_i;       // integer share (may be negative after resharing)
+};
+
+struct ThresholdKeys {
+  ThresholdPK tpk;
+  std::vector<ThresholdKeyShare> shares;  // one per party, index i+1
+  // Kept by tests and the UC-style simulator only (never given to roles):
+  PaillierSK dealer_sk;
+};
+
+// Dealer key generation (the paper assumes this setup, Section 5.1).
+ThresholdKeys tkgen(unsigned modulus_bits, unsigned s, unsigned n, unsigned t, Rng& rng);
+
+// Partial decryption c^{2 d_i}.
+mpz_class tpdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c);
+
+// Combines partial decryptions from the parties listed in `indices`
+// (1-based, distinct, size >= t+1) into the plaintext.
+mpz_class tdec(const ThresholdPK& tpk, const std::vector<unsigned>& indices,
+               const std::vector<mpz_class>& partials, const mpz_class& c_unused = 0);
+
+// --- Key resharing across committees -------------------------------------
+
+// What one party broadcasts when resharing its key share: encrypted
+// subshares are produced by the caller (the protocol layer), this struct
+// carries the in-clear polynomial evaluations plus Feldman commitments.
+struct ReshareMsg {
+  unsigned from_index = 0;
+  std::vector<mpz_class> subshares;     // subshares[j] = f_i(j+1), for party j+1
+  std::vector<mpz_class> commitments;   // v^{a_c} for each coefficient a_c
+};
+
+// TKRes: splits `share` into n subshares with a degree-t integer polynomial
+// whose non-constant coefficients are masked by stat_sec extra bits.
+ReshareMsg tkres(const ThresholdPK& tpk, const ThresholdKeyShare& share, Rng& rng);
+
+// Verifies one party's resharing message against its current verification
+// key (Feldman check v^{f_i(j)} == prod_c A_c^{j^c} for every j).
+bool verify_reshare(const ThresholdPK& tpk, const ReshareMsg& msg);
+
+// TKRec: party `my_index` combines the subshares addressed to it from the
+// qualified set `from` (>= t+1 verified resharers) into its next-epoch share.
+ThresholdKeyShare tkrec(const ThresholdPK& tpk, unsigned my_index,
+                        const std::vector<unsigned>& from,
+                        const std::vector<mpz_class>& subshares_for_me);
+
+// Advances the public key to the next epoch: multiplies scale by Delta and
+// recomputes all verification keys from the qualified resharers' Feldman
+// commitments.  `from` and `msgs` must be the same qualified set used by
+// tkrec everywhere.
+ThresholdPK next_epoch_pk(const ThresholdPK& tpk, const std::vector<unsigned>& from,
+                          const std::vector<ReshareMsg>& msgs);
+
+// --- Simulatability (Definition 2) ----------------------------------------
+
+// Produces honest partial decryptions of `c` that make TDec output
+// `m_target` for *any* qualified set, given the corrupt parties' honest
+// partials.  Requires the challenger's knowledge of the true plaintext
+// `m_true` and the honest shares, exactly as available in the security game.
+std::vector<mpz_class> sim_tpdec(const ThresholdPK& tpk, const mpz_class& c,
+                                 const mpz_class& m_target, const mpz_class& m_true,
+                                 const std::vector<ThresholdKeyShare>& honest_shares,
+                                 const std::vector<unsigned>& corrupt_indices);
+
+}  // namespace yoso

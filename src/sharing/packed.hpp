@@ -1,0 +1,197 @@
+// Packed Shamir secret sharing [Franklin-Yung 92], the core primitive of the
+// paper's online phase, plus standard Shamir as the k = 1 special case.
+//
+// Conventions (Section 3.2 of the paper):
+//   * a degree-d packed sharing [[x]]_d of x in F^k stores x_i at evaluation
+//     point -(i-1), i.e. at 0, -1, ..., -(k-1);
+//   * party i's share is the polynomial evaluated at point i (1-based);
+//   * d + 1 shares reconstruct; any d - k + 1 shares are independent of the
+//     secrets;
+//   * sharings are linear: [[x + y]]_d = [[x]]_d + [[y]]_d;
+//   * share-wise products multiply degrees: [[x * y]]_{d1+d2};
+//   * multiplication-friendliness: a public vector c becomes a *determined*
+//     degree-(k-1) sharing, so c * [[x]]_{n-k} = [[c * x]]_{n-1} locally.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/rand.hpp"
+#include "field/poly.hpp"
+
+namespace yoso {
+
+// A packed sharing: shares[i] belongs to party holding evaluation point
+// points[i].  `degree` and `k` describe the underlying polynomial.
+template <typename R>
+struct PackedShares {
+  unsigned degree = 0;
+  unsigned k = 1;
+  std::vector<std::int64_t> points;           // evaluation point per share
+  std::vector<typename R::Elem> shares;
+};
+
+// Secret slot i (0-based) lives at evaluation point -(i).
+inline std::int64_t secret_point(unsigned slot) { return -static_cast<std::int64_t>(slot); }
+
+// Default share points for n parties: 1..n.
+inline std::vector<std::int64_t> party_points(unsigned n) {
+  std::vector<std::int64_t> p(n);
+  for (unsigned i = 0; i < n; ++i) p[i] = static_cast<std::int64_t>(i) + 1;
+  return p;
+}
+
+// Produces a uniformly random degree-`degree` packed sharing of `secrets`
+// among n parties (share points 1..n).
+// Preconditions: secrets.size() >= 1, degree >= secrets.size() - 1,
+// degree < n + secrets.size() (so the polynomial is determined by secrets
+// plus at most n auxiliary values).
+template <typename R>
+PackedShares<R> packed_share(const R& ring, const std::vector<typename R::Elem>& secrets,
+                             unsigned degree, unsigned n, Rng& rng) {
+  const unsigned k = static_cast<unsigned>(secrets.size());
+  if (k == 0) throw std::invalid_argument("packed_share: no secrets");
+  if (degree + 1 < k) throw std::invalid_argument("packed_share: degree < k - 1");
+  if (degree >= n + k) throw std::invalid_argument("packed_share: degree too large for n");
+
+  // Fix the polynomial by its values at the k secret points plus
+  // (degree + 1 - k) random auxiliary points chosen among the party points.
+  std::vector<std::int64_t> fix_points;
+  std::vector<typename R::Elem> fix_values;
+  fix_points.reserve(degree + 1);
+  fix_values.reserve(degree + 1);
+  for (unsigned i = 0; i < k; ++i) {
+    fix_points.push_back(secret_point(i));
+    fix_values.push_back(secrets[i]);
+  }
+  for (unsigned i = 0; i + k < degree + 1; ++i) {
+    fix_points.push_back(static_cast<std::int64_t>(i) + 1);
+    fix_values.push_back(ring.random(rng));
+  }
+  const auto coeffs = interpolate_coeffs(ring, fix_points, fix_values);
+
+  PackedShares<R> out;
+  out.degree = degree;
+  out.k = k;
+  out.points = party_points(n);
+  out.shares.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    out.shares.push_back(poly_eval(ring, coeffs, ring.from_int(out.points[i])));
+  }
+  return out;
+}
+
+// The *determined* degree-(k-1) sharing of a public vector c (all shares are
+// functions of the secrets alone) — the multiplication-friendly embedding.
+template <typename R>
+PackedShares<R> packed_share_public(const R& ring, const std::vector<typename R::Elem>& c,
+                                    unsigned n) {
+  const unsigned k = static_cast<unsigned>(c.size());
+  if (k == 0) throw std::invalid_argument("packed_share_public: no secrets");
+  std::vector<std::int64_t> pts(k);
+  for (unsigned i = 0; i < k; ++i) pts[i] = secret_point(i);
+  const auto coeffs = interpolate_coeffs(ring, pts, c);
+
+  PackedShares<R> out;
+  out.degree = k - 1;
+  out.k = k;
+  out.points = party_points(n);
+  out.shares.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    out.shares.push_back(poly_eval(ring, coeffs, ring.from_int(out.points[i])));
+  }
+  return out;
+}
+
+// Reconstructs the k secrets from any subset of shares.
+// `points`/`shares` give the subset; needs at least degree + 1 of them.
+template <typename R>
+std::vector<typename R::Elem> packed_reconstruct(const R& ring,
+                                                 const std::vector<std::int64_t>& points,
+                                                 const std::vector<typename R::Elem>& shares,
+                                                 unsigned degree, unsigned k) {
+  if (points.size() != shares.size()) {
+    throw std::invalid_argument("packed_reconstruct: size mismatch");
+  }
+  if (points.size() < degree + 1) {
+    throw std::invalid_argument("packed_reconstruct: not enough shares");
+  }
+  std::vector<std::int64_t> pts(points.begin(), points.begin() + degree + 1);
+  std::vector<typename R::Elem> vals(shares.begin(), shares.begin() + degree + 1);
+  std::vector<typename R::Elem> secrets;
+  secrets.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    secrets.push_back(lagrange_at(ring, pts, vals, secret_point(i)));
+  }
+  return secrets;
+}
+
+// Share-wise linear operations (same party-point layout assumed).
+template <typename R>
+PackedShares<R> packed_add(const R& ring, const PackedShares<R>& a, const PackedShares<R>& b) {
+  if (a.shares.size() != b.shares.size() || a.k != b.k) {
+    throw std::invalid_argument("packed_add: layout mismatch");
+  }
+  PackedShares<R> out = a;
+  out.degree = std::max(a.degree, b.degree);
+  for (std::size_t i = 0; i < out.shares.size(); ++i) {
+    out.shares[i] = ring.add(a.shares[i], b.shares[i]);
+  }
+  return out;
+}
+
+template <typename R>
+PackedShares<R> packed_sub(const R& ring, const PackedShares<R>& a, const PackedShares<R>& b) {
+  if (a.shares.size() != b.shares.size() || a.k != b.k) {
+    throw std::invalid_argument("packed_sub: layout mismatch");
+  }
+  PackedShares<R> out = a;
+  out.degree = std::max(a.degree, b.degree);
+  for (std::size_t i = 0; i < out.shares.size(); ++i) {
+    out.shares[i] = ring.sub(a.shares[i], b.shares[i]);
+  }
+  return out;
+}
+
+// Share-wise product: [[x * y]]_{d1 + d2}.  Precondition: d1 + d2 < n.
+template <typename R>
+PackedShares<R> packed_mul(const R& ring, const PackedShares<R>& a, const PackedShares<R>& b) {
+  if (a.shares.size() != b.shares.size() || a.k != b.k) {
+    throw std::invalid_argument("packed_mul: layout mismatch");
+  }
+  if (a.degree + b.degree >= a.shares.size()) {
+    throw std::invalid_argument("packed_mul: product degree >= n");
+  }
+  PackedShares<R> out = a;
+  out.degree = a.degree + b.degree;
+  for (std::size_t i = 0; i < out.shares.size(); ++i) {
+    out.shares[i] = ring.mul(a.shares[i], b.shares[i]);
+  }
+  return out;
+}
+
+// Multiplication by a public vector (Section 3.2): c * [[x]]_d with
+// d <= n - k yields [[c * x]]_{d + k - 1} locally.
+template <typename R>
+PackedShares<R> packed_mul_public(const R& ring, const std::vector<typename R::Elem>& c,
+                                  const PackedShares<R>& x) {
+  auto cs = packed_share_public(ring, c, static_cast<unsigned>(x.shares.size()));
+  return packed_mul(ring, cs, x);
+}
+
+// Standard (non-packed) Shamir, as the k = 1 case.
+template <typename R>
+PackedShares<R> shamir_share(const R& ring, const typename R::Elem& secret, unsigned degree,
+                             unsigned n, Rng& rng) {
+  return packed_share(ring, std::vector<typename R::Elem>{secret}, degree, n, rng);
+}
+
+template <typename R>
+typename R::Elem shamir_reconstruct(const R& ring, const std::vector<std::int64_t>& points,
+                                    const std::vector<typename R::Elem>& shares,
+                                    unsigned degree) {
+  return packed_reconstruct(ring, points, shares, degree, 1).front();
+}
+
+}  // namespace yoso

@@ -1,0 +1,60 @@
+// Analytic communication-cost model of a full protocol execution.
+//
+// The ledger measures real runs at laptop-scale committees; this model
+// expresses those counts as closed-form functions of (n, t, k, circuit),
+// is *validated against the measured ledger* in the test suite, and then
+// extrapolates to the paper-scale committee sizes of Table 1 — producing
+// the end-to-end comparison (ours vs. the CDN baseline, offline + online)
+// that a full paper's evaluation section would plot.
+//
+// Counts are broadcast ring/group elements; a deployment multiplies by the
+// element size for its modulus.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+#include "mpc/params.hpp"
+#include "sortition/analysis.hpp"
+
+namespace yoso {
+
+struct CircuitShape {
+  std::size_t mul_gates = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  unsigned clients = 1;
+  std::vector<std::size_t> per_layer;  // mul gates per multiplicative layer
+
+  unsigned depth() const { return static_cast<unsigned>(per_layer.size()); }
+  // Number of k-batches across all layers.
+  std::size_t batches(unsigned k) const;
+
+  static CircuitShape of(const Circuit& c);
+  // A synthetic wide circuit: `width` independent products, one layer.
+  static CircuitShape wide(std::size_t width, unsigned clients = 2);
+};
+
+// Elements broadcast by the packed protocol, per phase.
+struct PackedCost {
+  double offline = 0;
+  double online = 0;
+  double online_per_gate = 0;
+};
+
+// Elements broadcast by the CDN baseline (triples offline, two threshold
+// decryptions per gate online).
+struct CdnCost {
+  double offline = 0;
+  double online = 0;
+  double online_per_gate = 0;
+};
+
+PackedCost packed_cost(const ProtocolParams& p, const CircuitShape& shape);
+CdnCost cdn_cost(const ProtocolParams& p, const CircuitShape& shape);
+
+// A Table 1 row turned into protocol parameters: n = round(c),
+// t from the analysis, k the packing factor.
+ProtocolParams params_from_analysis(const GapAnalysis& g, unsigned paillier_bits);
+
+}  // namespace yoso

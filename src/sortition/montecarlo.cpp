@@ -1,0 +1,64 @@
+#include "sortition/montecarlo.hpp"
+
+#include <cmath>
+
+#include "crypto/rand.hpp"
+
+namespace yoso {
+
+namespace {
+
+// Binomial(n, p) sampler; for the committee sizes involved a direct
+// normal-approximation-free inversion would be slow, so we use the
+// waiting-time (geometric skip) method, O(np) expected.
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
+  if (p <= 0) return 0;
+  if (p >= 1) return n;
+  // For moderate n*p, straightforward Bernoulli summation in blocks using
+  // the geometric trick: skip ~Geom(p) failures at a time.
+  std::uint64_t count = 0;
+  double log1mp = std::log1p(-p);
+  std::uint64_t i = 0;
+  while (true) {
+    double u = rng.uniform01();
+    if (u <= 0) u = 1e-300;
+    std::uint64_t skip = static_cast<std::uint64_t>(std::log(u) / log1mp);
+    i += skip + 1;
+    if (i > n) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+McResult sortition_monte_carlo(const SortitionConfig& cfg, const GapAnalysis& analysis,
+                               std::uint64_t pool, std::uint64_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  McResult out;
+  out.trials = trials;
+  const double p = cfg.C / static_cast<double>(pool);
+  const std::uint64_t corrupt_pool = static_cast<std::uint64_t>(cfg.f * pool);
+  const std::uint64_t honest_pool = pool - corrupt_pool;
+
+  double sum_size = 0, sum_corrupt = 0;
+  for (std::uint64_t it = 0; it < trials; ++it) {
+    std::uint64_t phi = binomial(rng, corrupt_pool, p);     // corrupt members
+    std::uint64_t eta = binomial(rng, honest_pool, p);      // honest members
+    std::uint64_t size = phi + eta;
+    sum_size += static_cast<double>(size);
+    sum_corrupt += static_cast<double>(phi);
+    if (static_cast<double>(phi) >= analysis.t) ++out.corruption_bound_failures;
+    // The k3 event (Eq. 3): honest members >= delta * t with
+    // delta = (1/2 + eps)/(1/2 - eps).
+    if (analysis.feasible) {
+      double delta = (0.5 + analysis.eps) / (0.5 - analysis.eps);
+      if (static_cast<double>(eta) < delta * analysis.t) ++out.honest_bound_failures;
+    }
+  }
+  out.mean_committee_size = sum_size / static_cast<double>(trials);
+  out.mean_corrupt = sum_corrupt / static_cast<double>(trials);
+  return out;
+}
+
+}  // namespace yoso

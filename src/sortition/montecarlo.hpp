@@ -1,0 +1,29 @@
+// Monte-Carlo validation of the sortition tail bounds (Section 6 / [6]).
+//
+// The analytic bounds use k2 = k3 = 128 bits, far beyond what sampling can
+// confirm; the experiment therefore re-runs the analysis at *small* k2/k3
+// (10-20 bits) and checks that the empirical failure rates stay below the
+// claimed 2^-k bounds — validating the *shape* of the Chernoff analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "sortition/analysis.hpp"
+
+namespace yoso {
+
+struct McResult {
+  std::uint64_t trials = 0;
+  std::uint64_t corruption_bound_failures = 0;  // phi >= t           (the k2 event)
+  std::uint64_t honest_bound_failures = 0;      // honest < delta * t (the k3 event)
+  double mean_committee_size = 0;
+  double mean_corrupt = 0;
+};
+
+// Samples `trials` committees via binomial self-selection out of a pool of
+// `pool` machines with f * pool corrupt, and measures how often the bounds
+// from `analysis` (computed at the caller's k2/k3) fail.
+McResult sortition_monte_carlo(const SortitionConfig& cfg, const GapAnalysis& analysis,
+                               std::uint64_t pool, std::uint64_t trials, std::uint64_t seed);
+
+}  // namespace yoso

@@ -1,0 +1,65 @@
+#include "sortition/table1.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace yoso {
+
+std::vector<Table1Row> generate_table1() {
+  std::vector<Table1Row> rows;
+  for (double C : {1000.0, 5000.0, 10000.0, 20000.0, 40000.0}) {
+    for (double f : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+      SortitionConfig cfg;
+      cfg.C = C;
+      cfg.f = f;
+      rows.push_back(Table1Row{C, f, analyze_gap(cfg)});
+    }
+  }
+  return rows;
+}
+
+std::string render_table1(const std::vector<Table1Row>& rows) {
+  std::ostringstream os;
+  os << std::setw(7) << "C" << std::setw(7) << "f" << std::setw(9) << "t" << std::setw(9)
+     << "c" << std::setw(9) << "c'" << std::setw(8) << "eps" << std::setw(9) << "k" << "\n";
+  for (const auto& row : rows) {
+    os << std::setw(7) << static_cast<long>(row.C) << std::setw(7) << std::fixed
+       << std::setprecision(2) << row.f;
+    if (!row.analysis.feasible) {
+      os << std::setw(9) << "-" << std::setw(9) << "-" << std::setw(9) << "-" << std::setw(8)
+         << "-" << std::setw(9) << "-" << "\n";
+      continue;
+    }
+    os << std::setw(9) << static_cast<long>(std::llround(row.analysis.t)) << std::setw(9)
+       << static_cast<long>(std::llround(row.analysis.c)) << std::setw(9)
+       << static_cast<long>(std::llround(row.analysis.c_prime)) << std::setw(8)
+       << std::setprecision(2) << row.analysis.eps << std::setw(9) << row.analysis.k << "\n";
+  }
+  return os.str();
+}
+
+const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> rows = {
+      {1000, 0.05, 446, 949, 893, 0.03, 28},
+      {5000, 0.05, 1078, 4699, 2157, 0.27, 1271},
+      {5000, 0.10, 1721, 4925, 3444, 0.15, 741},
+      {5000, 0.15, 2293, 5106, 4588, 0.05, 259},
+      {10000, 0.05, 1754, 9518, 3509, 0.32, 3004},
+      {10000, 0.10, 2937, 9841, 5876, 0.20, 1982},
+      {10000, 0.15, 4004, 10098, 8009, 0.10, 1045},
+      {10000, 0.20, 4983, 10319, 9968, 0.02, 175},
+      {20000, 0.05, 2998, 19264, 5998, 0.34, 6633},
+      {20000, 0.10, 5216, 19723, 10433, 0.24, 4645},
+      {20000, 0.15, 7237, 20088, 14476, 0.14, 2806},
+      {20000, 0.20, 9107, 20401, 18215, 0.05, 1093},
+      {40000, 0.05, 5331, 38907, 10664, 0.36, 14121},
+      {40000, 0.10, 9552, 39558, 19106, 0.26, 10226},
+      {40000, 0.15, 13437, 40074, 26875, 0.16, 6600},
+      {40000, 0.20, 17047, 40517, 34096, 0.08, 3211},
+      {40000, 0.25, 20408, 40911, 40818, 0.01, 47},
+  };
+  return rows;
+}
+
+}  // namespace yoso

@@ -1,0 +1,36 @@
+// Generator for Table 1 of the paper ("Sample parameters"): the sortition
+// analysis evaluated over C in {1000, 5000, 10000, 20000, 40000} and
+// f in {0.05, 0.10, 0.15, 0.20, 0.25}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sortition/analysis.hpp"
+
+namespace yoso {
+
+struct Table1Row {
+  double C = 0;
+  double f = 0;
+  GapAnalysis analysis;
+};
+
+// The paper's 25 (C, f) cells, in the paper's order.
+std::vector<Table1Row> generate_table1();
+
+// Renders the table in the paper's column layout
+// (C, f, t, c, c', eps, k); infeasible cells print as "-".
+std::string render_table1(const std::vector<Table1Row>& rows);
+
+// The paper's reference values for the feasible cells, used by the tests
+// and EXPERIMENTS.md to diff our reproduction against the publication.
+struct PaperRow {
+  double C, f;
+  unsigned t, c, c_prime;
+  double eps;
+  unsigned k;
+};
+const std::vector<PaperRow>& paper_table1();
+
+}  // namespace yoso

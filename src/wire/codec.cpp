@@ -1,0 +1,235 @@
+#include "wire/codec.hpp"
+
+#include "crypto/transcript.hpp"
+
+namespace yoso {
+
+namespace {
+constexpr std::uint8_t kTagLink = 0x01;
+constexpr std::uint8_t kTagMult = 0x02;
+constexpr std::uint8_t kTagRoot = 0x03;
+constexpr std::uint8_t kTagMask = 0x04;
+constexpr std::uint8_t kTagHandover = 0x05;
+constexpr std::uint8_t kTagFuture = 0x06;
+}  // namespace
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::mpz(const mpz_class& z) {
+  auto b = mpz_to_bytes(z);
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Encoder::mpz_vec(const std::vector<mpz_class>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& z : v) mpz(z);
+}
+
+void Encoder::bytes(const std::vector<std::uint8_t>& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Decoder::need(std::size_t n) const {
+  if (pos_ + n > data_->size()) throw CodecError("decoder: truncated message");
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return (*data_)[pos_++];
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>((*data_)[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>((*data_)[pos_++]) << (8 * i);
+  return v;
+}
+
+mpz_class Decoder::mpz() {
+  std::uint32_t len = u32();
+  if (len == 0) throw CodecError("decoder: empty integer");
+  need(len);
+  std::vector<std::uint8_t> b(data_->begin() + pos_, data_->begin() + pos_ + len);
+  pos_ += len;
+  return mpz_from_bytes(b);
+}
+
+std::vector<mpz_class> Decoder::mpz_vec() {
+  std::uint32_t count = u32();
+  // Each element needs at least 5 bytes (length prefix + sign byte).
+  if (static_cast<std::size_t>(count) * 5 > data_->size()) {
+    throw CodecError("decoder: implausible vector length");
+  }
+  std::vector<mpz_class> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(mpz());
+  return out;
+}
+
+void Decoder::expect_done() const {
+  if (!done()) throw CodecError("decoder: trailing bytes");
+}
+
+// --- LinkProof -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_link_proof(const LinkProof& p) {
+  Encoder e;
+  e.u8(kTagLink);
+  e.mpz_vec(p.a_paillier);
+  e.mpz_vec(p.a_exponent);
+  e.mpz(p.z);
+  e.mpz_vec(p.z_rs);
+  return e.data();
+}
+
+LinkProof decode_link_proof(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagLink) throw CodecError("link proof: bad tag");
+  LinkProof p;
+  p.a_paillier = d.mpz_vec();
+  p.a_exponent = d.mpz_vec();
+  p.z = d.mpz();
+  p.z_rs = d.mpz_vec();
+  d.expect_done();
+  return p;
+}
+
+// --- MultProof -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_mult_proof(const MultProof& p) {
+  Encoder e;
+  e.u8(kTagMult);
+  e.mpz(p.a1);
+  e.mpz(p.a2);
+  e.mpz(p.z);
+  e.mpz(p.z1);
+  e.mpz(p.z2);
+  return e.data();
+}
+
+MultProof decode_mult_proof(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagMult) throw CodecError("mult proof: bad tag");
+  MultProof p;
+  p.a1 = d.mpz();
+  p.a2 = d.mpz();
+  p.z = d.mpz();
+  p.z1 = d.mpz();
+  p.z2 = d.mpz();
+  d.expect_done();
+  return p;
+}
+
+// --- RootProof -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_root_proof(const RootProof& p) {
+  Encoder e;
+  e.u8(kTagRoot);
+  e.mpz(p.a);
+  e.mpz(p.z);
+  return e.data();
+}
+
+RootProof decode_root_proof(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagRoot) throw CodecError("root proof: bad tag");
+  RootProof p;
+  p.a = d.mpz();
+  p.z = d.mpz();
+  d.expect_done();
+  return p;
+}
+
+// --- MaskMsg ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_mask_msg(const MaskMsg& m) {
+  Encoder e;
+  e.u8(kTagMask);
+  e.mpz(m.a);
+  e.mpz(m.b);
+  e.bytes(encode_link_proof(m.proof));
+  return e.data();
+}
+
+MaskMsg decode_mask_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagMask) throw CodecError("mask msg: bad tag");
+  MaskMsg m;
+  m.a = d.mpz();
+  m.b = d.mpz();
+  std::uint32_t len = d.u32();
+  std::vector<std::uint8_t> inner;
+  for (std::uint32_t i = 0; i < len; ++i) inner.push_back(d.u8());
+  m.proof = decode_link_proof(inner);
+  d.expect_done();
+  return m;
+}
+
+// --- HandoverMsg -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_handover_msg(const HandoverMsg& m) {
+  Encoder e;
+  e.u8(kTagHandover);
+  e.u32(m.from_index);
+  e.mpz_vec(m.commitments);
+  e.mpz_vec(m.enc_subshares);
+  e.u32(static_cast<std::uint32_t>(m.proofs.size()));
+  for (const auto& p : m.proofs) e.bytes(encode_link_proof(p));
+  return e.data();
+}
+
+HandoverMsg decode_handover_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagHandover) throw CodecError("handover msg: bad tag");
+  HandoverMsg m;
+  m.from_index = d.u32();
+  m.commitments = d.mpz_vec();
+  m.enc_subshares = d.mpz_vec();
+  std::uint32_t count = d.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = d.u32();
+    std::vector<std::uint8_t> inner;
+    inner.reserve(len);
+    for (std::uint32_t j = 0; j < len; ++j) inner.push_back(d.u8());
+    m.proofs.push_back(decode_link_proof(inner));
+  }
+  d.expect_done();
+  return m;
+}
+
+// --- FutureCt --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_future_ct(const FutureCt& f) {
+  Encoder e;
+  e.u8(kTagFuture);
+  e.mpz(f.masked);
+  e.mpz(f.pad_ct);
+  return e.data();
+}
+
+FutureCt decode_future_ct(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagFuture) throw CodecError("future ct: bad tag");
+  FutureCt f;
+  f.masked = d.mpz();
+  f.pad_ct = d.mpz();
+  d.expect_done();
+  return f;
+}
+
+}  // namespace yoso

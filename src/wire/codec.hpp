@@ -1,0 +1,88 @@
+// Canonical wire formats for every message the protocol broadcasts.
+//
+// A deployment posts these to a real bulletin board (a chain); the
+// simulation uses them to (a) check that the Ledger's byte accounting
+// tracks real serialized sizes and (b) exercise full encode -> decode ->
+// verify round-trips in the tests.  The format is deliberately simple and
+// self-describing: a tag byte per message type, little-endian u32 length
+// prefixes, sign-magnitude big integers (crypto/transcript.cpp's canonical
+// encoding).
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpc/reencrypt.hpp"
+#include "nizk/link_proof.hpp"
+#include "nizk/mult_proof.hpp"
+#include "nizk/pdec_proof.hpp"
+#include "nizk/plaintext_proof.hpp"
+#include "nizk/root_proof.hpp"
+
+namespace yoso {
+
+struct CodecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Encoder {
+public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void mpz(const mpz_class& z);
+  void mpz_vec(const std::vector<mpz_class>& v);
+  void bytes(const std::vector<std::uint8_t>& b);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Decoder {
+public:
+  explicit Decoder(const std::vector<std::uint8_t>& data) : data_(&data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  mpz_class mpz();
+  std::vector<mpz_class> mpz_vec();
+
+  bool done() const { return pos_ == data_->size(); }
+  // Throws CodecError unless the whole buffer was consumed.
+  void expect_done() const;
+
+private:
+  void need(std::size_t n) const;
+  const std::vector<std::uint8_t>* data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Message codecs (encode_x / decode_x pairs) ---------------------------
+
+std::vector<std::uint8_t> encode_link_proof(const LinkProof& p);
+LinkProof decode_link_proof(const std::vector<std::uint8_t>& data);
+
+std::vector<std::uint8_t> encode_mult_proof(const MultProof& p);
+MultProof decode_mult_proof(const std::vector<std::uint8_t>& data);
+
+std::vector<std::uint8_t> encode_root_proof(const RootProof& p);
+RootProof decode_root_proof(const std::vector<std::uint8_t>& data);
+
+std::vector<std::uint8_t> encode_mask_msg(const MaskMsg& m);
+MaskMsg decode_mask_msg(const std::vector<std::uint8_t>& data);
+
+std::vector<std::uint8_t> encode_handover_msg(const HandoverMsg& m);
+HandoverMsg decode_handover_msg(const std::vector<std::uint8_t>& data);
+
+std::vector<std::uint8_t> encode_future_ct(const FutureCt& f);
+FutureCt decode_future_ct(const std::vector<std::uint8_t>& data);
+
+}  // namespace yoso

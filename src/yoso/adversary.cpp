@@ -1,0 +1,96 @@
+#include "yoso/adversary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace yoso {
+
+unsigned CommitteeCorruption::count(RoleStatus s) const {
+  return static_cast<unsigned>(std::count(status.begin(), status.end(), s));
+}
+
+AdversaryPlan AdversaryPlan::honest(unsigned n) {
+  AdversaryPlan p;
+  p.n_ = n;
+  return p;
+}
+
+AdversaryPlan AdversaryPlan::fixed(unsigned n, unsigned t_mal, unsigned f_stop,
+                                   MaliciousStrategy strategy) {
+  if (t_mal + f_stop > n) throw std::invalid_argument("AdversaryPlan: too many corruptions");
+  AdversaryPlan p;
+  p.n_ = n;
+  p.t_mal_ = t_mal;
+  p.f_stop_ = f_stop;
+  p.strategy_ = strategy;
+  return p;
+}
+
+AdversaryPlan AdversaryPlan::random(unsigned n, unsigned t_mal, unsigned f_stop, Rng& rng,
+                                    MaliciousStrategy strategy) {
+  AdversaryPlan p = fixed(n, t_mal, f_stop, strategy);
+  p.randomize_ = true;
+  p.seed_ = rng.u64();
+  return p;
+}
+
+AdversaryPlan AdversaryPlan::pool(unsigned n, std::uint64_t pool_size, std::uint64_t corrupt,
+                                  std::uint64_t failstop, std::uint64_t seed,
+                                  MaliciousStrategy strategy) {
+  if (corrupt + failstop > pool_size || n > pool_size) {
+    throw std::invalid_argument("AdversaryPlan::pool: inconsistent pool");
+  }
+  AdversaryPlan p;
+  p.n_ = n;
+  p.strategy_ = strategy;
+  p.seed_ = seed;
+  p.pool_size_ = pool_size;
+  p.pool_corrupt_ = corrupt;
+  p.pool_failstop_ = failstop;
+  return p;
+}
+
+AdversaryPlan& AdversaryPlan::with_leaky(unsigned leaky) {
+  if (t_mal_ + f_stop_ + leaky > n_) {
+    throw std::invalid_argument("AdversaryPlan: too many leaky roles");
+  }
+  leaky_ = leaky;
+  return *this;
+}
+
+CommitteeCorruption AdversaryPlan::committee(unsigned idx) const {
+  CommitteeCorruption c;
+  c.status.assign(n_, RoleStatus::Honest);
+  c.strategy = strategy_;
+  if (pool_size_ > 0) {
+    // Hypergeometric draw of n machines from the pool, fresh per committee.
+    Rng rng(seed_ ^ (0xa24baed4963ee407ULL * (idx + 1)));
+    std::uint64_t remaining = pool_size_, bad = pool_corrupt_, fs = pool_failstop_;
+    for (unsigned i = 0; i < n_; ++i) {
+      std::uint64_t pick = rng.u64_below(remaining);
+      if (pick < bad) {
+        c.status[i] = RoleStatus::Malicious;
+        --bad;
+      } else if (pick < bad + fs) {
+        c.status[i] = RoleStatus::FailStop;
+        --fs;
+      }
+      --remaining;
+    }
+    return c;
+  }
+  for (unsigned i = 0; i < t_mal_; ++i) c.status[i] = RoleStatus::Malicious;
+  for (unsigned i = 0; i < f_stop_; ++i) c.status[t_mal_ + i] = RoleStatus::FailStop;
+  for (unsigned i = 0; i < leaky_; ++i) c.status[t_mal_ + f_stop_ + i] = RoleStatus::Leaky;
+  if (randomize_) {
+    // Deterministic per-committee shuffle from the plan seed.
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (idx + 1)));
+    for (unsigned i = n_; i > 1; --i) {
+      unsigned j = static_cast<unsigned>(rng.u64_below(i));
+      std::swap(c.status[i - 1], c.status[j]);
+    }
+  }
+  return c;
+}
+
+}  // namespace yoso

@@ -1,0 +1,91 @@
+// Adversary model for the simulated YOSO execution.
+//
+// The paper distinguishes (Section 2 + Remark 1):
+//   * Malicious roles  — behave arbitrarily; our controller makes them emit
+//     syntactically valid but *wrong* contributions (bad ciphertexts, bad
+//     shares, proofs over wrong statements), which honest verifiers must
+//     reject via the NIZKs.
+//   * Fail-stop roles  — honest parties that silently drop out (DoS,
+//     crashes); they simply never speak (Section 5.4).
+//   * Leaky roles      — honest-but-curious; they follow the protocol, so
+//     for execution purposes they count as honest (they only matter for
+//     privacy analysis, not correctness/GOD).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rand.hpp"
+
+namespace yoso {
+
+enum class RoleStatus : std::uint8_t { Honest, Leaky, Malicious, FailStop };
+
+// Which wrong behaviour a malicious role exhibits this execution.
+enum class MaliciousStrategy : std::uint8_t {
+  BadShare,        // publish a perturbed value with a proof that cannot verify
+  BadProof,        // publish the right value but a junk proof
+  Silent,          // behave like a fail-stop (always allowed for malicious)
+  HonestLooking,   // follow the protocol (covert adversary baseline)
+};
+
+// The corruption pattern of one committee.
+struct CommitteeCorruption {
+  std::vector<RoleStatus> status;   // per role, size n
+  MaliciousStrategy strategy = MaliciousStrategy::BadShare;
+
+  unsigned n() const { return static_cast<unsigned>(status.size()); }
+  bool is_active(unsigned index0) const {  // does role speak at all?
+    return status[index0] != RoleStatus::FailStop &&
+           !(status[index0] == RoleStatus::Malicious && strategy == MaliciousStrategy::Silent);
+  }
+  bool is_malicious(unsigned index0) const { return status[index0] == RoleStatus::Malicious; }
+  unsigned count(RoleStatus s) const;
+};
+
+// Builds corruption patterns for tests and benches.
+class AdversaryPlan {
+public:
+  // All committees honest.
+  static AdversaryPlan honest(unsigned n);
+  // Every committee: the first `t_mal` roles malicious, next `f_stop`
+  // fail-stop (deterministic placement; position does not matter for the
+  // protocol, which treats indices symmetrically).
+  static AdversaryPlan fixed(unsigned n, unsigned t_mal, unsigned f_stop,
+                             MaliciousStrategy strategy = MaliciousStrategy::BadShare);
+  // Random placement of `t_mal` malicious + `f_stop` fail-stop roles,
+  // re-sampled per committee (models YOSO's random role corruption).
+  static AdversaryPlan random(unsigned n, unsigned t_mal, unsigned f_stop, Rng& rng,
+                              MaliciousStrategy strategy = MaliciousStrategy::BadShare);
+  // "Natural YOSO": each committee's corruption pattern is drawn from a
+  // machine pool of `pool_size` machines with `corrupt` malicious and
+  // `failstop` crash-prone ones (hypergeometric per committee, fresh draw
+  // per committee index — the role-assignment functionality's view).
+  static AdversaryPlan pool(unsigned n, std::uint64_t pool_size, std::uint64_t corrupt,
+                            std::uint64_t failstop, std::uint64_t seed,
+                            MaliciousStrategy strategy = MaliciousStrategy::BadShare);
+  // Marks `leaky` roles per committee honest-but-curious (they follow the
+  // protocol; only the privacy analysis distinguishes them).
+  AdversaryPlan& with_leaky(unsigned leaky);
+
+  // The corruption pattern for the `idx`-th committee spawned.
+  CommitteeCorruption committee(unsigned idx) const;
+
+  unsigned n() const { return n_; }
+
+private:
+  unsigned n_ = 0;
+  unsigned t_mal_ = 0;
+  unsigned f_stop_ = 0;
+  unsigned leaky_ = 0;
+  MaliciousStrategy strategy_ = MaliciousStrategy::HonestLooking;
+  bool randomize_ = false;
+  std::uint64_t seed_ = 0;
+  // Pool mode (natural YOSO): when pool_size_ > 0, per-committee counts are
+  // hypergeometric draws instead of the fixed t_mal_/f_stop_.
+  std::uint64_t pool_size_ = 0;
+  std::uint64_t pool_corrupt_ = 0;
+  std::uint64_t pool_failstop_ = 0;
+};
+
+}  // namespace yoso

@@ -1,0 +1,27 @@
+#include "yoso/bulletin.hpp"
+
+namespace yoso {
+
+void Bulletin::publish(Committee& committee, unsigned index0, Phase phase,
+                       const std::string& label, std::size_t bytes, std::size_t elements,
+                       bool first_post_of_role) {
+  if (first_post_of_role) committee.speak(index0);
+  ledger_->record(phase, label, bytes, elements);
+  log_.push_back(Post{committee.name, index0, label, bytes, elements, phase});
+}
+
+void Bulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
+                                std::size_t bytes, std::size_t elements) {
+  ledger_->record(phase, label, bytes, elements);
+  log_.push_back(Post{who, 0, label, bytes, elements, phase});
+}
+
+std::size_t Bulletin::posts_by(const std::string& committee) const {
+  std::size_t count = 0;
+  for (const auto& p : log_) {
+    if (p.committee == committee) ++count;
+  }
+  return count;
+}
+
+}  // namespace yoso

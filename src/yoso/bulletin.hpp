@@ -1,0 +1,51 @@
+// The simulated bulletin board.
+//
+// In YOSO, every message — point-to-point included — is realized as a
+// broadcast of (possibly encrypted) data on a public board, so one-to-one
+// communication costs the same as one-to-all (Section 3.3).  The board
+// therefore only needs to (a) keep an auditable log and (b) feed the
+// communication Ledger; actual payloads flow through typed protocol
+// structs in src/mpc.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "yoso/committee.hpp"
+#include "yoso/ledger.hpp"
+
+namespace yoso {
+
+struct Post {
+  std::string committee;
+  unsigned role_index0 = 0;
+  std::string label;
+  std::size_t bytes = 0;
+  std::size_t elements = 0;
+  Phase phase = Phase::Setup;
+};
+
+class Bulletin {
+public:
+  explicit Bulletin(Ledger& ledger) : ledger_(&ledger) {}
+
+  // Records that role `index0` of `committee` published `elements` ring
+  // elements totaling `bytes` under `label`.  Enforces the one-shot rule
+  // through Committee::speak when `first_post_of_role` is true.
+  void publish(Committee& committee, unsigned index0, Phase phase, const std::string& label,
+               std::size_t bytes, std::size_t elements, bool first_post_of_role = false);
+
+  // Publication by an entity outside any committee (a client / the dealer).
+  void publish_external(const std::string& who, Phase phase, const std::string& label,
+                        std::size_t bytes, std::size_t elements);
+
+  const std::vector<Post>& log() const { return log_; }
+  std::size_t posts_by(const std::string& committee) const;
+
+private:
+  Ledger* ledger_;
+  std::vector<Post> log_;
+};
+
+}  // namespace yoso

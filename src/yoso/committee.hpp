@@ -1,0 +1,60 @@
+// Committees of one-shot YOSO roles.
+//
+// A Role in the YOSO model speaks exactly once and is then killed (the
+// Spoke token) and its state erased.  Committee::speak enforces the
+// one-shot discipline; the simulation driver calls it exactly when a role
+// publishes its (single, possibly multi-part) message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/rand.hpp"
+#include "paillier/paillier.hpp"
+#include "yoso/adversary.hpp"
+
+namespace yoso {
+
+// A committee of n roles together with their YOSO role-assignment keys.
+// The simulation holds every role's secret key; honest protocol code for
+// role i only ever touches role_sks[i].
+struct Committee {
+  std::string name;
+  CommitteeCorruption corruption;
+  std::vector<PaillierSK> role_sks;  // role-assignment PKE keypairs
+  std::vector<bool> spoken;
+
+  unsigned n() const { return static_cast<unsigned>(role_sks.size()); }
+
+  const PaillierPK& role_pk(unsigned index0) const { return role_sks.at(index0).pk; }
+
+  // Marks role `index0` as having spoken; throws if it already has.
+  void speak(unsigned index0) {
+    if (spoken.at(index0)) {
+      throw std::logic_error("YOSO violation: role " + name + "[" +
+                             std::to_string(index0) + "] spoke twice");
+    }
+    spoken[index0] = true;
+  }
+
+  bool has_spoken(unsigned index0) const { return spoken.at(index0); }
+};
+
+// Generates a committee with fresh role keys (|N| = key_bits, exponent s).
+// Role keys never need safe primes (they carry no verification keys).
+inline Committee make_committee(std::string name, unsigned key_bits, unsigned s,
+                                CommitteeCorruption corruption, Rng& rng) {
+  Committee c;
+  c.name = std::move(name);
+  c.corruption = std::move(corruption);
+  const unsigned n = c.corruption.n();
+  c.role_sks.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    c.role_sks.push_back(paillier_keygen(key_bits, s, rng, /*safe_primes=*/false));
+  }
+  c.spoken.assign(n, false);
+  return c;
+}
+
+}  // namespace yoso

@@ -1,0 +1,87 @@
+#include "yoso/ledger.hpp"
+
+#include <sstream>
+
+namespace yoso {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Setup: return "setup";
+    case Phase::Offline: return "offline";
+    case Phase::Online: return "online";
+  }
+  return "?";
+}
+
+std::map<std::string, LedgerEntry>& Ledger::bucket(Phase phase) {
+  switch (phase) {
+    case Phase::Setup: return setup_;
+    case Phase::Offline: return offline_;
+    case Phase::Online: return online_;
+  }
+  return setup_;
+}
+
+const std::map<std::string, LedgerEntry>& Ledger::bucket(Phase phase) const {
+  switch (phase) {
+    case Phase::Setup: return setup_;
+    case Phase::Offline: return offline_;
+    case Phase::Online: return online_;
+  }
+  return setup_;
+}
+
+void Ledger::record(Phase phase, const std::string& category, std::size_t bytes,
+                    std::size_t elements) {
+  auto& e = bucket(phase)[category];
+  e.messages += 1;
+  e.elements += elements;
+  e.bytes += bytes;
+}
+
+LedgerEntry Ledger::phase_total(Phase phase) const {
+  LedgerEntry total;
+  for (const auto& [_, e] : bucket(phase)) {
+    total.messages += e.messages;
+    total.elements += e.elements;
+    total.bytes += e.bytes;
+  }
+  return total;
+}
+
+LedgerEntry Ledger::total() const {
+  LedgerEntry t;
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    auto e = phase_total(p);
+    t.messages += e.messages;
+    t.elements += e.elements;
+    t.bytes += e.bytes;
+  }
+  return t;
+}
+
+const std::map<std::string, LedgerEntry>& Ledger::categories(Phase phase) const {
+  return bucket(phase);
+}
+
+void Ledger::reset() {
+  setup_.clear();
+  offline_.clear();
+  online_.clear();
+}
+
+std::string Ledger::report() const {
+  std::ostringstream os;
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    auto t = phase_total(p);
+    os << phase_name(p) << ": " << t.messages << " msgs, " << t.elements << " elems, "
+       << t.bytes << " bytes\n";
+    for (const auto& [cat, e] : bucket(p)) {
+      os << "  " << cat << ": " << e.messages << " msgs, " << e.elements << " elems, "
+         << e.bytes << " bytes\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace yoso

@@ -1,0 +1,46 @@
+// Communication ledger: every value a role publishes to the bulletin board
+// is recorded here, priced in bytes and in ring elements.  The paper's
+// claims (online O(1) per gate, offline O(n) per gate) are verified against
+// these counters by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace yoso {
+
+enum class Phase { Setup, Offline, Online };
+
+const char* phase_name(Phase p);
+
+struct LedgerEntry {
+  std::size_t messages = 0;  // distinct broadcasts
+  std::size_t elements = 0;  // ring/group elements carried
+  std::size_t bytes = 0;     // serialized size
+};
+
+class Ledger {
+public:
+  // Records one broadcast of `elements` ring elements totaling `bytes`.
+  void record(Phase phase, const std::string& category, std::size_t bytes,
+              std::size_t elements = 1);
+
+  LedgerEntry phase_total(Phase phase) const;
+  LedgerEntry total() const;
+  // Per-category breakdown within a phase.
+  const std::map<std::string, LedgerEntry>& categories(Phase phase) const;
+
+  void reset();
+
+  // Human-readable dump (used by benches and examples).
+  std::string report() const;
+
+private:
+  std::map<std::string, LedgerEntry> setup_, offline_, online_;
+  std::map<std::string, LedgerEntry>& bucket(Phase phase);
+  const std::map<std::string, LedgerEntry>& bucket(Phase phase) const;
+};
+
+}  // namespace yoso

@@ -1,0 +1,44 @@
+#include "yoso/role_assign.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+RoleAssignment::RoleAssignment(std::uint64_t pool_size, std::uint64_t corrupt,
+                               std::uint64_t failstop, std::uint64_t seed)
+    : pool_size_(pool_size), corrupt_(corrupt), failstop_(failstop), rng_(seed) {
+  if (corrupt + failstop > pool_size) {
+    throw std::invalid_argument("RoleAssignment: corrupt + failstop > pool");
+  }
+}
+
+CommitteeCorruption RoleAssignment::sample_committee(unsigned n, MaliciousStrategy strategy) {
+  if (n > pool_size_) throw std::invalid_argument("RoleAssignment: committee > pool");
+  CommitteeCorruption c;
+  c.status.assign(n, RoleStatus::Honest);
+  c.strategy = strategy;
+  // Draw n machines without replacement; track how many of the remaining
+  // corrupt / fail-stop machines get picked.
+  std::uint64_t remaining = pool_size_;
+  std::uint64_t bad = corrupt_;
+  std::uint64_t fs = failstop_;
+  for (unsigned i = 0; i < n; ++i) {
+    std::uint64_t pick = rng_.u64_below(remaining);
+    if (pick < bad) {
+      c.status[i] = RoleStatus::Malicious;
+      --bad;
+    } else if (pick < bad + fs) {
+      c.status[i] = RoleStatus::FailStop;
+      --fs;
+    }
+    --remaining;
+  }
+  return c;
+}
+
+unsigned RoleAssignment::sample_corrupt_count(unsigned n) {
+  auto c = sample_committee(n);
+  return c.count(RoleStatus::Malicious);
+}
+
+}  // namespace yoso

@@ -1,0 +1,41 @@
+// Ideal role-assignment functionality (the "natural YOSO" substrate the
+// paper assumes, cf. Benhamouda et al. [6]).
+//
+// A global pool of N machines contains floor(f*N) corrupt ones.  Sampling a
+// committee assigns each role to a machine chosen uniformly without the
+// adversary learning the mapping; the only adversarially relevant outcome
+// is *how many* corrupt machines land in the committee, which we model by
+// a hypergeometric draw.  Fail-stop machines are drawn the same way from a
+// separate fail-stop fraction.
+#pragma once
+
+#include "crypto/rand.hpp"
+#include "yoso/adversary.hpp"
+
+namespace yoso {
+
+class RoleAssignment {
+public:
+  // N machines, `corrupt` of them malicious, `failstop` of them crash-prone
+  // (disjoint sets).
+  RoleAssignment(std::uint64_t pool_size, std::uint64_t corrupt, std::uint64_t failstop,
+                 std::uint64_t seed);
+
+  // Samples the corruption pattern of a fresh committee of n roles
+  // (machines drawn without replacement within a committee; committees are
+  // drawn independently, modelling re-randomized sortition per round).
+  CommitteeCorruption sample_committee(unsigned n,
+                                       MaliciousStrategy strategy = MaliciousStrategy::BadShare);
+
+  // Number of corrupt roles a committee of n would get, drawn
+  // hypergeometrically; exposed for the Monte-Carlo sortition experiments.
+  unsigned sample_corrupt_count(unsigned n);
+
+private:
+  std::uint64_t pool_size_;
+  std::uint64_t corrupt_;
+  std::uint64_t failstop_;
+  Rng rng_;
+};
+
+}  // namespace yoso

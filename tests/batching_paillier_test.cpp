@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "paillier/batching.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(PlaintextBatcher, PackUnpackRoundTrip) {
+  PlaintextBatcher b(16, 8);
+  std::vector<mpz_class> vals{0, 1, 65535, 42};
+  EXPECT_EQ(b.unpack(b.pack(vals), 4), vals);
+}
+
+TEST(PlaintextBatcher, RejectsOutOfRange) {
+  PlaintextBatcher b(8, 4);
+  EXPECT_THROW(b.pack({mpz_class(256)}), std::invalid_argument);
+  EXPECT_THROW(b.pack({mpz_class(-1)}), std::invalid_argument);
+}
+
+TEST(PlaintextBatcher, CapacityMatchesLimbs) {
+  PlaintextBatcher b(16, 16);
+  EXPECT_EQ(b.limb_bits(), 32u);
+  EXPECT_EQ(b.capacity(256), 8u);
+  EXPECT_EQ(b.capacity(31), 0u);
+}
+
+TEST(PlaintextBatcher, HomomorphicAdditionPerLimb) {
+  Rng rng(8301);
+  PaillierSK sk = paillier_keygen(192, 1, rng, false);
+  PlaintextBatcher b(16, 16);  // up to 2^16 additions safe
+  unsigned cap = b.capacity(190);
+  ASSERT_GE(cap, 4u);
+
+  std::vector<mpz_class> x{10, 20, 30, 40}, y{1, 2, 3, 4};
+  x.resize(cap, 0);
+  y.resize(cap, 0);
+  mpz_class cx = sk.pk.enc(b.pack(x), rng);
+  mpz_class cy = sk.pk.enc(b.pack(y), rng);
+  auto sums = b.unpack(sk.dec(sk.pk.add(cx, cy)), cap);
+  EXPECT_EQ(sums[0], 11);
+  EXPECT_EQ(sums[1], 22);
+  EXPECT_EQ(sums[2], 33);
+  EXPECT_EQ(sums[3], 44);
+}
+
+TEST(PlaintextBatcher, ScalarMultiplicationPerLimb) {
+  Rng rng(8302);
+  PaillierSK sk = paillier_keygen(192, 1, rng, false);
+  PlaintextBatcher b(16, 16);
+  std::vector<mpz_class> x{7, 9};
+  x.resize(b.capacity(190), 0);
+  mpz_class c = sk.pk.scal(sk.pk.enc(b.pack(x), rng), mpz_class(5));
+  auto out = b.unpack(sk.dec(c), 2);
+  EXPECT_EQ(out[0], 35);
+  EXPECT_EQ(out[1], 45);
+}
+
+TEST(PlaintextBatcher, ManyAdditionsStayWithinSlack) {
+  Rng rng(8303);
+  PaillierSK sk = paillier_keygen(192, 1, rng, false);
+  PlaintextBatcher b(8, 12);  // values < 256, up to 4096 additions
+  unsigned cap = b.capacity(190);
+  mpz_class acc = sk.pk.enc(mpz_class(0), rng);
+  const int adds = 100;
+  for (int i = 0; i < adds; ++i) {
+    std::vector<mpz_class> v(cap, mpz_class(255));
+    acc = sk.pk.add(acc, sk.pk.enc(b.pack(v), rng));
+  }
+  auto out = b.unpack(sk.dec(acc), cap);
+  for (const auto& o : out) EXPECT_EQ(o, 255 * adds);
+}
+
+TEST(PlaintextBatcher, ByteAmortizationIsReal) {
+  // One batched ciphertext replaces `cap` singleton ciphertexts.
+  Rng rng(8304);
+  PaillierSK sk = paillier_keygen(256, 1, rng, false);
+  PlaintextBatcher b(16, 16);
+  unsigned cap = b.capacity(254);
+  ASSERT_GE(cap, 7u);
+  std::size_t singleton_bytes = cap * sk.pk.ciphertext_bytes();
+  std::size_t batched_bytes = sk.pk.ciphertext_bytes();
+  EXPECT_GE(singleton_bytes, 7 * batched_bytes);
+}
+
+}  // namespace
+}  // namespace yoso

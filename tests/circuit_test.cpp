@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "circuit/batching.hpp"
+#include "circuit/workloads.hpp"
+
+namespace yoso {
+namespace {
+
+const mpz_class kMod("1000000007");
+
+TEST(Circuit, BuilderAndEval) {
+  Circuit c;
+  WireId x = c.input(0);
+  WireId y = c.input(1);
+  WireId s = c.add(x, y);
+  WireId p = c.mul(x, y);
+  WireId d = c.sub(p, s);
+  WireId e = c.add_const(d, mpz_class(10));
+  WireId f = c.mul_const(e, mpz_class(3));
+  c.output(f, 0);
+  auto out = c.eval({{mpz_class(7)}, {mpz_class(5)}}, kMod);
+  // ((7*5 - 12) + 10) * 3 = 99
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 99);
+}
+
+TEST(Circuit, EvalReducesModulo) {
+  Circuit c;
+  WireId x = c.input(0);
+  c.output(c.mul(x, x), 0);
+  auto out = c.eval({{kMod - 1}}, kMod);  // (-1)^2 = 1
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST(Circuit, ForwardReferenceThrows) {
+  Circuit c;
+  WireId x = c.input(0);
+  EXPECT_THROW(c.add(x, 5), std::out_of_range);
+}
+
+TEST(Circuit, MissingInputThrows) {
+  Circuit c;
+  c.input(0);
+  c.input(0);
+  EXPECT_THROW(c.eval({{mpz_class(1)}}, kMod), std::invalid_argument);
+}
+
+TEST(Circuit, LayersFollowMultiplicativeDepth) {
+  Circuit c;
+  WireId x = c.input(0);
+  WireId m1 = c.mul(x, x);          // layer 1
+  WireId a = c.add(m1, x);          // layer 1 (additive)
+  WireId m2 = c.mul(a, m1);         // layer 2
+  WireId m3 = c.mul(x, x);          // layer 1
+  c.output(c.add(m2, m3), 0);
+  auto layers = c.mul_layers();
+  EXPECT_EQ(layers[m1], 1u);
+  EXPECT_EQ(layers[a], 1u);
+  EXPECT_EQ(layers[m2], 2u);
+  EXPECT_EQ(layers[m3], 1u);
+  EXPECT_EQ(c.mul_depth(), 2u);
+  auto by_layer = c.mul_gates_by_layer();
+  ASSERT_EQ(by_layer.size(), 2u);
+  EXPECT_EQ(by_layer[0].size(), 2u);
+  EXPECT_EQ(by_layer[1].size(), 1u);
+}
+
+TEST(Circuit, InputsOfClientAreOrdered) {
+  Circuit c;
+  WireId a = c.input(1);
+  WireId b = c.input(0);
+  WireId d = c.input(1);
+  auto ins = c.inputs_of(1);
+  ASSERT_EQ(ins.size(), 2u);
+  EXPECT_EQ(ins[0], a);
+  EXPECT_EQ(ins[1], d);
+  EXPECT_EQ(c.inputs_of(0), std::vector<WireId>{b});
+  EXPECT_EQ(c.num_inputs(), 3u);
+}
+
+TEST(Batching, SplitsLayersIntoKGroups) {
+  Circuit c = wide_mul_circuit(5);
+  auto batches = make_batches(c, 2);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].real, 2u);
+  EXPECT_EQ(batches[1].real, 2u);
+  EXPECT_EQ(batches[2].real, 1u);  // padded
+  EXPECT_EQ(batches[2].gamma[1], batches[2].gamma[0]);  // pad repeats slot 0
+  EXPECT_EQ(batch_count(c, 2), 3u);
+}
+
+TEST(Batching, RespectsLayers) {
+  Circuit c = chain_circuit(3);
+  auto batches = make_batches(c, 4);
+  ASSERT_EQ(batches.size(), 3u);  // one gate per layer, never merged
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(batches[i].layer, i + 1);
+}
+
+TEST(Batching, KOneIsPerGate) {
+  Circuit c = wide_mul_circuit(4);
+  EXPECT_EQ(make_batches(c, 1).size(), 4u);
+}
+
+TEST(Batching, ZeroKThrows) {
+  Circuit c = wide_mul_circuit(1);
+  EXPECT_THROW(make_batches(c, 0), std::invalid_argument);
+}
+
+TEST(Workloads, InnerProductEvaluates) {
+  Circuit c = inner_product_circuit(3);
+  auto out = c.eval({{mpz_class(1), mpz_class(2), mpz_class(3)},
+                     {mpz_class(4), mpz_class(5), mpz_class(6)}},
+                    kMod);
+  EXPECT_EQ(out[0], 1 * 4 + 2 * 5 + 3 * 6);
+}
+
+TEST(Workloads, WideMulShape) {
+  Circuit c = wide_mul_circuit(6);
+  EXPECT_EQ(c.num_mul_gates(), 6u);
+  EXPECT_EQ(c.mul_depth(), 1u);
+  EXPECT_EQ(c.outputs().size(), 6u);
+}
+
+TEST(Workloads, MulTreeEvaluates) {
+  Circuit c = mul_tree_circuit(5);
+  auto out = c.eval({{mpz_class(2), mpz_class(3), mpz_class(4), mpz_class(5), mpz_class(6)}},
+                    kMod);
+  EXPECT_EQ(out[0], 2 * 3 * 4 * 5 * 6);
+  EXPECT_EQ(c.mul_depth(), 3u);
+}
+
+TEST(Workloads, ChainEvaluates) {
+  Circuit c = chain_circuit(2);
+  // x=3: (9+1)=10; (100+2)=102
+  auto out = c.eval({{mpz_class(3)}}, kMod);
+  EXPECT_EQ(out[0], 102);
+}
+
+TEST(Workloads, StatisticsSumAndSquares) {
+  Circuit c = statistics_circuit(3);
+  auto out = c.eval({{mpz_class(2)}, {mpz_class(3)}, {mpz_class(4)}}, kMod);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[1], 4 + 9 + 16);
+}
+
+TEST(Workloads, AuctionScoring) {
+  Circuit c = auction_scoring_circuit(2);
+  // bids 10,20 weights 3,4 -> scores 30,80, total 110
+  auto out = c.eval({{mpz_class(10), mpz_class(3)}, {mpz_class(20), mpz_class(4)}}, kMod);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 30);
+  EXPECT_EQ(out[1], 80);
+  EXPECT_EQ(out[2], 110);
+}
+
+TEST(Workloads, MatmulEvaluates) {
+  Circuit c = matmul_circuit(2);
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  auto out = c.eval({{mpz_class(1), mpz_class(2), mpz_class(3), mpz_class(4)},
+                     {mpz_class(5), mpz_class(6), mpz_class(7), mpz_class(8)}},
+                    kMod);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 19);
+  EXPECT_EQ(out[1], 22);
+  EXPECT_EQ(out[2], 43);
+  EXPECT_EQ(out[3], 50);
+  EXPECT_EQ(c.mul_depth(), 1u);
+  EXPECT_EQ(c.num_mul_gates(), 8u);
+}
+
+TEST(Workloads, PolyEvalHorner) {
+  Circuit c = poly_eval_circuit(3);
+  // p(x) = 2 + 3x + 0x^2 + x^3 at x = 4: 2 + 12 + 64 = 78
+  auto out = c.eval({{mpz_class(2), mpz_class(3), mpz_class(0), mpz_class(1)},
+                     {mpz_class(4)}},
+                    kMod);
+  EXPECT_EQ(out[0], 78);
+  EXPECT_EQ(c.mul_depth(), 3u);
+  EXPECT_EQ(c.outputs()[0].client, 1u);
+}
+
+TEST(Workloads, MimcMatchesManualRounds) {
+  Circuit c = mimc_circuit(2);
+  mpz_class x = 5, key = 7;
+  mpz_class s = x;
+  for (unsigned r = 0; r < 2; ++r) {
+    mpz_class m = (s + key + (r * 2 + 1)) % kMod;
+    s = m * m % kMod * m % kMod;
+  }
+  mpz_class expected = (s + key) % kMod;
+  auto out = c.eval({{x}, {key}}, kMod);
+  EXPECT_EQ(out[0], expected);
+  EXPECT_EQ(c.mul_depth(), 2u * 2u);  // two muls per round, sequential
+}
+
+TEST(Workloads, RejectDegenerateSizes) {
+  EXPECT_THROW(inner_product_circuit(0), std::invalid_argument);
+  EXPECT_THROW(wide_mul_circuit(0), std::invalid_argument);
+  EXPECT_THROW(mul_tree_circuit(1), std::invalid_argument);
+  EXPECT_THROW(chain_circuit(0), std::invalid_argument);
+  EXPECT_THROW(statistics_circuit(0), std::invalid_argument);
+  EXPECT_THROW(auction_scoring_circuit(0), std::invalid_argument);
+  EXPECT_THROW(matmul_circuit(0), std::invalid_argument);
+  EXPECT_THROW(poly_eval_circuit(0), std::invalid_argument);
+  EXPECT_THROW(mimc_circuit(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,248 @@
+// Wire-format tests: round-trips for every message type, proofs that
+// survive serialization still verify, malformed-input rejection, and
+// consistency between the ledger's byte accounting and real encodings.
+#include <gtest/gtest.h>
+
+#include "crypto/prg.hpp"
+#include "paillier/threshold.hpp"
+#include "wire/codec.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+class CodecTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(7501);
+    keys_ = new ThresholdKeys(tkgen(kBits, 1, 4, 1, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static ThresholdKeys* keys_;
+};
+
+Rng* CodecTest::rng_ = nullptr;
+ThresholdKeys* CodecTest::keys_ = nullptr;
+
+TEST_F(CodecTest, PrimitivesRoundTrip) {
+  Encoder e;
+  e.u8(7);
+  e.u32(0xDEADBEEF);
+  e.u64(0x0123456789ABCDEFull);
+  e.mpz(mpz_class("-123456789123456789123456789"));
+  e.mpz_vec({mpz_class(0), mpz_class(1), mpz_class(-1)});
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 7);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(d.mpz(), mpz_class("-123456789123456789123456789"));
+  auto v = d.mpz_vec();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], -1);
+  d.expect_done();
+}
+
+TEST_F(CodecTest, TruncatedInputThrows) {
+  Encoder e;
+  e.mpz(mpz_class(123456));
+  auto data = e.data();
+  data.pop_back();
+  Decoder d(data);
+  EXPECT_THROW(d.mpz(), CodecError);
+}
+
+TEST_F(CodecTest, TrailingBytesDetected) {
+  Encoder e;
+  e.u8(1);
+  e.u8(2);
+  Decoder d(e.data());
+  d.u8();
+  EXPECT_THROW(d.expect_done(), CodecError);
+}
+
+TEST_F(CodecTest, ImplausibleVectorLengthRejected) {
+  Encoder e;
+  e.u32(0xFFFFFFFF);  // claims 4 billion elements
+  Decoder d(e.data());
+  EXPECT_THROW(d.mpz_vec(), CodecError);
+}
+
+TEST_F(CodecTest, LinkProofSurvivesSerializationAndVerifies) {
+  const auto& pk = keys_->tpk.pk;
+  mpz_class m = rng_->below(pk.ns), r;
+  mpz_class c = pk.enc(m, *rng_, &r);
+  LinkStatement st;
+  st.domain = "codec.test";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2));
+  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+
+  auto decoded = decode_link_proof(encode_link_proof(proof));
+  EXPECT_TRUE(link_verify(st, decoded));
+  EXPECT_EQ(decoded.z, proof.z);
+}
+
+TEST_F(CodecTest, LinkProofRejectsWrongTag) {
+  auto data = encode_root_proof(RootProof{mpz_class(1), mpz_class(2)});
+  EXPECT_THROW(decode_link_proof(data), CodecError);
+}
+
+TEST_F(CodecTest, MultProofRoundTrip) {
+  const auto& pk = keys_->tpk.pk;
+  mpz_class c_a = pk.enc(mpz_class(3), *rng_);
+  mpz_class b = 4, rb, rho;
+  mpz_class c_b = pk.enc(b, *rng_, &rb);
+  mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, b, rb, rho, *rng_);
+  auto decoded = decode_mult_proof(encode_mult_proof(proof));
+  EXPECT_TRUE(verify_mult(pk, c_a, c_b, c_p, decoded));
+}
+
+TEST_F(CodecTest, RootProofRoundTrip) {
+  RootProof p{mpz_class("987654321"), mpz_class("123456789")};
+  auto decoded = decode_root_proof(encode_root_proof(p));
+  EXPECT_EQ(decoded.a, p.a);
+  EXPECT_EQ(decoded.z, p.z);
+}
+
+TEST_F(CodecTest, MaskMsgRoundTrip) {
+  const auto& pk = keys_->tpk.pk;
+  MaskMsg m;
+  mpz_class pad = 42, r1, r2;
+  m.a = pk.enc(pad, *rng_, &r1);
+  m.b = pk.enc(pad, *rng_, &r2);
+  LinkStatement st;
+  st.domain = "pad";
+  st.paillier_legs = {PaillierLeg{pk, m.a}, PaillierLeg{pk, m.b}};
+  st.bound_bits = 16;
+  m.proof = link_prove(st, LinkWitness{pad, {r1, r2}}, *rng_);
+
+  auto decoded = decode_mask_msg(encode_mask_msg(m));
+  EXPECT_EQ(decoded.a, m.a);
+  EXPECT_EQ(decoded.b, m.b);
+  EXPECT_TRUE(link_verify(st, decoded.proof));
+}
+
+TEST_F(CodecTest, HandoverMsgRoundTrip) {
+  HandoverMsg m;
+  m.from_index = 3;
+  m.commitments = {mpz_class(11), mpz_class(22)};
+  m.enc_subshares = {mpz_class(33), mpz_class(-44)};
+  m.proofs.resize(2);
+  m.proofs[0].z = 5;
+  m.proofs[1].z = -6;
+  auto decoded = decode_handover_msg(encode_handover_msg(m));
+  EXPECT_EQ(decoded.from_index, 3u);
+  EXPECT_EQ(decoded.commitments, m.commitments);
+  EXPECT_EQ(decoded.enc_subshares, m.enc_subshares);
+  ASSERT_EQ(decoded.proofs.size(), 2u);
+  EXPECT_EQ(decoded.proofs[1].z, -6);
+}
+
+TEST_F(CodecTest, FutureCtRoundTrip) {
+  FutureCt f{mpz_class("314159"), mpz_class("271828")};
+  auto decoded = decode_future_ct(encode_future_ct(f));
+  EXPECT_EQ(decoded.masked, f.masked);
+  EXPECT_EQ(decoded.pad_ct, f.pad_ct);
+}
+
+TEST_F(CodecTest, EncodedSizeTracksWireBytes) {
+  // The ledger prices messages with wire_bytes() (raw integer payloads);
+  // the framed encoding only adds bounded per-field overhead (tag +
+  // 4-byte length prefixes).
+  const auto& pk = keys_->tpk.pk;
+  mpz_class m = rng_->below(pk.ns), r;
+  mpz_class c = pk.enc(m, *rng_, &r);
+  LinkStatement st;
+  st.domain = "codec.size";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2));
+  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  std::size_t framed = encode_link_proof(proof).size();
+  std::size_t raw = proof.wire_bytes();
+  EXPECT_GT(framed, raw);
+  EXPECT_LT(framed, raw + 64);  // tag + 3 vec headers + 4 field prefixes
+}
+
+TEST_F(CodecTest, TamperedEncodingFailsVerification) {
+  const auto& pk = keys_->tpk.pk;
+  mpz_class m = 9, r;
+  mpz_class c = pk.enc(m, *rng_, &r);
+  LinkStatement st;
+  st.domain = "codec.tamper";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.bound_bits = 16;
+  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto data = encode_link_proof(proof);
+  data[data.size() / 2] ^= 0x40;
+  LinkProof decoded;
+  try {
+    decoded = decode_link_proof(data);
+  } catch (const CodecError&) {
+    SUCCEED();  // structural corruption detected at decode time
+    return;
+  }
+  EXPECT_FALSE(link_verify(st, decoded));
+}
+
+TEST_F(CodecTest, FuzzedInputsNeverCrashOnlyThrow) {
+  // Random byte soup must be rejected cleanly (CodecError), never crash or
+  // loop; structured prefixes with corrupted tails likewise.
+  Prg prg(0xF022);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(1 + (trial % 97));
+    prg.bytes(junk.data(), junk.size());
+    try {
+      (void)decode_link_proof(junk);
+    } catch (const CodecError&) {
+    }
+    try {
+      (void)decode_handover_msg(junk);
+    } catch (const CodecError&) {
+    }
+    try {
+      (void)decode_future_ct(junk);
+    } catch (const CodecError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(CodecTest, BitflippedRealMessagesRejectOrFailVerify) {
+  const auto& pk = keys_->tpk.pk;
+  mpz_class m = 77, r;
+  mpz_class c = pk.enc(m, *rng_, &r);
+  LinkStatement st;
+  st.domain = "codec.fuzz";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.bound_bits = 16;
+  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto data = encode_link_proof(proof);
+  Prg prg(0xF023);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto mutated = data;
+    std::size_t pos = prg.u64() % mutated.size();
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + (prg.u64() % 255));
+    try {
+      LinkProof decoded = decode_link_proof(mutated);
+      // Either the mutation hit a don't-care byte reproducing the original,
+      // or verification must fail.
+      if (mutated == data) continue;
+      EXPECT_FALSE(link_verify(st, decoded) && !(decoded.z == proof.z &&
+                                                 decoded.a_paillier == proof.a_paillier &&
+                                                 decoded.z_rs == proof.z_rs));
+    } catch (const CodecError&) {
+      // clean rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yoso

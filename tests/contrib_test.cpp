@@ -1,0 +1,123 @@
+// Unit tests of the contribution sub-protocols (Protocol 3 and the
+// randomness step of Protocol 4): verified homomorphic sums and Beaver
+// triple well-formedness under every adversarial behaviour.
+#include <gtest/gtest.h>
+
+#include "mpc/contrib.hpp"
+#include "mpc/reencrypt.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+struct Env {
+  unsigned n = 5, t = 1;
+  Rng rng{7101};
+  Ledger ledger;
+  Bulletin bulletin{ledger};
+  ThresholdKeys keys = tkgen(kBits, 1, n, t, rng);
+
+  Committee committee(CommitteeCorruption cor) {
+    return make_committee("c", kBits, 1, std::move(cor), rng);
+  }
+  CommitteeCorruption honest() {
+    CommitteeCorruption c;
+    c.status.assign(n, RoleStatus::Honest);
+    return c;
+  }
+  CommitteeCorruption corrupt(unsigned t_mal, MaliciousStrategy s, unsigned f = 0) {
+    return AdversaryPlan::fixed(n, t_mal, f, s).committee(0);
+  }
+
+  // Decrypt with the dealer key (test-only shortcut).
+  mpz_class dec(const mpz_class& c) { return keys.dealer_sk.dec(c); }
+};
+
+TEST(Contrib, RandomsAreDecryptableAndDistinct) {
+  Env e;
+  Committee com = e.committee(e.honest());
+  auto cts = contribute_randoms(e.keys.tpk, com, 4, Phase::Offline, "r", e.bulletin, e.rng);
+  ASSERT_EQ(cts.size(), 4u);
+  std::vector<mpz_class> vals;
+  for (const auto& c : cts) vals.push_back(e.dec(c));
+  EXPECT_NE(vals[0], vals[1]);  // overwhelming probability
+}
+
+TEST(Contrib, MaliciousContributionsAreExcludedNotFatal) {
+  Env e;
+  Committee com = e.committee(e.corrupt(e.t, MaliciousStrategy::BadShare));
+  auto cts = contribute_randoms(e.keys.tpk, com, 2, Phase::Offline, "r", e.bulletin, e.rng);
+  for (const auto& c : cts) EXPECT_TRUE(e.keys.tpk.pk.valid_ciphertext(c));
+}
+
+TEST(Contrib, StallsBelowQuorum) {
+  Env e;
+  Committee com = e.committee(e.corrupt(1, MaliciousStrategy::Silent, 3));
+  EXPECT_THROW(contribute_randoms(e.keys.tpk, com, 1, Phase::Offline, "r", e.bulletin, e.rng),
+               ProtocolAbort);
+}
+
+TEST(Contrib, BeaverTriplesMultiplyCorrectly) {
+  Env e;
+  Committee a = e.committee(e.honest());
+  Committee b = e.committee(e.honest());
+  auto triples = make_beaver_triples(e.keys.tpk, a, b, 3, Phase::Offline, e.bulletin, e.rng);
+  ASSERT_EQ(triples.size(), 3u);
+  const mpz_class& ns = e.keys.tpk.pk.ns;
+  for (const auto& tr : triples) {
+    mpz_class va = e.dec(tr.a), vb = e.dec(tr.b), vc = e.dec(tr.c);
+    EXPECT_EQ(vc, va * vb % ns);
+  }
+}
+
+TEST(Contrib, BeaverSurvivesMaliciousA) {
+  Env e;
+  Committee a = e.committee(e.corrupt(e.t, MaliciousStrategy::BadShare));
+  Committee b = e.committee(e.honest());
+  auto triples = make_beaver_triples(e.keys.tpk, a, b, 1, Phase::Offline, e.bulletin, e.rng);
+  const mpz_class& ns = e.keys.tpk.pk.ns;
+  EXPECT_EQ(e.dec(triples[0].c), e.dec(triples[0].a) * e.dec(triples[0].b) % ns);
+}
+
+TEST(Contrib, BeaverSurvivesMaliciousB) {
+  Env e;
+  Committee a = e.committee(e.honest());
+  Committee b = e.committee(e.corrupt(e.t, MaliciousStrategy::BadShare));
+  auto triples = make_beaver_triples(e.keys.tpk, a, b, 1, Phase::Offline, e.bulletin, e.rng);
+  const mpz_class& ns = e.keys.tpk.pk.ns;
+  EXPECT_EQ(e.dec(triples[0].c), e.dec(triples[0].a) * e.dec(triples[0].b) % ns);
+}
+
+TEST(Contrib, BeaverSurvivesBadProofsOnBothCommittees) {
+  Env e;
+  Committee a = e.committee(e.corrupt(e.t, MaliciousStrategy::BadProof));
+  Committee b = e.committee(e.corrupt(e.t, MaliciousStrategy::BadProof));
+  auto triples = make_beaver_triples(e.keys.tpk, a, b, 2, Phase::Offline, e.bulletin, e.rng);
+  const mpz_class& ns = e.keys.tpk.pk.ns;
+  for (const auto& tr : triples) {
+    EXPECT_EQ(e.dec(tr.c), e.dec(tr.a) * e.dec(tr.b) % ns);
+  }
+}
+
+TEST(Contrib, CommitteeSpeaksOnceAcrossAllValues) {
+  Env e;
+  Committee com = e.committee(e.honest());
+  contribute_randoms(e.keys.tpk, com, 10, Phase::Offline, "r", e.bulletin, e.rng);
+  for (unsigned i = 0; i < e.n; ++i) EXPECT_TRUE(com.has_spoken(i));
+  EXPECT_THROW(
+      contribute_randoms(e.keys.tpk, com, 1, Phase::Offline, "r2", e.bulletin, e.rng),
+      std::logic_error);
+}
+
+TEST(Contrib, LedgerCountsElements) {
+  Env e;
+  Committee com = e.committee(e.honest());
+  contribute_randoms(e.keys.tpk, com, 3, Phase::Offline, "rand", e.bulletin, e.rng);
+  auto entry = e.ledger.categories(Phase::Offline).at("rand");
+  EXPECT_EQ(entry.messages, e.n);
+  EXPECT_EQ(entry.elements, 3u * e.n);
+}
+
+}  // namespace
+}  // namespace yoso

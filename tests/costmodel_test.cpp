@@ -1,0 +1,108 @@
+// Validates the analytic cost model against the real protocol's ledger —
+// the model must predict the measured element counts *exactly* (it mirrors
+// the implementation's message schedule), which licenses the paper-scale
+// extrapolations in the benches.
+#include <gtest/gtest.h>
+
+#include "baseline/cdn.hpp"
+#include "circuit/workloads.hpp"
+#include "mpc/protocol.hpp"
+#include "sortition/costmodel.hpp"
+#include "sortition/table1.hpp"
+
+namespace yoso {
+namespace {
+
+std::vector<std::vector<mpz_class>> small_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) {
+      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(100))));
+    }
+  }
+  return inputs;
+}
+
+class CostModelVsMeasured : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelVsMeasured, PackedModelMatchesLedgerExactly) {
+  Circuit c;
+  switch (GetParam()) {
+    case 0: c = wide_mul_circuit(4); break;
+    case 1: c = inner_product_circuit(3); break;
+    case 2: c = chain_circuit(2); break;
+    default: c = statistics_circuit(3); break;
+  }
+  auto params = ProtocolParams::for_gap(5, 0.2, 128);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 7600 + GetParam());
+  mpc.run(small_inputs(c, GetParam()));
+
+  auto shape = CircuitShape::of(c);
+  auto model = packed_cost(params, shape);
+  double measured_off =
+      static_cast<double>(mpc.ledger().phase_total(Phase::Offline).elements);
+  double measured_on = static_cast<double>(mpc.ledger().phase_total(Phase::Online).elements);
+  EXPECT_DOUBLE_EQ(model.offline, measured_off);
+  EXPECT_DOUBLE_EQ(model.online, measured_on);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, CostModelVsMeasured, ::testing::Values(0, 1, 2, 3));
+
+TEST(CostModel, CdnModelMatchesLedgerExactly) {
+  Circuit c = wide_mul_circuit(4);
+  auto params = ProtocolParams::for_gap(5, 0.2, 128);
+  CdnBaseline cdn(params, c, AdversaryPlan::honest(params.n), 7610);
+  cdn.run(small_inputs(c, 99));
+  auto model = cdn_cost(params, CircuitShape::of(c));
+  EXPECT_DOUBLE_EQ(model.offline,
+                   static_cast<double>(cdn.ledger().phase_total(Phase::Offline).elements));
+  EXPECT_DOUBLE_EQ(model.online,
+                   static_cast<double>(cdn.ledger().phase_total(Phase::Online).elements));
+}
+
+TEST(CostModel, OnlinePerGateIsNOverK) {
+  auto params = ProtocolParams::for_gap(16, 0.25, 128);
+  auto shape = CircuitShape::wide(160);
+  auto model = packed_cost(params, shape);
+  EXPECT_NEAR(model.online_per_gate, 16.0 / params.k, 0.01);
+  auto cdn = cdn_cost(params, shape);
+  EXPECT_DOUBLE_EQ(cdn.online_per_gate, 2.0 * 16);
+}
+
+TEST(CostModel, ShapeOfExtractsLayers) {
+  Circuit c = chain_circuit(3);
+  auto s = CircuitShape::of(c);
+  EXPECT_EQ(s.depth(), 3u);
+  EXPECT_EQ(s.mul_gates, 3u);
+  EXPECT_EQ(s.batches(2), 3u);  // one gate per layer, never merged
+  EXPECT_EQ(CircuitShape::wide(10).batches(4), 3u);
+}
+
+TEST(CostModel, ParamsFromAnalysisRespectsGod) {
+  auto g = analyze_gap(SortitionConfig{1000, 0.05});
+  ASSERT_TRUE(g.feasible);
+  auto p = params_from_analysis(g, 2048);
+  EXPECT_LE(p.recon_threshold(), p.n - p.t);
+  EXPECT_GE(p.k, 1u);
+  EXPECT_NEAR(static_cast<double>(p.n), g.c, 1.0);
+}
+
+TEST(CostModel, PaperScaleOrderingHolds) {
+  // At every feasible Table 1 cell, the packed protocol's online cost per
+  // gate beats the baseline's by a factor within [k/4, 4k] — the paper's
+  // "improvement by a factor of k" up to small constants.
+  for (const auto& row : generate_table1()) {
+    if (!row.analysis.feasible || row.analysis.k < 4) continue;
+    auto p = params_from_analysis(row.analysis, 2048);
+    auto shape = CircuitShape::wide(static_cast<std::size_t>(4) * p.n);
+    double ours = packed_cost(p, shape).online_per_gate;
+    double theirs = cdn_cost(p, shape).online_per_gate;
+    double ratio = theirs / ours;
+    EXPECT_GE(ratio, row.analysis.k / 4.0) << "C=" << row.C << " f=" << row.f;
+    EXPECT_LE(ratio, 4.0 * row.analysis.k) << "C=" << row.C << " f=" << row.f;
+  }
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "crypto/prg.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/transcript.hpp"
+
+namespace yoso {
+namespace {
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  auto d = Sha256::hash("", 0);
+  EXPECT_EQ(Sha256::hex(d), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  auto d = Sha256::hash("abc", 3);
+  EXPECT_EQ(Sha256::hex(d), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  auto d = Sha256::hash(msg.data(), msg.size());
+  EXPECT_EQ(Sha256::hex(d), "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha256::hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  h.update(msg.substr(0, 10)).update(msg.substr(10));
+  EXPECT_EQ(Sha256::hex(h.finalize()), Sha256::hex(Sha256::hash(msg.data(), msg.size())));
+}
+
+TEST(Sha256, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  h.update("x");
+  h.finalize();
+  EXPECT_THROW(h.update("y"), std::logic_error);
+  Sha256 h2;
+  h2.finalize();
+  EXPECT_THROW(h2.finalize(), std::logic_error);
+}
+
+TEST(Prg, DeterministicFromSeed) {
+  Prg a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Prg, DifferentSeedsDiffer) {
+  Prg a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) any_diff |= (a.u64() != b.u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Prg, BelowInRangeAndDeterministic) {
+  Prg a(7), b(7);
+  mpz_class bound("987654321987654321987654321");
+  for (int i = 0; i < 32; ++i) {
+    mpz_class x = a.below(bound);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, bound);
+    EXPECT_EQ(x, b.below(bound));
+  }
+}
+
+TEST(Prg, ByteStreamIsPositionIndependent) {
+  Prg a(99), b(99);
+  std::vector<std::uint8_t> one(64), two(64);
+  a.bytes(one.data(), 64);
+  b.bytes(two.data(), 32);
+  b.bytes(two.data() + 32, 32);
+  EXPECT_EQ(one, two);
+}
+
+TEST(Transcript, DeterministicChallenges) {
+  Transcript t1("test"), t2("test");
+  t1.absorb("x", mpz_class(123));
+  t2.absorb("x", mpz_class(123));
+  EXPECT_EQ(t1.challenge_bits("e", 128), t2.challenge_bits("e", 128));
+}
+
+TEST(Transcript, DifferentDataDifferentChallenge) {
+  Transcript t1("test"), t2("test");
+  t1.absorb("x", mpz_class(123));
+  t2.absorb("x", mpz_class(124));
+  EXPECT_NE(t1.challenge_bits("e", 128), t2.challenge_bits("e", 128));
+}
+
+TEST(Transcript, DifferentDomainsDiffer) {
+  Transcript t1("a"), t2("b");
+  EXPECT_NE(t1.challenge_bits("e", 128), t2.challenge_bits("e", 128));
+}
+
+TEST(Transcript, ChallengeBitsInRange) {
+  Transcript t("range");
+  mpz_class c = t.challenge_bits("e", 100);
+  EXPECT_LT(mpz_sizeinbase(c.get_mpz_t(), 2), 101u);
+}
+
+TEST(Transcript, ChallengeBelowInRange) {
+  Transcript t("below");
+  mpz_class bound("1000000007");
+  for (int i = 0; i < 10; ++i) {
+    mpz_class c = t.challenge_below("e", bound);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, bound);
+  }
+}
+
+TEST(Transcript, SuccessiveChallengesAreIndependent) {
+  Transcript t("seq");
+  EXPECT_NE(t.challenge_bits("e", 128), t.challenge_bits("e", 128));
+}
+
+TEST(Transcript, NegativeMpzAbsorbedDistinctly) {
+  Transcript t1("sign"), t2("sign");
+  t1.absorb("x", mpz_class(-5));
+  t2.absorb("x", mpz_class(5));
+  EXPECT_NE(t1.challenge_bits("e", 64), t2.challenge_bits("e", 64));
+}
+
+TEST(MpzBytes, RoundTrip) {
+  for (const char* s : {"0", "1", "-1", "255", "256", "-98765432109876543210", "170141183460469231731687303715884105727"}) {
+    mpz_class v(s);
+    EXPECT_EQ(mpz_from_bytes(mpz_to_bytes(v)), v) << s;
+  }
+}
+
+TEST(MpzBytes, WireSizeMatchesSerialization) {
+  for (const char* s : {"0", "1", "65535", "-123456789"}) {
+    mpz_class v(s);
+    EXPECT_EQ(mpz_wire_size(v), mpz_to_bytes(v).size()) << s;
+  }
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "field/fp61.hpp"
+#include "field/zn_ring.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(Fp61, ModulusIsMersenne61) {
+  EXPECT_EQ(Fp61::kModulus, 2305843009213693951ULL);
+}
+
+TEST(Fp61, AddWraps) {
+  EXPECT_EQ(Fp61::add(Fp61::kModulus - 1, 1), 0u);
+  EXPECT_EQ(Fp61::add(Fp61::kModulus - 1, 2), 1u);
+  EXPECT_EQ(Fp61::add(0, 0), 0u);
+}
+
+TEST(Fp61, SubWraps) {
+  EXPECT_EQ(Fp61::sub(0, 1), Fp61::kModulus - 1);
+  EXPECT_EQ(Fp61::sub(5, 5), 0u);
+}
+
+TEST(Fp61, NegIsAdditiveInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto a = rng.u64_below(Fp61::kModulus);
+    EXPECT_EQ(Fp61::add(a, Fp61::neg(a)), 0u);
+  }
+}
+
+TEST(Fp61, MulAgreesWithNaive128) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto a = rng.u64_below(Fp61::kModulus);
+    auto b = rng.u64_below(Fp61::kModulus);
+    unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+    std::uint64_t expected = static_cast<std::uint64_t>(p % Fp61::kModulus);
+    EXPECT_EQ(Fp61::mul(a, b), expected);
+  }
+}
+
+TEST(Fp61, InvIsMultiplicativeInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    auto a = rng.u64_below(Fp61::kModulus - 1) + 1;
+    EXPECT_EQ(Fp61::mul(a, Fp61::inv(a)), 1u);
+  }
+}
+
+TEST(Fp61, PowMatchesRepeatedMul) {
+  std::uint64_t base = 12345;
+  std::uint64_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(Fp61::pow(base, e), acc);
+    acc = Fp61::mul(acc, base);
+  }
+}
+
+TEST(Fp61, FermatLittleTheorem) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    auto a = rng.u64_below(Fp61::kModulus - 1) + 1;
+    EXPECT_EQ(Fp61::pow(a, Fp61::kModulus - 1), 1u);
+  }
+}
+
+TEST(Fp61, FromIntHandlesNegatives) {
+  EXPECT_EQ(Fp61::from_int(-1), Fp61::kModulus - 1);
+  EXPECT_EQ(Fp61::from_int(-7), Fp61::kModulus - 7);
+  EXPECT_EQ(Fp61::from_int(42), 42u);
+  EXPECT_EQ(Fp61::from_int(0), 0u);
+}
+
+TEST(Fp61, BatchInvMatchesScalarInv) {
+  Rng rng(5);
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.u64_below(Fp61::kModulus - 1) + 1);
+  auto expected = xs;
+  for (auto& x : expected) x = Fp61::inv(x);
+  Fp61::batch_inv(xs);
+  EXPECT_EQ(xs, expected);
+}
+
+TEST(Fp61, ReduceIsCanonical) {
+  EXPECT_EQ(Fp61::reduce(Fp61::kModulus), 0u);
+  EXPECT_EQ(Fp61::reduce(Fp61::kModulus + 5), 5u);
+  EXPECT_EQ(Fp61::reduce(~std::uint64_t{0}), Fp61::reduce(7u));  // 2^64-1 = 8p + 7
+}
+
+TEST(ZnRing, BasicArithmetic) {
+  ZnRing r(mpz_class(35));  // 5 * 7
+  EXPECT_EQ(r.add(30, 10), 5);
+  EXPECT_EQ(r.sub(3, 10), 28);
+  EXPECT_EQ(r.mul(6, 6), 1);
+  EXPECT_EQ(r.neg(1), 34);
+}
+
+TEST(ZnRing, InvOfUnit) {
+  ZnRing r(mpz_class(35));
+  mpz_class inv2 = r.inv(2);
+  EXPECT_EQ(r.mul(2, inv2), 1);
+  EXPECT_THROW(r.inv(5), std::domain_error);  // 5 divides 35
+}
+
+TEST(ZnRing, IsUnit) {
+  ZnRing r(mpz_class(35));
+  EXPECT_TRUE(r.is_unit(2));
+  EXPECT_FALSE(r.is_unit(7));
+  EXPECT_FALSE(r.is_unit(0));
+}
+
+TEST(ZnRing, PointsOkDetectsNonUnitDifferences) {
+  ZnRing r(mpz_class(35));
+  EXPECT_TRUE(r.points_ok({0, 1, 2, 3}));
+  EXPECT_FALSE(r.points_ok({0, 7}));   // difference 7 shares a factor with 35
+  EXPECT_FALSE(r.points_ok({-2, 3}));  // difference -5
+}
+
+TEST(ZnRing, FromIntNegative) {
+  ZnRing r(mpz_class(100));
+  EXPECT_EQ(r.from_int(-3), 97);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  mpz_class bound("123456789123456789");
+  for (int i = 0; i < 100; ++i) {
+    mpz_class v = rng.below(bound);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(Rng, UnitModIsCoprime) {
+  Rng rng(8);
+  mpz_class n = 35;
+  for (int i = 0; i < 20; ++i) {
+    mpz_class u = rng.unit_mod(n);
+    mpz_class g;
+    mpz_gcd(g.get_mpz_t(), u.get_mpz_t(), n.get_mpz_t());
+    EXPECT_EQ(g, 1);
+  }
+}
+
+TEST(Rng, PrimeHasExactBitsAndIsPrime) {
+  Rng rng(9);
+  for (unsigned bits : {16u, 24u, 48u}) {
+    mpz_class p = rng.prime(bits);
+    EXPECT_EQ(mpz_sizeinbase(p.get_mpz_t(), 2), bits);
+    EXPECT_NE(mpz_probab_prime_p(p.get_mpz_t(), 30), 0);
+  }
+}
+
+TEST(Rng, SafePrimeStructure) {
+  Rng rng(10);
+  mpz_class p = rng.safe_prime(32);
+  EXPECT_NE(mpz_probab_prime_p(p.get_mpz_t(), 30), 0);
+  mpz_class q = (p - 1) / 2;
+  EXPECT_NE(mpz_probab_prime_p(q.get_mpz_t(), 30), 0);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,132 @@
+// Tests of the ideal functionalities (Section 2 / Appendix C) and the
+// real-vs-ideal comparison: the protocol's I/O behaviour must coincide
+// with F_MPC's on identical inputs (the correctness half of UC emulation).
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "mpc/ideal.hpp"
+#include "mpc/protocol.hpp"
+
+namespace yoso {
+namespace {
+
+IdealMpc::Function sum_function() {
+  return [](const std::vector<mpz_class>& xs) {
+    mpz_class s = 0;
+    for (const auto& x : xs) s += x;
+    return std::vector<mpz_class>{s};
+  };
+}
+
+TEST(IdealMpc, HonestInputsFirstRoundOnly) {
+  IdealMpc f(2, 1, sum_function());
+  f.input(0, mpz_class(5), 1);
+  EXPECT_TRUE(f.has_spoken(0));
+  // A second input from the same honest role is ignored.
+  f.input(0, mpz_class(100), 1);
+  f.input(1, mpz_class(7), 1);
+  f.evaluate(2);
+  EXPECT_EQ(*f.read(0), 12);
+}
+
+TEST(IdealMpc, HonestLateInputIgnoredDefaultsToZero) {
+  IdealMpc f(2, 1, sum_function());
+  f.input(0, mpz_class(5), 1);
+  f.input(1, mpz_class(9), 3);  // honest, but round > 1: default 0 stands
+  f.evaluate(4);
+  EXPECT_EQ(*f.read(0), 5);
+}
+
+TEST(IdealMpc, MaliciousMayCommitLate) {
+  IdealMpc f(2, 1, sum_function());
+  f.set_role_class(1, IdealRoleClass::Malicious);
+  f.input(0, mpz_class(5), 1);
+  std::string leak = f.input(1, mpz_class(9), 5);  // corrupt: accepted late
+  EXPECT_EQ(leak, "9");  // and leaked in full
+  f.evaluate(6);
+  EXPECT_EQ(*f.read(0), 14);
+}
+
+TEST(IdealMpc, HonestInputLeaksOnlyLength) {
+  IdealMpc f(1, 1, sum_function());
+  std::string leak = f.input(0, mpz_class(255), 1);
+  EXPECT_EQ(leak, "8");  // bit length, not the value
+}
+
+TEST(IdealMpc, OutputsUnavailableBeforeEvaluated) {
+  IdealMpc f(1, 1, sum_function());
+  f.input(0, mpz_class(1), 1);
+  EXPECT_FALSE(f.read(0).has_value());
+  EXPECT_THROW(f.evaluate(1), std::logic_error);  // r > 1 required
+  f.evaluate(2);
+  EXPECT_TRUE(f.read(0).has_value());
+  EXPECT_THROW(f.evaluate(3), std::logic_error);  // only once
+}
+
+TEST(IdealMpc, LeakyOutputRolesLeakToSimulator) {
+  IdealMpc f(1, 2, [](const std::vector<mpz_class>& xs) {
+    return std::vector<mpz_class>{xs[0], xs[0] * 2};
+  });
+  f.set_output_class(1, IdealRoleClass::Leaky);
+  f.input(0, mpz_class(21), 1);
+  auto leaked = f.evaluate(2);
+  ASSERT_EQ(leaked.size(), 1u);
+  EXPECT_EQ(leaked.at(1), 42);
+}
+
+TEST(IdealBroadcast, SpeakOnceAndRushingLeak) {
+  IdealBroadcast bc;
+  const std::string& leak = bc.send("R1", "hello", 1);
+  EXPECT_EQ(leak, "hello");  // rushing adversary sees it immediately
+  EXPECT_THROW(bc.send("R1", "again", 2), std::logic_error);
+  bc.send("R2", "world", 1);
+  auto round1 = bc.read(1, 2);
+  EXPECT_EQ(round1.size(), 2u);
+  EXPECT_EQ(round1.at("R2"), "world");
+  EXPECT_THROW(bc.read(2, 2), std::logic_error);  // cannot read the future
+  EXPECT_TRUE(bc.read(0, 5).empty());
+}
+
+// The real protocol realizes F_MPC's I/O relation: identical inputs give
+// identical outputs (with the protocol's Z_{N^s} as the ideal ring).
+TEST(RealVsIdeal, ProtocolMatchesFunctionality) {
+  auto params = ProtocolParams::for_gap(5, 0.2, 192);
+  Circuit c = statistics_circuit(3);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 7701);
+  std::vector<std::vector<mpz_class>> inputs{{mpz_class(4)}, {mpz_class(9)}, {mpz_class(16)}};
+  auto real = mpc.run(inputs);
+
+  const mpz_class ns = mpc.plaintext_modulus();
+  IdealMpc ideal(3, 2, [&](const std::vector<mpz_class>& xs) {
+    mpz_class sum = (xs[0] + xs[1] + xs[2]) % ns;
+    mpz_class sq = (xs[0] * xs[0] + xs[1] * xs[1] + xs[2] * xs[2]) % ns;
+    return std::vector<mpz_class>{sum, sq};
+  });
+  for (unsigned i = 0; i < 3; ++i) ideal.input(i, inputs[i][0], 1);
+  ideal.evaluate(2);
+  EXPECT_EQ(real.outputs[0], *ideal.read(0));
+  EXPECT_EQ(real.outputs[1], *ideal.read(1));
+}
+
+TEST(RealVsIdeal, MatchesUnderActiveCorruption) {
+  auto params = ProtocolParams::for_gap(5, 0.2, 192);
+  Circuit c = inner_product_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, 0, MaliciousStrategy::BadShare),
+              7702);
+  std::vector<std::vector<mpz_class>> inputs{{mpz_class(3), mpz_class(5)},
+                                             {mpz_class(7), mpz_class(11)}};
+  auto real = mpc.run(inputs);
+  IdealMpc ideal(4, 1, [&](const std::vector<mpz_class>& xs) {
+    return std::vector<mpz_class>{(xs[0] * xs[2] + xs[1] * xs[3]) % mpc.plaintext_modulus()};
+  });
+  ideal.input(0, 3, 1);
+  ideal.input(1, 5, 1);
+  ideal.input(2, 7, 1);
+  ideal.input(3, 11, 1);
+  ideal.evaluate(2);
+  EXPECT_EQ(real.outputs[0], *ideal.read(0));
+}
+
+}  // namespace
+}  // namespace yoso

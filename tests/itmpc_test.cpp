@@ -1,0 +1,170 @@
+// Tests of the information-theoretic packed engine (the future-work
+// extension): correctness across circuit families, the fail-stop
+// threshold, packing semantics, and online-cost accounting.
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "itmpc/itmpc.hpp"
+#include "sharing/packed.hpp"
+
+namespace yoso {
+namespace {
+
+std::vector<std::vector<Fp61::Elem>> it_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Fp61::Elem>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) inputs[g.client].push_back(rng.u64_below(100000));
+  }
+  return inputs;
+}
+
+std::vector<Fp61::Elem> reference(const Circuit& c,
+                                  const std::vector<std::vector<Fp61::Elem>>& inputs) {
+  std::vector<std::vector<mpz_class>> z(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (auto v : inputs[i]) z[i].push_back(mpz_class(static_cast<unsigned long>(v)));
+  }
+  auto out = c.eval(z, mpz_class(static_cast<unsigned long>(Fp61::kModulus)));
+  std::vector<Fp61::Elem> res;
+  for (const auto& o : out) res.push_back(o.get_ui());
+  return res;
+}
+
+void expect_correct(const Circuit& c, const ItParams& params, unsigned failstops,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  auto corr = it_deal(c, params, rng);
+  auto inputs = it_inputs(c, seed + 1);
+  auto res = it_online(c, params, corr, inputs, failstops, seed + 2);
+  ASSERT_TRUE(res.delivered);
+  EXPECT_EQ(res.outputs, reference(c, inputs));
+}
+
+TEST(ItMpc, WideCircuit) {
+  expect_correct(wide_mul_circuit(6), ItParams::for_gap(8, 0.25), 0, 1);
+}
+
+TEST(ItMpc, InnerProduct) {
+  expect_correct(inner_product_circuit(5), ItParams::for_gap(8, 0.25), 0, 2);
+}
+
+TEST(ItMpc, DeepChain) {
+  expect_correct(chain_circuit(5), ItParams::for_gap(8, 0.25), 0, 3);
+}
+
+TEST(ItMpc, MulTree) {
+  expect_correct(mul_tree_circuit(8), ItParams::for_gap(8, 0.25), 0, 4);
+}
+
+TEST(ItMpc, Statistics) {
+  expect_correct(statistics_circuit(4), ItParams::for_gap(8, 0.25), 0, 5);
+}
+
+TEST(ItMpc, LargeCommittee) {
+  expect_correct(wide_mul_circuit(32), ItParams::for_gap(64, 0.25), 0, 6);
+}
+
+TEST(ItMpc, FailStopWithinBudgetSucceeds) {
+  auto params = ItParams::for_gap(16, 0.25, /*failstop_mode=*/true);
+  unsigned budget = params.n - params.recon_threshold();
+  ASSERT_GE(budget, 4u);
+  expect_correct(wide_mul_circuit(4), params, budget, 7);
+}
+
+TEST(ItMpc, FailStopBeyondBudgetStalls) {
+  auto params = ItParams::for_gap(16, 0.25, /*failstop_mode=*/false);
+  unsigned budget = params.n - params.recon_threshold();
+  Circuit c = wide_mul_circuit(4);
+  Rng rng(8);
+  auto corr = it_deal(c, params, rng);
+  auto res = it_online(c, params, corr, it_inputs(c, 9), budget + 1, 10);
+  EXPECT_FALSE(res.delivered);
+}
+
+TEST(ItMpc, HalvedPackingDoublesTolerance) {
+  auto full = ItParams::for_gap(16, 0.25, false);
+  auto half = ItParams::for_gap(16, 0.25, true);
+  EXPECT_GT(full.k, half.k);
+  EXPECT_GT(16 - half.recon_threshold(), 16 - full.recon_threshold());
+}
+
+TEST(ItMpc, OnlineCostPerGateTracksNOverK) {
+  // mult elements per gate = n / k (+ padding slack); measure at two
+  // packings over the same circuit.
+  Circuit c = wide_mul_circuit(12);
+  Rng rng(11);
+  ItParams packed = ItParams::for_gap(12, 0.25);  // k = 4
+  auto corr = it_deal(c, packed, rng);
+  auto res = it_online(c, packed, corr, it_inputs(c, 12), 0, 13);
+  ASSERT_TRUE(res.delivered);
+  double per_gate = static_cast<double>(res.mult_share_elements) / 12.0;
+  EXPECT_NEAR(per_gate, 12.0 / packed.k, 0.51);
+
+  ItParams unpacked = packed;
+  unpacked.k = 1;
+  Rng rng2(14);
+  auto corr2 = it_deal(c, unpacked, rng2);
+  auto res2 = it_online(c, unpacked, corr2, it_inputs(c, 12), 0, 15);
+  ASSERT_TRUE(res2.delivered);
+  EXPECT_NEAR(static_cast<double>(res2.mult_share_elements) / 12.0, 12.0, 0.01);
+}
+
+TEST(ItMpc, DealerLambdasRespectLinearGates) {
+  Circuit c;
+  WireId a = c.input(0);
+  WireId b = c.input(0);
+  WireId s = c.add(a, b);
+  WireId d = c.sub(s, b);
+  c.output(d, 0);
+  ItParams params = ItParams::for_gap(4, 0.2);
+  Rng rng(16);
+  auto corr = it_deal(c, params, rng);
+  Fp61Ring ring;
+  EXPECT_EQ(corr.wire_lambda[s], ring.add(corr.wire_lambda[a], corr.wire_lambda[b]));
+  EXPECT_EQ(corr.wire_lambda[d], corr.wire_lambda[a]);
+}
+
+TEST(ItMpc, ParamsValidate) {
+  ItParams p;
+  p.n = 4;
+  p.t = 1;
+  p.k = 3;  // recon = 1 + 4 + 1 = 6 > 4
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_THROW((ItParams{0, 0, 1}.validate()), std::invalid_argument);
+}
+
+TEST(ItMpc, MissingInputThrows) {
+  Circuit c = wide_mul_circuit(1);
+  ItParams params = ItParams::for_gap(4, 0.2);
+  Rng rng(17);
+  auto corr = it_deal(c, params, rng);
+  EXPECT_THROW(it_online(c, params, corr, {{1}}, 0, 18), std::invalid_argument);
+}
+
+// Privacy smoke test: any t shares of a packed lambda sharing are
+// consistent with *any* secret vector (perfect privacy of packed Shamir at
+// degree t + k - 1).  We verify constructively: given t observed shares
+// and an arbitrary candidate secret vector, a completing polynomial exists
+// (interpolation through t + k points never over-determines degree t+k-1).
+TEST(ItMpc, PackedSharesOfTPartiesAreCompletable) {
+  Fp61Ring ring;
+  Rng rng(19);
+  const unsigned n = 8, k = 3, t = 2, d = t + k - 1;
+  std::vector<Fp61::Elem> secrets{11, 22, 33};
+  auto sh = packed_share(ring, secrets, d, n, rng);
+  // Adversary sees shares of parties 1..t.  Candidate alternative secrets:
+  std::vector<Fp61::Elem> fake{44, 55, 66};
+  // Interpolate a degree-d polynomial through the t observed shares and the
+  // k fake secrets (t + k = d + 1 points: exactly determined, so it exists
+  // and matches the observations).
+  std::vector<std::int64_t> pts{1, 2, secret_point(0), secret_point(1), secret_point(2)};
+  std::vector<Fp61::Elem> vals{sh.shares[0], sh.shares[1], fake[0], fake[1], fake[2]};
+  auto coeffs = interpolate_coeffs(ring, pts, vals);
+  EXPECT_EQ(coeffs.size(), d + 1);
+  EXPECT_EQ(poly_eval(ring, coeffs, ring.from_int(1)), sh.shares[0]);
+  EXPECT_EQ(poly_eval(ring, coeffs, ring.from_int(secret_point(2))), fake[2]);
+}
+
+}  // namespace
+}  // namespace yoso

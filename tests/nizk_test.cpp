@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "nizk/link_proof.hpp"
+#include "nizk/mult_proof.hpp"
+#include "nizk/pdec_proof.hpp"
+#include "nizk/plaintext_proof.hpp"
+#include "paillier/threshold.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+class NizkTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(3001);
+    sk_ = new PaillierSK(paillier_keygen(kBits, 1, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete sk_;
+    delete rng_;
+    sk_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static PaillierSK* sk_;
+};
+
+Rng* NizkTest::rng_ = nullptr;
+PaillierSK* NizkTest::sk_ = nullptr;
+
+TEST_F(NizkTest, PlaintextProofAccepts) {
+  mpz_class m = rng_->below(sk_->pk.ns);
+  mpz_class r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  EXPECT_TRUE(verify_plaintext(sk_->pk, c, proof));
+}
+
+TEST_F(NizkTest, PlaintextProofRejectsWrongCiphertext) {
+  mpz_class m = 5, r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  mpz_class other = sk_->pk.enc(mpz_class(6), *rng_);
+  EXPECT_FALSE(verify_plaintext(sk_->pk, other, proof));
+}
+
+TEST_F(NizkTest, PlaintextProofRejectsTamperedResponse) {
+  mpz_class m = 5, r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  proof.inner.z += 1;
+  EXPECT_FALSE(verify_plaintext(sk_->pk, c, proof));
+}
+
+TEST_F(NizkTest, PlaintextProofRejectsOversizedResponse) {
+  mpz_class m = 5, r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  proof.inner.z += mpz_class(1) << 4096;  // blow the range check
+  EXPECT_FALSE(verify_plaintext(sk_->pk, c, proof));
+}
+
+TEST_F(NizkTest, PlaintextProofRejectsInvalidCiphertext) {
+  mpz_class m = 5, r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  EXPECT_FALSE(verify_plaintext(sk_->pk, mpz_class(0), proof));
+}
+
+TEST_F(NizkTest, MultProofAccepts) {
+  const auto& pk = sk_->pk;
+  mpz_class a = rng_->below(pk.ns);
+  mpz_class c_a = pk.enc(a, *rng_);
+  mpz_class b = rng_->below(pk.ns), r_b;
+  mpz_class c_b = pk.enc(b, *rng_, &r_b);
+  mpz_class rho;
+  mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, b, r_b, rho, *rng_);
+  EXPECT_TRUE(verify_mult(pk, c_a, c_b, c_p, proof));
+  // And the product really decrypts to a*b.
+  EXPECT_EQ(sk_->dec(c_p), a * b % pk.ns);
+}
+
+TEST_F(NizkTest, MultProofRejectsMismatchedProduct) {
+  const auto& pk = sk_->pk;
+  mpz_class c_a = pk.enc(mpz_class(3), *rng_);
+  mpz_class b = 4, r_b;
+  mpz_class c_b = pk.enc(b, *rng_, &r_b);
+  mpz_class rho;
+  mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, b, r_b, rho, *rng_);
+  // Claim the product is something else.
+  mpz_class c_bad = pk.enc(mpz_class(13), *rng_);
+  EXPECT_FALSE(verify_mult(pk, c_a, c_b, c_bad, proof));
+}
+
+TEST_F(NizkTest, MultProofRejectsWrongB) {
+  const auto& pk = sk_->pk;
+  mpz_class c_a = pk.enc(mpz_class(3), *rng_);
+  mpz_class b = 4, r_b;
+  mpz_class c_b = pk.enc(b, *rng_, &r_b);
+  mpz_class rho;
+  // Product computed with a different scalar than the encrypted b.
+  mpz_class c_p = pk.rerandomize(pk.scal(c_a, mpz_class(5)), *rng_, &rho);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, mpz_class(5), r_b, rho, *rng_);
+  EXPECT_FALSE(verify_mult(pk, c_a, c_b, c_p, proof));
+}
+
+TEST_F(NizkTest, LinkProofTwoPaillierLegsEquality) {
+  // The mask re-encryption statement: same pad under two different keys.
+  Rng rng2(3002);
+  PaillierSK sk2 = paillier_keygen(kBits + 64, 2, rng2, /*safe_primes=*/false);
+  mpz_class pad = rng_->below(sk_->pk.ns);
+  mpz_class r1, r2;
+  mpz_class c1 = sk_->pk.enc(pad, *rng_, &r1);
+  mpz_class c2 = sk2.pk.enc(pad, *rng_, &r2);
+
+  LinkStatement st;
+  st.domain = "test.padlink";
+  st.paillier_legs = {PaillierLeg{sk_->pk, c1}, PaillierLeg{sk2.pk, c2}};
+  st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(sk_->pk.ns.get_mpz_t(), 2));
+  LinkWitness w{pad, {r1, r2}};
+  auto proof = link_prove(st, w, *rng_);
+  EXPECT_TRUE(link_verify(st, proof));
+
+  // Different plaintexts must not verify.
+  mpz_class c2_bad = sk2.pk.enc(pad + 1, rng2);
+  LinkStatement st_bad = st;
+  st_bad.paillier_legs[1].ciphertext = c2_bad;
+  EXPECT_FALSE(link_verify(st_bad, proof));
+}
+
+TEST_F(NizkTest, LinkProofPaillierPlusExponentLeg) {
+  // The subshare <-> Feldman linkage: Enc(x) and v^x.
+  const auto& pk = sk_->pk;
+  mpz_class x = rng_->below(mpz_class(1) << 100);
+  mpz_class r;
+  mpz_class c = pk.enc(x, *rng_, &r);
+  mpz_class v = rng_->unit_mod(pk.ns1);
+  v = v * v % pk.ns1;
+  mpz_class target;
+  mpz_powm(target.get_mpz_t(), v.get_mpz_t(), x.get_mpz_t(), pk.ns1.get_mpz_t());
+
+  LinkStatement st;
+  st.domain = "test.subshare";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.exponent_legs = {ExponentLeg{v, target, pk.ns1}};
+  st.bound_bits = 100;
+  LinkWitness w{x, {r}};
+  auto proof = link_prove(st, w, *rng_);
+  EXPECT_TRUE(link_verify(st, proof));
+
+  // Tampering with the exponent target breaks it.
+  LinkStatement st_bad = st;
+  st_bad.exponent_legs[0].target = target * v % pk.ns1;
+  EXPECT_FALSE(link_verify(st_bad, proof));
+}
+
+TEST_F(NizkTest, LinkProofNegativeWitness) {
+  const auto& pk = sk_->pk;
+  mpz_class x = -12345;
+  mpz_class r;
+  mpz_class c = pk.enc(x, *rng_, &r);  // encrypts x mod N^s
+  mpz_class v = rng_->unit_mod(pk.ns1);
+  v = v * v % pk.ns1;
+  mpz_class target;
+  mpz_powm(target.get_mpz_t(), v.get_mpz_t(), x.get_mpz_t(), pk.ns1.get_mpz_t());
+
+  LinkStatement st;
+  st.domain = "test.negative";
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  st.exponent_legs = {ExponentLeg{v, target, pk.ns1}};
+  st.bound_bits = 20;
+  LinkWitness w{x, {r}};
+  auto proof = link_prove(st, w, *rng_);
+  EXPECT_TRUE(link_verify(st, proof));
+}
+
+TEST_F(NizkTest, LinkProofRejectsWitnessOverBound) {
+  const auto& pk = sk_->pk;
+  LinkStatement st;
+  st.domain = "test.bound";
+  st.bound_bits = 10;
+  mpz_class r;
+  mpz_class c = pk.enc(mpz_class(5000), *rng_, &r);
+  st.paillier_legs = {PaillierLeg{pk, c}};
+  LinkWitness w{mpz_class(5000), {r}};  // 5000 > 2^10
+  EXPECT_THROW(link_prove(st, w, *rng_), std::invalid_argument);
+}
+
+TEST_F(NizkTest, ProofSizesAreReported) {
+  mpz_class m = 5, r;
+  mpz_class c = sk_->pk.enc(m, *rng_, &r);
+  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  EXPECT_GT(proof.wire_bytes(), 0u);
+}
+
+class PdecNizkTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(3003);
+    keys_ = new ThresholdKeys(tkgen(kBits, 1, 5, 2, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static ThresholdKeys* keys_;
+};
+
+Rng* PdecNizkTest::rng_ = nullptr;
+ThresholdKeys* PdecNizkTest::keys_ = nullptr;
+
+TEST_F(PdecNizkTest, AcceptsHonestPartial) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c = tpk.pk.enc(mpz_class(77), *rng_);
+  for (const auto& sh : keys_->shares) {
+    mpz_class partial = tpdec(tpk, sh, c);
+    auto proof = prove_pdec(tpk, sh, c, partial, *rng_);
+    EXPECT_TRUE(verify_pdec(tpk, sh.index, c, partial, proof));
+  }
+}
+
+TEST_F(PdecNizkTest, RejectsCorruptedPartial) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c = tpk.pk.enc(mpz_class(77), *rng_);
+  const auto& sh = keys_->shares[0];
+  mpz_class partial = tpdec(tpk, sh, c);
+  auto proof = prove_pdec(tpk, sh, c, partial, *rng_);
+  mpz_class bad = partial * (tpk.pk.n + 1) % tpk.pk.ns1;  // shift the plaintext part
+  EXPECT_FALSE(verify_pdec(tpk, sh.index, c, bad, proof));
+}
+
+TEST_F(PdecNizkTest, RejectsPartialUnderWrongIndex) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c = tpk.pk.enc(mpz_class(77), *rng_);
+  const auto& sh = keys_->shares[0];
+  mpz_class partial = tpdec(tpk, sh, c);
+  auto proof = prove_pdec(tpk, sh, c, partial, *rng_);
+  EXPECT_FALSE(verify_pdec(tpk, 2, c, partial, proof));  // claims to be party 2
+  EXPECT_FALSE(verify_pdec(tpk, 0, c, partial, proof));
+  EXPECT_FALSE(verify_pdec(tpk, 9, c, partial, proof));
+}
+
+TEST_F(PdecNizkTest, ProofBoundToCiphertext) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c1 = tpk.pk.enc(mpz_class(1), *rng_);
+  mpz_class c2 = tpk.pk.enc(mpz_class(2), *rng_);
+  const auto& sh = keys_->shares[1];
+  mpz_class partial = tpdec(tpk, sh, c1);
+  auto proof = prove_pdec(tpk, sh, c1, partial, *rng_);
+  EXPECT_FALSE(verify_pdec(tpk, sh.index, c2, partial, proof));
+}
+
+TEST_F(PdecNizkTest, WorksAfterResharingEpoch) {
+  ThresholdPK tpk = keys_->tpk;
+  std::vector<unsigned> from{1, 2, 3};
+  std::vector<ReshareMsg> msgs;
+  for (unsigned i : from) msgs.push_back(tkres(tpk, keys_->shares[i - 1], *rng_));
+  ThresholdPK tpk2 = next_epoch_pk(tpk, from, msgs);
+  std::vector<mpz_class> subs;
+  for (const auto& m : msgs) subs.push_back(m.subshares[3]);  // party 4's subshares
+  auto sh4 = tkrec(tpk, 4, from, subs);
+
+  mpz_class c = tpk2.pk.enc(mpz_class(55), *rng_);
+  mpz_class partial = tpdec(tpk2, sh4, c);
+  auto proof = prove_pdec(tpk2, sh4, c, partial, *rng_);
+  EXPECT_TRUE(verify_pdec(tpk2, 4, c, partial, proof));
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,155 @@
+// White-box tests of the offline phase: decrypt the preprocessing
+// artifacts with the dealer key (test-only) and check the correlation
+// invariants the online phase relies on — lambda propagation through
+// linear gates, Gamma = lambda_a * lambda_b - lambda_g, packed sharings
+// storing the right vectors at the right degree, and FutureCts opening to
+// the packed shares.
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "field/zn_ring.hpp"
+#include "mpc/offline.hpp"
+#include "mpc/protocol.hpp"
+#include "sharing/packed.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+// Drives setup + offline through internal entry points so the dealer key
+// stays accessible for decryption.
+struct OfflineEnv {
+  ProtocolParams params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit circuit;
+  Rng rng{8201};
+  Ledger ledger;
+  Bulletin bulletin{ledger};
+  SetupArtifacts setup;
+  std::deque<Committee> committees;
+  std::optional<DecryptChain> chain;
+  OfflineArtifacts off;
+
+  explicit OfflineEnv(Circuit c) : circuit(std::move(c)) {
+    params.planned_epochs = circuit.mul_depth() + 3;
+    setup = run_setup(params, circuit.mul_depth(), circuit.num_clients(), bulletin, rng);
+    auto spawn = [&](const std::string& name, unsigned plain_bits) -> Committee& {
+      CommitteeCorruption cor;
+      cor.status.assign(params.n, RoleStatus::Honest);
+      committees.push_back(make_committee(name, params.paillier_bits,
+                                          params.exponent_for(plain_bits), cor, rng));
+      return committees.back();
+    };
+    OfflineCommittees coms;
+    coms.beaver_a = &spawn("a", params.paillier_bits);
+    coms.beaver_b = &spawn("b", params.paillier_bits);
+    coms.randomness = &spawn("r", params.paillier_bits);
+    for (unsigned l = 1; l <= circuit.mul_depth(); ++l) {
+      coms.layer_holders.push_back(&spawn("h" + std::to_string(l), params.holder_plain_bits()));
+    }
+    coms.reenc_masker = &spawn("rm", params.paillier_bits);
+    coms.reenc_holder = &spawn("rh", params.holder_plain_bits());
+    coms.next_after = &spawn("next", params.holder_plain_bits());
+    chain.emplace(setup.tkeys.tpk, setup.tkeys.shares, params, bulletin, rng);
+    off = run_offline(params, circuit, setup, *chain, coms, bulletin, rng);
+  }
+
+  mpz_class dec(const mpz_class& c) { return setup.tkeys.dealer_sk.dec(c); }
+  const mpz_class& ns() const { return setup.tkeys.tpk.pk.ns; }
+};
+
+TEST(OfflineInvariants, LambdaPropagatesThroughLinearGates) {
+  Circuit c;
+  WireId x = c.input(0);
+  WireId y = c.input(0);
+  WireId s = c.add(x, y);
+  WireId d = c.sub(s, y);
+  WireId ac = c.add_const(d, mpz_class(7));
+  WireId mc = c.mul_const(ac, mpz_class(3));
+  c.output(mc, 0);
+  OfflineEnv env(std::move(c));
+  ZnRing ring(env.ns());
+  mpz_class lx = env.dec(env.off.wire_lambda_ct[x]);
+  mpz_class ly = env.dec(env.off.wire_lambda_ct[y]);
+  EXPECT_EQ(env.dec(env.off.wire_lambda_ct[s]), ring.add(lx, ly));
+  EXPECT_EQ(env.dec(env.off.wire_lambda_ct[d]), lx);
+  EXPECT_EQ(env.dec(env.off.wire_lambda_ct[ac]), lx);  // AddConst keeps lambda
+  EXPECT_EQ(env.dec(env.off.wire_lambda_ct[mc]), ring.mul(mpz_class(3), lx));
+}
+
+TEST(OfflineInvariants, PackedSharesEncodeLambdaVectors) {
+  OfflineEnv env(wide_mul_circuit(4));  // k = 2 -> 2 batches
+  ZnRing ring(env.ns());
+  ASSERT_EQ(env.off.batches.size(), 2u);
+  for (std::size_t b = 0; b < env.off.batches.size(); ++b) {
+    const MulBatch& batch = env.off.batches[b];
+    const BatchShares& bs = env.off.batch_shares[b];
+    // Recover each role's packed share by opening its FutureCt with the
+    // role's KFF key, then reconstruct the secret vectors.
+    std::vector<std::int64_t> pts;
+    std::vector<mpz_class> sa, sb, sg;
+    for (unsigned i = 0; i < env.params.n; ++i) {
+      const PaillierSK& kff = env.setup.kff_mult[batch.layer - 1][i].sk;
+      pts.push_back(i + 1);
+      sa.push_back(open_future(kff, bs.alpha[i], env.ns()));
+      sb.push_back(open_future(kff, bs.beta[i], env.ns()));
+      sg.push_back(open_future(kff, bs.gamma[i], env.ns()));
+    }
+    const unsigned d = env.params.packed_degree();
+    auto la = packed_reconstruct(ring, pts, sa, d, env.params.k);
+    auto lb = packed_reconstruct(ring, pts, sb, d, env.params.k);
+    auto gm = packed_reconstruct(ring, pts, sg, d, env.params.k);
+    for (unsigned j = 0; j < env.params.k; ++j) {
+      mpz_class ea = env.dec(env.off.wire_lambda_ct[batch.alpha[j]]);
+      mpz_class eb = env.dec(env.off.wire_lambda_ct[batch.beta[j]]);
+      mpz_class eg = env.dec(env.off.wire_lambda_ct[batch.gamma[j]]);
+      EXPECT_EQ(la[j], ea) << "batch " << b << " slot " << j;
+      EXPECT_EQ(lb[j], eb);
+      // Gamma invariant: the heart of the online multiplication.
+      EXPECT_EQ(gm[j], ring.sub(ring.mul(ea, eb), eg));
+    }
+  }
+}
+
+TEST(OfflineInvariants, InputLambdaFutureCtsOpenForClients) {
+  OfflineEnv env(inner_product_circuit(2));
+  for (const auto& [wire, fct] : env.off.input_lambda) {
+    unsigned client = env.circuit.gates()[wire].client;
+    mpz_class opened = open_future(env.setup.kff_client[client].sk, fct, env.ns());
+    EXPECT_EQ(opened, env.dec(env.off.wire_lambda_ct[wire]));
+  }
+}
+
+TEST(OfflineInvariants, FreshLambdasAreDistinct) {
+  OfflineEnv env(wide_mul_circuit(3));
+  std::set<std::string> seen;
+  for (WireId w = 0; w < env.circuit.gates().size(); ++w) {
+    if (env.circuit.gates()[w].kind != GateKind::Input &&
+        env.circuit.gates()[w].kind != GateKind::Mul) {
+      continue;
+    }
+    seen.insert(env.dec(env.off.wire_lambda_ct[w]).get_str());
+  }
+  EXPECT_EQ(seen.size(), env.circuit.num_inputs() + env.circuit.num_mul_gates());
+}
+
+TEST(OfflineInvariants, PaddedBatchSlotsRepeatSlotZero) {
+  OfflineEnv env(wide_mul_circuit(3));  // k = 2 -> second batch padded
+  const MulBatch& padded = env.off.batches[1];
+  ASSERT_EQ(padded.real, 1u);
+  EXPECT_EQ(padded.gamma[1], padded.gamma[0]);
+  // The packed sharing stores the duplicated lambda in both slots.
+  ZnRing ring(env.ns());
+  std::vector<std::int64_t> pts;
+  std::vector<mpz_class> sg;
+  for (unsigned i = 0; i < env.params.n; ++i) {
+    const PaillierSK& kff = env.setup.kff_mult[0][i].sk;
+    pts.push_back(i + 1);
+    sg.push_back(open_future(kff, env.off.batch_shares[1].alpha[i], env.ns()));
+  }
+  auto la = packed_reconstruct(ring, pts, sg, env.params.packed_degree(), env.params.k);
+  EXPECT_EQ(la[0], la[1]);
+}
+
+}  // namespace
+}  // namespace yoso

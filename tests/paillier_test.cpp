@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "paillier/paillier.hpp"
+
+namespace yoso {
+namespace {
+
+// Small moduli keep the suite fast; correctness is modulus-size independent.
+constexpr unsigned kBits = 192;
+
+class PaillierTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(1001);
+    sk_ = new PaillierSK(paillier_keygen(kBits, 1, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete sk_;
+    delete rng_;
+    sk_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static PaillierSK* sk_;
+};
+
+Rng* PaillierTest::rng_ = nullptr;
+PaillierSK* PaillierTest::sk_ = nullptr;
+
+TEST_F(PaillierTest, EncDecRoundTrip) {
+  for (int i = 0; i < 10; ++i) {
+    mpz_class m = rng_->below(sk_->pk.ns);
+    mpz_class c = sk_->pk.enc(m, *rng_);
+    EXPECT_EQ(sk_->dec(c), m);
+  }
+}
+
+TEST_F(PaillierTest, DecryptsZeroAndEdges) {
+  EXPECT_EQ(sk_->dec(sk_->pk.enc(mpz_class(0), *rng_)), 0);
+  EXPECT_EQ(sk_->dec(sk_->pk.enc(mpz_class(1), *rng_)), 1);
+  mpz_class top = sk_->pk.ns - 1;
+  EXPECT_EQ(sk_->dec(sk_->pk.enc(top, *rng_)), top);
+}
+
+TEST_F(PaillierTest, NegativePlaintextWrapsModNs) {
+  mpz_class c = sk_->pk.enc(mpz_class(-5), *rng_);
+  EXPECT_EQ(sk_->dec(c), sk_->pk.ns - 5);
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  mpz_class a = rng_->below(sk_->pk.ns), b = rng_->below(sk_->pk.ns);
+  mpz_class c = sk_->pk.add(sk_->pk.enc(a, *rng_), sk_->pk.enc(b, *rng_));
+  EXPECT_EQ(sk_->dec(c), (a + b) % sk_->pk.ns);
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  mpz_class a = rng_->below(sk_->pk.ns);
+  mpz_class k = rng_->below(mpz_class(1) << 64);
+  mpz_class c = sk_->pk.scal(sk_->pk.enc(a, *rng_), k);
+  EXPECT_EQ(sk_->dec(c), a * k % sk_->pk.ns);
+}
+
+TEST_F(PaillierTest, NegativeScalar) {
+  mpz_class a = 7;
+  mpz_class c = sk_->pk.scal(sk_->pk.enc(a, *rng_), mpz_class(-3));
+  EXPECT_EQ(sk_->dec(c), sk_->pk.ns - 21);
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintextChangesCiphertext) {
+  mpz_class a = 12345;
+  mpz_class c = sk_->pk.enc(a, *rng_);
+  mpz_class c2 = sk_->pk.rerandomize(c, *rng_);
+  EXPECT_NE(c, c2);
+  EXPECT_EQ(sk_->dec(c2), a);
+}
+
+TEST_F(PaillierTest, EvalComputesLinearCombination) {
+  std::vector<mpz_class> ms{3, 5, 7}, coeffs{2, 11, 1};
+  std::vector<mpz_class> cts;
+  for (const auto& m : ms) cts.push_back(sk_->pk.enc(m, *rng_));
+  mpz_class c = sk_->pk.eval(cts, coeffs);
+  EXPECT_EQ(sk_->dec(c), 3 * 2 + 5 * 11 + 7 * 1);
+}
+
+TEST_F(PaillierTest, EvalSizeMismatchThrows) {
+  std::vector<mpz_class> cts{sk_->pk.enc(mpz_class(1), *rng_)};
+  std::vector<mpz_class> coeffs{1, 2};
+  EXPECT_THROW(sk_->pk.eval(cts, coeffs), std::invalid_argument);
+}
+
+TEST_F(PaillierTest, DeterministicEncryptionMatches) {
+  mpz_class r = rng_->unit_mod(sk_->pk.n);
+  EXPECT_EQ(sk_->pk.enc(mpz_class(9), r), sk_->pk.enc(mpz_class(9), r));
+}
+
+TEST_F(PaillierTest, ValidCiphertextChecks) {
+  mpz_class c = sk_->pk.enc(mpz_class(5), *rng_);
+  EXPECT_TRUE(sk_->pk.valid_ciphertext(c));
+  EXPECT_FALSE(sk_->pk.valid_ciphertext(mpz_class(0)));
+  EXPECT_FALSE(sk_->pk.valid_ciphertext(sk_->pk.ns1));
+  EXPECT_FALSE(sk_->pk.valid_ciphertext(sk_->pk.n));  // shares a factor
+}
+
+TEST_F(PaillierTest, CiphertextBytesSane) {
+  EXPECT_GE(sk_->pk.ciphertext_bytes() * 8, 2 * kBits - 8);
+}
+
+TEST(PaillierDJ, HigherSWidensPlaintextSpace) {
+  Rng rng(1002);
+  for (unsigned s : {2u, 3u}) {
+    PaillierSK sk = paillier_keygen(128, s, rng, /*safe_primes=*/false);
+    mpz_class big = sk.pk.ns - 12345;  // needs the full N^s range
+    mpz_class c = sk.pk.enc(big, rng);
+    EXPECT_EQ(sk.dec(c), big) << "s=" << s;
+    // Homomorphism still holds at higher s.
+    mpz_class c2 = sk.pk.add(c, sk.pk.enc(mpz_class(12345), rng));
+    EXPECT_EQ(sk.dec(c2), 0) << "s=" << s;
+  }
+}
+
+TEST(PaillierDJ, DlogExtractionConsistency) {
+  Rng rng(1003);
+  PaillierSK sk = paillier_keygen(96, 2, rng, /*safe_primes=*/false);
+  mpz_class m = rng.below(sk.pk.ns);
+  mpz_class u;
+  mpz_class base = sk.pk.n + 1;
+  mpz_powm(u.get_mpz_t(), base.get_mpz_t(), m.get_mpz_t(), sk.pk.ns1.get_mpz_t());
+  EXPECT_EQ(dlog_1pn(sk.pk, u), m);
+}
+
+TEST(PaillierDJ, DlogRejectsNonPower) {
+  Rng rng(1004);
+  PaillierSK sk = paillier_keygen(96, 1, rng, /*safe_primes=*/false);
+  EXPECT_THROW(dlog_1pn(sk.pk, mpz_class(2)), std::domain_error);
+}
+
+TEST(PaillierKeygen, RejectsBadParams) {
+  Rng rng(1005);
+  EXPECT_THROW(paillier_keygen(64, 0, rng), std::invalid_argument);
+  EXPECT_THROW(paillier_keygen(16, 1, rng), std::invalid_argument);
+}
+
+TEST(PaillierKeygen, KeyStructure) {
+  Rng rng(1006);
+  PaillierSK sk = paillier_keygen(128, 1, rng, /*safe_primes=*/false);
+  EXPECT_EQ(sk.pk.n, sk.p * sk.q);
+  EXPECT_EQ(sk.pk.ns, sk.pk.n);
+  EXPECT_EQ(sk.pk.ns1, sk.pk.n * sk.pk.n);
+  EXPECT_EQ(sk.d % sk.pk.ns, 1);
+  EXPECT_EQ(sk.d % sk.m_order, 0);
+}
+
+}  // namespace
+}  // namespace yoso

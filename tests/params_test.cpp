@@ -1,0 +1,106 @@
+// Tests for the parameter derivation: key-class sizing, bound
+// monotonicity, and consistency with the threshold scheme's actual share
+// growth (the holder budget must dominate reality).
+#include <gtest/gtest.h>
+
+#include "mpc/params.hpp"
+#include "nizk/link_proof.hpp"
+#include "paillier/threshold.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(Params, ExponentForCoversPlainBits) {
+  ProtocolParams p = ProtocolParams::for_gap(8, 0.2, 192);
+  for (unsigned bits : {100u, 191u, 192u, 500u, 2000u}) {
+    unsigned s = p.exponent_for(bits);
+    EXPECT_GE(s * (p.paillier_bits - 1), bits);
+    if (s > 1) {
+      EXPECT_LT((s - 1) * (p.paillier_bits - 1), bits);
+    }
+  }
+}
+
+TEST(Params, PadBoundsChain) {
+  ProtocolParams p = ProtocolParams::for_gap(8, 0.2, 192);
+  EXPECT_GT(p.pad_sum_bound_bits(), p.pad_bound_bits());
+  EXPECT_GT(p.pint_bound_bits(), p.pad_sum_bound_bits());
+  EXPECT_GE(p.kff_plain_bits(), p.pint_bound_bits());
+  EXPECT_GT(p.role_plain_bits(), p.pad_bound_bits() + kKappa + kStat);
+}
+
+TEST(Params, HolderBudgetDominatesActualShareGrowth) {
+  // Replay real resharings and check every actual subshare stays within
+  // the planned holder plaintext budget.
+  ProtocolParams p = ProtocolParams::for_gap(5, 0.2, 128);
+  p.planned_epochs = 3;
+  Rng rng(7201);
+  ThresholdKeys keys = tkgen(p.paillier_bits, p.s, p.n, p.t, rng);
+  ThresholdPK tpk = keys.tpk;
+  std::vector<ThresholdKeyShare> shares = keys.shares;
+  unsigned max_subshare_bits = 0;
+  for (unsigned epoch = 0; epoch < p.planned_epochs; ++epoch) {
+    std::vector<unsigned> from{1, 2};
+    std::vector<ReshareMsg> msgs;
+    for (unsigned i : from) msgs.push_back(tkres(tpk, shares[i - 1], rng));
+    for (const auto& m : msgs) {
+      for (const auto& s : m.subshares) {
+        max_subshare_bits = std::max(
+            max_subshare_bits, static_cast<unsigned>(mpz_sizeinbase(s.get_mpz_t(), 2)));
+      }
+    }
+    ThresholdPK next = next_epoch_pk(tpk, from, msgs);
+    std::vector<ThresholdKeyShare> next_shares(p.n);
+    for (unsigned j = 1; j <= p.n; ++j) {
+      std::vector<mpz_class> subs;
+      for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
+      next_shares[j - 1] = tkrec(tpk, j, from, subs);
+    }
+    tpk = next;
+    shares = next_shares;
+  }
+  EXPECT_LE(max_subshare_bits + kKappa + kStat, p.holder_plain_bits());
+}
+
+TEST(Params, BoundsGrowWithPlannedEpochs) {
+  ProtocolParams a = ProtocolParams::for_gap(8, 0.2, 192);
+  ProtocolParams b = a;
+  a.planned_epochs = 2;
+  b.planned_epochs = 10;
+  EXPECT_LT(a.holder_plain_bits(), b.holder_plain_bits());
+}
+
+TEST(Params, ReconThresholdFormula) {
+  ProtocolParams p = ProtocolParams::for_gap(16, 0.25, 192);
+  EXPECT_EQ(p.recon_threshold(), p.t + 2 * (p.k - 1) + 1);
+  EXPECT_EQ(p.packed_degree(), p.t + p.k - 1);
+}
+
+TEST(Params, ForGapMaximizesPacking) {
+  // k - 1 must be the largest value <= n*eps compatible with GOD.
+  for (unsigned n : {8u, 16u, 24u}) {
+    auto p = ProtocolParams::for_gap(n, 0.25, 192);
+    // One more slot would break the reconstruction bound or exceed n*eps.
+    ProtocolParams bigger = p;
+    bigger.k += 1;
+    bool breaks_god = bigger.recon_threshold() > bigger.n - bigger.t;
+    bool exceeds_gap = (bigger.k - 1) > n * 0.25 + 1e-9;
+    EXPECT_TRUE(breaks_god || exceeds_gap) << "n=" << n;
+  }
+}
+
+TEST(Params, DescribeMentionsKeyFields) {
+  auto p = ProtocolParams::for_gap(8, 0.2, 192, true);
+  auto d = p.describe();
+  EXPECT_NE(d.find("n=8"), std::string::npos);
+  EXPECT_NE(d.find("fail-stop"), std::string::npos);
+}
+
+TEST(Params, TinyGapDegeneratesToKOne) {
+  auto p = ProtocolParams::for_gap(8, 0.01, 192);
+  EXPECT_EQ(p.k, 1u);
+  EXPECT_EQ(p.t, 3u);  // floor(8 * 0.49) = 3
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "field/fp61.hpp"
+#include "field/poly.hpp"
+#include "field/zn_ring.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(Poly, EvalHorner) {
+  Fp61Ring r;
+  // f(x) = 3 + 2x + x^2
+  std::vector<Fp61::Elem> f{3, 2, 1};
+  EXPECT_EQ(poly_eval(r, f, r.from_int(0)), 3u);
+  EXPECT_EQ(poly_eval(r, f, r.from_int(1)), 6u);
+  EXPECT_EQ(poly_eval(r, f, r.from_int(2)), 11u);
+  EXPECT_EQ(poly_eval(r, f, r.from_int(-1)), 2u);
+}
+
+TEST(Poly, EvalEmptyIsZero) {
+  Fp61Ring r;
+  EXPECT_EQ(poly_eval(r, {}, r.from_int(5)), 0u);
+}
+
+TEST(Poly, LagrangeRecoversPolynomialValues) {
+  Fp61Ring r;
+  Rng rng(11);
+  std::vector<Fp61::Elem> coeffs;
+  for (int i = 0; i < 6; ++i) coeffs.push_back(r.random(rng));
+  std::vector<std::int64_t> pts{1, 2, 3, 4, 5, 6};
+  std::vector<Fp61::Elem> vals;
+  for (auto p : pts) vals.push_back(poly_eval(r, coeffs, r.from_int(p)));
+  for (std::int64_t at : {0LL, -1LL, -2LL, 7LL, 100LL}) {
+    EXPECT_EQ(lagrange_at(r, pts, vals, at), poly_eval(r, coeffs, r.from_int(at)));
+  }
+}
+
+TEST(Poly, LagrangeCoeffsMatchDirectInterpolation) {
+  Fp61Ring r;
+  Rng rng(12);
+  std::vector<std::int64_t> pts{1, 3, 5, 7};
+  std::vector<Fp61::Elem> vals;
+  for (std::size_t i = 0; i < pts.size(); ++i) vals.push_back(r.random(rng));
+  auto coeffs = lagrange_coeffs(r, pts, -2);
+  Fp61::Elem via_coeffs = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    via_coeffs = r.add(via_coeffs, r.mul(coeffs[i], vals[i]));
+  }
+  EXPECT_EQ(via_coeffs, lagrange_at(r, pts, vals, -2));
+}
+
+TEST(Poly, InterpolateCoeffsRoundTrip) {
+  Fp61Ring r;
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Fp61::Elem> coeffs;
+    for (int i = 0; i < 5; ++i) coeffs.push_back(r.random(rng));
+    std::vector<std::int64_t> pts{0, -1, -2, 3, 4};
+    std::vector<Fp61::Elem> vals;
+    for (auto p : pts) vals.push_back(poly_eval(r, coeffs, r.from_int(p)));
+    auto rec = interpolate_coeffs(r, pts, vals);
+    ASSERT_EQ(rec.size(), coeffs.size());
+    EXPECT_EQ(rec, coeffs);
+  }
+}
+
+TEST(Poly, InterpolateCoeffsOverZn) {
+  Rng rng(14);
+  ZnRing ring(rng.prime(40) * rng.prime(40));
+  std::vector<mpz_class> coeffs;
+  for (int i = 0; i < 4; ++i) coeffs.push_back(ring.random(rng));
+  std::vector<std::int64_t> pts{0, 1, -1, 2};
+  std::vector<mpz_class> vals;
+  for (auto p : pts) vals.push_back(poly_eval(ring, coeffs, ring.from_int(p)));
+  EXPECT_EQ(interpolate_coeffs(ring, pts, vals), coeffs);
+}
+
+TEST(Poly, InterpolateSinglePoint) {
+  Fp61Ring r;
+  auto coeffs = interpolate_coeffs(r, {5}, {Fp61::Elem{42}});
+  ASSERT_EQ(coeffs.size(), 1u);
+  EXPECT_EQ(coeffs[0], 42u);
+}
+
+TEST(Poly, FactorialMatchesKnownValues) {
+  EXPECT_EQ(factorial(0), 1);
+  EXPECT_EQ(factorial(1), 1);
+  EXPECT_EQ(factorial(5), 120);
+  EXPECT_EQ(factorial(20), mpz_class("2432902008176640000"));
+}
+
+TEST(Poly, IntegerLagrangeReconstructsSecret) {
+  // f(x) = 7 + 3x + 2x^2 over Z; shares at 1, 2, 3; Delta = 3!.
+  auto f = [](long x) { return 7 + 3 * x + 2 * x * x; };
+  std::vector<std::int64_t> pts{1, 2, 3};
+  mpz_class delta = factorial(3);
+  auto lambda = integer_lagrange(pts, 0, delta);
+  mpz_class acc = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) acc += lambda[i] * f(pts[i]);
+  EXPECT_EQ(acc, delta * 7);
+}
+
+TEST(Poly, IntegerLagrangeWithNegativeEvaluationPoint) {
+  // Reconstruct at -1 instead of 0 (packed secret slots live at negatives).
+  auto f = [](long x) { return 11 - 4 * x; };
+  std::vector<std::int64_t> pts{1, 2};
+  mpz_class delta = factorial(2);
+  auto lambda = integer_lagrange(pts, -1, delta);
+  mpz_class acc = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) acc += lambda[i] * f(pts[i]);
+  EXPECT_EQ(acc, delta * f(-1));
+}
+
+TEST(Poly, IntegerLagrangeThrowsWhenNotIntegral) {
+  // Delta = 1 cannot clear the denominators for 3 points.
+  EXPECT_THROW(integer_lagrange({1, 2, 4}, 0, mpz_class(1)), std::invalid_argument);
+}
+
+TEST(Poly, IntegerLagrangeSubsetOfLargerPartySet) {
+  // Points {2, 5, 9} out of n = 10 parties, Delta = 10!.
+  auto f = [](long x) { return 100 + 17 * x + 5 * x * x; };
+  std::vector<std::int64_t> pts{2, 5, 9};
+  mpz_class delta = factorial(10);
+  auto lambda = integer_lagrange(pts, 0, delta);
+  mpz_class acc = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) acc += lambda[i] * f(pts[i]);
+  EXPECT_EQ(acc, delta * 100);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,237 @@
+// End-to-end tests of the full YOSO MPC protocol (Theorem 1): correctness,
+// guaranteed output delivery under active corruption, and fail-stop
+// tolerance (Section 5.4).
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "mpc/protocol.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+std::vector<std::vector<mpz_class>> small_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) {
+      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1000))));
+    }
+  }
+  return inputs;
+}
+
+void expect_matches_cleartext(YosoMpc& mpc, const Circuit& c,
+                              const std::vector<std::vector<mpz_class>>& inputs) {
+  OnlineResult res = mpc.run(inputs);
+  auto expected = c.eval(inputs, mpc.plaintext_modulus());
+  ASSERT_EQ(res.outputs.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(res.outputs[i], expected[i]) << "output " << i;
+  }
+}
+
+TEST(Protocol, HonestWideCircuit) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  EXPECT_EQ(params.t, 1u);
+  EXPECT_EQ(params.k, 2u);
+  Circuit c = wide_mul_circuit(4);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 101);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 1));
+}
+
+TEST(Protocol, HonestInnerProduct) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(3);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 102);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 2));
+}
+
+TEST(Protocol, HonestStatistics) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = statistics_circuit(3);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 103);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 3));
+}
+
+TEST(Protocol, HonestDeepChain) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = chain_circuit(3);  // three multiplicative layers
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 104);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 4));
+}
+
+TEST(Protocol, HonestMulTree) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = mul_tree_circuit(4);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 105);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 5));
+}
+
+TEST(Protocol, NoPackingConfigWorks) {
+  auto params = ProtocolParams::for_gap(4, 0.1, kBits);
+  EXPECT_EQ(params.k, 1u);
+  Circuit c = wide_mul_circuit(2);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 106);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 6));
+}
+
+TEST(Protocol, AdditionOnlyCircuitNeedsNoMulCommittees) {
+  auto params = ProtocolParams::for_gap(4, 0.1, kBits);
+  Circuit c;
+  WireId a = c.input(0);
+  WireId b = c.input(1);
+  c.output(c.add(c.add_const(a, mpz_class(7)), b), 0);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 107);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 7));
+}
+
+TEST(Protocol, GodUnderBadShareAdversary) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, 0, MaliciousStrategy::BadShare), 108);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 8));
+}
+
+TEST(Protocol, GodUnderBadProofAdversary) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, 0, MaliciousStrategy::BadProof), 109);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 9));
+}
+
+TEST(Protocol, GodUnderSilentAdversary) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, 0, MaliciousStrategy::Silent), 110);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 10));
+}
+
+TEST(Protocol, GodUnderRandomlyPlacedCorruptions) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = wide_mul_circuit(2);
+  Rng seed_rng(111);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::random(params.n, params.t, 0, seed_rng,
+                                    MaliciousStrategy::BadShare),
+              111);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 11));
+}
+
+TEST(Protocol, FailStopToleranceAtHalvedPacking) {
+  // Section 5.4: with k - 1 <= n*eps/2, the protocol survives n*eps silent
+  // honest parties on top of t active corruptions.
+  auto params = ProtocolParams::for_gap(8, 0.25, kBits, /*failstop_mode=*/true);
+  EXPECT_EQ(params.t, 1u);
+  EXPECT_EQ(params.k, 2u);
+  unsigned capacity = params.n - params.t - params.recon_threshold();
+  ASSERT_GE(capacity, 2u);
+  Circuit c = wide_mul_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, /*f_stop=*/2,
+                                   MaliciousStrategy::BadShare),
+              112);
+  expect_matches_cleartext(mpc, c, small_inputs(c, 12));
+}
+
+TEST(Protocol, FullPackingFailsUnderFailStops) {
+  // Without the halved packing, the same fail-stop load stalls the online
+  // phase: fewer than t+2(k-1)+1 shares survive.
+  auto params = ProtocolParams::for_gap(8, 0.25, kBits, /*failstop_mode=*/false);
+  EXPECT_EQ(params.k, 3u);
+  EXPECT_EQ(params.n - params.t - params.recon_threshold(), 1u);
+  Circuit c = wide_mul_circuit(2);
+  YosoMpc mpc(params, c,
+              AdversaryPlan::fixed(params.n, params.t, /*f_stop=*/2,
+                                   MaliciousStrategy::BadShare),
+              113);
+  EXPECT_THROW(mpc.run(small_inputs(c, 13)), ProtocolAbort);
+}
+
+TEST(Protocol, EvaluateTwiceViolatesYoso) {
+  auto params = ProtocolParams::for_gap(4, 0.1, kBits);
+  Circuit c = wide_mul_circuit(1);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 114);
+  auto inputs = small_inputs(c, 14);
+  mpc.run(inputs);
+  EXPECT_THROW(mpc.evaluate(inputs), std::logic_error);
+}
+
+TEST(Protocol, EvaluateBeforePreprocessThrows) {
+  auto params = ProtocolParams::for_gap(4, 0.1, kBits);
+  Circuit c = wide_mul_circuit(1);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 115);
+  EXPECT_THROW(mpc.evaluate(small_inputs(c, 15)), std::logic_error);
+}
+
+TEST(Protocol, LedgerSeparatesPhases) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = wide_mul_circuit(2);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 116);
+  mpc.run(small_inputs(c, 16));
+  EXPECT_GT(mpc.ledger().phase_total(Phase::Setup).bytes, 0u);
+  EXPECT_GT(mpc.ledger().phase_total(Phase::Offline).bytes, 0u);
+  EXPECT_GT(mpc.ledger().phase_total(Phase::Online).bytes, 0u);
+  // Online is much lighter than offline (the headline claim, qualitatively).
+  EXPECT_LT(mpc.ledger().phase_total(Phase::Online).elements,
+            mpc.ledger().phase_total(Phase::Offline).elements);
+}
+
+TEST(Protocol, TskHandoverChainRanAllEpochs) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = chain_circuit(2);  // depth 2 -> holders: L1, L2, reenc, fkd, out
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 117);
+  mpc.run(small_inputs(c, 17));
+  EXPECT_EQ(mpc.epochs(), 4u);  // L1->L2->reenc->fkd->out
+}
+
+TEST(Protocol, MuValuesConsistentWithOutputs) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 118);
+  auto inputs = small_inputs(c, 18);
+  OnlineResult res = mpc.run(inputs);
+  // Every wire got a public mu.
+  EXPECT_EQ(res.mu.size(), c.num_wires());
+}
+
+TEST(Protocol, RejectsMismatchedPlanSize) {
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = wide_mul_circuit(1);
+  EXPECT_THROW(YosoMpc(params, c, AdversaryPlan::honest(4), 119), std::invalid_argument);
+}
+
+TEST(ProtocolParams, ForGapRespectsTheorem) {
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    for (double eps : {0.1, 0.2, 0.3}) {
+      auto p = ProtocolParams::for_gap(n, eps, kBits);
+      EXPECT_LT(p.t, n * (0.5 - eps) + 1e-12);
+      EXPECT_LE(p.recon_threshold(), n - p.t);
+      EXPECT_GE(p.k, 1u);
+    }
+  }
+}
+
+TEST(ProtocolParams, FailstopModeHalvesPacking) {
+  auto full = ProtocolParams::for_gap(16, 0.25, kBits, false);
+  auto half = ProtocolParams::for_gap(16, 0.25, kBits, true);
+  EXPECT_GT(full.k, half.k);
+  EXPECT_GT(half.n - half.t - half.recon_threshold(),
+            full.n - full.t - full.recon_threshold());
+}
+
+TEST(ProtocolParams, ValidateCatchesBadConfigs) {
+  ProtocolParams p = ProtocolParams::for_gap(8, 0.2, kBits);
+  p.t = 4;  // now t >= n(1/2 - eps)
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ProtocolParams::for_gap(8, 0.2, kBits);
+  p.k = 5;  // blows the reconstruction threshold
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

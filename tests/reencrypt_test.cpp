@@ -1,0 +1,231 @@
+// Unit tests of the Re-encrypt / Decrypt engine (Protocols 1-2): masking,
+// public threshold decryption, FutureCt recovery, the verifiable tsk
+// hand-over, and the engine-level adversarial behaviours.
+#include <gtest/gtest.h>
+
+#include "mpc/reencrypt.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+struct Env {
+  ProtocolParams params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Rng rng{7001};
+  Ledger ledger;
+  Bulletin bulletin{ledger};
+  ThresholdKeys keys = tkgen(kBits, 1, params.n, params.t, rng);
+  DecryptChain chain{keys.tpk, keys.shares, params, bulletin, rng};
+
+  Committee committee(const std::string& name, unsigned plain_bits,
+                      CommitteeCorruption cor) {
+    return make_committee(name, params.paillier_bits, params.exponent_for(plain_bits), cor,
+                          rng);
+  }
+  CommitteeCorruption honest() {
+    CommitteeCorruption c;
+    c.status.assign(params.n, RoleStatus::Honest);
+    return c;
+  }
+  CommitteeCorruption corrupt(unsigned t_mal, MaliciousStrategy strat,
+                              unsigned f_stop = 0) {
+    return AdversaryPlan::fixed(params.n, t_mal, f_stop, strat).committee(0);
+  }
+};
+
+TEST(Reencrypt, PublicDecryptionOfBatch) {
+  Env e;
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  std::vector<mpz_class> cts, expected;
+  for (int i = 0; i < 3; ++i) {
+    mpz_class m = e.rng.below(e.keys.tpk.pk.ns);
+    expected.push_back(m);
+    cts.push_back(e.keys.tpk.pk.enc(m, e.rng));
+  }
+  auto opened = e.chain.run_decrypt_committee(holder, cts, Phase::Offline, "t", nullptr);
+  EXPECT_EQ(opened, expected);
+}
+
+TEST(Reencrypt, DecryptionSurvivesMaliciousPartials) {
+  Env e;
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(),
+                                 e.corrupt(e.params.t, MaliciousStrategy::BadShare));
+  mpz_class m = 777;
+  auto opened = e.chain.run_decrypt_committee(holder, {e.keys.tpk.pk.enc(m, e.rng)},
+                                              Phase::Offline, "t", nullptr);
+  EXPECT_EQ(opened[0], m);
+}
+
+TEST(Reencrypt, DecryptionSurvivesBadProofs) {
+  Env e;
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(),
+                                 e.corrupt(e.params.t, MaliciousStrategy::BadProof));
+  mpz_class m = 778;
+  auto opened = e.chain.run_decrypt_committee(holder, {e.keys.tpk.pk.enc(m, e.rng)},
+                                              Phase::Offline, "t", nullptr);
+  EXPECT_EQ(opened[0], m);
+}
+
+TEST(Reencrypt, DecryptionStallsWithoutQuorum) {
+  Env e;  // n=5, t=1: need 2 partials; silence 4 roles -> only 1 active
+  auto cor = e.corrupt(1, MaliciousStrategy::Silent, /*f_stop=*/3);
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), cor);
+  EXPECT_THROW(e.chain.run_decrypt_committee(holder, {e.keys.tpk.pk.enc(mpz_class(1), e.rng)},
+                                             Phase::Offline, "t", nullptr),
+               ProtocolAbort);
+}
+
+TEST(Reencrypt, FutureCtRoundTrip) {
+  Env e;
+  Committee masker = e.committee("mask", e.params.paillier_bits, e.honest());
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  mpz_class m = e.rng.below(e.keys.tpk.pk.ns);
+  auto fcts = e.chain.reencrypt_batch(masker, holder, {e.keys.tpk.pk.enc(m, e.rng)},
+                                      {&recipient.pk}, Phase::Offline, "t", nullptr);
+  EXPECT_EQ(open_future(recipient, fcts[0], e.keys.tpk.pk.ns), m);
+}
+
+TEST(Reencrypt, MaskedValueHidesPlaintext) {
+  // The publicly opened masked value must differ from the plaintext (the
+  // pad is unknown to the public); recovery still works for the recipient.
+  Env e;
+  Committee masker = e.committee("mask", e.params.paillier_bits, e.honest());
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  mpz_class m = 5;
+  auto fcts = e.chain.reencrypt_batch(masker, holder, {e.keys.tpk.pk.enc(m, e.rng)},
+                                      {&recipient.pk}, Phase::Offline, "t", nullptr);
+  EXPECT_NE(fcts[0].masked, m);  // overwhelming probability
+}
+
+TEST(Reencrypt, ReencryptionSurvivesMaliciousMaskers) {
+  Env e;
+  Committee masker = e.committee("mask", e.params.paillier_bits,
+                                 e.corrupt(e.params.t, MaliciousStrategy::BadShare));
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  mpz_class m = 424242;
+  auto fcts = e.chain.reencrypt_batch(masker, holder, {e.keys.tpk.pk.enc(m, e.rng)},
+                                      {&recipient.pk}, Phase::Offline, "t", nullptr);
+  EXPECT_EQ(open_future(recipient, fcts[0], e.keys.tpk.pk.ns), m);
+}
+
+TEST(Reencrypt, MaskStallsWithoutQuorum) {
+  Env e;
+  auto cor = e.corrupt(1, MaliciousStrategy::BadShare, /*f_stop=*/3);
+  Committee masker = e.committee("mask", e.params.paillier_bits, cor);
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  EXPECT_THROW(e.chain.run_mask_committee(masker, {&recipient.pk}, Phase::Offline, "t"),
+               ProtocolAbort);
+}
+
+TEST(Reencrypt, HandoverMovesSharesToNextCommittee) {
+  Env e;
+  Committee h1 = e.committee("h1", e.params.holder_plain_bits(), e.honest());
+  Committee h2 = e.committee("h2", e.params.holder_plain_bits(), e.honest());
+  mpz_class m1 = 111, m2 = 222;
+  auto o1 = e.chain.run_decrypt_committee(h1, {e.keys.tpk.pk.enc(m1, e.rng)},
+                                          Phase::Offline, "a", &h2);
+  EXPECT_EQ(o1[0], m1);
+  EXPECT_EQ(e.chain.epochs(), 1u);
+  EXPECT_EQ(e.chain.tpk().scale, e.keys.tpk.scale * e.keys.tpk.delta);
+  // The next committee's shares decrypt too.
+  auto o2 = e.chain.run_decrypt_committee(h2, {e.chain.tpk().pk.enc(m2, e.rng)},
+                                          Phase::Offline, "b", nullptr);
+  EXPECT_EQ(o2[0], m2);
+}
+
+TEST(Reencrypt, HandoverSurvivesMaliciousResharers) {
+  Env e;
+  Committee h1 = e.committee("h1", e.params.holder_plain_bits(),
+                             e.corrupt(e.params.t, MaliciousStrategy::BadShare));
+  Committee h2 = e.committee("h2", e.params.holder_plain_bits(), e.honest());
+  e.chain.run_decrypt_committee(h1, {e.keys.tpk.pk.enc(mpz_class(9), e.rng)},
+                                Phase::Offline, "a", &h2);
+  mpz_class m = 31337;
+  auto o = e.chain.run_decrypt_committee(h2, {e.chain.tpk().pk.enc(m, e.rng)},
+                                         Phase::Offline, "b", nullptr);
+  EXPECT_EQ(o[0], m);
+}
+
+TEST(Reencrypt, ThreeHandoversChain) {
+  Env e;
+  std::vector<Committee> holders;
+  for (int i = 0; i < 4; ++i) {
+    holders.push_back(e.committee("h" + std::to_string(i), e.params.holder_plain_bits(),
+                                  e.honest()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto o = e.chain.run_decrypt_committee(
+        holders[i], {e.chain.tpk().pk.enc(mpz_class(i), e.rng)}, Phase::Offline,
+        "step" + std::to_string(i), &holders[i + 1]);
+    EXPECT_EQ(o[0], i);
+  }
+  EXPECT_EQ(e.chain.epochs(), 3u);
+  auto o = e.chain.run_decrypt_committee(holders[3],
+                                         {e.chain.tpk().pk.enc(mpz_class(99), e.rng)},
+                                         Phase::Offline, "final", nullptr);
+  EXPECT_EQ(o[0], 99);
+}
+
+TEST(Reencrypt, EmptyBatchStillHandsOver) {
+  Env e;
+  Committee h1 = e.committee("h1", e.params.holder_plain_bits(), e.honest());
+  Committee h2 = e.committee("h2", e.params.holder_plain_bits(), e.honest());
+  auto o = e.chain.run_decrypt_committee(h1, {}, Phase::Offline, "empty", &h2);
+  EXPECT_TRUE(o.empty());
+  EXPECT_EQ(e.chain.epochs(), 1u);
+}
+
+TEST(Reencrypt, LedgerChargesMaskAndPdec) {
+  Env e;
+  Committee masker = e.committee("mask", e.params.paillier_bits, e.honest());
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  e.chain.reencrypt_batch(masker, holder, {e.keys.tpk.pk.enc(mpz_class(1), e.rng)},
+                          {&recipient.pk}, Phase::Offline, "lbl", nullptr);
+  const auto& cats = e.ledger.categories(Phase::Offline);
+  EXPECT_EQ(cats.at("lbl.mask").messages, e.params.n);
+  EXPECT_EQ(cats.at("lbl.pdec").messages, e.params.n);
+}
+
+TEST(Reencrypt, RolesSpeakOncePerActivation) {
+  Env e;
+  Committee holder = e.committee("holder", e.params.holder_plain_bits(), e.honest());
+  e.chain.run_decrypt_committee(holder, {e.keys.tpk.pk.enc(mpz_class(1), e.rng)},
+                                Phase::Offline, "x", nullptr);
+  // A second activation of the same committee violates YOSO.
+  EXPECT_THROW(e.chain.run_decrypt_committee(holder, {e.keys.tpk.pk.enc(mpz_class(2), e.rng)},
+                                             Phase::Offline, "y", nullptr),
+               std::logic_error);
+}
+
+TEST(Reencrypt, OpenFutureLiftsModuloCorrectly) {
+  // Recovery must reduce mod N^s even when the pad sum exceeds it.
+  Env e;
+  PaillierSK recipient = paillier_keygen(
+      e.params.paillier_bits, e.params.exponent_for(e.params.role_plain_bits()), e.rng,
+      false);
+  const mpz_class& ns = e.keys.tpk.pk.ns;
+  mpz_class m = ns - 5;
+  mpz_class pad = ns - 3;  // m + pad wraps
+  FutureCt fct;
+  fct.masked = (m + pad) % ns;
+  fct.pad_ct = recipient.pk.enc(pad, e.rng);
+  EXPECT_EQ(open_future(recipient, fct, ns), m);
+}
+
+}  // namespace
+}  // namespace yoso

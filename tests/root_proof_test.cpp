@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "nizk/root_proof.hpp"
+
+namespace yoso {
+namespace {
+
+class RootProofTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(7301);
+    sk_ = new PaillierSK(paillier_keygen(192, 2, *rng_, /*safe_primes=*/false));
+  }
+  static void TearDownTestSuite() {
+    delete sk_;
+    delete rng_;
+    sk_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static PaillierSK* sk_;
+};
+
+Rng* RootProofTest::rng_ = nullptr;
+PaillierSK* RootProofTest::sk_ = nullptr;
+
+TEST_F(RootProofTest, AcceptsEncryptionOfZero) {
+  mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
+  mpz_class rho = sk_->extract_root(u);
+  auto proof = prove_root(sk_->pk, u, rho, *rng_);
+  EXPECT_TRUE(verify_root(sk_->pk, u, proof));
+}
+
+TEST_F(RootProofTest, ExtractRootIsARoot) {
+  mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
+  mpz_class rho = sk_->extract_root(u);
+  mpz_class check;
+  mpz_powm(check.get_mpz_t(), rho.get_mpz_t(), sk_->pk.ns.get_mpz_t(),
+           sk_->pk.ns1.get_mpz_t());
+  EXPECT_EQ(check, u % sk_->pk.ns1);
+}
+
+TEST_F(RootProofTest, HomomorphicDifferenceOfEqualPlaintexts) {
+  // The protocol's use: c1, c2 encrypt the same value => c1/c2 encrypts 0.
+  mpz_class m = rng_->below(sk_->pk.ns);
+  mpz_class c1 = sk_->pk.enc(m, *rng_);
+  mpz_class c2 = sk_->pk.enc(m, mpz_class(1));  // deterministic Enc(m;1)
+  mpz_class c2_inv;
+  ASSERT_NE(mpz_invert(c2_inv.get_mpz_t(), c2.get_mpz_t(), sk_->pk.ns1.get_mpz_t()), 0);
+  mpz_class u = c1 * c2_inv % sk_->pk.ns1;
+  mpz_class rho = sk_->extract_root(u);
+  auto proof = prove_root(sk_->pk, u, rho, *rng_);
+  EXPECT_TRUE(verify_root(sk_->pk, u, proof));
+}
+
+TEST_F(RootProofTest, RejectsNonZeroPlaintext) {
+  // u encrypts 1: no N^s-th root exists; a cheating prover with a random
+  // "root" must fail.
+  mpz_class u = sk_->pk.enc(mpz_class(1), *rng_);
+  auto proof = prove_root(sk_->pk, u, rng_->unit_mod(sk_->pk.n), *rng_);
+  EXPECT_FALSE(verify_root(sk_->pk, u, proof));
+}
+
+TEST_F(RootProofTest, RejectsTamperedResponse) {
+  mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
+  auto proof = prove_root(sk_->pk, u, sk_->extract_root(u), *rng_);
+  proof.z = proof.z * 2 % sk_->pk.ns1;
+  EXPECT_FALSE(verify_root(sk_->pk, u, proof));
+}
+
+TEST_F(RootProofTest, ProofBoundToStatement) {
+  mpz_class u1 = sk_->pk.enc(mpz_class(0), *rng_);
+  mpz_class u2 = sk_->pk.enc(mpz_class(0), *rng_);
+  auto proof = prove_root(sk_->pk, u1, sk_->extract_root(u1), *rng_);
+  EXPECT_FALSE(verify_root(sk_->pk, u2, proof));
+}
+
+TEST_F(RootProofTest, RejectsOutOfRangeStatement) {
+  mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
+  auto proof = prove_root(sk_->pk, u, sk_->extract_root(u), *rng_);
+  EXPECT_FALSE(verify_root(sk_->pk, u + sk_->pk.ns1, proof));
+  EXPECT_FALSE(verify_root(sk_->pk, mpz_class(0), proof));
+}
+
+TEST_F(RootProofTest, WireBytesPositive) {
+  mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
+  auto proof = prove_root(sk_->pk, u, sk_->extract_root(u), *rng_);
+  EXPECT_GT(proof.wire_bytes(), 0u);
+}
+
+TEST(PaillierFromFactor, ReconstructsWorkingKey) {
+  Rng rng(7302);
+  PaillierSK orig = paillier_keygen(160, 2, rng, false);
+  for (const mpz_class& factor : {orig.p, orig.q}) {
+    PaillierSK rebuilt = paillier_sk_from_factor(orig.pk, factor);
+    mpz_class m = rng.below(orig.pk.ns);
+    EXPECT_EQ(rebuilt.dec(orig.pk.enc(m, rng)), m);
+  }
+}
+
+TEST(PaillierFromFactor, RejectsNonFactor) {
+  Rng rng(7303);
+  PaillierSK orig = paillier_keygen(128, 1, rng, false);
+  EXPECT_THROW(paillier_sk_from_factor(orig.pk, mpz_class(12345)), std::invalid_argument);
+  EXPECT_THROW(paillier_sk_from_factor(orig.pk, mpz_class(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,151 @@
+// Executable renderings of the paper's security definitions:
+//   * Definition 2 (partial decryption simulatability, Fig. 2) as the
+//     two-world game — both worlds must decrypt to the challenged message
+//     and be consistent for every qualified set;
+//   * the HVZK simulator for the sigma protocols (NIZKAoK.SimP) — the
+//     simulated transcript must verify and have response marginals
+//     matching honest proofs;
+//   * the knowledge relation: honest proofs bind their statements (no
+//     proof transplant across statements).
+#include <gtest/gtest.h>
+
+#include "nizk/link_proof.hpp"
+#include "paillier/threshold.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+TEST(SimulatabilityGame, BothWorldsDecryptToChallengeMessage) {
+  // Fig. 2: the challenger flips b; world 0 answers with honest partials,
+  // world 1 with SimTPDec partials targeting the same message.  The game's
+  // correctness precondition: in both worlds, TDec returns m for every
+  // qualified set the adversary assembles.
+  Rng rng(8401);
+  ThresholdKeys keys = tkgen(kBits, 1, 6, 2, rng);
+  const auto& tpk = keys.tpk;
+  mpz_class m = rng.below(tpk.pk.ns);
+  mpz_class c = tpk.pk.enc(m, rng);
+  std::vector<unsigned> corrupt{2, 6};
+
+  // World 0: honest partials everywhere.
+  auto honest_partial = [&](unsigned i) { return tpdec(tpk, keys.shares[i - 1], c); };
+
+  // World 1: simulated honest partials (target = the true m, as in the
+  // game when the simulator must be consistent with the real message).
+  std::vector<ThresholdKeyShare> honest_shares;
+  for (const auto& sh : keys.shares) {
+    if (sh.index != 2 && sh.index != 6) honest_shares.push_back(sh);
+  }
+  auto sim = sim_tpdec(tpk, c, m, m, honest_shares, corrupt);
+  auto sim_partial = [&](unsigned i) -> mpz_class {
+    if (i == 2 || i == 6) return honest_partial(i);
+    std::size_t pos = 0;
+    for (const auto& sh : honest_shares) {
+      if (sh.index == i) return sim[pos];
+      ++pos;
+    }
+    throw std::logic_error("bad index");
+  };
+
+  for (const auto& qual : std::vector<std::vector<unsigned>>{
+           {1, 3, 4}, {2, 5, 6}, {1, 2, 3}, {4, 5, 6}, {1, 2, 3, 4, 5, 6}}) {
+    std::vector<mpz_class> w0, w1;
+    for (unsigned i : qual) {
+      w0.push_back(honest_partial(i));
+      w1.push_back(sim_partial(i));
+    }
+    EXPECT_EQ(tdec(tpk, qual, w0), m) << "world 0, set size " << qual.size();
+    EXPECT_EQ(tdec(tpk, qual, w1), m) << "world 1, set size " << qual.size();
+  }
+}
+
+TEST(SimulatabilityGame, SimulatorCanAlsoEquivocate) {
+  // The simulator's real power (used in Hybrids 3-5 of the proof): forcing
+  // a *different* message than the encrypted one.
+  Rng rng(8402);
+  ThresholdKeys keys = tkgen(kBits, 1, 5, 1, rng);
+  const auto& tpk = keys.tpk;
+  mpz_class m_true = 1111, m_lie = 2222;
+  mpz_class c = tpk.pk.enc(m_true, rng);
+  std::vector<ThresholdKeyShare> honest(keys.shares.begin() + 1, keys.shares.end());
+  auto sim = sim_tpdec(tpk, c, m_lie, m_true, honest, {1});
+  std::vector<unsigned> qual{2, 3};
+  std::vector<mpz_class> partials{sim[0], sim[1]};
+  EXPECT_EQ(tdec(tpk, qual, partials), m_lie);
+}
+
+TEST(Hvzk, SimulatedTranscriptVerifies) {
+  Rng rng(8403);
+  PaillierSK sk = paillier_keygen(kBits, 2, rng, false);
+  mpz_class x = rng.below(mpz_class(1) << 64), r;
+  mpz_class c = sk.pk.enc(x, rng, &r);
+  mpz_class g = rng.unit_mod(sk.pk.ns1);
+  g = g * g % sk.pk.ns1;
+  mpz_class y;
+  mpz_powm(y.get_mpz_t(), g.get_mpz_t(), x.get_mpz_t(), sk.pk.ns1.get_mpz_t());
+
+  LinkStatement st;
+  st.domain = "hvzk";
+  st.paillier_legs = {PaillierLeg{sk.pk, c}};
+  st.exponent_legs = {ExponentLeg{g, y, sk.pk.ns1}};
+  st.bound_bits = 64;
+
+  mpz_class e = rng.bits(kKappa);
+  auto simulated = link_simulate(st, e, rng);
+  EXPECT_TRUE(link_verify_with_challenge(st, simulated, e));
+  // The simulated transcript is NOT a valid Fiat-Shamir proof (the hash
+  // would not produce `e`) — that is exactly the ROM-programming point.
+  EXPECT_FALSE(link_verify(st, simulated));
+}
+
+TEST(Hvzk, SimulatedResponsesMatchHonestMarginals) {
+  // z in both worlds is (statistically close to) uniform over the mask
+  // range; compare bit-length distributions coarsely.
+  Rng rng(8404);
+  PaillierSK sk = paillier_keygen(kBits, 2, rng, false);
+  mpz_class x = 12345, r;
+  mpz_class c = sk.pk.enc(x, rng, &r);
+  LinkStatement st;
+  st.domain = "hvzk.marginal";
+  st.paillier_legs = {PaillierLeg{sk.pk, c}};
+  st.bound_bits = 16;
+
+  const unsigned mask_bits = st.bound_bits + kKappa + kStat;
+  double honest_bits = 0, sim_bits = 0;
+  const int trials = 40;
+  for (int i = 0; i < trials; ++i) {
+    auto hp = link_prove(st, LinkWitness{x, {r}}, rng);
+    honest_bits += static_cast<double>(mpz_sizeinbase(hp.z.get_mpz_t(), 2));
+    auto sp = link_simulate(st, rng.bits(kKappa), rng);
+    sim_bits += static_cast<double>(mpz_sizeinbase(sp.z.get_mpz_t(), 2));
+  }
+  // Both averages sit within a few bits of the mask size.
+  EXPECT_NEAR(honest_bits / trials, mask_bits, 4.0);
+  EXPECT_NEAR(sim_bits / trials, mask_bits, 4.0);
+}
+
+TEST(Knowledge, ProofsDoNotTransplantAcrossStatements) {
+  Rng rng(8405);
+  PaillierSK sk = paillier_keygen(kBits, 2, rng, false);
+  mpz_class x = 7, r1;
+  mpz_class c1 = sk.pk.enc(x, rng, &r1);
+  mpz_class c2 = sk.pk.enc(x, rng);  // same plaintext, different ciphertext
+  LinkStatement st1;
+  st1.domain = "bind";
+  st1.paillier_legs = {PaillierLeg{sk.pk, c1}};
+  st1.bound_bits = 16;
+  auto proof = link_prove(st1, LinkWitness{x, {r1}}, rng);
+  LinkStatement st2 = st1;
+  st2.paillier_legs[0].ciphertext = c2;
+  EXPECT_TRUE(link_verify(st1, proof));
+  EXPECT_FALSE(link_verify(st2, proof));  // challenge binds the statement
+  // Even the domain label alone separates statements.
+  LinkStatement st3 = st1;
+  st3.domain = "bind.other";
+  EXPECT_FALSE(link_verify(st3, proof));
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sortition/montecarlo.hpp"
+#include "sortition/table1.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(Sortition, Eps1ClosedFormSatisfiesEq2) {
+  // Plugging the solved eps1 back into Eq. (2) must make it tight.
+  for (double C : {1000.0, 20000.0}) {
+    for (double f : {0.05, 0.2}) {
+      double e1 = solve_eps1(C, f, 64, 128);
+      double rhs = (64 + 128 + 1) * std::log(2.0) * (2 + e1) / (f * e1 * e1);
+      EXPECT_NEAR(C, rhs, 1e-6 * C) << "C=" << C << " f=" << f;
+    }
+  }
+}
+
+TEST(Sortition, Eps2ClosedFormSatisfiesEq2) {
+  for (double C : {5000.0, 40000.0}) {
+    for (double f : {0.1, 0.25}) {
+      double e2 = solve_eps2(C, f, 128);
+      double rhs = (128 + 1) * std::log(2.0) * (2 + e2) / (f * (1 - f) * e2 * e2);
+      EXPECT_NEAR(C, rhs, 1e-6 * C);
+    }
+  }
+}
+
+TEST(Sortition, Eps3MatchesBound) {
+  double e3 = solve_eps3(10000, 0.1, 128);
+  EXPECT_NEAR(e3 * e3 * 10000 * 0.81, 2 * 128 * std::log(2.0), 1e-9);
+}
+
+TEST(Sortition, EpsilonsShrinkWithC) {
+  double prev1 = 10, prev2 = 10, prev3 = 10;
+  for (double C : {1000.0, 5000.0, 20000.0, 100000.0}) {
+    double e1 = solve_eps1(C, 0.1, 64, 128);
+    double e2 = solve_eps2(C, 0.1, 128);
+    double e3 = solve_eps3(C, 0.1, 128);
+    EXPECT_LT(e1, prev1);
+    EXPECT_LT(e2, prev2);
+    EXPECT_LT(e3, prev3);
+    prev1 = e1;
+    prev2 = e2;
+    prev3 = e3;
+  }
+}
+
+TEST(Sortition, Table1MatchesPaperWithinRounding) {
+  auto rows = generate_table1();
+  const auto& paper = paper_table1();
+  for (const auto& p : paper) {
+    const Table1Row* mine = nullptr;
+    for (const auto& r : rows) {
+      if (r.C == p.C && std::abs(r.f - p.f) < 1e-9) mine = &r;
+    }
+    ASSERT_NE(mine, nullptr) << "C=" << p.C << " f=" << p.f;
+    ASSERT_TRUE(mine->analysis.feasible) << "C=" << p.C << " f=" << p.f;
+    EXPECT_NEAR(mine->analysis.t, p.t, 2.0) << "t at C=" << p.C << " f=" << p.f;
+    EXPECT_NEAR(mine->analysis.c, p.c, 3.0) << "c at C=" << p.C << " f=" << p.f;
+    EXPECT_NEAR(mine->analysis.c_prime, p.c_prime, 3.0);
+    EXPECT_NEAR(mine->analysis.eps, p.eps, 0.011);
+    EXPECT_NEAR(static_cast<double>(mine->analysis.k), p.k, 2.0)
+        << "k at C=" << p.C << " f=" << p.f;
+  }
+}
+
+TEST(Sortition, InfeasibleCellsMatchPaper) {
+  // The paper's bottom-of-column "⊥" cells.
+  auto rows = generate_table1();
+  auto find = [&](double C, double f) {
+    for (const auto& r : rows) {
+      if (r.C == C && std::abs(r.f - f) < 1e-9) return r.analysis.feasible;
+    }
+    return true;
+  };
+  EXPECT_FALSE(find(1000, 0.10));
+  EXPECT_FALSE(find(1000, 0.25));
+  EXPECT_FALSE(find(5000, 0.20));
+  EXPECT_FALSE(find(10000, 0.25));
+  EXPECT_FALSE(find(20000, 0.25));
+  EXPECT_TRUE(find(40000, 0.25));  // only the largest C supports f = 0.25
+}
+
+TEST(Sortition, HeadlineSpeedups) {
+  // Section 1.1.2: ~28x at (C=1000, f=0.05); >1000x at (C=20000, f=0.2).
+  SortitionConfig a{1000, 0.05};
+  EXPECT_EQ(analyze_gap(a).k, 28u);
+  SortitionConfig b{20000, 0.20};
+  EXPECT_GE(analyze_gap(b).k, 1000u);
+}
+
+TEST(Sortition, CommitteeSizeIncreaseIsMarginal) {
+  // Section 6: moving from c' (eps = 0) to c costs little for larger f.
+  SortitionConfig cfg{20000, 0.20};
+  auto g = analyze_gap(cfg);
+  ASSERT_TRUE(g.feasible);
+  EXPECT_LT(g.c / g.c_prime, 1.15);  // ~18k -> ~20k in the paper
+}
+
+TEST(SortitionMC, EmpiricalBoundsHoldAtSmallK) {
+  // Re-run the analysis at k2 = k3 = 10 bits and check the empirical
+  // failure rates stay below 2^-10 (with ~2^14 trials).
+  SortitionConfig cfg;
+  cfg.C = 1000;
+  cfg.f = 0.05;
+  cfg.k1 = 0;
+  cfg.k2 = 10;
+  cfg.k3 = 10;
+  auto g = analyze_gap(cfg);
+  ASSERT_TRUE(g.feasible);
+  auto mc = sortition_monte_carlo(cfg, g, /*pool=*/100000, /*trials=*/1 << 14, /*seed=*/42);
+  double corr_rate = static_cast<double>(mc.corruption_bound_failures) / mc.trials;
+  double honest_rate = static_cast<double>(mc.honest_bound_failures) / mc.trials;
+  EXPECT_LE(corr_rate, 1.0 / 1024);
+  EXPECT_LE(honest_rate, 1.0 / 1024);
+  EXPECT_NEAR(mc.mean_committee_size, 1000, 15);
+  EXPECT_NEAR(mc.mean_corrupt, 50, 5);
+}
+
+TEST(SortitionMC, CorruptionBoundIsNotVacuous) {
+  // With a deliberately tiny t the bound must fail often — guards against
+  // the Monte-Carlo harness silently accepting everything.
+  SortitionConfig cfg;
+  cfg.C = 1000;
+  cfg.f = 0.05;
+  auto g = analyze_gap(cfg);
+  g.t = 40;  // below the mean corrupt count of 50
+  auto mc = sortition_monte_carlo(cfg, g, 100000, 1 << 12, 43);
+  EXPECT_GT(mc.corruption_bound_failures, mc.trials / 2);
+}
+
+}  // namespace
+}  // namespace yoso

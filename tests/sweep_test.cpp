@@ -1,0 +1,220 @@
+// Parameterized property sweeps across the cryptographic stack:
+// threshold-scheme grid over (n, t), LinkProof grid over bound sizes and
+// leg shapes, Damgard-Jurik grid over the exponent s, and the natural-YOSO
+// pool-driven adversary.
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "mpc/protocol.hpp"
+#include "nizk/pdec_proof.hpp"
+
+namespace yoso {
+namespace {
+
+// ---------- Threshold scheme over an (n, t) grid ---------------------------
+
+struct NtParam {
+  unsigned n, t;
+};
+
+class ThresholdGrid : public ::testing::TestWithParam<NtParam> {};
+
+TEST_P(ThresholdGrid, DecryptReshareProveVerify) {
+  auto [n, t] = GetParam();
+  Rng rng(7800 + n * 13 + t);
+  ThresholdKeys keys = tkgen(160, 1, n, t, rng);
+  const auto& tpk = keys.tpk;
+
+  // Threshold decryption from the first t+1 partials.
+  mpz_class m = rng.below(tpk.pk.ns);
+  mpz_class c = tpk.pk.enc(m, rng);
+  std::vector<unsigned> idx;
+  std::vector<mpz_class> partials;
+  for (unsigned i = 1; i <= t + 1; ++i) {
+    idx.push_back(i);
+    partials.push_back(tpdec(tpk, keys.shares[i - 1], c));
+  }
+  EXPECT_EQ(tdec(tpk, idx, partials), m);
+
+  // Every pdec proof verifies; a cross-assigned one does not.
+  auto proof = prove_pdec(tpk, keys.shares[0], c, partials[0], rng);
+  EXPECT_TRUE(verify_pdec(tpk, 1, c, partials[0], proof));
+  if (n > 1) {
+    EXPECT_FALSE(verify_pdec(tpk, 2, c, partials[0], proof));
+  }
+
+  // One resharing epoch keeps decryption working.
+  std::vector<unsigned> from = idx;
+  std::vector<ReshareMsg> msgs;
+  for (unsigned i : from) msgs.push_back(tkres(tpk, keys.shares[i - 1], rng));
+  for (const auto& msg : msgs) EXPECT_TRUE(verify_reshare(tpk, msg));
+  ThresholdPK tpk2 = next_epoch_pk(tpk, from, msgs);
+  std::vector<ThresholdKeyShare> next(n);
+  for (unsigned j = 1; j <= n; ++j) {
+    std::vector<mpz_class> subs;
+    for (const auto& msg : msgs) subs.push_back(msg.subshares[j - 1]);
+    next[j - 1] = tkrec(tpk, j, from, subs);
+  }
+  mpz_class m2 = rng.below(tpk2.pk.ns);
+  mpz_class c2 = tpk2.pk.enc(m2, rng);
+  std::vector<unsigned> idx2;
+  std::vector<mpz_class> partials2;
+  for (unsigned i = n; i > n - (t + 1); --i) {  // a different qualified set
+    idx2.push_back(i);
+    partials2.push_back(tpdec(tpk2, next[i - 1], c2));
+  }
+  EXPECT_EQ(tdec(tpk2, idx2, partials2), m2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ThresholdGrid,
+                         ::testing::Values(NtParam{2, 1}, NtParam{3, 1}, NtParam{4, 1},
+                                           NtParam{5, 2}, NtParam{7, 3}, NtParam{8, 3},
+                                           NtParam{9, 4}, NtParam{11, 5}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "t" +
+                                  std::to_string(info.param.t);
+                         });
+
+// ---------- LinkProof over bound sizes and leg shapes ----------------------
+
+struct LinkParam {
+  unsigned bound_bits;
+  unsigned paillier_legs;
+  unsigned exponent_legs;
+};
+
+class LinkGrid : public ::testing::TestWithParam<LinkParam> {};
+
+TEST_P(LinkGrid, ProveVerifyAndRejectTamper) {
+  auto [bound, np, ne] = GetParam();
+  Rng rng(7900 + bound + np * 3 + ne * 7);
+  PaillierSK sk = paillier_keygen(160, 3, rng, false);  // roomy plaintext space
+  mpz_class x = rng.below(mpz_class(1) << bound);
+
+  LinkStatement st;
+  st.domain = "sweep";
+  st.bound_bits = bound;
+  LinkWitness w;
+  w.x = x;
+  for (unsigned i = 0; i < np; ++i) {
+    mpz_class r;
+    st.paillier_legs.push_back(PaillierLeg{sk.pk, sk.pk.enc(x, rng, &r)});
+    w.rs.push_back(r);
+  }
+  for (unsigned i = 0; i < ne; ++i) {
+    mpz_class g = rng.unit_mod(sk.pk.ns1);
+    g = g * g % sk.pk.ns1;
+    mpz_class y;
+    mpz_powm(y.get_mpz_t(), g.get_mpz_t(), x.get_mpz_t(), sk.pk.ns1.get_mpz_t());
+    st.exponent_legs.push_back(ExponentLeg{g, y, sk.pk.ns1});
+  }
+  auto proof = link_prove(st, w, rng);
+  EXPECT_TRUE(link_verify(st, proof));
+
+  LinkProof bad = proof;
+  bad.z += 1;
+  EXPECT_FALSE(link_verify(st, bad));
+
+  if (np > 0) {
+    LinkStatement st_bad = st;
+    st_bad.paillier_legs[0].ciphertext = sk.pk.enc(x + 1, rng);
+    EXPECT_FALSE(link_verify(st_bad, proof));
+  }
+  if (ne > 0) {
+    LinkStatement st_bad = st;
+    st_bad.exponent_legs[0].target =
+        st.exponent_legs[0].target * st.exponent_legs[0].base % sk.pk.ns1;
+    EXPECT_FALSE(link_verify(st_bad, proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LinkGrid,
+                         ::testing::Values(LinkParam{16, 1, 0}, LinkParam{16, 0, 1},
+                                           LinkParam{64, 2, 0}, LinkParam{64, 1, 1},
+                                           LinkParam{160, 1, 2}, LinkParam{160, 2, 2},
+                                           LinkParam{250, 3, 1}),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param.bound_bits) + "p" +
+                                  std::to_string(info.param.paillier_legs) + "e" +
+                                  std::to_string(info.param.exponent_legs);
+                         });
+
+// ---------- Damgard-Jurik over the exponent s ------------------------------
+
+class DjGrid : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DjGrid, HomomorphismAndEdgePlaintexts) {
+  unsigned s = GetParam();
+  Rng rng(8000 + s);
+  PaillierSK sk = paillier_keygen(96, s, rng, false);
+  mpz_class big = sk.pk.ns - 1;
+  EXPECT_EQ(sk.dec(sk.pk.enc(big, rng)), big);
+  mpz_class a = rng.below(sk.pk.ns), b = rng.below(sk.pk.ns);
+  mpz_class c = sk.pk.add(sk.pk.enc(a, rng), sk.pk.enc(b, rng));
+  EXPECT_EQ(sk.dec(c), (a + b) % sk.pk.ns);
+  mpz_class scaled = sk.pk.scal(sk.pk.enc(a, rng), mpz_class(3));
+  EXPECT_EQ(sk.dec(scaled), 3 * a % sk.pk.ns);
+  // Root extraction works at every s.
+  mpz_class zero_ct = sk.pk.enc(mpz_class(0), rng);
+  mpz_class rho = sk.extract_root(zero_ct);
+  mpz_class check;
+  mpz_powm(check.get_mpz_t(), rho.get_mpz_t(), sk.pk.ns.get_mpz_t(), sk.pk.ns1.get_mpz_t());
+  EXPECT_EQ(check, zero_ct % sk.pk.ns1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DjGrid, ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) { return "s" + std::to_string(info.param); });
+
+// ---------- Natural YOSO: pool-driven adversary -----------------------------
+
+TEST(NaturalYoso, PoolPlanSamplesHypergeometrically) {
+  auto plan = AdversaryPlan::pool(10, 1000, 100, 50, 8101);
+  double mal = 0, fs = 0;
+  const unsigned committees = 200;
+  for (unsigned i = 0; i < committees; ++i) {
+    auto c = plan.committee(i);
+    mal += c.count(RoleStatus::Malicious);
+    fs += c.count(RoleStatus::FailStop);
+  }
+  EXPECT_NEAR(mal / committees, 1.0, 0.25);   // 10 * 10%
+  EXPECT_NEAR(fs / committees, 0.5, 0.2);     // 10 * 5%
+  // Deterministic per index.
+  EXPECT_EQ(plan.committee(7).status, plan.committee(7).status);
+}
+
+TEST(NaturalYoso, ProtocolRunsOverSampledPool) {
+  // Pool with 4% corruption; committees of 8 tolerate t = 2, so sampled
+  // committees almost surely stay within bound and the run succeeds.
+  auto params = ProtocolParams::for_gap(8, 0.2, 192);
+  ASSERT_EQ(params.t, 2u);
+  Circuit c = wide_mul_circuit(2);
+  auto plan = AdversaryPlan::pool(params.n, 10000, 400, 0, 8102);
+  YosoMpc mpc(params, c, plan, 8103);
+  std::vector<std::vector<mpz_class>> inputs{{mpz_class(6), mpz_class(2)},
+                                             {mpz_class(7), mpz_class(9)}};
+  auto res = mpc.run(inputs);
+  EXPECT_EQ(res.outputs, c.eval(inputs, mpc.plaintext_modulus()));
+}
+
+TEST(NaturalYoso, LeakyRolesDoNotAffectExecution) {
+  auto params = ProtocolParams::for_gap(5, 0.2, 192);
+  Circuit c = inner_product_circuit(2);
+  auto plan = AdversaryPlan::fixed(params.n, params.t, 0, MaliciousStrategy::BadShare)
+                  .with_leaky(2);
+  auto committee = plan.committee(0);
+  EXPECT_EQ(committee.count(RoleStatus::Leaky), 2u);
+  YosoMpc mpc(params, c, plan, 8104);
+  std::vector<std::vector<mpz_class>> inputs{{mpz_class(2), mpz_class(3)},
+                                             {mpz_class(4), mpz_class(5)}};
+  auto res = mpc.run(inputs);
+  EXPECT_EQ(res.outputs, c.eval(inputs, mpc.plaintext_modulus()));
+}
+
+TEST(NaturalYoso, PoolRejectsInconsistentSizes) {
+  EXPECT_THROW(AdversaryPlan::pool(10, 5, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(AdversaryPlan::pool(4, 10, 8, 5, 1), std::invalid_argument);
+  EXPECT_THROW(AdversaryPlan::fixed(4, 2, 1).with_leaky(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

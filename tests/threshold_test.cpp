@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hpp"
+#include "paillier/threshold.hpp"
+
+namespace yoso {
+namespace {
+
+constexpr unsigned kBits = 192;
+
+class ThresholdTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(2001);
+    keys_ = new ThresholdKeys(tkgen(kBits, 1, /*n=*/7, /*t=*/3, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static ThresholdKeys* keys_;
+};
+
+Rng* ThresholdTest::rng_ = nullptr;
+ThresholdKeys* ThresholdTest::keys_ = nullptr;
+
+TEST_F(ThresholdTest, ThresholdDecryptionRoundTrip) {
+  const auto& tpk = keys_->tpk;
+  mpz_class m = rng_->below(tpk.pk.ns);
+  mpz_class c = tpk.pk.enc(m, *rng_);
+  std::vector<unsigned> idx{1, 2, 3, 4};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk, keys_->shares[i - 1], c));
+  EXPECT_EQ(tdec(tpk, idx, partials), m);
+}
+
+TEST_F(ThresholdTest, AnyQualifiedSubsetDecrypts) {
+  const auto& tpk = keys_->tpk;
+  mpz_class m = 424242;
+  mpz_class c = tpk.pk.enc(m, *rng_);
+  for (const auto& idx : std::vector<std::vector<unsigned>>{{4, 5, 6, 7}, {1, 3, 5, 7}, {2, 3, 4, 6}}) {
+    std::vector<mpz_class> partials;
+    for (unsigned i : idx) partials.push_back(tpdec(tpk, keys_->shares[i - 1], c));
+    EXPECT_EQ(tdec(tpk, idx, partials), m);
+  }
+}
+
+TEST_F(ThresholdTest, MoreThanThresholdAlsoWorks) {
+  const auto& tpk = keys_->tpk;
+  mpz_class m = 99;
+  mpz_class c = tpk.pk.enc(m, *rng_);
+  std::vector<unsigned> idx{1, 2, 3, 4, 5, 6, 7};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk, keys_->shares[i - 1], c));
+  EXPECT_EQ(tdec(tpk, idx, partials), m);
+}
+
+TEST_F(ThresholdTest, TooFewPartialsThrows) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c = tpk.pk.enc(mpz_class(1), *rng_);
+  std::vector<unsigned> idx{1, 2, 3};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk, keys_->shares[i - 1], c));
+  EXPECT_THROW(tdec(tpk, idx, partials), std::invalid_argument);
+}
+
+TEST_F(ThresholdTest, DecryptionAfterHomomorphicEval) {
+  const auto& tpk = keys_->tpk;
+  mpz_class a = 1000, b = 2345;
+  mpz_class c = tpk.pk.add(tpk.pk.enc(a, *rng_), tpk.pk.scal(tpk.pk.enc(b, *rng_), mpz_class(3)));
+  std::vector<unsigned> idx{2, 4, 6, 7};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk, keys_->shares[i - 1], c));
+  EXPECT_EQ(tdec(tpk, idx, partials), a + 3 * b);
+}
+
+TEST_F(ThresholdTest, VerificationKeysMatchShares) {
+  const auto& tpk = keys_->tpk;
+  for (const auto& sh : keys_->shares) {
+    mpz_class expected;
+    mpz_powm(expected.get_mpz_t(), tpk.v.get_mpz_t(), sh.d_i.get_mpz_t(),
+             tpk.pk.ns1.get_mpz_t());
+    EXPECT_EQ(tpk.vks[sh.index - 1], expected);
+  }
+}
+
+TEST_F(ThresholdTest, ReshareRoundTripOneEpoch) {
+  const auto& tpk = keys_->tpk;
+  // Resharers: a qualified set of 4 parties.
+  std::vector<unsigned> from{1, 2, 5, 7};
+  std::vector<ReshareMsg> msgs;
+  for (unsigned i : from) msgs.push_back(tkres(tpk, keys_->shares[i - 1], *rng_));
+  for (const auto& m : msgs) EXPECT_TRUE(verify_reshare(tpk, m));
+
+  ThresholdPK tpk2 = next_epoch_pk(tpk, from, msgs);
+  EXPECT_EQ(tpk2.scale, tpk.scale * tpk.delta);
+
+  // Each new-committee member assembles its share.
+  std::vector<ThresholdKeyShare> new_shares(tpk.n);
+  for (unsigned j = 1; j <= tpk.n; ++j) {
+    std::vector<mpz_class> subs;
+    for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
+    new_shares[j - 1] = tkrec(tpk, j, from, subs);
+  }
+
+  // New epoch decrypts correctly.
+  mpz_class m = 31337;
+  mpz_class c = tpk2.pk.enc(m, *rng_);
+  std::vector<unsigned> idx{1, 3, 4, 6};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk2, new_shares[i - 1], c));
+  EXPECT_EQ(tdec(tpk2, idx, partials), m);
+
+  // New verification keys are consistent with the new shares.
+  for (const auto& sh : new_shares) {
+    mpz_class expected;
+    mpz_powm(expected.get_mpz_t(), tpk2.v.get_mpz_t(), sh.d_i.get_mpz_t(),
+             tpk2.pk.ns1.get_mpz_t());
+    EXPECT_EQ(tpk2.vks[sh.index - 1], expected);
+  }
+}
+
+TEST_F(ThresholdTest, TwoEpochsOfResharing) {
+  ThresholdPK tpk = keys_->tpk;
+  std::vector<ThresholdKeyShare> shares = keys_->shares;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    std::vector<unsigned> from{1, 2, 3, 4};
+    std::vector<ReshareMsg> msgs;
+    for (unsigned i : from) msgs.push_back(tkres(tpk, shares[i - 1], *rng_));
+    ThresholdPK tpk_next = next_epoch_pk(tpk, from, msgs);
+    std::vector<ThresholdKeyShare> next(tpk.n);
+    for (unsigned j = 1; j <= tpk.n; ++j) {
+      std::vector<mpz_class> subs;
+      for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
+      next[j - 1] = tkrec(tpk, j, from, subs);
+    }
+    tpk = tpk_next;
+    shares = next;
+  }
+  mpz_class m = 777;
+  mpz_class c = tpk.pk.enc(m, *rng_);
+  std::vector<unsigned> idx{3, 5, 6, 7};
+  std::vector<mpz_class> partials;
+  for (unsigned i : idx) partials.push_back(tpdec(tpk, shares[i - 1], c));
+  EXPECT_EQ(tdec(tpk, idx, partials), m);
+}
+
+TEST_F(ThresholdTest, VerifyReshareRejectsTamperedSubshare) {
+  const auto& tpk = keys_->tpk;
+  ReshareMsg msg = tkres(tpk, keys_->shares[0], *rng_);
+  msg.subshares[2] += 1;
+  EXPECT_FALSE(verify_reshare(tpk, msg));
+}
+
+TEST_F(ThresholdTest, VerifyReshareRejectsWrongConstantTerm) {
+  const auto& tpk = keys_->tpk;
+  // Reshare a *different* value than the registered share: commitment[0]
+  // will not match the verification key.
+  ThresholdKeyShare fake = keys_->shares[0];
+  fake.d_i += 1;
+  ReshareMsg msg = tkres(tpk, fake, *rng_);
+  EXPECT_FALSE(verify_reshare(tpk, msg));
+}
+
+TEST_F(ThresholdTest, VerifyReshareRejectsMalformedSizes) {
+  const auto& tpk = keys_->tpk;
+  ReshareMsg msg = tkres(tpk, keys_->shares[0], *rng_);
+  msg.subshares.pop_back();
+  EXPECT_FALSE(verify_reshare(tpk, msg));
+  ReshareMsg msg2 = tkres(tpk, keys_->shares[0], *rng_);
+  msg2.from_index = 0;
+  EXPECT_FALSE(verify_reshare(tpk, msg2));
+}
+
+TEST_F(ThresholdTest, SimTPDecForcesTargetPlaintext) {
+  const auto& tpk = keys_->tpk;
+  mpz_class m_true = 1234, m_target = 999999;
+  mpz_class c = tpk.pk.enc(m_true, *rng_);
+  std::vector<unsigned> corrupt{2, 5};
+  std::vector<ThresholdKeyShare> honest;
+  for (const auto& sh : keys_->shares) {
+    if (sh.index != 2 && sh.index != 5) honest.push_back(sh);
+  }
+  auto sim = sim_tpdec(tpk, c, m_target, m_true, honest, corrupt);
+  ASSERT_EQ(sim.size(), honest.size());
+
+  // Qualified set mixing corrupt (honest-computed) and simulated partials.
+  std::vector<unsigned> idx{2, 5, 1, 3};
+  std::vector<mpz_class> partials{
+      tpdec(tpk, keys_->shares[1], c),  // party 2 (corrupt, behaves honestly)
+      tpdec(tpk, keys_->shares[4], c),  // party 5
+      sim[0],                           // party 1 simulated
+      sim[1],                           // party 3 simulated
+  };
+  EXPECT_EQ(tdec(tpk, idx, partials), m_target);
+
+  // An all-simulated qualified set agrees too.
+  std::vector<unsigned> idx2{1, 3, 4, 6};
+  std::vector<mpz_class> partials2{sim[0], sim[1], sim[2], sim[3]};
+  EXPECT_EQ(tdec(tpk, idx2, partials2), m_target);
+}
+
+TEST_F(ThresholdTest, SimTPDecRejectsTooManyCorruptions) {
+  const auto& tpk = keys_->tpk;
+  mpz_class c = tpk.pk.enc(mpz_class(1), *rng_);
+  std::vector<unsigned> corrupt{1, 2, 3, 4};  // > t = 3
+  EXPECT_THROW(sim_tpdec(tpk, c, 0, 1, {}, corrupt), std::invalid_argument);
+}
+
+TEST(ThresholdKeygen, RejectsBadThreshold) {
+  Rng rng(2002);
+  EXPECT_THROW(tkgen(128, 1, 3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(tkgen(128, 1, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(ThresholdKeygen, SubshareBoundGrowsWithEpoch) {
+  Rng rng(2003);
+  ThresholdKeys keys = tkgen(128, 1, 4, 1, rng);
+  unsigned bound0 = keys.tpk.share_bound_bits;
+  std::vector<unsigned> from{1, 2};
+  std::vector<ReshareMsg> msgs;
+  for (unsigned i : from) msgs.push_back(tkres(keys.tpk, keys.shares[i - 1], rng));
+  ThresholdPK tpk2 = next_epoch_pk(keys.tpk, from, msgs);
+  EXPECT_GT(tpk2.share_bound_bits, bound0);
+  // The bound really does bound the shares.
+  for (unsigned j = 1; j <= keys.tpk.n; ++j) {
+    std::vector<mpz_class> subs;
+    for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
+    auto sh = tkrec(keys.tpk, j, from, subs);
+    EXPECT_LE(mpz_sizeinbase(sh.d_i.get_mpz_t(), 2), tpk2.share_bound_bits);
+  }
+}
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "yoso/bulletin.hpp"
+#include "yoso/role_assign.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(Ledger, RecordsPerPhaseAndCategory) {
+  Ledger ledger;
+  ledger.record(Phase::Offline, "beaver", 100, 2);
+  ledger.record(Phase::Offline, "beaver", 50, 1);
+  ledger.record(Phase::Online, "mult", 10, 1);
+  auto off = ledger.phase_total(Phase::Offline);
+  EXPECT_EQ(off.messages, 2u);
+  EXPECT_EQ(off.elements, 3u);
+  EXPECT_EQ(off.bytes, 150u);
+  EXPECT_EQ(ledger.phase_total(Phase::Online).bytes, 10u);
+  EXPECT_EQ(ledger.phase_total(Phase::Setup).bytes, 0u);
+  EXPECT_EQ(ledger.total().bytes, 160u);
+  EXPECT_EQ(ledger.categories(Phase::Offline).at("beaver").messages, 2u);
+}
+
+TEST(Ledger, ResetClears) {
+  Ledger ledger;
+  ledger.record(Phase::Setup, "x", 1);
+  ledger.reset();
+  EXPECT_EQ(ledger.total().bytes, 0u);
+}
+
+TEST(Ledger, ReportMentionsPhases) {
+  Ledger ledger;
+  ledger.record(Phase::Online, "mult", 42);
+  auto rep = ledger.report();
+  EXPECT_NE(rep.find("online"), std::string::npos);
+  EXPECT_NE(rep.find("mult"), std::string::npos);
+}
+
+TEST(Committee, SpeakOnceEnforced) {
+  Rng rng(5001);
+  CommitteeCorruption cor;
+  cor.status.assign(3, RoleStatus::Honest);
+  Committee c = make_committee("test", 64, 1, cor, rng);
+  c.speak(0);
+  EXPECT_TRUE(c.has_spoken(0));
+  EXPECT_THROW(c.speak(0), std::logic_error);
+  c.speak(1);  // other roles unaffected
+}
+
+TEST(Committee, RoleKeysAreFunctional) {
+  Rng rng(5002);
+  CommitteeCorruption cor;
+  cor.status.assign(2, RoleStatus::Honest);
+  Committee c = make_committee("test", 96, 2, cor, rng);
+  mpz_class m = 12345;
+  EXPECT_EQ(c.role_sks[0].dec(c.role_pk(0).enc(m, rng)), m);
+}
+
+TEST(Bulletin, LogsAndEnforcesSpeakOnce) {
+  Ledger ledger;
+  Bulletin b(ledger);
+  Rng rng(5003);
+  CommitteeCorruption cor;
+  cor.status.assign(2, RoleStatus::Honest);
+  Committee c = make_committee("com", 64, 1, cor, rng);
+  b.publish(c, 0, Phase::Offline, "x", 10, 1, /*first_post_of_role=*/true);
+  EXPECT_THROW(b.publish(c, 0, Phase::Offline, "y", 10, 1, true), std::logic_error);
+  b.publish(c, 0, Phase::Offline, "x2", 5, 1, /*first_post_of_role=*/false);
+  b.publish_external("client0", Phase::Online, "input", 3, 1);
+  EXPECT_EQ(b.log().size(), 3u);
+  EXPECT_EQ(b.posts_by("com"), 2u);
+  EXPECT_EQ(ledger.total().bytes, 18u);
+}
+
+TEST(Adversary, HonestPlanHasNoCorruptions) {
+  auto plan = AdversaryPlan::honest(5);
+  auto c = plan.committee(0);
+  EXPECT_EQ(c.count(RoleStatus::Malicious), 0u);
+  EXPECT_EQ(c.count(RoleStatus::FailStop), 0u);
+  for (unsigned i = 0; i < 5; ++i) EXPECT_TRUE(c.is_active(i));
+}
+
+TEST(Adversary, FixedPlanPlacesCorruptions) {
+  auto plan = AdversaryPlan::fixed(6, 2, 1, MaliciousStrategy::BadProof);
+  auto c = plan.committee(3);
+  EXPECT_EQ(c.count(RoleStatus::Malicious), 2u);
+  EXPECT_EQ(c.count(RoleStatus::FailStop), 1u);
+  EXPECT_TRUE(c.is_malicious(0));
+  EXPECT_FALSE(c.is_active(2));  // the fail-stop slot
+}
+
+TEST(Adversary, SilentMaliciousCountAsInactive) {
+  auto plan = AdversaryPlan::fixed(4, 1, 0, MaliciousStrategy::Silent);
+  auto c = plan.committee(0);
+  EXPECT_FALSE(c.is_active(0));
+}
+
+TEST(Adversary, RandomPlanPreservesCountsAndVaries) {
+  Rng rng(5004);
+  auto plan = AdversaryPlan::random(8, 2, 1, rng);
+  bool saw_different_placement = false;
+  auto first = plan.committee(0);
+  for (unsigned i = 0; i < 8; ++i) {
+    auto c = plan.committee(i);
+    EXPECT_EQ(c.count(RoleStatus::Malicious), 2u);
+    EXPECT_EQ(c.count(RoleStatus::FailStop), 1u);
+    if (c.status != first.status) saw_different_placement = true;
+  }
+  EXPECT_TRUE(saw_different_placement);
+  // Deterministic per committee index.
+  EXPECT_EQ(plan.committee(3).status, plan.committee(3).status);
+}
+
+TEST(Adversary, TooManyCorruptionsThrows) {
+  EXPECT_THROW(AdversaryPlan::fixed(4, 3, 2), std::invalid_argument);
+}
+
+TEST(RoleAssignment, HypergeometricCountsAreExact) {
+  RoleAssignment ra(100, 30, 10, 6001);
+  // Drawing the whole pool yields exactly the pool composition.
+  auto c = ra.sample_committee(100);
+  EXPECT_EQ(c.count(RoleStatus::Malicious), 30u);
+  EXPECT_EQ(c.count(RoleStatus::FailStop), 10u);
+}
+
+TEST(RoleAssignment, MeanCorruptionTracksFraction) {
+  RoleAssignment ra(10000, 2500, 0, 6002);
+  double total = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) total += ra.sample_corrupt_count(100);
+  EXPECT_NEAR(total / trials, 25.0, 1.5);
+}
+
+TEST(RoleAssignment, RejectsOversizedCommittee) {
+  RoleAssignment ra(10, 2, 0, 6003);
+  EXPECT_THROW(ra.sample_committee(11), std::invalid_argument);
+  EXPECT_THROW(RoleAssignment(10, 8, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -6,8 +6,10 @@
 // measures the real ledger across a sweep of n and prints the per-category
 // breakdown for one configuration.
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "circuit/workloads.hpp"
 #include "mpc/protocol.hpp"
 
@@ -38,6 +40,8 @@ int main() {
   unsigned n_first = 0, n_last = 0;
   const Ledger* last_ledger = nullptr;
   static std::vector<YosoMpc*> keep;  // keep ledgers alive for the breakdown
+  std::ostringstream json;
+  json << "{";
   for (unsigned n : {4u, 6u, 8u, 12u, 16u}) {
     auto params = ProtocolParams::for_gap(n, 0.25, 128);
     Circuit c = wide_mul_circuit(n);
@@ -49,6 +53,8 @@ int main() {
         static_cast<double>(c.num_mul_gates());
     std::printf("%4u %3u %3u | %16.1f | %16.2f\n", n, params.t, params.k, per_gate,
                 per_gate / n);
+    if (n_first != 0) json << ",";
+    json << "\"n" << n << "\":" << mpc->ledger().report_json();
     if (n_first == 0) {
       n_first = n;
       first_ratio = per_gate;
@@ -68,5 +74,8 @@ int main() {
     std::printf("  %-22s %8zu msgs %10zu elems %12zu bytes\n", cat.c_str(), e.messages,
                 e.elements, e.bytes);
   }
+
+  json << "}";
+  yoso::bench::merge_bench_json("BENCH_comm.json", "offline_comm", json.str());
   return 0;
 }

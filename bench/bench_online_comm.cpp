@@ -8,9 +8,11 @@
 // "naive" variant the paper warns about (leaving packed shares under tpk,
 // Section 3.4): n partials per packed share, i.e. O(n^2 / k) per gate.
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "baseline/cdn.hpp"
+#include "bench_json.hpp"
 #include "circuit/workloads.hpp"
 #include "mpc/protocol.hpp"
 #include "sortition/analysis.hpp"
@@ -40,6 +42,8 @@ int main() {
 
   double ours_first = 0, cdn_first = 0, cdn_last = 0, ours_last = 0;
   unsigned n_first = 0, n_last = 0;
+  std::ostringstream json;
+  json << "{";
   for (unsigned n : {4u, 6u, 8u, 12u, 16u}) {
     auto params = ProtocolParams::for_gap(n, 0.25, 128);
     Circuit c = wide_mul_circuit(4 * n);  // width Theta(n), the paper's regime
@@ -64,6 +68,10 @@ int main() {
     // Naive variant: every packed share (3 per role per batch) threshold-
     // decrypted under tpk online: 3 * n * n partials per batch of k gates.
     double naive = 3.0 * n * n * batch_count(c, params.k) / gates;
+
+    if (n_first != 0) json << ",";
+    json << "\"n" << n << "\":{\"ours\":" << ours.ledger().report_json()
+         << ",\"cdn\":" << cdn.ledger().report_json() << "}";
 
     std::printf("%4u %3u %3u | %14.1f | %14.1f | %14.1f | %10.1f\n", n, params.t, params.k,
                 ours_mult, ours_total, cdn_total, naive);
@@ -104,5 +112,8 @@ int main() {
                   baseline_at_cprime / ours_at_c, g.k);
     }
   }
+
+  json << "}";
+  yoso::bench::merge_bench_json("BENCH_comm.json", "online_comm", json.str());
   return 0;
 }

@@ -7,9 +7,9 @@
 namespace yoso {
 
 CdnBaseline::CdnBaseline(ProtocolParams params, Circuit circuit, AdversaryPlan plan,
-                         std::uint64_t seed)
+                         std::uint64_t seed, Bulletin* board)
     : params_(params), circuit_(std::move(circuit)), plan_(std::move(plan)), rng_(seed),
-      bulletin_(ledger_) {
+      own_board_(ledger_), board_(board != nullptr ? board : &own_board_) {
   params_.planned_epochs = circuit_.mul_depth() + 2;
   params_.validate();
   if (plan_.n() != params_.n) throw std::invalid_argument("CdnBaseline: plan size != n");
@@ -19,6 +19,7 @@ Committee& CdnBaseline::spawn(const std::string& name, unsigned plain_bits) {
   unsigned s = params_.exponent_for(plain_bits);
   committees_.push_back(make_committee(name, params_.paillier_bits, s,
                                        plan_.committee(committee_counter_++), rng_));
+  board_->on_committee_spawn(committees_.back());
   return committees_.back();
 }
 
@@ -28,14 +29,14 @@ void CdnBaseline::preprocess() {
 
   ThresholdKeys keys = tkgen(params_.paillier_bits, params_.s, params_.n, params_.t, rng_);
   tkeys_ = keys;
-  bulletin_.publish_external("dealer", Phase::Setup, "setup.tpk",
+  board_->publish_external("dealer", Phase::Setup, "setup.tpk",
                              mpz_wire_size(keys.tpk.pk.n), 1 + params_.n);
   for (unsigned c = 0; c < circuit_.num_clients(); ++c) {
     client_keys_.push_back(paillier_keygen(
         params_.paillier_bits, params_.exponent_for(params_.client_plain_bits()), rng_,
         /*safe_primes=*/false));
   }
-  chain_.emplace(keys.tpk, keys.shares, params_, bulletin_, rng_);
+  chain_.emplace(keys.tpk, keys.shares, params_, *board_, rng_);
 
   const unsigned tiny = params_.paillier_bits;
   Committee& beaver_a = spawn("cdn.beaver.a", tiny);
@@ -50,7 +51,7 @@ void CdnBaseline::preprocess() {
   std::size_t mul_count = circuit_.num_mul_gates();
   if (mul_count > 0) {
     auto triples = make_beaver_triples(tkeys_->tpk, beaver_a, beaver_b, mul_count,
-                                       Phase::Offline, bulletin_, rng_);
+                                       Phase::Offline, *board_, rng_);
     triples_.reserve(mul_count);
     for (auto& t : triples) triples_.push_back(Triple{t.a, t.b, t.c});
   }
@@ -78,7 +79,7 @@ CdnResult CdnBaseline::evaluate(const std::vector<std::vector<mpz_class>>& input
     mpz_class r;
     wire_ct[w] = pk.enc(v, rng_, &r);
     PlaintextProof proof = prove_plaintext(pk, wire_ct[w], v, r, rng_);
-    bulletin_.publish_external("client" + std::to_string(c), Phase::Online, "cdn.input",
+    board_->publish_external("client" + std::to_string(c), Phase::Online, "cdn.input",
                                mpz_wire_size(wire_ct[w]) + proof.wire_bytes(), 1);
   }
 

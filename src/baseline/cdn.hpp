@@ -26,7 +26,10 @@ struct CdnResult {
 
 class CdnBaseline {
 public:
-  CdnBaseline(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed);
+  // `board` optionally substitutes a custom Bulletin (e.g. net::NetBulletin);
+  // it must outlive the CdnBaseline and wrap its own Ledger.
+  CdnBaseline(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed,
+              Bulletin* board = nullptr);
 
   // Offline: threshold key setup + encrypted Beaver triples.
   void preprocess();
@@ -35,7 +38,7 @@ public:
   CdnResult evaluate(const std::vector<std::vector<mpz_class>>& inputs);
   CdnResult run(const std::vector<std::vector<mpz_class>>& inputs);
 
-  const Ledger& ledger() const { return ledger_; }
+  const Ledger& ledger() const { return board_->ledger(); }
   const ProtocolParams& params() const { return params_; }
   const mpz_class& plaintext_modulus() const;
 
@@ -46,8 +49,9 @@ private:
   Circuit circuit_;
   AdversaryPlan plan_;
   Rng rng_;
-  Ledger ledger_;
-  Bulletin bulletin_;
+  Ledger ledger_;          // backs own_board_ (unused with an external board)
+  Bulletin own_board_;
+  Bulletin* board_;        // the board every phase publishes to
   unsigned committee_counter_ = 0;
 
   std::deque<Committee> committees_;

@@ -44,6 +44,21 @@ Circuit mul_tree_circuit(unsigned leaves) {
   return c;
 }
 
+Circuit grid_mul_circuit(unsigned width, unsigned depth) {
+  if (width == 0 || depth == 0) {
+    throw std::invalid_argument("grid_mul_circuit: width and depth must be positive");
+  }
+  Circuit c;
+  for (unsigned i = 0; i < width; ++i) {
+    WireId a = c.input(0);
+    WireId b = c.input(1);
+    WireId acc = c.mul(a, b);
+    for (unsigned l = 1; l < depth; ++l) acc = c.mul(acc, b);
+    c.output(acc, 0);
+  }
+  return c;
+}
+
 Circuit chain_circuit(unsigned depth) {
   if (depth == 0) throw std::invalid_argument("chain_circuit: depth must be positive");
   Circuit c;

@@ -17,6 +17,12 @@ Circuit wide_mul_circuit(unsigned width);
 // A multiplication tree over `leaves` inputs of client 0 (depth log2).
 Circuit mul_tree_circuit(unsigned leaves);
 
+// `width` independent chains of `depth` sequential multiplications (a
+// width x depth grid; chain i starts from a_i * b_i and keeps multiplying
+// by b_i).  Controls width and depth independently — the knob the network
+// benchmarks turn to trade round count against per-round byte volume.
+Circuit grid_mul_circuit(unsigned width, unsigned depth);
+
 // `depth` sequential squarings interleaved with additions (deep & narrow —
 // the adversarial regime for packing).
 Circuit chain_circuit(unsigned depth);

@@ -3,6 +3,7 @@
 #include "mpc/reencrypt.hpp"  // ProtocolAbort
 #include "nizk/mult_proof.hpp"
 #include "nizk/plaintext_proof.hpp"
+#include "wire/codec.hpp"
 
 namespace yoso {
 
@@ -35,7 +36,17 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
       bytes += mpz_wire_size(ct) + proof.wire_bytes();
       msgs[j].push_back(Contribution{std::move(ct), std::move(proof)});
     }
-    bulletin.publish(com, j, phase, label, bytes, count, /*first_post_of_role=*/false);
+    std::vector<std::uint8_t> payload;
+    if (bulletin.wants_payload()) {
+      ContribMsg wire;
+      for (const auto& c : msgs[j]) {
+        wire.cts.push_back(c.ct);
+        wire.proofs.push_back(c.proof);
+      }
+      payload = encode_contrib_msg(wire);
+    }
+    bulletin.publish(com, j, phase, label, bytes, count, /*first_post_of_role=*/false,
+                     payload.empty() ? nullptr : &payload);
   }
 
   std::vector<mpz_class> out(count);
@@ -95,8 +106,18 @@ std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee&
       bytes += mpz_wire_size(cb) + mpz_wire_size(cc) + proof.wire_bytes();
       msgs[j].push_back(BC{std::move(cb), std::move(cc), std::move(proof)});
     }
+    std::vector<std::uint8_t> payload;
+    if (bulletin.wants_payload()) {
+      BeaverMsg wire;
+      for (const auto& m : msgs[j]) {
+        wire.cb.push_back(m.cb);
+        wire.cc.push_back(m.cc);
+        wire.proofs.push_back(m.proof);
+      }
+      payload = encode_beaver_msg(wire);
+    }
     bulletin.publish(com_b, j, phase, "beaver.bc", bytes, 2 * count,
-                     /*first_post_of_role=*/false);
+                     /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
   }
 
   std::vector<BeaverTriple> out(count);

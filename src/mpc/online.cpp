@@ -4,6 +4,7 @@
 #include "nizk/link_proof.hpp"  // kKappa/kStat (bounds)
 #include "nizk/root_proof.hpp"
 #include "sharing/packed.hpp"
+#include "wire/codec.hpp"
 
 namespace yoso {
 
@@ -201,8 +202,12 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
         rm.p_int.push_back(std::move(p_int));
         rm.proofs.push_back(std::move(proof));
       }
+      std::vector<std::uint8_t> payload;
+      if (bulletin.wants_payload()) {
+        payload = encode_mult_share_msg(MultShareMsg{rm.p_int, rm.proofs});
+      }
       bulletin.publish(com, i, Phase::Online, "online.mult", bytes, layer_batches.size(),
-                       /*first_post_of_role=*/false);
+                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
       msgs[i] = std::move(rm);
     }
 

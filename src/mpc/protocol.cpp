@@ -2,9 +2,10 @@
 
 namespace yoso {
 
-YosoMpc::YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed)
+YosoMpc::YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed,
+                 Bulletin* board)
     : params_(params), circuit_(std::move(circuit)), plan_(std::move(plan)), rng_(seed),
-      bulletin_(ledger_) {
+      own_board_(ledger_), board_(board != nullptr ? board : &own_board_) {
   // Holder committees: one per mul layer + re-encrypt + FKD + output.
   params_.planned_epochs = circuit_.mul_depth() + 3;
   params_.validate();
@@ -15,6 +16,7 @@ Committee& YosoMpc::spawn(const std::string& name, unsigned plain_bits) {
   unsigned s = params_.exponent_for(plain_bits);
   committees_.push_back(make_committee(name, params_.paillier_bits, s,
                                        plan_.committee(committee_counter_++), rng_));
+  board_->on_committee_spawn(committees_.back());
   return committees_.back();
 }
 
@@ -23,7 +25,7 @@ void YosoMpc::preprocess() {
   preprocessed_ = true;
 
   const unsigned depth = circuit_.mul_depth();
-  setup_ = run_setup(params_, depth, circuit_.num_clients(), bulletin_, rng_);
+  setup_ = run_setup(params_, depth, circuit_.num_clients(), *board_, rng_);
 
   // Spawn the full committee schedule.  Mask/contribution committees never
   // receive private data, so their role keys are minimal.
@@ -51,13 +53,13 @@ void YosoMpc::preprocess() {
   // The dealer hands the initial tsk shares to the first holder committee.
   Committee* first_holder = depth > 0 ? off.layer_holders[0] : off.reenc_holder;
   (void)first_holder;  // in the simulation the chain holds the shares directly
-  chain_.emplace(setup_->tkeys.tpk, setup_->tkeys.shares, params_, bulletin_, rng_);
+  chain_.emplace(setup_->tkeys.tpk, setup_->tkeys.shares, params_, *board_, rng_);
 
   if (depth == 0) {
     // No layer holders: the re-encrypt holder is the first in the chain.
     off.layer_holders.clear();
   }
-  offline_ = run_offline(params_, circuit_, *setup_, *chain_, off, bulletin_, rng_);
+  offline_ = run_offline(params_, circuit_, *setup_, *chain_, off, *board_, rng_);
 }
 
 OnlineResult YosoMpc::evaluate(const std::vector<std::vector<mpz_class>>& inputs) {
@@ -65,7 +67,7 @@ OnlineResult YosoMpc::evaluate(const std::vector<std::vector<mpz_class>>& inputs
   if (evaluated_) throw std::logic_error("YosoMpc: roles speak once; evaluate called twice");
   evaluated_ = true;
   return run_online(params_, circuit_, *setup_, *offline_, *chain_, online_coms_, inputs,
-                    bulletin_, rng_);
+                    *board_, rng_);
 }
 
 OnlineResult YosoMpc::run(const std::vector<std::vector<mpz_class>>& inputs) {

@@ -20,7 +20,11 @@ namespace yoso {
 
 class YosoMpc {
 public:
-  YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed);
+  // `board` optionally substitutes a custom Bulletin (e.g. net::NetBulletin
+  // for simulated network traffic); it must outlive the YosoMpc and wrap
+  // its own Ledger.  By default the driver owns a passive board.
+  YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed,
+          Bulletin* board = nullptr);
 
   // Setup + offline phase (circuit-dependent, input-independent).
   void preprocess();
@@ -34,8 +38,8 @@ public:
 
   const ProtocolParams& params() const { return params_; }
   const Circuit& circuit() const { return circuit_; }
-  const Ledger& ledger() const { return ledger_; }
-  const Bulletin& bulletin() const { return bulletin_; }
+  const Ledger& ledger() const { return board_->ledger(); }
+  const Bulletin& bulletin() const { return *board_; }
   // Plaintext modulus N^s of the computation.
   const mpz_class& plaintext_modulus() const;
   // Number of tsk hand-overs executed so far.
@@ -48,8 +52,9 @@ private:
   Circuit circuit_;
   AdversaryPlan plan_;
   Rng rng_;
-  Ledger ledger_;
-  Bulletin bulletin_;
+  Ledger ledger_;          // backs own_board_ (unused with an external board)
+  Bulletin own_board_;
+  Bulletin* board_;        // the board every phase publishes to
   unsigned committee_counter_ = 0;
 
   std::deque<Committee> committees_;  // stable addresses for the phase structs

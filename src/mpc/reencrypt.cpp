@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "wire/codec.hpp"
+
 namespace yoso {
 
 mpz_class open_future(const PaillierSK& recipient, const FutureCt& fct, const mpz_class& ns) {
@@ -73,7 +75,10 @@ std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
       bytes += msg.wire_bytes();
       msgs[j].push_back(std::move(msg));
     }
-    bulletin_->publish(masker, j, phase, label + ".mask", bytes, 2 * m);
+    std::vector<std::uint8_t> payload;
+    if (bulletin_->wants_payload()) payload = encode_mask_batch(msgs[j]);
+    bulletin_->publish(masker, j, phase, label + ".mask", bytes, 2 * m,
+                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
   }
 
   // Everyone verifies; per value, sum over the roles whose proof checks.
@@ -137,7 +142,10 @@ std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
       ro.partials.push_back(std::move(partial));
       ro.proofs.push_back(std::move(proof));
     }
-    bulletin_->publish(holder, j, phase, label + ".pdec", bytes, m);
+    std::vector<std::uint8_t> payload;
+    if (bulletin_->wants_payload()) payload = encode_pdec_msg(PdecMsg{ro.partials, ro.proofs});
+    bulletin_->publish(holder, j, phase, label + ".pdec", bytes, m,
+                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
     outputs[j] = std::move(ro);
   }
 
@@ -210,8 +218,10 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
         if (bad && strat == MaliciousStrategy::BadProof) msg.proofs[i].z += 1;
       }
     }
+    std::vector<std::uint8_t> payload;
+    if (bulletin_->wants_payload()) payload = encode_handover_msg(msg);
     bulletin_->publish(holder, j, phase, "tsk.handover", msg.wire_bytes(), n * 2,
-                       /*first_post_of_role=*/false);
+                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
     msgs[j] = std::move(msg);
   }
 

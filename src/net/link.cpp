@@ -1,0 +1,66 @@
+#include "net/link.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+namespace yoso::net {
+
+std::size_t LinkModel::frames_for(std::size_t bytes) const {
+  if (bytes == 0) return 1;
+  return (bytes + frame_mtu - 1) / frame_mtu;
+}
+
+std::size_t LinkModel::wire_bytes(std::size_t bytes) const {
+  return bytes + frames_for(bytes) * frame_overhead;
+}
+
+double LinkModel::transmit_seconds(std::size_t bytes) const {
+  return static_cast<double>(wire_bytes(bytes)) * 8.0 / bandwidth_bps;
+}
+
+LinkModel LinkModel::lan() {
+  LinkModel m;
+  m.name = "lan";
+  m.latency_s = 0.0005;
+  m.bandwidth_bps = 1e9;
+  m.frame_mtu = 1500;
+  m.frame_overhead = 66;
+  return m;
+}
+
+LinkModel LinkModel::wan() {
+  LinkModel m;
+  m.name = "wan";
+  m.latency_s = 0.050;
+  m.bandwidth_bps = 50e6;
+  m.frame_mtu = 1500;
+  m.frame_overhead = 66;
+  return m;
+}
+
+LinkModel LinkModel::blockchain_bb() {
+  LinkModel m;
+  m.name = "blockchain-bb";
+  m.latency_s = 12.0;        // block interval: publication = inclusion
+  m.bandwidth_bps = 2e6;     // effective goodput toward the chain
+  m.frame_mtu = 1u << 17;    // transactions, not ethernet frames
+  m.frame_overhead = 512;    // envelope + signature per transaction
+  return m;
+}
+
+std::string LinkModel::describe() const {
+  std::ostringstream os;
+  os << name << " (latency " << latency_s * 1e3 << " ms, " << bandwidth_bps / 1e6
+     << " Mbps, mtu " << frame_mtu << " + " << frame_overhead << "B/frame)";
+  return os.str();
+}
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::StarViaBoard: return "star-via-board";
+    case Topology::UniformMesh: return "uniform-mesh";
+  }
+  return "?";
+}
+
+}  // namespace yoso::net

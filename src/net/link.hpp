@@ -1,0 +1,68 @@
+// Link and topology models for the simulated YOSO network.
+//
+// A LinkModel prices one direction of one party's access link: propagation
+// latency, serialization bandwidth, and per-frame overhead (the message is
+// fragmented into MTU-sized frames, each paying header bytes).  Presets
+// cover the settings the MPC-performance literature measures against
+// (LAN / WAN) plus a blockchain bulletin board whose block interval
+// dominates everything else.
+//
+// The Topology says how a broadcast reaches the observers:
+//   * StarViaBoard — the YOSO model: one upload to the bulletin board, then
+//     every observer downloads from the board over its own access link.
+//   * UniformMesh  — no board: the sender pushes one copy per observer
+//     through its own uplink (upload cost scales with the audience).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace yoso::net {
+
+struct LinkModel {
+  std::string name = "custom";
+  double latency_s = 0.0005;        // one-way propagation delay
+  double bandwidth_bps = 1e9;       // serialization rate of an access link
+  std::size_t frame_mtu = 1500;     // payload bytes per frame
+  std::size_t frame_overhead = 66;  // header bytes per frame
+
+  // Number of frames a `bytes`-sized message fragments into (>= 1: even an
+  // empty post occupies one frame on the wire).
+  std::size_t frames_for(std::size_t bytes) const;
+  // Total bytes on the wire including per-frame overhead.
+  std::size_t wire_bytes(std::size_t bytes) const;
+  // Seconds the link is busy serializing the message (excludes latency).
+  double transmit_seconds(std::size_t bytes) const;
+
+  // Data-center / same-rack setting: 1 Gbps, 0.5 ms one-way.
+  static LinkModel lan();
+  // Wide-area setting (the SoK's WAN profile): 50 Mbps, 50 ms one-way.
+  static LinkModel wan();
+  // Blockchain bulletin board: the "link" is block inclusion — 12 s
+  // one-way (block interval), ~2 Mbps effective goodput, big frames.
+  static LinkModel blockchain_bb();
+
+  std::string describe() const;
+};
+
+enum class Topology { StarViaBoard, UniformMesh };
+
+const char* topology_name(Topology t);
+
+// Link-level fault injection.  Silencing is realized at committee spawn
+// (the affected roles' links are down for their entire activation, so they
+// behave as fail-stop parties, Section 5.4); drops and extra delay act per
+// message on live links.
+struct FaultPlan {
+  unsigned silence_per_committee = 0;  // roles whose links are down
+  double extra_delay_s = 0;            // added one-way delay on every link
+  double drop_prob = 0;                // per-message drop probability
+  std::uint64_t seed = 1;              // deterministic drop decisions
+
+  bool empty() const {
+    return silence_per_committee == 0 && extra_delay_s == 0 && drop_prob == 0;
+  }
+};
+
+}  // namespace yoso::net

@@ -1,0 +1,144 @@
+#include "net/net_bulletin.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wire/codec.hpp"
+
+namespace yoso::net {
+
+namespace {
+
+std::size_t phase_idx(Phase p) { return static_cast<std::size_t>(p); }
+
+const char* phase_key(std::size_t idx) {
+  switch (idx) {
+    case 0: return "setup";
+    case 1: return "offline";
+    case 2: return "online";
+  }
+  return "?";
+}
+
+}  // namespace
+
+NetBulletin::NetBulletin(Ledger& ledger, NetConfig cfg)
+    : Bulletin(ledger), cfg_(std::move(cfg)),
+      transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults) {}
+
+void NetBulletin::check_payload(const std::vector<std::uint8_t>& payload) {
+  try {
+    std::vector<std::uint8_t> again;
+    switch (peek_tag(payload)) {
+      case kTagLinkProof: again = encode_link_proof(decode_link_proof(payload)); break;
+      case kTagMultProof: again = encode_mult_proof(decode_mult_proof(payload)); break;
+      case kTagRootProof: again = encode_root_proof(decode_root_proof(payload)); break;
+      case kTagMaskMsg: again = encode_mask_msg(decode_mask_msg(payload)); break;
+      case kTagHandoverMsg: again = encode_handover_msg(decode_handover_msg(payload)); break;
+      case kTagFutureCt: again = encode_future_ct(decode_future_ct(payload)); break;
+      case kTagPdecMsg: again = encode_pdec_msg(decode_pdec_msg(payload)); break;
+      case kTagContribMsg: again = encode_contrib_msg(decode_contrib_msg(payload)); break;
+      case kTagBeaverMsg: again = encode_beaver_msg(decode_beaver_msg(payload)); break;
+      case kTagMultShareMsg: again = encode_mult_share_msg(decode_mult_share_msg(payload)); break;
+      case kTagMaskBatch: again = encode_mask_batch(decode_mask_batch(payload)); break;
+      default: ++decode_failures_; return;
+    }
+    if (again != payload) ++decode_failures_;
+  } catch (const CodecError&) {
+    ++decode_failures_;
+  }
+}
+
+void NetBulletin::enqueue(std::string round_key, Phase phase, std::string sender,
+                          std::size_t bytes, const std::vector<std::uint8_t>* payload) {
+  if (payload != nullptr) {
+    bytes = payload->size();  // price the real serialized message
+    if (cfg_.decode_check) check_payload(*payload);
+  }
+  if (!pending_.empty() && (round_key != pending_key_ || phase != pending_phase_)) flush();
+  pending_key_ = std::move(round_key);
+  pending_phase_ = phase;
+  pending_.push_back(PendingPost{std::move(sender), bytes});
+}
+
+void NetBulletin::publish(Committee& committee, unsigned index0, Phase phase,
+                          const std::string& label, std::size_t bytes, std::size_t elements,
+                          bool first_post_of_role, const std::vector<std::uint8_t>* payload) {
+  Bulletin::publish(committee, index0, phase, label, bytes, elements, first_post_of_role,
+                    payload);
+  enqueue("c:" + committee.name, phase,
+          committee.name + "#" + std::to_string(index0), bytes, payload);
+}
+
+void NetBulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
+                                   std::size_t bytes, std::size_t elements,
+                                   const std::vector<std::uint8_t>* payload) {
+  Bulletin::publish_external(who, phase, label, bytes, elements, payload);
+  enqueue("x:" + label, phase, who, bytes, payload);
+}
+
+void NetBulletin::on_committee_spawn(Committee& committee) {
+  if (transport_.observers() == 0) transport_.set_observers(committee.n());
+  unsigned silenced = 0;
+  for (unsigned i = committee.n(); i-- > 0 && silenced < cfg_.faults.silence_per_committee;) {
+    if (committee.corruption.status[i] == RoleStatus::Honest) {
+      committee.corruption.status[i] = RoleStatus::FailStop;
+      ++silenced;
+    }
+  }
+  roles_silenced_ += silenced;
+}
+
+void NetBulletin::flush() {
+  if (pending_.empty()) return;
+  PhaseTraffic& pt = traffic_[phase_idx(pending_phase_)];
+  for (const PendingPost& p : pending_) {
+    transport_.broadcast(p.sender, p.bytes, clock_);
+    pt.messages += 1;
+    pt.payload_bytes += p.bytes;
+  }
+  transport_.run();
+  const double round_end = std::max(clock_, transport_.last_delivery());
+  pt.seconds += round_end - clock_;
+  pt.rounds += 1;
+  clock_ = round_end;
+  pending_.clear();
+  pending_key_.clear();
+}
+
+double NetBulletin::elapsed() {
+  flush();
+  return clock_;
+}
+
+const PhaseTraffic& NetBulletin::phase_traffic(Phase phase) {
+  flush();
+  return traffic_[phase_idx(phase)];
+}
+
+const TransportStats& NetBulletin::stats() {
+  flush();
+  return transport_.stats();
+}
+
+std::string NetBulletin::report_json() const {
+  const_cast<NetBulletin*>(this)->flush();
+  const TransportStats& ts = transport_.stats();
+  std::ostringstream os;
+  os << "{\"link\":\"" << cfg_.link.name << "\",\"topology\":\""
+     << topology_name(cfg_.topology) << "\",\"elapsed_s\":" << clock_ << ",\"phases\":{";
+  for (std::size_t i = 0; i < traffic_.size(); ++i) {
+    if (i != 0) os << ",";
+    const PhaseTraffic& pt = traffic_[i];
+    os << "\"" << phase_key(i) << "\":{\"seconds\":" << pt.seconds << ",\"rounds\":" << pt.rounds
+       << ",\"messages\":" << pt.messages << ",\"payload_bytes\":" << pt.payload_bytes << "}";
+  }
+  os << "},\"delivered\":" << ts.delivered << ",\"dropped\":" << ts.dropped
+     << ",\"downlink_queue_s\":" << ts.downlink_queue_seconds
+     << ",\"decode_failures\":" << decode_failures_
+     << ",\"roles_silenced\":" << roles_silenced_ << ",\"base\":" << Bulletin::report_json()
+     << "}";
+  return os.str();
+}
+
+}  // namespace yoso::net

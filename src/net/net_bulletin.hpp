@@ -1,0 +1,105 @@
+// A Bulletin whose posts travel over the simulated network.
+//
+// NetBulletin implements the Bulletin publish surface, so YosoMpc (and the
+// CDN baseline) run completely unmodified; in addition to the ledger's byte
+// accounting it yields per-phase virtual wall-clock timings, queueing
+// delays, and per-role bandwidth histograms from the discrete-event
+// Transport underneath.
+//
+// Round model: consecutive posts by the same committee (or under the same
+// external label) form one round — all senders release in parallel at the
+// round's start, and the round completes when the slowest observer has
+// downloaded every message (YOSO proceeds in broadcast rounds, Section 3.3).
+// The virtual clock then advances to that completion time; per-phase time
+// is the sum of the phase's round durations.
+//
+// Payloads: when the protocol hands a real serialized message (one tagged
+// wire/codec buffer per post), the transport prices that exact byte string
+// and — with decode_check on — round-trips it through the codec to catch
+// encoder drift.  Posts without payloads fall back to the ledger's byte
+// count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/link.hpp"
+#include "net/transport.hpp"
+#include "yoso/bulletin.hpp"
+
+namespace yoso::net {
+
+struct NetConfig {
+  LinkModel link = LinkModel::lan();
+  Topology topology = Topology::StarViaBoard;
+  unsigned observers = 0;  // downloading parties; 0 = first committee's n
+  FaultPlan faults = {};
+  bool decode_check = true;  // round-trip every payload through the codec
+};
+
+// Virtual-time traffic accumulated for one protocol phase.
+struct PhaseTraffic {
+  double seconds = 0;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;
+};
+
+class NetBulletin : public Bulletin {
+public:
+  NetBulletin(Ledger& ledger, NetConfig cfg = {});
+
+  void publish(Committee& committee, unsigned index0, Phase phase, const std::string& label,
+               std::size_t bytes, std::size_t elements, bool first_post_of_role = false,
+               const std::vector<std::uint8_t>* payload = nullptr) override;
+  void publish_external(const std::string& who, Phase phase, const std::string& label,
+                        std::size_t bytes, std::size_t elements,
+                        const std::vector<std::uint8_t>* payload = nullptr) override;
+
+  bool wants_payload() const override { return true; }
+
+  // Realizes the fault plan: the last `silence_per_committee` honest roles
+  // of every committee have their links down for the whole activation, so
+  // they behave as fail-stop parties (Section 5.4).
+  void on_committee_spawn(Committee& committee) override;
+
+  // Delivers any buffered round.  Accessors below flush implicitly; call
+  // this explicitly after the protocol finishes to close the final round.
+  void flush();
+
+  // Virtual wall-clock so far (seconds).
+  double elapsed();
+  const PhaseTraffic& phase_traffic(Phase phase);
+  const TransportStats& stats();
+  const NetConfig& config() const { return cfg_; }
+  std::size_t decode_failures() const { return decode_failures_; }
+  unsigned roles_silenced() const { return roles_silenced_; }
+
+  std::string report_json() const override;
+
+private:
+  struct PendingPost {
+    std::string sender;
+    std::size_t bytes;
+  };
+
+  void enqueue(std::string round_key, Phase phase, std::string sender, std::size_t bytes,
+               const std::vector<std::uint8_t>* payload);
+  void check_payload(const std::vector<std::uint8_t>& payload);
+
+  NetConfig cfg_;
+  EventLoop loop_;
+  Transport transport_;
+  double clock_ = 0;
+  std::vector<PendingPost> pending_;
+  std::string pending_key_;
+  Phase pending_phase_ = Phase::Setup;
+  std::array<PhaseTraffic, 3> traffic_{};
+  std::size_t decode_failures_ = 0;
+  unsigned roles_silenced_ = 0;
+};
+
+}  // namespace yoso::net

@@ -1,0 +1,106 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace yoso::net {
+
+void TransportStats::note_size(std::size_t bytes) {
+  std::size_t bucket = std::bit_width(bytes);  // log2 bucket, 0 for empty
+  if (size_histogram.size() <= bucket) size_histogram.resize(bucket + 1, 0);
+  ++size_histogram[bucket];
+}
+
+std::size_t TransportStats::total_payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, s] : senders) total += s.payload_bytes;
+  return total;
+}
+
+std::size_t TransportStats::total_wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, s] : senders) total += s.wire_bytes;
+  return total;
+}
+
+Transport::Transport(EventLoop& loop, LinkModel link, Topology topo, unsigned observers,
+                     FaultPlan faults)
+    : loop_(&loop), link_(std::move(link)), topo_(topo), observers_(observers),
+      faults_(std::move(faults)) {}
+
+namespace {
+
+// SplitMix64: deterministic per-message drop decisions from (seed, sender,
+// sequence) without touching the protocol's Rng stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool Transport::should_drop(const std::string& sender) {
+  if (faults_.drop_prob <= 0) return false;
+  std::uint64_t h = faults_.seed;
+  for (char c : sender) h = mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  h = mix64(h ^ msg_seq_);
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < faults_.drop_prob;
+}
+
+bool Transport::broadcast(const std::string& sender, std::size_t bytes, double release) {
+  ++msg_seq_;
+  if (should_drop(sender)) {
+    ++stats_.dropped;
+    return false;
+  }
+  if (downlink_free_.size() < observers_) downlink_free_.resize(observers_, 0.0);
+
+  const std::size_t frames = link_.frames_for(bytes);
+  const std::size_t wire = link_.wire_bytes(bytes);
+  const double one_copy_tx = link_.transmit_seconds(bytes);
+  const double up_tx = topo_ == Topology::UniformMesh
+                           ? one_copy_tx * static_cast<double>(std::max(observers_, 1u))
+                           : one_copy_tx;
+  const double hop_delay = link_.latency_s + faults_.extra_delay_s;
+
+  double& upfree = uplink_free_[sender];
+  const double start = std::max(release, upfree);
+  upfree = start + up_tx;
+
+  EndpointStats& es = stats_.senders[sender];
+  es.messages += 1;
+  es.payload_bytes += bytes;
+  es.wire_bytes += topo_ == Topology::UniformMesh ? wire * std::max(observers_, 1u) : wire;
+  es.frames += topo_ == Topology::UniformMesh ? frames * std::max(observers_, 1u) : frames;
+  es.busy_seconds += up_tx;
+  es.queue_seconds += start - release;
+  stats_.note_size(bytes);
+
+  // The full message reaches the board (star) / egresses the sender (mesh)
+  // one propagation delay after the last frame leaves the uplink; each
+  // observer then pulls its copy through its own serialized downlink.
+  const double arrival = start + up_tx + hop_delay;
+  const bool extra_hop = topo_ == Topology::StarViaBoard;
+  loop_->schedule_at(arrival, [this, one_copy_tx, hop_delay, extra_hop]() {
+    const double now = loop_->now();
+    for (unsigned r = 0; r < observers_; ++r) {
+      const double dstart = std::max(now, downlink_free_[r]);
+      stats_.downlink_queue_seconds += dstart - now;
+      downlink_free_[r] = dstart + one_copy_tx;
+      const double delivery = downlink_free_[r] + (extra_hop ? hop_delay : 0.0);
+      last_delivery_ = std::max(last_delivery_, delivery);
+      ++stats_.delivered;
+    }
+  });
+  return true;
+}
+
+double Transport::run() {
+  loop_->run();
+  return last_delivery_;
+}
+
+}  // namespace yoso::net

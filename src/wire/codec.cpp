@@ -232,4 +232,154 @@ FutureCt decode_future_ct(const std::vector<std::uint8_t>& data) {
   return f;
 }
 
+// --- Per-role protocol posts -----------------------------------------------
+
+namespace {
+
+// Reads one length-prefixed embedded message (the counterpart of
+// Encoder::bytes on an inner encode_* buffer).
+std::vector<std::uint8_t> read_embedded(Decoder& d) {
+  std::uint32_t len = d.u32();
+  std::vector<std::uint8_t> inner;
+  inner.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) inner.push_back(d.u8());
+  return inner;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pdec_msg(const PdecMsg& m) {
+  Encoder e;
+  e.u8(kTagPdecMsg);
+  e.mpz_vec(m.partials);
+  e.u32(static_cast<std::uint32_t>(m.proofs.size()));
+  for (const auto& p : m.proofs) e.bytes(encode_link_proof(p.inner));
+  return e.data();
+}
+
+PdecMsg decode_pdec_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagPdecMsg) throw CodecError("pdec msg: bad tag");
+  PdecMsg m;
+  m.partials = d.mpz_vec();
+  std::uint32_t count = d.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.proofs.push_back(PdecProof{decode_link_proof(read_embedded(d))});
+  }
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_contrib_msg(const ContribMsg& m) {
+  Encoder e;
+  e.u8(kTagContribMsg);
+  e.mpz_vec(m.cts);
+  e.u32(static_cast<std::uint32_t>(m.proofs.size()));
+  for (const auto& p : m.proofs) e.bytes(encode_link_proof(p.inner));
+  return e.data();
+}
+
+ContribMsg decode_contrib_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagContribMsg) throw CodecError("contrib msg: bad tag");
+  ContribMsg m;
+  m.cts = d.mpz_vec();
+  std::uint32_t count = d.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.proofs.push_back(PlaintextProof{decode_link_proof(read_embedded(d))});
+  }
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_beaver_msg(const BeaverMsg& m) {
+  Encoder e;
+  e.u8(kTagBeaverMsg);
+  e.mpz_vec(m.cb);
+  e.mpz_vec(m.cc);
+  e.u32(static_cast<std::uint32_t>(m.proofs.size()));
+  for (const auto& p : m.proofs) e.bytes(encode_mult_proof(p));
+  return e.data();
+}
+
+BeaverMsg decode_beaver_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagBeaverMsg) throw CodecError("beaver msg: bad tag");
+  BeaverMsg m;
+  m.cb = d.mpz_vec();
+  m.cc = d.mpz_vec();
+  std::uint32_t count = d.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.proofs.push_back(decode_mult_proof(read_embedded(d)));
+  }
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_mult_share_msg(const MultShareMsg& m) {
+  Encoder e;
+  e.u8(kTagMultShareMsg);
+  e.mpz_vec(m.p_int);
+  e.u32(static_cast<std::uint32_t>(m.proofs.size()));
+  for (const auto& p : m.proofs) e.bytes(encode_root_proof(p));
+  return e.data();
+}
+
+MultShareMsg decode_mult_share_msg(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagMultShareMsg) throw CodecError("mult share msg: bad tag");
+  MultShareMsg m;
+  m.p_int = d.mpz_vec();
+  std::uint32_t count = d.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    m.proofs.push_back(decode_root_proof(read_embedded(d)));
+  }
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_mask_batch(const std::vector<MaskMsg>& batch) {
+  Encoder e;
+  e.u8(kTagMaskBatch);
+  e.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const auto& m : batch) e.bytes(encode_mask_msg(m));
+  return e.data();
+}
+
+std::vector<MaskMsg> decode_mask_batch(const std::vector<std::uint8_t>& data) {
+  Decoder d(data);
+  if (d.u8() != kTagMaskBatch) throw CodecError("mask batch: bad tag");
+  std::uint32_t count = d.u32();
+  if (static_cast<std::size_t>(count) * 5 > data.size()) {
+    throw CodecError("mask batch: implausible count");
+  }
+  std::vector<MaskMsg> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(decode_mask_msg(read_embedded(d)));
+  d.expect_done();
+  return out;
+}
+
+std::uint8_t peek_tag(const std::vector<std::uint8_t>& data) {
+  if (data.empty()) throw CodecError("peek_tag: empty message");
+  return data.front();
+}
+
+const char* tag_name(std::uint8_t tag) {
+  switch (tag) {
+    case kTagLinkProof: return "LinkProof";
+    case kTagMultProof: return "MultProof";
+    case kTagRootProof: return "RootProof";
+    case kTagMaskMsg: return "MaskMsg";
+    case kTagHandoverMsg: return "HandoverMsg";
+    case kTagFutureCt: return "FutureCt";
+    case kTagPdecMsg: return "PdecMsg";
+    case kTagContribMsg: return "ContribMsg";
+    case kTagBeaverMsg: return "BeaverMsg";
+    case kTagMultShareMsg: return "MultShareMsg";
+    case kTagMaskBatch: return "MaskBatch";
+  }
+  return "unknown";
+}
+
 }  // namespace yoso

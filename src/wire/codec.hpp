@@ -85,4 +85,68 @@ HandoverMsg decode_handover_msg(const std::vector<std::uint8_t>& data);
 std::vector<std::uint8_t> encode_future_ct(const FutureCt& f);
 FutureCt decode_future_ct(const std::vector<std::uint8_t>& data);
 
+// --- Per-role protocol posts ----------------------------------------------
+// Each struct below is the single (multi-part) message one role broadcasts
+// during one activation; the net transport ships these as real serialized
+// payloads.  Vectors are indexed by the value/batch the role contributes to.
+
+// A decrypt-committee role's post: partial decryptions with PdecProofs.
+struct PdecMsg {
+  std::vector<mpz_class> partials;
+  std::vector<PdecProof> proofs;  // one per partial
+};
+
+std::vector<std::uint8_t> encode_pdec_msg(const PdecMsg& m);
+PdecMsg decode_pdec_msg(const std::vector<std::uint8_t>& data);
+
+// A contribution-committee role's post: fresh ciphertexts with proofs of
+// plaintext knowledge (Beaver `a` legs, wire randomness).
+struct ContribMsg {
+  std::vector<mpz_class> cts;
+  std::vector<PlaintextProof> proofs;  // one per ciphertext
+};
+
+std::vector<std::uint8_t> encode_contrib_msg(const ContribMsg& m);
+ContribMsg decode_contrib_msg(const std::vector<std::uint8_t>& data);
+
+// A Beaver `b` role's post: (c_b, c_c) pairs with multiplication proofs.
+struct BeaverMsg {
+  std::vector<mpz_class> cb;
+  std::vector<mpz_class> cc;
+  std::vector<MultProof> proofs;  // one per pair
+};
+
+std::vector<std::uint8_t> encode_beaver_msg(const BeaverMsg& m);
+BeaverMsg decode_beaver_msg(const std::vector<std::uint8_t>& data);
+
+// An online multiplication role's post: the public integer combinations
+// P_int with their RootProofs, one per batch (Section 5.3).
+struct MultShareMsg {
+  std::vector<mpz_class> p_int;
+  std::vector<RootProof> proofs;  // one per batch
+};
+
+std::vector<std::uint8_t> encode_mult_share_msg(const MultShareMsg& m);
+MultShareMsg decode_mult_share_msg(const std::vector<std::uint8_t>& data);
+
+// A mask-committee role's post: one MaskMsg per re-encrypted value.
+std::vector<std::uint8_t> encode_mask_batch(const std::vector<MaskMsg>& batch);
+std::vector<MaskMsg> decode_mask_batch(const std::vector<std::uint8_t>& data);
+
+// Tag byte of an encoded message (the first byte); kTag* constants below.
+std::uint8_t peek_tag(const std::vector<std::uint8_t>& data);
+const char* tag_name(std::uint8_t tag);
+
+inline constexpr std::uint8_t kTagLinkProof = 0x01;
+inline constexpr std::uint8_t kTagMultProof = 0x02;
+inline constexpr std::uint8_t kTagRootProof = 0x03;
+inline constexpr std::uint8_t kTagMaskMsg = 0x04;
+inline constexpr std::uint8_t kTagHandoverMsg = 0x05;
+inline constexpr std::uint8_t kTagFutureCt = 0x06;
+inline constexpr std::uint8_t kTagPdecMsg = 0x07;
+inline constexpr std::uint8_t kTagContribMsg = 0x08;
+inline constexpr std::uint8_t kTagBeaverMsg = 0x09;
+inline constexpr std::uint8_t kTagMultShareMsg = 0x0A;
+inline constexpr std::uint8_t kTagMaskBatch = 0x0B;
+
 }  // namespace yoso

@@ -1,19 +1,38 @@
 #include "yoso/bulletin.hpp"
 
+#include <sstream>
+
 namespace yoso {
+
+void Bulletin::record_post(const std::string& sender, unsigned index0, Phase phase,
+                           const std::string& label, std::size_t bytes, std::size_t elements) {
+  ledger_->record(phase, label, bytes, elements);
+  log_.push_back(Post{sender, index0, label, bytes, elements, phase});
+}
 
 void Bulletin::publish(Committee& committee, unsigned index0, Phase phase,
                        const std::string& label, std::size_t bytes, std::size_t elements,
-                       bool first_post_of_role) {
-  if (first_post_of_role) committee.speak(index0);
-  ledger_->record(phase, label, bytes, elements);
-  log_.push_back(Post{committee.name, index0, label, bytes, elements, phase});
+                       bool first_post_of_role, const std::vector<std::uint8_t>* payload) {
+  (void)payload;  // the passive board only prices messages
+  if (committee.name != open_committee_) {
+    if (closed_committees_.count(committee.name)) {
+      throw std::logic_error("YOSO violation: committee " + committee.name +
+                             " re-activated after its posting window closed");
+    }
+    if (!open_committee_.empty()) closed_committees_.insert(open_committee_);
+    open_committee_ = committee.name;
+  }
+  // A role is spoken from its first post on; later posts in the same
+  // activation window are parts of the same one-shot message.
+  if (first_post_of_role || !committee.has_spoken(index0)) committee.speak(index0);
+  record_post(committee.name, index0, phase, label, bytes, elements);
 }
 
 void Bulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
-                                std::size_t bytes, std::size_t elements) {
-  ledger_->record(phase, label, bytes, elements);
-  log_.push_back(Post{who, 0, label, bytes, elements, phase});
+                                std::size_t bytes, std::size_t elements,
+                                const std::vector<std::uint8_t>* payload) {
+  (void)payload;
+  record_post(who, 0, phase, label, bytes, elements);
 }
 
 std::size_t Bulletin::posts_by(const std::string& committee) const {
@@ -22,6 +41,12 @@ std::size_t Bulletin::posts_by(const std::string& committee) const {
     if (p.committee == committee) ++count;
   }
   return count;
+}
+
+std::string Bulletin::report_json() const {
+  std::ostringstream os;
+  os << "{\"posts\":" << log_.size() << ",\"ledger\":" << ledger_->report_json() << "}";
+  return os.str();
 }
 
 }  // namespace yoso

@@ -2,13 +2,19 @@
 //
 // In YOSO, every message — point-to-point included — is realized as a
 // broadcast of (possibly encrypted) data on a public board, so one-to-one
-// communication costs the same as one-to-all (Section 3.3).  The board
-// therefore only needs to (a) keep an auditable log and (b) feed the
-// communication Ledger; actual payloads flow through typed protocol
-// structs in src/mpc.
+// communication costs the same as one-to-all (Section 3.3).  The base
+// Bulletin only needs to (a) keep an auditable log, (b) feed the
+// communication Ledger, and (c) enforce the one-shot discipline; actual
+// payloads flow through typed protocol structs in src/mpc.
+//
+// The publish surface is virtual: net::NetBulletin (src/net) substitutes a
+// discrete-event network simulation behind the same interface, so YosoMpc
+// runs unmodified but additionally yields virtual wall-clock timings.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,23 +35,58 @@ struct Post {
 class Bulletin {
 public:
   explicit Bulletin(Ledger& ledger) : ledger_(&ledger) {}
+  virtual ~Bulletin() = default;
 
   // Records that role `index0` of `committee` published `elements` ring
-  // elements totaling `bytes` under `label`.  Enforces the one-shot rule
-  // through Committee::speak when `first_post_of_role` is true.
-  void publish(Committee& committee, unsigned index0, Phase phase, const std::string& label,
-               std::size_t bytes, std::size_t elements, bool first_post_of_role = false);
+  // elements totaling `bytes` under `label`.
+  //
+  // One-shot enforcement is on the default path: a committee gets exactly
+  // one contiguous posting window (its activation), a role is marked as
+  // having spoken on its first post, and re-activating a committee whose
+  // window has closed throws — even when the caller forgot to thread
+  // `first_post_of_role` / Committee::speak.  `first_post_of_role = true`
+  // additionally insists this is the role's first post (throws otherwise).
+  //
+  // `payload` optionally carries the real serialized message (one tagged
+  // wire/codec message per post); transports that model traffic request it
+  // via wants_payload() and fragment it into frames.
+  virtual void publish(Committee& committee, unsigned index0, Phase phase,
+                       const std::string& label, std::size_t bytes, std::size_t elements,
+                       bool first_post_of_role = false,
+                       const std::vector<std::uint8_t>* payload = nullptr);
 
-  // Publication by an entity outside any committee (a client / the dealer).
-  void publish_external(const std::string& who, Phase phase, const std::string& label,
-                        std::size_t bytes, std::size_t elements);
+  // Publication by an entity outside any committee (a client / the dealer);
+  // those senders are not one-shot roles.
+  virtual void publish_external(const std::string& who, Phase phase, const std::string& label,
+                                std::size_t bytes, std::size_t elements,
+                                const std::vector<std::uint8_t>* payload = nullptr);
 
+  // Should the protocol hand real encoded payloads to publish()?  The
+  // passive board does not need them; network transports do.
+  virtual bool wants_payload() const { return false; }
+
+  // Hook invoked by the protocol driver right after a committee is spawned.
+  // The net layer uses it to realize link failures as fail-stop roles; the
+  // passive board ignores it.
+  virtual void on_committee_spawn(Committee& committee) { (void)committee; }
+
+  const Ledger& ledger() const { return *ledger_; }
   const std::vector<Post>& log() const { return log_; }
   std::size_t posts_by(const std::string& committee) const;
+
+  // Machine-readable single-line JSON dump (ledger + audit-log summary).
+  virtual std::string report_json() const;
+
+protected:
+  // Shared bookkeeping for subclasses: ledger recording + audit log.
+  void record_post(const std::string& sender, unsigned index0, Phase phase,
+                   const std::string& label, std::size_t bytes, std::size_t elements);
 
 private:
   Ledger* ledger_;
   std::vector<Post> log_;
+  std::string open_committee_;              // committee currently posting
+  std::set<std::string> closed_committees_; // committees whose window closed
 };
 
 }  // namespace yoso

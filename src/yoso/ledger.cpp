@@ -70,6 +70,37 @@ void Ledger::reset() {
   online_.clear();
 }
 
+namespace {
+
+void entry_json(std::ostringstream& os, const LedgerEntry& e) {
+  os << "{\"messages\":" << e.messages << ",\"elements\":" << e.elements << ",\"bytes\":"
+     << e.bytes << "}";
+}
+
+}  // namespace
+
+std::string Ledger::report_json() const {
+  std::ostringstream os;
+  os << "{";
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    os << "\"" << phase_name(p) << "\":{\"total\":";
+    entry_json(os, phase_total(p));
+    os << ",\"categories\":{";
+    bool first = true;
+    for (const auto& [cat, e] : bucket(p)) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << cat << "\":";
+      entry_json(os, e);
+    }
+    os << "}},";
+  }
+  os << "\"total\":";
+  entry_json(os, total());
+  os << "}";
+  return os.str();
+}
+
 std::string Ledger::report() const {
   std::ostringstream os;
   for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {

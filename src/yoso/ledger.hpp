@@ -37,6 +37,11 @@ public:
   // Human-readable dump (used by benches and examples).
   std::string report() const;
 
+  // Machine-readable single-line JSON dump: per-phase totals and category
+  // breakdowns plus the grand total.  Benches write this to BENCH_comm.json
+  // so the communication trajectory is tracked across PRs.
+  std::string report_json() const;
+
 private:
   std::map<std::string, LedgerEntry> setup_, offline_, online_;
   std::map<std::string, LedgerEntry>& bucket(Phase phase);

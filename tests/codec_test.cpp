@@ -244,5 +244,151 @@ TEST_F(CodecTest, BitflippedRealMessagesRejectOrFailVerify) {
   }
 }
 
+// --- Property tests over every message type --------------------------------
+// For each type: random instances must encode -> decode -> re-encode to the
+// identical byte string (the encoding is canonical), every strict prefix of
+// an encoding must throw CodecError, and random byte soup must be rejected
+// cleanly.
+
+mpz_class rand_mpz(Prg& prg, unsigned max_bytes = 12) {
+  std::vector<std::uint8_t> b(1 + prg.u64() % max_bytes);
+  prg.bytes(b.data(), b.size());
+  mpz_class z;
+  mpz_import(z.get_mpz_t(), b.size(), 1, 1, 0, 0, b.data());
+  if (prg.u64() & 1) z = -z;
+  return z;
+}
+
+std::vector<mpz_class> rand_mpz_vec(Prg& prg, unsigned max_count = 4) {
+  std::vector<mpz_class> v(prg.u64() % (max_count + 1));
+  for (auto& z : v) z = rand_mpz(prg);
+  return v;
+}
+
+LinkProof rand_link_proof(Prg& prg) {
+  LinkProof p;
+  p.a_paillier = rand_mpz_vec(prg);
+  p.a_exponent = rand_mpz_vec(prg);
+  p.z = rand_mpz(prg);
+  p.z_rs = rand_mpz_vec(prg);
+  return p;
+}
+
+MaskMsg rand_mask_msg(Prg& prg) {
+  MaskMsg m;
+  m.a = rand_mpz(prg);
+  m.b = rand_mpz(prg);
+  m.proof = rand_link_proof(prg);
+  return m;
+}
+
+// encode(decode(encode(msg))) == encode(msg), and all strict prefixes throw.
+template <typename T, typename Enc, typename Dec>
+void check_codec_properties(const T& msg, Enc enc, Dec dec, bool check_prefixes) {
+  const std::vector<std::uint8_t> data = enc(msg);
+  const T decoded = dec(data);
+  EXPECT_EQ(enc(decoded), data);
+  if (!check_prefixes) return;
+  for (std::size_t len = 0; len < data.size(); ++len) {
+    std::vector<std::uint8_t> prefix(data.begin(), data.begin() + len);
+    EXPECT_THROW((void)dec(prefix), CodecError) << "prefix length " << len;
+  }
+}
+
+TEST_F(CodecTest, EveryMessageTypeRoundTripsCanonically) {
+  Prg prg(0xC0DEC);
+  for (int trial = 0; trial < 8; ++trial) {
+    const bool prefixes = trial == 0;  // prefix sweep is quadratic; once is enough
+
+    check_codec_properties(rand_link_proof(prg), encode_link_proof, decode_link_proof,
+                           prefixes);
+
+    MultProof mult;
+    mult.a1 = rand_mpz(prg);
+    mult.a2 = rand_mpz(prg);
+    mult.z = rand_mpz(prg);
+    mult.z1 = rand_mpz(prg);
+    mult.z2 = rand_mpz(prg);
+    check_codec_properties(mult, encode_mult_proof, decode_mult_proof, prefixes);
+
+    check_codec_properties(RootProof{rand_mpz(prg), rand_mpz(prg)}, encode_root_proof,
+                           decode_root_proof, prefixes);
+
+    check_codec_properties(rand_mask_msg(prg), encode_mask_msg, decode_mask_msg, prefixes);
+
+    HandoverMsg ho;
+    ho.from_index = static_cast<unsigned>(prg.u64() % 16);
+    ho.commitments = rand_mpz_vec(prg);
+    ho.enc_subshares = rand_mpz_vec(prg);
+    ho.proofs.resize(prg.u64() % 3);
+    for (auto& p : ho.proofs) p = rand_link_proof(prg);
+    check_codec_properties(ho, encode_handover_msg, decode_handover_msg, prefixes);
+
+    check_codec_properties(FutureCt{rand_mpz(prg), rand_mpz(prg)}, encode_future_ct,
+                           decode_future_ct, prefixes);
+
+    PdecMsg pdec;
+    pdec.partials = rand_mpz_vec(prg);
+    pdec.proofs.resize(prg.u64() % 3);
+    for (auto& p : pdec.proofs) p.inner = rand_link_proof(prg);
+    check_codec_properties(pdec, encode_pdec_msg, decode_pdec_msg, prefixes);
+
+    ContribMsg contrib;
+    contrib.cts = rand_mpz_vec(prg);
+    contrib.proofs.resize(prg.u64() % 3);
+    for (auto& p : contrib.proofs) p.inner = rand_link_proof(prg);
+    check_codec_properties(contrib, encode_contrib_msg, decode_contrib_msg, prefixes);
+
+    BeaverMsg beaver;
+    beaver.cb = rand_mpz_vec(prg);
+    beaver.cc = rand_mpz_vec(prg);
+    beaver.proofs.resize(prg.u64() % 3);
+    for (auto& p : beaver.proofs) {
+      p.a1 = rand_mpz(prg);
+      p.a2 = rand_mpz(prg);
+      p.z = rand_mpz(prg);
+      p.z1 = rand_mpz(prg);
+      p.z2 = rand_mpz(prg);
+    }
+    check_codec_properties(beaver, encode_beaver_msg, decode_beaver_msg, prefixes);
+
+    MultShareMsg ms;
+    ms.p_int = rand_mpz_vec(prg);
+    ms.proofs.resize(prg.u64() % 3);
+    for (auto& p : ms.proofs) p = RootProof{rand_mpz(prg), rand_mpz(prg)};
+    check_codec_properties(ms, encode_mult_share_msg, decode_mult_share_msg, prefixes);
+
+    std::vector<MaskMsg> batch(prg.u64() % 3);
+    for (auto& m : batch) m = rand_mask_msg(prg);
+    check_codec_properties(batch, encode_mask_batch, decode_mask_batch, prefixes);
+  }
+}
+
+TEST_F(CodecTest, GarbageRejectedForAggregateTypes) {
+  Prg prg(0xBAD5EED);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(1 + (trial % 113));
+    prg.bytes(junk.data(), junk.size());
+    try { (void)decode_pdec_msg(junk); } catch (const CodecError&) {}
+    try { (void)decode_contrib_msg(junk); } catch (const CodecError&) {}
+    try { (void)decode_beaver_msg(junk); } catch (const CodecError&) {}
+    try { (void)decode_mult_share_msg(junk); } catch (const CodecError&) {}
+    try { (void)decode_mask_batch(junk); } catch (const CodecError&) {}
+  }
+  SUCCEED();
+}
+
+TEST_F(CodecTest, TagDispatch) {
+  EXPECT_EQ(peek_tag(encode_root_proof(RootProof{mpz_class(1), mpz_class(2)})), kTagRootProof);
+  EXPECT_EQ(peek_tag(encode_future_ct(FutureCt{mpz_class(1), mpz_class(2)})), kTagFutureCt);
+  EXPECT_THROW(peek_tag({}), CodecError);
+  EXPECT_STREQ(tag_name(kTagPdecMsg), "PdecMsg");
+  EXPECT_STREQ(tag_name(kTagMaskBatch), "MaskBatch");
+  EXPECT_STREQ(tag_name(0xEE), "unknown");
+  // Cross-type decode must reject on the tag byte.
+  EXPECT_THROW(decode_pdec_msg(encode_contrib_msg(ContribMsg{})), CodecError);
+  EXPECT_THROW(decode_beaver_msg(encode_mult_share_msg(MultShareMsg{})), CodecError);
+}
+
 }  // namespace
 }  // namespace yoso

@@ -157,7 +157,7 @@ void BM_PlaintextProve(benchmark::State& state) {
   mpz_class m = f.rng.below(f.sk.pk.ns), r;
   mpz_class c = f.sk.pk.enc(m, f.rng, &r);
   for (auto _ : state) {
-    auto proof = prove_plaintext(f.sk.pk, c, m, r, f.rng);
+    auto proof = prove_plaintext(f.sk.pk, c, SecretMpz(m), SecretMpz(r), f.rng);
     benchmark::DoNotOptimize(proof);
   }
 }
@@ -167,7 +167,7 @@ void BM_PlaintextVerify(benchmark::State& state) {
   auto& f = fx();
   mpz_class m = f.rng.below(f.sk.pk.ns), r;
   mpz_class c = f.sk.pk.enc(m, f.rng, &r);
-  auto proof = prove_plaintext(f.sk.pk, c, m, r, f.rng);
+  auto proof = prove_plaintext(f.sk.pk, c, SecretMpz(m), SecretMpz(r), f.rng);
   for (auto _ : state) {
     bool ok = verify_plaintext(f.sk.pk, c, proof);
     benchmark::DoNotOptimize(ok);

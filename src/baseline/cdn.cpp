@@ -75,10 +75,10 @@ CdnResult CdnBaseline::evaluate(const std::vector<std::vector<mpz_class>>& input
     if (c >= inputs.size() || next_input[c] >= inputs[c].size()) {
       throw std::invalid_argument("CdnBaseline: missing input for client " + std::to_string(c));
     }
-    mpz_class v = ring.mod(inputs[c][next_input[c]++]);
+    SecretMpz v(ring.mod(inputs[c][next_input[c]++]));
     mpz_class r;
-    wire_ct[w] = pk.enc(v, rng_, &r);
-    PlaintextProof proof = prove_plaintext(pk, wire_ct[w], v, r, rng_);
+    wire_ct[w] = pk.enc_secret(v, rng_, &r);
+    PlaintextProof proof = prove_plaintext(pk, wire_ct[w], v, SecretMpz(r), rng_);
     board_->publish_external("client" + std::to_string(c), Phase::Online, "cdn.input",
                                mpz_wire_size(wire_ct[w]) + proof.wire_bytes(), 1);
   }

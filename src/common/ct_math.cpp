@@ -1,0 +1,52 @@
+#include "common/ct_math.hpp"
+
+#include <stdexcept>
+
+namespace yoso {
+
+namespace {
+
+// mpz_powm_sec demands exp > 0 and mod odd; route the public edge cases
+// (sign, zero) here so callers never touch the raw primitive.
+mpz_class powm_sec_raw(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  if (mpz_odd_p(mod.get_mpz_t()) == 0) {
+    throw std::invalid_argument("powm_sec: modulus must be odd");
+  }
+  if (exp == 0) return mpz_class(1) % mod;
+  mpz_class r;
+  if (exp < 0) {
+    mpz_class base_inv = mod_inverse(base, mod);
+    mpz_class mag = -exp;
+    mpz_powm_sec(r.get_mpz_t(), base_inv.get_mpz_t(), mag.get_mpz_t(), mod.get_mpz_t());
+  } else {
+    mpz_powm_sec(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  }
+  return r;
+}
+
+}  // namespace
+
+mpz_class powm_sec(const mpz_class& base, const SecretMpz& exp, const mpz_class& mod) {
+  return powm_sec_raw(base, exp.declassify(), mod);
+}
+
+SecretMpz powm_sec(const SecretMpz& base, const mpz_class& exp, const mpz_class& mod) {
+  if (exp < 0) throw std::invalid_argument("powm_sec: secret-base exponent must be >= 0");
+  return SecretMpz(powm_sec_raw(base.declassify(), exp, mod));
+}
+
+mpz_class powm_pub(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
+  mpz_class r;
+  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  return r;
+}
+
+mpz_class mod_inverse(const mpz_class& a, const mpz_class& m) {
+  mpz_class r;
+  if (mpz_invert(r.get_mpz_t(), a.get_mpz_t(), m.get_mpz_t()) == 0) {
+    throw std::domain_error("mod_inverse: operand not invertible");
+  }
+  return r;
+}
+
+}  // namespace yoso

@@ -1,0 +1,57 @@
+// Modular arithmetic entry points, split by secrecy of the operands.
+//
+// This is the only translation unit in the tree allowed to call the raw GMP
+// powm/invert primitives (tools/lint rule `no-raw-powm` / `no-raw-invert`);
+// everything under src/ picks one of the named wrappers below, so the
+// secrecy of every exponent is an explicit, greppable decision:
+//
+//   powm_sec(base, Secret exp, mod)   side-channel resistant ladder
+//   powm_sec(Secret base, exp, mod)   secret base, public small exponent
+//   powm_pub(base, exp, mod)          public data, fast left-to-right window
+//   mod_inverse(a, m)                 variable-time; public or dealer-offline
+//                                     operands only
+//
+// GMP's mpz_powm_sec requires exp > 0 and an odd modulus.  All protocol
+// moduli are odd (powers of an RSA modulus), and the wrappers normalize
+// negative and zero exponents themselves: the *sign* and zero-ness of a
+// share is treated as public (share bounds are published per epoch), its
+// value is not.
+#pragma once
+
+#include <gmpxx.h>
+
+#include "common/secret.hpp"
+
+namespace yoso {
+
+using SecretMpz = Secret<mpz_class>;
+
+// base^exp mod `mod` for a secret exponent.  `mod` must be odd.  Negative
+// exponents invert the (public) base first; a zero exponent returns 1.
+mpz_class powm_sec(const mpz_class& base, const SecretMpz& exp, const mpz_class& mod);
+
+// base^exp mod `mod` for a secret base and a public positive exponent
+// (sigma-protocol responses r^e).  `mod` must be odd.  The result stays
+// tainted; callers declassify when they publish the masked response.
+SecretMpz powm_sec(const SecretMpz& base, const mpz_class& exp, const mpz_class& mod);
+
+// base^exp mod `mod` where every operand is public (NIZK verification,
+// Feldman commitment recombination).  Kept on GMP's fast path on purpose.
+mpz_class powm_pub(const mpz_class& base, const mpz_class& exp, const mpz_class& mod);
+
+// a^{-1} mod m, variable time.  Only for public operands or dealer-side key
+// generation (which runs offline, before any adversary can time it).
+// Throws std::domain_error if a is not invertible.
+mpz_class mod_inverse(const mpz_class& a, const mpz_class& m);
+
+// Constant-time select on 64-bit words: mask must be 0 or ~0ull.
+inline std::uint64_t ct_select_u64(std::uint64_t mask, std::uint64_t a, std::uint64_t b) {
+  return (mask & a) | (~mask & b);
+}
+
+// Expands a boolean into a full select mask without branching.
+inline std::uint64_t ct_mask_u64(bool cond) {
+  return static_cast<std::uint64_t>(0) - static_cast<std::uint64_t>(cond);
+}
+
+}  // namespace yoso

@@ -1,0 +1,82 @@
+// Taint type for secret values (key shares, exponents, witnesses, pads).
+//
+// A Secret<T> deliberately has almost no API: arithmetic propagates the
+// taint, comparisons and streaming are deleted, and the only way back to a
+// plain T is an explicit, greppable declassify().  The type system thereby
+// flushes out every site where secret data meets a variable-time or
+// observable operation:
+//
+//   * modular exponentiation with a secret exponent must go through
+//     powm_sec() (common/ct_math.hpp), which uses GMP's side-channel
+//     resistant ladder;
+//   * equality on secret-derived bytes must go through ct_equal()
+//     (crypto/ct.hpp);
+//   * printing/logging a secret does not compile.
+//
+// declassify() marks the sanctioned exits: publishing a masked sigma-protocol
+// response, handing a plaintext to Enc(), emitting a share to its owner.
+// tools/lint enforces that declassify() only appears in whitelisted files,
+// so the set of exits stays a reviewed list.
+//
+// Scope note: big-integer add/mul/mod are not constant-time in the operand
+// *sizes*; Secret<T> tracks data flow and forbids the classically exploitable
+// operations (exponentiation, branching comparisons, I/O).  See
+// docs/STATIC_ANALYSIS.md for the full threat model.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace yoso {
+
+template <typename T>
+class Secret {
+public:
+  using value_type = T;
+
+  Secret() = default;
+  explicit Secret(T v) : v_(std::move(v)) {}
+
+  // The single sanctioned exit from the taint.  Call sites are whitelisted
+  // per-file in tools/lint/whitelist.txt.
+  const T& declassify() const { return v_; }
+
+  // Taint-propagating arithmetic (secret op secret and secret op public).
+  friend Secret operator+(const Secret& a, const Secret& b) { return Secret(a.v_ + b.v_); }
+  friend Secret operator+(const Secret& a, const T& b) { return Secret(a.v_ + b); }
+  friend Secret operator-(const Secret& a, const Secret& b) { return Secret(a.v_ - b.v_); }
+  friend Secret operator-(const Secret& a, const T& b) { return Secret(a.v_ - b); }
+  friend Secret operator*(const Secret& a, const Secret& b) { return Secret(a.v_ * b.v_); }
+  friend Secret operator*(const Secret& a, const T& b) { return Secret(a.v_ * b); }
+  friend Secret operator*(const T& a, const Secret& b) { return Secret(a * b.v_); }
+  friend Secret operator%(const Secret& a, const T& m) { return Secret(a.v_ % m); }
+  Secret& operator+=(const Secret& o) {
+    v_ += o.v_;
+    return *this;
+  }
+  Secret& operator*=(const Secret& o) {
+    v_ *= o.v_;
+    return *this;
+  }
+
+  // Secrets never branch: no comparisons, no ordering.
+  friend bool operator==(const Secret&, const Secret&) = delete;
+  friend bool operator!=(const Secret&, const Secret&) = delete;
+  friend bool operator<(const Secret&, const Secret&) = delete;
+
+private:
+  T v_;
+};
+
+// Secrets never stream.  Any `os << secret` picks this deleted overload.
+template <typename Stream, typename T>
+Stream& operator<<(Stream&, const Secret<T>&) = delete;
+
+template <typename T>
+struct is_secret : std::false_type {};
+template <typename T>
+struct is_secret<Secret<T>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_secret_v = is_secret<T>::value;
+
+}  // namespace yoso

@@ -1,0 +1,28 @@
+#include "crypto/ct.hpp"
+
+#include "crypto/transcript.hpp"
+
+namespace yoso {
+
+bool ct_equal(const void* a, const void* b, std::size_t n) {
+  const auto* pa = static_cast<const std::uint8_t*>(a);
+  const auto* pb = static_cast<const std::uint8_t*>(b);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) diff |= static_cast<std::uint8_t>(pa[i] ^ pb[i]);
+  return diff == 0;
+}
+
+bool ct_equal(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size()) return false;
+  return ct_equal(a.data(), b.data(), a.size());
+}
+
+bool ct_equal(const Sha256::Digest& a, const Sha256::Digest& b) {
+  return ct_equal(a.data(), b.data(), a.size());
+}
+
+bool ct_equal(const mpz_class& a, const mpz_class& b) {
+  return ct_equal(mpz_to_bytes(a), mpz_to_bytes(b));
+}
+
+}  // namespace yoso

@@ -1,0 +1,33 @@
+// Constant-time equality.  Ordinary `==` / memcmp return at the first
+// differing byte, which lets an attacker binary-search a digest or MAC one
+// byte at a time; every comparison whose operands derive from secret or
+// attacker-supplied data goes through ct_equal instead (tools/lint rule
+// `no-memcmp`).
+//
+// Lengths are treated as public: a length mismatch returns false without
+// scanning, but for equal lengths the scan always touches every byte.
+#pragma once
+
+#include <gmpxx.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace yoso {
+
+// Compares n bytes of a and b in time independent of their contents.
+bool ct_equal(const void* a, const void* b, std::size_t n);
+
+bool ct_equal(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b);
+
+bool ct_equal(const Sha256::Digest& a, const Sha256::Digest& b);
+
+// Compares two big integers via their canonical serializations
+// (crypto/transcript.cpp's sign+magnitude form), touching every byte of the
+// common length.  Magnitude *lengths* are public.
+bool ct_equal(const mpz_class& a, const mpz_class& b);
+
+}  // namespace yoso

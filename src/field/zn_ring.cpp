@@ -2,15 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/ct_math.hpp"
+
 namespace yoso {
 
 ZnRing::Elem ZnRing::inv(const Elem& a) const {
-  mpz_class r;
-  mpz_class am = mod(a);
-  if (mpz_invert(r.get_mpz_t(), am.get_mpz_t(), n_.get_mpz_t()) == 0) {
-    throw std::domain_error("ZnRing::inv: element is not a unit");
-  }
-  return r;
+  // Lagrange denominators over public evaluation points; the variable-time
+  // mod_inverse funnel is fine here.
+  return mod_inverse(mod(a), n_);
 }
 
 bool ZnRing::is_unit(const Elem& a) const {

@@ -72,18 +72,18 @@ ItCorrelations it_deal(const Circuit& circuit, const ItParams& params, Rng& rng)
   corr.packed_gamma.resize(corr.batches.size());
   for (std::size_t b = 0; b < corr.batches.size(); ++b) {
     const MulBatch& batch = corr.batches[b];
-    std::vector<Fp61::Elem> la, lb, gm;
+    std::vector<Secret<Fp61::Elem>> la, lb, gm;
     for (unsigned j = 0; j < params.k; ++j) {
       Fp61::Elem a = corr.wire_lambda[batch.alpha[j]];
       Fp61::Elem bb = corr.wire_lambda[batch.beta[j]];
       Fp61::Elem g = corr.wire_lambda[batch.gamma[j]];
-      la.push_back(a);
-      lb.push_back(bb);
-      gm.push_back(ring.sub(ring.mul(a, bb), g));
+      la.push_back(Secret<Fp61::Elem>(a));
+      lb.push_back(Secret<Fp61::Elem>(bb));
+      gm.push_back(Secret<Fp61::Elem>(ring.sub(ring.mul(a, bb), g)));
     }
-    corr.packed_alpha[b] = packed_share(ring, la, d, params.n, rng).shares;
-    corr.packed_beta[b] = packed_share(ring, lb, d, params.n, rng).shares;
-    corr.packed_gamma[b] = packed_share(ring, gm, d, params.n, rng).shares;
+    corr.packed_alpha[b] = packed_share_secret(ring, la, d, params.n, rng).shares;
+    corr.packed_beta[b] = packed_share_secret(ring, lb, d, params.n, rng).shares;
+    corr.packed_gamma[b] = packed_share_secret(ring, gm, d, params.n, rng).shares;
   }
 
   for (WireId w = 0; w < gates.size(); ++w) {

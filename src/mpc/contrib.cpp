@@ -25,10 +25,10 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
     msgs[j].reserve(count);
     std::size_t bytes = 0;
     for (std::size_t v = 0; v < count; ++v) {
-      mpz_class m = rng.below(tpk.pk.ns);
+      SecretMpz m(rng.below(tpk.pk.ns));
       mpz_class r;
-      mpz_class ct = tpk.pk.enc(m, rng, &r);
-      PlaintextProof proof = prove_plaintext(tpk.pk, ct, m, r, rng);
+      mpz_class ct = tpk.pk.enc_secret(m, rng, &r);
+      PlaintextProof proof = prove_plaintext(tpk.pk, ct, m, SecretMpz(r), rng);
       if (bad && strat == MaliciousStrategy::BadShare) {
         ct = tpk.pk.add(ct, tpk.pk.enc(mpz_class(1), rng));  // proof no longer matches
       }
@@ -94,14 +94,14 @@ std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee&
     msgs[j].reserve(count);
     std::size_t bytes = 0;
     for (std::size_t g = 0; g < count; ++g) {
-      mpz_class b = rng.below(tpk.pk.ns);
+      SecretMpz b(rng.below(tpk.pk.ns));
       mpz_class rb, rho;
-      mpz_class cb = tpk.pk.enc(b, rng, &rb);
-      mpz_class cc = tpk.pk.rerandomize(tpk.pk.scal(c_a[g], b), rng, &rho);
+      mpz_class cb = tpk.pk.enc_secret(b, rng, &rb);
+      mpz_class cc = tpk.pk.rerandomize(tpk.pk.scal_secret(c_a[g], b), rng, &rho);
       if (bad && strat == MaliciousStrategy::BadShare) {
         cc = tpk.pk.add(cc, tpk.pk.enc(mpz_class(1), rng));  // c no longer a*b
       }
-      MultProof proof = prove_mult(tpk.pk, c_a[g], cb, cc, b, rb, rho, rng);
+      MultProof proof = prove_mult(tpk.pk, c_a[g], cb, cc, b, SecretMpz(rb), SecretMpz(rho), rng);
       if (bad && strat == MaliciousStrategy::BadProof) proof.z += 1;
       bytes += mpz_wire_size(cb) + mpz_wire_size(cc) + proof.wire_bytes();
       msgs[j].push_back(BC{std::move(cb), std::move(cc), std::move(proof)});

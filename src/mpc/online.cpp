@@ -1,5 +1,7 @@
 #include "mpc/online.hpp"
 
+#include <stdexcept>
+
 #include "field/zn_ring.hpp"
 #include "nizk/link_proof.hpp"  // kKappa/kStat (bounds)
 #include "nizk/root_proof.hpp"
@@ -184,17 +186,13 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
             kff.pk.add(kff.pk.scal(bs.beta[i].pad_ct, mu_ai), kff.pk.scal(bs.alpha[i].pad_ct, mu_bi)),
             bs.gamma[i].pad_ct);
         mpz_class enc_pint = kff.pk.enc(p_int, mpz_class(1));
-        mpz_class enc_inv;
-        if (mpz_invert(enc_inv.get_mpz_t(), enc_pint.get_mpz_t(), kff.pk.ns1.get_mpz_t()) == 0) {
-          throw ProtocolAbort("online: pad ciphertext not invertible");
-        }
-        mpz_class u = c_comb * enc_inv % kff.pk.ns1;
+        mpz_class u = c_comb * mod_inverse(enc_pint, kff.pk.ns1) % kff.pk.ns1;
         RootProof proof;
         if (bad && strat == MaliciousStrategy::BadShare) {
           // No root exists for the shifted P_int; fake an attempt.
-          proof = prove_root(kff.pk, u, rng.unit_mod(kff.pk.n), rng);
+          proof = prove_root(kff.pk, u, SecretMpz(rng.unit_mod(kff.pk.n)), rng);
         } else {
-          mpz_class rho = kff.extract_root(u);
+          SecretMpz rho = kff.extract_root(u);
           proof = prove_root(kff.pk, u, rho, rng);
           if (bad && strat == MaliciousStrategy::BadProof) proof.z += 1;
         }
@@ -231,7 +229,9 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
             bs.gamma[i].pad_ct);
         mpz_class enc_pint = kpk.enc(p_int, mpz_class(1));
         mpz_class enc_inv;
-        if (mpz_invert(enc_inv.get_mpz_t(), enc_pint.get_mpz_t(), kpk.ns1.get_mpz_t()) == 0) {
+        try {
+          enc_inv = mod_inverse(enc_pint, kpk.ns1);
+        } catch (const std::domain_error&) {
           continue;
         }
         mpz_class u = c_comb * enc_inv % kpk.ns1;

@@ -61,14 +61,16 @@ std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
     msgs[j].reserve(m);
     std::size_t bytes = 0;
     for (std::size_t r = 0; r < m; ++r) {
-      mpz_class pad = rng_->below(pad_space);
+      SecretMpz pad(rng_->below(pad_space));
       MaskMsg msg;
       mpz_class r1, r2;
-      msg.a = tpk_.pk.enc(pad, *rng_, &r1);
-      mpz_class b_plain = pad;
-      if (bad && strat == MaliciousStrategy::BadShare) b_plain += 1;  // inconsistent pad
-      msg.b = targets[r]->enc(b_plain, *rng_, &r2);
-      LinkWitness w{pad, {r1, r2}};
+      msg.a = tpk_.pk.enc_secret(pad, *rng_, &r1);
+      SecretMpz b_plain = pad;
+      if (bad && strat == MaliciousStrategy::BadShare) {
+        b_plain = b_plain + mpz_class(1);  // inconsistent pad
+      }
+      msg.b = targets[r]->enc_secret(b_plain, *rng_, &r2);
+      LinkWitness w{pad, {SecretMpz(r1), SecretMpz(r2)}};
       msg.proof = link_prove(pad_statement(tpk_, *targets[r], msg.a, msg.b, bound_bits), w,
                              *rng_);
       if (bad && strat == MaliciousStrategy::BadProof) msg.proof.z += 1;
@@ -191,17 +193,15 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
     msg.proofs.resize(n);
     for (unsigned i = 0; i < n; ++i) {
       const PaillierPK& rpk = next_holder.role_pk(i);
-      mpz_class sub = res.subshares[i];
-      if (bad && strat == MaliciousStrategy::BadShare) sub += 1;
+      SecretMpz sub = res.subshares[i];
+      if (bad && strat == MaliciousStrategy::BadShare) sub = sub + mpz_class(1);
       mpz_class renc;
-      msg.enc_subshares[i] = rpk.enc(sub, *rng_, &renc);
+      msg.enc_subshares[i] = rpk.enc_secret(sub, *rng_, &renc);
       // Exponent leg: v^{f_j(i+1)}, publicly derivable from the commitments.
       mpz_class v_fij = 1;
       mpz_class pw = 1;
       for (const auto& com : msg.commitments) {
-        mpz_class term;
-        mpz_powm(term.get_mpz_t(), com.get_mpz_t(), pw.get_mpz_t(), tpk_.pk.ns1.get_mpz_t());
-        v_fij = v_fij * term % tpk_.pk.ns1;
+        v_fij = v_fij * powm_pub(com, pw, tpk_.pk.ns1) % tpk_.pk.ns1;
         pw *= (i + 1);
       }
       LinkStatement st;
@@ -209,7 +209,7 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
       st.paillier_legs = {PaillierLeg{rpk, msg.enc_subshares[i]}};
       st.exponent_legs = {ExponentLeg{tpk_.v, v_fij, tpk_.pk.ns1}};
       st.bound_bits = bound_bits;
-      LinkWitness w{res.subshares[i], {renc}};
+      LinkWitness w{res.subshares[i], {SecretMpz(renc)}};
       if (bad && strat == MaliciousStrategy::BadShare) {
         // Witness does not match the tampered ciphertext; proof will fail.
         msg.proofs[i] = link_prove(st, w, *rng_);
@@ -240,9 +240,7 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
       mpz_class v_fij = 1;
       mpz_class pw = 1;
       for (const auto& com : msg.commitments) {
-        mpz_class term;
-        mpz_powm(term.get_mpz_t(), com.get_mpz_t(), pw.get_mpz_t(), tpk_.pk.ns1.get_mpz_t());
-        v_fij = v_fij * term % tpk_.pk.ns1;
+        v_fij = v_fij * powm_pub(com, pw, tpk_.pk.ns1) % tpk_.pk.ns1;
         pw *= (i + 1);
       }
       LinkStatement st;
@@ -270,11 +268,11 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
   for (unsigned i = 0; i < n; ++i) {
     const PaillierSK& rsk = next_holder.role_sks[i];
     const mpz_class half = rsk.pk.ns / 2;
-    std::vector<mpz_class> subs;
+    std::vector<SecretMpz> subs;
     for (unsigned q : qualified) {
       mpz_class v = rsk.dec(msgs[q - 1]->enc_subshares[i]);
       if (v > half) v -= rsk.pk.ns;  // lift to a signed integer
-      subs.push_back(v);
+      subs.push_back(SecretMpz(std::move(v)));
     }
     next_shares[i] = tkrec(old_tpk, i + 1, qualified, subs);
   }

@@ -13,7 +13,7 @@ KffKey make_kff(const ProtocolParams& params, const ThresholdPK& tpk, unsigned p
                            /*safe_primes=*/false);
   // Transport the smaller factor; it fits in Z_{N^s} of the threshold key.
   const mpz_class& factor = kff.sk.p < kff.sk.q ? kff.sk.p : kff.sk.q;
-  kff.factor_ct = tpk.pk.enc(factor, rng);
+  kff.factor_ct = tpk.pk.enc_secret(SecretMpz(factor), rng);
   bulletin.publish_external("dealer", Phase::Setup, "setup.kff",
                             mpz_wire_size(kff.factor_ct) +
                                 mpz_wire_size(kff.sk.pk.n),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "crypto/ct.hpp"
+#include "crypto/sha256.hpp"
 #include "wire/codec.hpp"
 
 namespace yoso::net {
@@ -43,7 +45,11 @@ void NetBulletin::check_payload(const std::vector<std::uint8_t>& payload) {
       case kTagMaskBatch: again = encode_mask_batch(decode_mask_batch(payload)); break;
       default: ++decode_failures_; return;
     }
-    if (again != payload) ++decode_failures_;
+    // Compare round-trip digests instead of the raw byte vectors: the digest
+    // comparison runs in time independent of where the first mismatch falls.
+    const Sha256::Digest d_again = Sha256::hash(again.data(), again.size());
+    const Sha256::Digest d_payload = Sha256::hash(payload.data(), payload.size());
+    if (!ct_equal(d_again, d_payload)) ++decode_failures_;
   } catch (const CodecError&) {
     ++decode_failures_;
   }

@@ -2,15 +2,11 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
+
 namespace yoso {
 
 namespace {
-
-mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  mpz_class r;
-  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
-  return r;
-}
 
 Transcript statement_transcript(const LinkStatement& st) {
   Transcript tr("yoso.nizk.link." + st.domain);
@@ -51,7 +47,9 @@ LinkProof link_prove(const LinkStatement& st, const LinkWitness& w, Rng& rng) {
   if (w.rs.size() != st.paillier_legs.size()) {
     throw std::invalid_argument("link_prove: randomness count mismatch");
   }
-  if (mpz_sizeinbase(w.x.get_mpz_t(), 2) > st.bound_bits) {
+  // The witness *bound* is public protocol data (share_bound_bits is posted
+  // per epoch), so checking it is a sanctioned exit from the taint.
+  if (mpz_sizeinbase(w.x.declassify().get_mpz_t(), 2) > st.bound_bits) {
     throw std::invalid_argument("link_prove: witness exceeds bound");
   }
   // Mask: y uniform in [0, 2^{bound + kappa + stat}).  Legs whose plaintext
@@ -59,26 +57,28 @@ LinkProof link_prove(const LinkStatement& st, const LinkWitness& w, Rng& rng) {
   // callers needing integer binding must include a leg with a larger space
   // (role keys are sized for this at setup).
   const unsigned mask_bits = st.bound_bits + kKappa + kStat;
-  mpz_class y = rng.bits(mask_bits);
+  SecretMpz y(rng.bits(mask_bits));
 
   LinkProof proof;
-  std::vector<mpz_class> us;  // commitment randomness per Paillier leg
+  std::vector<SecretMpz> us;  // commitment randomness per Paillier leg
   for (const auto& leg : st.paillier_legs) {
-    mpz_class u = rng.unit_mod(leg.pk.n);
+    SecretMpz u(rng.unit_mod(leg.pk.n));
     us.push_back(u);
-    proof.a_paillier.push_back(leg.pk.enc(y, u));
+    proof.a_paillier.push_back(leg.pk.enc_secret(y, u.declassify()));
   }
   for (const auto& leg : st.exponent_legs) {
-    proof.a_exponent.push_back(powm(leg.base, y, leg.modulus));
+    proof.a_exponent.push_back(powm_sec(leg.base, y, leg.modulus));
   }
 
   const mpz_class e = derive_challenge(statement_transcript(st), proof);
 
-  proof.z = y + e * w.x;  // over the integers (may be negative for x < 0)
+  // z = y + e x over the integers (may be negative for x < 0); publishing
+  // it is safe because y statistically masks e x.
+  proof.z = (y + w.x * e).declassify();
   for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
     const auto& pk = st.paillier_legs[i].pk;
-    mpz_class re = powm(w.rs[i], e, pk.ns1);
-    proof.z_rs.push_back(us[i] * re % pk.ns1);
+    SecretMpz re = powm_sec(w.rs[i], e, pk.ns1);
+    proof.z_rs.push_back((us[i] * re % pk.ns1).declassify());
   }
   return proof;
 }
@@ -91,14 +91,14 @@ bool check_equations(const LinkStatement& st, const LinkProof& proof, const mpz_
     const auto& leg = st.paillier_legs[i];
     if (!leg.pk.valid_ciphertext(leg.ciphertext)) return false;
     mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
-    mpz_class rhs = proof.a_paillier[i] * powm(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
-    if (lhs != rhs) return false;
+    mpz_class rhs = proof.a_paillier[i] * powm_pub(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
+    if (!ct_equal(lhs, rhs)) return false;
   }
   for (std::size_t i = 0; i < st.exponent_legs.size(); ++i) {
     const auto& leg = st.exponent_legs[i];
-    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
-    mpz_class rhs = proof.a_exponent[i] * powm(leg.target, e, leg.modulus) % leg.modulus;
-    if (lhs != rhs) return false;
+    mpz_class lhs = powm_pub(leg.base, proof.z, leg.modulus);
+    mpz_class rhs = proof.a_exponent[i] * powm_pub(leg.target, e, leg.modulus) % leg.modulus;
+    if (!ct_equal(lhs, rhs)) return false;
   }
   return true;
 }
@@ -114,20 +114,14 @@ LinkProof link_simulate(const LinkStatement& st, const mpz_class& challenge, Rng
   for (std::size_t i = 0; i < st.paillier_legs.size(); ++i) {
     const auto& leg = st.paillier_legs[i];
     mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
-    mpz_class ce_inv;
-    mpz_class ce = powm(leg.ciphertext, challenge, leg.pk.ns1);
-    if (mpz_invert(ce_inv.get_mpz_t(), ce.get_mpz_t(), leg.pk.ns1.get_mpz_t()) == 0) {
-      throw std::invalid_argument("link_simulate: statement ciphertext not a unit");
-    }
+    mpz_class ce = powm_pub(leg.ciphertext, challenge, leg.pk.ns1);
+    mpz_class ce_inv = mod_inverse(ce, leg.pk.ns1);
     proof.a_paillier.push_back(lhs * ce_inv % leg.pk.ns1);
   }
   for (const auto& leg : st.exponent_legs) {
-    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
-    mpz_class ye = powm(leg.target, challenge, leg.modulus);
-    mpz_class ye_inv;
-    if (mpz_invert(ye_inv.get_mpz_t(), ye.get_mpz_t(), leg.modulus.get_mpz_t()) == 0) {
-      throw std::invalid_argument("link_simulate: exponent target not a unit");
-    }
+    mpz_class lhs = powm_pub(leg.base, proof.z, leg.modulus);
+    mpz_class ye = powm_pub(leg.target, challenge, leg.modulus);
+    mpz_class ye_inv = mod_inverse(ye, leg.modulus);
     proof.a_exponent.push_back(lhs * ye_inv % leg.modulus);
   }
   return proof;
@@ -162,15 +156,15 @@ bool link_verify(const LinkStatement& st, const LinkProof& proof) {
     if (!leg.pk.valid_ciphertext(leg.ciphertext)) return false;
     // (1+N)^z * z_r^{N^s} == a * c^e  (mod N^{s+1}); enc() reduces z mod N^s.
     mpz_class lhs = leg.pk.enc(proof.z, proof.z_rs[i]);
-    mpz_class rhs = proof.a_paillier[i] * powm(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
-    if (lhs != rhs) return false;
+    mpz_class rhs = proof.a_paillier[i] * powm_pub(leg.ciphertext, e, leg.pk.ns1) % leg.pk.ns1;
+    if (!ct_equal(lhs, rhs)) return false;
   }
   for (std::size_t i = 0; i < st.exponent_legs.size(); ++i) {
     const auto& leg = st.exponent_legs[i];
-    mpz_class lhs = powm(leg.base, proof.z, leg.modulus);
+    mpz_class lhs = powm_pub(leg.base, proof.z, leg.modulus);
     mpz_class rhs =
-        proof.a_exponent[i] * powm(leg.target, e, leg.modulus) % leg.modulus;
-    if (lhs != rhs) return false;
+        proof.a_exponent[i] * powm_pub(leg.target, e, leg.modulus) % leg.modulus;
+    if (!ct_equal(lhs, rhs)) return false;
   }
   return true;
 }

@@ -52,9 +52,11 @@ struct LinkStatement {
   unsigned bound_bits = 0;       // public bound: |x| < 2^bound_bits
 };
 
+// The witness is tainted end to end: the prover only publishes x and rs
+// after statistical masking (the declassify sites in link_prove).
 struct LinkWitness {
-  mpz_class x;
-  std::vector<mpz_class> rs;  // randomness per Paillier leg, same order
+  SecretMpz x;
+  std::vector<SecretMpz> rs;  // randomness per Paillier leg, same order
 };
 
 struct LinkProof {

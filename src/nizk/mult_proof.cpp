@@ -1,17 +1,12 @@
 #include "nizk/mult_proof.hpp"
 
+#include "crypto/ct.hpp"
 #include "crypto/transcript.hpp"
 #include "nizk/link_proof.hpp"  // for kKappa / kStat
 
 namespace yoso {
 
 namespace {
-
-mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  mpz_class r;
-  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
-  return r;
-}
 
 mpz_class challenge(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
                     const mpz_class& c_p, const mpz_class& a1, const mpz_class& a2) {
@@ -34,22 +29,23 @@ std::size_t MultProof::wire_bytes() const {
 }
 
 MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
-                     const mpz_class& c_p, const mpz_class& b, const mpz_class& r_b,
-                     const mpz_class& rho, Rng& rng) {
+                     const mpz_class& c_p, const SecretMpz& b, const SecretMpz& r_b,
+                     const SecretMpz& rho, Rng& rng) {
   const unsigned mask_bits =
       static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2)) + kKappa + kStat;
-  mpz_class x = rng.bits(mask_bits);
-  mpz_class u = rng.unit_mod(pk.n);
-  mpz_class w = rng.unit_mod(pk.n);
+  SecretMpz x(rng.bits(mask_bits));
+  SecretMpz u(rng.unit_mod(pk.n));
+  SecretMpz w(rng.unit_mod(pk.n));
 
   MultProof proof;
-  proof.a1 = pk.enc(x, u);
-  proof.a2 = powm(c_a, x, pk.ns1) * powm(w, pk.ns, pk.ns1) % pk.ns1;
+  proof.a1 = pk.enc_secret(x, u.declassify());
+  proof.a2 =
+      (powm_sec(c_a, x, pk.ns1) * powm_sec(w, pk.ns, pk.ns1).declassify()) % pk.ns1;
 
   const mpz_class e = challenge(pk, c_a, c_b, c_p, proof.a1, proof.a2);
-  proof.z = x + e * b;
-  proof.z1 = u * powm(r_b, e, pk.ns1) % pk.ns1;
-  proof.z2 = w * powm(rho, e, pk.ns1) % pk.ns1;
+  proof.z = (x + b * e).declassify();
+  proof.z1 = (u * powm_sec(r_b, e, pk.ns1) % pk.ns1).declassify();
+  proof.z2 = (w * powm_sec(rho, e, pk.ns1) % pk.ns1).declassify();
   return proof;
 }
 
@@ -61,12 +57,12 @@ bool verify_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_
   const mpz_class e = challenge(pk, c_a, c_b, c_p, proof.a1, proof.a2);
   // (1+N)^z * z1^{N^s} == a1 * c_b^e
   mpz_class lhs1 = pk.enc(proof.z, proof.z1);
-  mpz_class rhs1 = proof.a1 * powm(c_b, e, pk.ns1) % pk.ns1;
-  if (lhs1 != rhs1) return false;
+  mpz_class rhs1 = proof.a1 * powm_pub(c_b, e, pk.ns1) % pk.ns1;
+  if (!ct_equal(lhs1, rhs1)) return false;
   // c_a^z * z2^{N^s} == a2 * c_p^e
-  mpz_class lhs2 = powm(c_a, proof.z, pk.ns1) * powm(proof.z2, pk.ns, pk.ns1) % pk.ns1;
-  mpz_class rhs2 = proof.a2 * powm(c_p, e, pk.ns1) % pk.ns1;
-  return lhs2 == rhs2;
+  mpz_class lhs2 = powm_pub(c_a, proof.z, pk.ns1) * powm_pub(proof.z2, pk.ns, pk.ns1) % pk.ns1;
+  mpz_class rhs2 = proof.a2 * powm_pub(c_p, e, pk.ns1) % pk.ns1;
+  return ct_equal(lhs2, rhs2);
 }
 
 }  // namespace yoso

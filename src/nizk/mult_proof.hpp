@@ -26,9 +26,11 @@ struct MultProof {
   std::size_t wire_bytes() const;
 };
 
+// The witness (b, r_b, rho) is tainted; the prover declassifies only the
+// statistically masked responses.
 MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
-                     const mpz_class& c_p, const mpz_class& b, const mpz_class& r_b,
-                     const mpz_class& rho, Rng& rng);
+                     const mpz_class& c_p, const SecretMpz& b, const SecretMpz& r_b,
+                     const SecretMpz& rho, Rng& rng);
 
 bool verify_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
                  const mpz_class& c_p, const MultProof& proof);

@@ -14,8 +14,8 @@ LinkStatement make_statement(const PaillierPK& pk, const mpz_class& c) {
 
 }  // namespace
 
-PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const mpz_class& m,
-                               const mpz_class& r, Rng& rng) {
+PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const SecretMpz& m,
+                               const SecretMpz& r, Rng& rng) {
   LinkStatement st = make_statement(pk, c);
   LinkWitness w;
   w.x = m;

@@ -16,8 +16,10 @@ struct PlaintextProof {
 };
 
 // Proves knowledge of (m, r) for c under pk.  `m` must lie in [0, N^s).
-PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const mpz_class& m,
-                               const mpz_class& r, Rng& rng);
+// The plaintext and encryption randomness are the witness; they stay
+// tainted through the underlying LinkProof prover.
+PlaintextProof prove_plaintext(const PaillierPK& pk, const mpz_class& c, const SecretMpz& m,
+                               const SecretMpz& r, Rng& rng);
 
 bool verify_plaintext(const PaillierPK& pk, const mpz_class& c, const PlaintextProof& proof);
 

@@ -1,17 +1,12 @@
 #include "nizk/root_proof.hpp"
 
+#include "crypto/ct.hpp"
 #include "crypto/transcript.hpp"
 #include "nizk/link_proof.hpp"  // kKappa
 
 namespace yoso {
 
 namespace {
-
-mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  mpz_class r;
-  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
-  return r;
-}
 
 mpz_class challenge(const PaillierPK& pk, const mpz_class& u, const mpz_class& a) {
   Transcript tr("yoso.nizk.root");
@@ -26,21 +21,21 @@ mpz_class challenge(const PaillierPK& pk, const mpz_class& u, const mpz_class& a
 
 std::size_t RootProof::wire_bytes() const { return mpz_wire_size(a) + mpz_wire_size(z); }
 
-RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const mpz_class& rho, Rng& rng) {
-  mpz_class u0 = rng.unit_mod(pk.n);
+RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const SecretMpz& rho, Rng& rng) {
+  SecretMpz u0(rng.unit_mod(pk.n));
   RootProof proof;
-  proof.a = powm(u0, pk.ns, pk.ns1);
+  proof.a = powm_sec(u0, pk.ns, pk.ns1).declassify();
   const mpz_class e = challenge(pk, u, proof.a);
-  proof.z = u0 * powm(rho, e, pk.ns1) % pk.ns1;
+  proof.z = (u0 * powm_sec(rho, e, pk.ns1) % pk.ns1).declassify();
   return proof;
 }
 
 bool verify_root(const PaillierPK& pk, const mpz_class& u, const RootProof& proof) {
   if (u <= 0 || u >= pk.ns1) return false;
   const mpz_class e = challenge(pk, u, proof.a);
-  mpz_class lhs = powm(proof.z, pk.ns, pk.ns1);
-  mpz_class rhs = proof.a * powm(u, e, pk.ns1) % pk.ns1;
-  return lhs == rhs;
+  mpz_class lhs = powm_pub(proof.z, pk.ns, pk.ns1);
+  mpz_class rhs = proof.a * powm_pub(u, e, pk.ns1) % pk.ns1;
+  return ct_equal(lhs, rhs);
 }
 
 }  // namespace yoso

@@ -24,7 +24,9 @@ struct RootProof {
   std::size_t wire_bytes() const;
 };
 
-RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const mpz_class& rho, Rng& rng);
+// rho is the extracted root (PaillierSK::extract_root), a proof witness;
+// it stays tainted until the masked response z is published.
+RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const SecretMpz& rho, Rng& rng);
 bool verify_root(const PaillierPK& pk, const mpz_class& u, const RootProof& proof);
 
 }  // namespace yoso

@@ -4,21 +4,11 @@
 
 namespace yoso {
 
-namespace {
-
-mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  mpz_class r;
-  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
-  return r;
-}
-
-}  // namespace
-
 mpz_class PaillierPK::enc(const mpz_class& m, const mpz_class& r) const {
   mpz_class mm = m % ns;
   if (mm < 0) mm += ns;
-  mpz_class g_m = powm(n + 1, mm, ns1);
-  mpz_class r_ns = powm(r, ns, ns1);
+  mpz_class g_m = powm_pub(n + 1, mm, ns1);
+  mpz_class r_ns = powm_pub(r, ns, ns1);
   return g_m * r_ns % ns1;
 }
 
@@ -28,18 +18,39 @@ mpz_class PaillierPK::enc(const mpz_class& m, Rng& rng, mpz_class* r_out) const 
   return enc(m, r);
 }
 
+mpz_class PaillierPK::enc_secret(const SecretMpz& m, const mpz_class& r) const {
+  // Branch-free normalization into [0, N^s): one reduction can leave a
+  // negative representative, adding N^s and reducing again cannot.
+  SecretMpz mm = (m % ns + ns) % ns;
+  mpz_class g_m = powm_sec(n + 1, mm, ns1);
+  mpz_class r_ns = powm_sec(SecretMpz(r), ns, ns1).declassify();
+  return g_m * r_ns % ns1;
+}
+
+mpz_class PaillierPK::enc_secret(const SecretMpz& m, Rng& rng, mpz_class* r_out) const {
+  mpz_class r = rng.unit_mod(n);
+  if (r_out != nullptr) *r_out = r;
+  return enc_secret(m, r);
+}
+
 mpz_class PaillierPK::add(const mpz_class& c1, const mpz_class& c2) const {
   return c1 * c2 % ns1;
 }
 
 mpz_class PaillierPK::scal(const mpz_class& c, const mpz_class& k) const {
-  return powm(c, k, ns1);  // GMP inverts the base for negative exponents
+  return powm_pub(c, k, ns1);  // GMP inverts the base for negative exponents
+}
+
+mpz_class PaillierPK::scal_secret(const mpz_class& c, const SecretMpz& k) const {
+  return powm_sec(c, k, ns1);
 }
 
 mpz_class PaillierPK::rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out) const {
   mpz_class r = rng.unit_mod(n);
   if (r_out != nullptr) *r_out = r;
-  return c * powm(r, ns, ns1) % ns1;
+  // r is the rerandomization witness (handed to NIZK provers); keep its
+  // exponentiation on the hardened ladder.
+  return c * powm_sec(SecretMpz(r), ns, ns1).declassify() % ns1;
 }
 
 mpz_class PaillierPK::eval(const std::vector<mpz_class>& cts,
@@ -82,10 +93,7 @@ mpz_class dlog_1pn(const PaillierPK& pk, const mpz_class& u) {
       t2 = t2 * ii % n_pow_j;
       kfac *= k;
       // t1 -= t2 * N^{k-1} / k!  (division via modular inverse of k!)
-      mpz_class kfac_inv;
-      if (mpz_invert(kfac_inv.get_mpz_t(), kfac.get_mpz_t(), n_pow_j.get_mpz_t()) == 0) {
-        throw std::domain_error("dlog_1pn: k! not invertible (modulus has tiny factor)");
-      }
+      mpz_class kfac_inv = mod_inverse(kfac, n_pow_j);
       mpz_class n_pow_k1 = 1;
       for (unsigned h = 1; h < k; ++h) n_pow_k1 *= n;
       t1 = (t1 - t2 * n_pow_k1 % n_pow_j * kfac_inv) % n_pow_j;
@@ -98,23 +106,17 @@ mpz_class dlog_1pn(const PaillierPK& pk, const mpz_class& u) {
 }
 
 mpz_class PaillierSK::dec(const mpz_class& c) const {
-  mpz_class u;
-  mpz_powm(u.get_mpz_t(), c.get_mpz_t(), d.get_mpz_t(), pk.ns1.get_mpz_t());
+  mpz_class u = powm_sec(c, d, pk.ns1);
   return dlog_1pn(pk, u);
 }
 
-mpz_class PaillierSK::extract_root(const mpz_class& u) const {
+SecretMpz PaillierSK::extract_root(const mpz_class& u) const {
   // u = rho^{N^s} for some unit rho; the (1+N)-component of u is trivial,
   // so a root is u^{(N^s)^{-1} mod lambda} where lambda = lcm(p-1, q-1).
   mpz_class lambda;
   mpz_lcm(lambda.get_mpz_t(), mpz_class(p - 1).get_mpz_t(), mpz_class(q - 1).get_mpz_t());
-  mpz_class e_inv;
-  if (mpz_invert(e_inv.get_mpz_t(), pk.ns.get_mpz_t(), lambda.get_mpz_t()) == 0) {
-    throw std::domain_error("extract_root: N^s not invertible mod lambda");
-  }
-  mpz_class rho;
-  mpz_powm(rho.get_mpz_t(), u.get_mpz_t(), e_inv.get_mpz_t(), pk.ns1.get_mpz_t());
-  return rho;
+  SecretMpz e_inv(mod_inverse(pk.ns, lambda));
+  return SecretMpz(powm_sec(u, e_inv, pk.ns1));
 }
 
 PaillierSK paillier_sk_from_factor(const PaillierPK& pk, const mpz_class& p) {
@@ -126,11 +128,8 @@ PaillierSK paillier_sk_from_factor(const PaillierPK& pk, const mpz_class& p) {
   mpz_class l;
   mpz_lcm(l.get_mpz_t(), mpz_class(sk.p - 1).get_mpz_t(), mpz_class(sk.q - 1).get_mpz_t());
   sk.m_order = l;
-  mpz_class m_inv;
-  if (mpz_invert(m_inv.get_mpz_t(), sk.m_order.get_mpz_t(), sk.pk.ns.get_mpz_t()) == 0) {
-    throw std::domain_error("sk_from_factor: gcd(m, N^s) != 1");
-  }
-  sk.d = sk.m_order * (m_inv % sk.pk.ns);
+  mpz_class m_inv = mod_inverse(sk.m_order, sk.pk.ns);
+  sk.d = SecretMpz(sk.m_order * (m_inv % sk.pk.ns));
   return sk;
 }
 
@@ -177,11 +176,8 @@ PaillierSK paillier_keygen(unsigned modulus_bits, unsigned s, Rng& rng, bool saf
   // For safe primes lambda = 2 * m_order; the factor 2 kills the order-2
   // component of r^{N^s d} in direct decryption.
   mpz_class lambda = safe_primes ? mpz_class(2 * sk.m_order) : sk.m_order;
-  mpz_class l_inv;
-  if (mpz_invert(l_inv.get_mpz_t(), lambda.get_mpz_t(), sk.pk.ns.get_mpz_t()) == 0) {
-    throw std::domain_error("paillier_keygen: gcd(lambda, N^s) != 1");
-  }
-  sk.d = lambda * (l_inv % sk.pk.ns);
+  mpz_class l_inv = mod_inverse(lambda, sk.pk.ns);
+  sk.d = SecretMpz(lambda * (l_inv % sk.pk.ns));
   // Now d == 0 mod lambda and d == 1 mod N^s.
   return sk;
 }

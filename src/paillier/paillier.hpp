@@ -11,6 +11,8 @@
 
 #include <gmpxx.h>
 
+#include "common/ct_math.hpp"
+#include "common/secret.hpp"
 #include "crypto/rand.hpp"
 
 namespace yoso {
@@ -22,15 +24,27 @@ struct PaillierPK {
   mpz_class ns1;  // N^{s+1} (ciphertext modulus)
 
   // Deterministic encryption with caller-supplied randomness r (unit mod N).
+  // This is the fast path for *public* plaintexts (NIZK verification
+  // equations re-encrypt published responses); secret plaintexts go through
+  // enc_secret below.
   mpz_class enc(const mpz_class& m, const mpz_class& r) const;
   // Randomized encryption; `r_out`, if non-null, receives the randomness
   // (needed by the NIZK provers).
   mpz_class enc(const mpz_class& m, Rng& rng, mpz_class* r_out = nullptr) const;
 
+  // Encryption of a secret plaintext: both exponentiations ((1+N)^m and
+  // r^{N^s}) run on the side-channel resistant ladder, since m is tainted
+  // and r is the semantic-security witness.
+  mpz_class enc_secret(const SecretMpz& m, const mpz_class& r) const;
+  mpz_class enc_secret(const SecretMpz& m, Rng& rng, mpz_class* r_out = nullptr) const;
+
   // Homomorphic addition of plaintexts.
   mpz_class add(const mpz_class& c1, const mpz_class& c2) const;
-  // Homomorphic scalar multiplication (scalar may be negative).
+  // Homomorphic scalar multiplication (scalar may be negative).  Public
+  // scalars only (Lagrange coefficients, published combinations).
   mpz_class scal(const mpz_class& c, const mpz_class& k) const;
+  // Homomorphic scalar multiplication by a secret scalar (Beaver b-legs).
+  mpz_class scal_secret(const mpz_class& c, const SecretMpz& k) const;
   // Fresh randomization of a ciphertext.
   mpz_class rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out = nullptr) const;
 
@@ -45,17 +59,20 @@ struct PaillierPK {
 
 struct PaillierSK {
   PaillierPK pk;
+  // The factors stay un-tainted: they only feed dealer-side key generation,
+  // which runs offline (branching/retry loops there are unobservable).
   mpz_class p, q;
   mpz_class m_order;  // p' * q' for safe primes p = 2p'+1, q = 2q'+1
-  mpz_class d;        // d == 1 mod N^s, d == 0 mod m_order
+  SecretMpz d;        // d == 1 mod N^s, d == 0 mod m_order
 
   mpz_class dec(const mpz_class& c) const;
 
   // Extracts an N^s-th root of u, assuming one exists (i.e. u encrypts 0).
   // Used by the online-phase correctness proofs: a role holding the key can
   // prove that a public ciphertext combination encrypts a claimed value by
-  // exhibiting the root of the difference.
-  mpz_class extract_root(const mpz_class& u) const;
+  // exhibiting the root of the difference.  The root is a proof witness and
+  // stays tainted until the prover publishes its masked response.
+  SecretMpz extract_root(const mpz_class& u) const;
 };
 
 // Rebuilds a full secret key from the public key and one prime factor p.

@@ -2,21 +2,17 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "field/zn_ring.hpp"
 
 namespace yoso {
 
 namespace {
 
-mpz_class powm(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  mpz_class r;
-  mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
-  return r;
-}
-
-// Evaluates the integer polynomial (coeffs low-order first) at x.
-mpz_class int_poly_eval(const std::vector<mpz_class>& coeffs, const mpz_class& x) {
-  mpz_class acc = 0;
+// Evaluates the secret integer polynomial (coeffs low-order first) at the
+// public point x; the result carries the coefficients' taint.
+SecretMpz int_poly_eval(const std::vector<SecretMpz>& coeffs, const mpz_class& x) {
+  SecretMpz acc;
   for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
   return acc;
 }
@@ -55,9 +51,9 @@ ThresholdKeys tkgen(unsigned modulus_bits, unsigned s, unsigned n, unsigned t, R
 
   // Shamir-share d over Z_{m N^s} with a degree-t polynomial.
   const mpz_class share_mod = out.dealer_sk.m_order * out.tpk.pk.ns;
-  std::vector<mpz_class> coeffs(t + 1);
+  std::vector<SecretMpz> coeffs(t + 1);
   coeffs[0] = out.dealer_sk.d % share_mod;
-  for (unsigned c = 1; c <= t; ++c) coeffs[c] = rng.below(share_mod);
+  for (unsigned c = 1; c <= t; ++c) coeffs[c] = SecretMpz(rng.below(share_mod));
 
   out.shares.resize(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -71,13 +67,13 @@ ThresholdKeys tkgen(unsigned modulus_bits, unsigned s, unsigned n, unsigned t, R
   out.tpk.v = r * r % out.tpk.pk.ns1;
   out.tpk.vks.resize(n);
   for (unsigned i = 0; i < n; ++i) {
-    out.tpk.vks[i] = powm(out.tpk.v, out.shares[i].d_i, out.tpk.pk.ns1);
+    out.tpk.vks[i] = powm_sec(out.tpk.v, out.shares[i].d_i, out.tpk.pk.ns1);
   }
   return out;
 }
 
 mpz_class tpdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c) {
-  return powm(c, 2 * share.d_i, tpk.pk.ns1);
+  return powm_sec(c, share.d_i * mpz_class(2), tpk.pk.ns1);
 }
 
 mpz_class tdec(const ThresholdPK& tpk, const std::vector<unsigned>& indices,
@@ -88,14 +84,11 @@ mpz_class tdec(const ThresholdPK& tpk, const std::vector<unsigned>& indices,
   const auto lambda = integer_lagrange(pts, 0, tpk.delta);
   mpz_class acc = 1;
   for (std::size_t i = 0; i < partials.size(); ++i) {
-    acc = acc * powm(partials[i], 2 * lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
+    acc = acc * powm_pub(partials[i], 2 * lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
   }
   mpz_class u = dlog_1pn(tpk.pk, acc);  // = 4 * scale * m  (mod N^s)
-  mpz_class denom_inv;
   mpz_class denom = 4 * tpk.scale % tpk.pk.ns;
-  if (mpz_invert(denom_inv.get_mpz_t(), denom.get_mpz_t(), tpk.pk.ns.get_mpz_t()) == 0) {
-    throw std::domain_error("tdec: scale not invertible mod N^s");
-  }
+  mpz_class denom_inv = mod_inverse(denom, tpk.pk.ns);
   return u * denom_inv % tpk.pk.ns;
 }
 
@@ -106,9 +99,9 @@ ReshareMsg tkres(const ThresholdPK& tpk, const ThresholdKeyShare& share, Rng& rn
   // higher coefficients (parties do not know m N^s, so they mask with the
   // public bound N^{s+1} * 2^stat_sec).
   mpz_class bound = tpk.pk.ns1 << tpk.stat_sec;
-  std::vector<mpz_class> coeffs(tpk.t + 1);
+  std::vector<SecretMpz> coeffs(tpk.t + 1);
   coeffs[0] = share.d_i;
-  for (unsigned c = 1; c <= tpk.t; ++c) coeffs[c] = rng.below(bound);
+  for (unsigned c = 1; c <= tpk.t; ++c) coeffs[c] = SecretMpz(rng.below(bound));
 
   msg.subshares.resize(tpk.n);
   for (unsigned j = 0; j < tpk.n; ++j) {
@@ -116,7 +109,7 @@ ReshareMsg tkres(const ThresholdPK& tpk, const ThresholdKeyShare& share, Rng& rn
   }
   msg.commitments.resize(tpk.t + 1);
   for (unsigned c = 0; c <= tpk.t; ++c) {
-    msg.commitments[c] = powm(tpk.v, coeffs[c], tpk.pk.ns1);
+    msg.commitments[c] = powm_sec(tpk.v, coeffs[c], tpk.pk.ns1);
   }
   return msg;
 }
@@ -126,23 +119,23 @@ bool verify_reshare(const ThresholdPK& tpk, const ReshareMsg& msg) {
   if (msg.subshares.size() != tpk.n || msg.commitments.size() != tpk.t + 1) return false;
   // The constant-term commitment must match the resharer's verification key
   // (ties f(0) to the share it is supposed to reshare).
-  if (msg.commitments[0] != tpk.vks[msg.from_index - 1]) return false;
+  if (!ct_equal(msg.commitments[0], tpk.vks[msg.from_index - 1])) return false;
   for (unsigned j = 1; j <= tpk.n; ++j) {
-    mpz_class lhs = powm(tpk.v, msg.subshares[j - 1], tpk.pk.ns1);
+    mpz_class lhs = powm_sec(tpk.v, msg.subshares[j - 1], tpk.pk.ns1);
     mpz_class rhs = 1;
     mpz_class j_pow = 1;
     for (unsigned c = 0; c <= tpk.t; ++c) {
-      rhs = rhs * powm(msg.commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
+      rhs = rhs * powm_pub(msg.commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
       j_pow *= j;
     }
-    if (lhs != rhs) return false;
+    if (!ct_equal(lhs, rhs)) return false;
   }
   return true;
 }
 
 ThresholdKeyShare tkrec(const ThresholdPK& tpk, unsigned my_index,
                         const std::vector<unsigned>& from,
-                        const std::vector<mpz_class>& subshares_for_me) {
+                        const std::vector<SecretMpz>& subshares_for_me) {
   if (from.size() != subshares_for_me.size() || from.size() < tpk.t + 1) {
     throw std::invalid_argument("tkrec: need >= t + 1 verified resharings");
   }
@@ -150,7 +143,6 @@ ThresholdKeyShare tkrec(const ThresholdPK& tpk, unsigned my_index,
   const auto lambda = integer_lagrange(pts, 0, tpk.delta);
   ThresholdKeyShare out;
   out.index = my_index;
-  out.d_i = 0;
   for (std::size_t i = 0; i < from.size(); ++i) {
     out.d_i += lambda[i] * subshares_for_me[i];
   }
@@ -176,10 +168,10 @@ ThresholdPK next_epoch_pk(const ThresholdPK& tpk, const std::vector<unsigned>& f
       mpz_class vfij = 1;
       mpz_class j_pow = 1;
       for (std::size_t c = 0; c < msgs[i].commitments.size(); ++c) {
-        vfij = vfij * powm(msgs[i].commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
+        vfij = vfij * powm_pub(msgs[i].commitments[c], j_pow, tpk.pk.ns1) % tpk.pk.ns1;
         j_pow *= j;
       }
-      vk = vk * powm(vfij, lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
+      vk = vk * powm_pub(vfij, lambda[i], tpk.pk.ns1) % tpk.pk.ns1;
     }
     out.vks[j - 1] = vk;
   }
@@ -197,10 +189,7 @@ std::vector<mpz_class> sim_tpdec(const ThresholdPK& tpk, const mpz_class& c,
   // corrupt i, h(0) = scale * (m_target - m_true) * Delta^{-1}.
   ZnRing ring(tpk.pk.ns);
   Rng pad_rng(0xD15EA5E);  // padding points carry no secret; fixed seed is fine
-  mpz_class delta_inv;
-  if (mpz_invert(delta_inv.get_mpz_t(), tpk.delta.get_mpz_t(), tpk.pk.ns.get_mpz_t()) == 0) {
-    throw std::domain_error("sim_tpdec: Delta not invertible mod N^s");
-  }
+  mpz_class delta_inv = mod_inverse(tpk.delta, tpk.pk.ns);
   mpz_class h0 = ring.mod(tpk.scale * ring.sub(m_target, m_true) % tpk.pk.ns * delta_inv);
 
   std::vector<std::int64_t> pts{0};
@@ -223,8 +212,10 @@ std::vector<mpz_class> sim_tpdec(const ThresholdPK& tpk, const mpz_class& c,
   const mpz_class one_pn = tpk.pk.n + 1;
   for (const auto& sh : honest_shares) {
     mpz_class w = poly_eval(ring, coeffs, ring.from_int(static_cast<std::int64_t>(sh.index)));
-    mpz_class honest = powm(c, 2 * sh.d_i, tpk.pk.ns1);
-    mpz_class corr = powm(one_pn, 2 * w % tpk.pk.ns, tpk.pk.ns1);
+    mpz_class honest = powm_sec(c, sh.d_i * mpz_class(2), tpk.pk.ns1);
+    // The correction exponent derives from the true plaintext, so it is
+    // just as secret as a key share.
+    mpz_class corr = powm_sec(one_pn, SecretMpz(2 * w % tpk.pk.ns), tpk.pk.ns1);
     out.push_back(honest * corr % tpk.pk.ns1);
   }
   return out;

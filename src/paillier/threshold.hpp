@@ -51,7 +51,7 @@ struct ThresholdPK {
 
 struct ThresholdKeyShare {
   unsigned index = 0;  // 1-based party index (the Shamir evaluation point)
-  mpz_class d_i;       // integer share (may be negative after resharing)
+  SecretMpz d_i;       // integer share (may be negative after resharing)
 };
 
 struct ThresholdKeys {
@@ -79,8 +79,11 @@ mpz_class tdec(const ThresholdPK& tpk, const std::vector<unsigned>& indices,
 // carries the in-clear polynomial evaluations plus Feldman commitments.
 struct ReshareMsg {
   unsigned from_index = 0;
-  std::vector<mpz_class> subshares;     // subshares[j] = f_i(j+1), for party j+1
-  std::vector<mpz_class> commitments;   // v^{a_c} for each coefficient a_c
+  // subshares[j] = f_i(j+1), addressed to party j+1 only.  The protocol
+  // layer encrypts each one under the recipient's role key (enc_secret);
+  // they stay tainted until then.
+  std::vector<SecretMpz> subshares;
+  std::vector<mpz_class> commitments;  // v^{a_c} for each coefficient a_c
 };
 
 // TKRes: splits `share` into n subshares with a degree-t integer polynomial
@@ -95,7 +98,7 @@ bool verify_reshare(const ThresholdPK& tpk, const ReshareMsg& msg);
 // qualified set `from` (>= t+1 verified resharers) into its next-epoch share.
 ThresholdKeyShare tkrec(const ThresholdPK& tpk, unsigned my_index,
                         const std::vector<unsigned>& from,
-                        const std::vector<mpz_class>& subshares_for_me);
+                        const std::vector<SecretMpz>& subshares_for_me);
 
 // Advances the public key to the next epoch: multiplies scale by Delta and
 // recomputes all verification keys from the qualified resharers' Feldman

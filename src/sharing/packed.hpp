@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/secret.hpp"
 #include "crypto/rand.hpp"
 #include "field/poly.hpp"
 
@@ -80,6 +81,21 @@ PackedShares<R> packed_share(const R& ring, const std::vector<typename R::Elem>&
     out.shares.push_back(poly_eval(ring, coeffs, ring.from_int(out.points[i])));
   }
   return out;
+}
+
+// Taint-aware entry point: shares tainted secrets.  The declassify() here is
+// the sanctioned exit for dealer-side sharing — once interpolated against
+// degree + 1 - k uniformly random auxiliary values, any d - k + 1 shares are
+// information-theoretically independent of the secrets, and each share is
+// addressed to exactly one party.
+template <typename R>
+PackedShares<R> packed_share_secret(const R& ring,
+                                    const std::vector<Secret<typename R::Elem>>& secrets,
+                                    unsigned degree, unsigned n, Rng& rng) {
+  std::vector<typename R::Elem> plain;
+  plain.reserve(secrets.size());
+  for (const auto& s : secrets) plain.push_back(s.declassify());
+  return packed_share(ring, plain, degree, n, rng);
 }
 
 // The *determined* degree-(k-1) sharing of a public vector c (all shares are

@@ -82,7 +82,7 @@ TEST_F(CodecTest, LinkProofSurvivesSerializationAndVerifies) {
   st.domain = "codec.test";
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2));
-  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto proof = link_prove(st, LinkWitness{SecretMpz(m), {SecretMpz(r)}}, *rng_);
 
   auto decoded = decode_link_proof(encode_link_proof(proof));
   EXPECT_TRUE(link_verify(st, decoded));
@@ -100,7 +100,7 @@ TEST_F(CodecTest, MultProofRoundTrip) {
   mpz_class b = 4, rb, rho;
   mpz_class c_b = pk.enc(b, *rng_, &rb);
   mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
-  auto proof = prove_mult(pk, c_a, c_b, c_p, b, rb, rho, *rng_);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, SecretMpz(b), SecretMpz(rb), SecretMpz(rho), *rng_);
   auto decoded = decode_mult_proof(encode_mult_proof(proof));
   EXPECT_TRUE(verify_mult(pk, c_a, c_b, c_p, decoded));
 }
@@ -122,7 +122,7 @@ TEST_F(CodecTest, MaskMsgRoundTrip) {
   st.domain = "pad";
   st.paillier_legs = {PaillierLeg{pk, m.a}, PaillierLeg{pk, m.b}};
   st.bound_bits = 16;
-  m.proof = link_prove(st, LinkWitness{pad, {r1, r2}}, *rng_);
+  m.proof = link_prove(st, LinkWitness{SecretMpz(pad), {SecretMpz(r1), SecretMpz(r2)}}, *rng_);
 
   auto decoded = decode_mask_msg(encode_mask_msg(m));
   EXPECT_EQ(decoded.a, m.a);
@@ -164,7 +164,7 @@ TEST_F(CodecTest, EncodedSizeTracksWireBytes) {
   st.domain = "codec.size";
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2));
-  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto proof = link_prove(st, LinkWitness{SecretMpz(m), {SecretMpz(r)}}, *rng_);
   std::size_t framed = encode_link_proof(proof).size();
   std::size_t raw = proof.wire_bytes();
   EXPECT_GT(framed, raw);
@@ -179,7 +179,7 @@ TEST_F(CodecTest, TamperedEncodingFailsVerification) {
   st.domain = "codec.tamper";
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.bound_bits = 16;
-  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto proof = link_prove(st, LinkWitness{SecretMpz(m), {SecretMpz(r)}}, *rng_);
   auto data = encode_link_proof(proof);
   data[data.size() / 2] ^= 0x40;
   LinkProof decoded;
@@ -223,7 +223,7 @@ TEST_F(CodecTest, BitflippedRealMessagesRejectOrFailVerify) {
   st.domain = "codec.fuzz";
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.bound_bits = 16;
-  auto proof = link_prove(st, LinkWitness{m, {r}}, *rng_);
+  auto proof = link_prove(st, LinkWitness{SecretMpz(m), {SecretMpz(r)}}, *rng_);
   auto data = encode_link_proof(proof);
   Prg prg(0xF023);
   for (int trial = 0; trial < 100; ++trial) {

@@ -1,0 +1,72 @@
+// ct_equal: constant-time comparison agrees with memcmp on every input.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/ct.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rand.hpp"
+#include "crypto/sha256.hpp"
+
+namespace yoso {
+namespace {
+
+TEST(CtEqualTest, AgreesWithMemcmpOnRandomVectors) {
+  Prg prg(0xC7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = 1 + trial % 64;
+    std::vector<std::uint8_t> a(len), b(len);
+    prg.bytes(a.data(), len);
+    if (trial % 3 == 0) {
+      b = a;  // force the equal case regularly
+    } else {
+      prg.bytes(b.data(), len);
+    }
+    EXPECT_EQ(ct_equal(a.data(), b.data(), len), std::memcmp(a.data(), b.data(), len) == 0)
+        << "trial " << trial;
+  }
+}
+
+TEST(CtEqualTest, SingleBitFlipAnywhereDetected) {
+  std::vector<std::uint8_t> a(32, 0xAB);
+  for (std::size_t byte = 0; byte < a.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> b = a;
+      b[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(ct_equal(a, b));
+    }
+  }
+  EXPECT_TRUE(ct_equal(a, a));
+}
+
+TEST(CtEqualTest, VectorOverloadSizeMismatchIsFalse) {
+  std::vector<std::uint8_t> a{1, 2, 3}, b{1, 2, 3, 4};
+  EXPECT_FALSE(ct_equal(a, b));
+  EXPECT_TRUE(ct_equal(std::vector<std::uint8_t>{}, std::vector<std::uint8_t>{}));
+}
+
+TEST(CtEqualTest, DigestOverload) {
+  const char* msg = "yoso packed mpc";
+  Sha256::Digest d1 = Sha256::hash(msg, std::strlen(msg));
+  Sha256::Digest d2 = Sha256::hash(msg, std::strlen(msg));
+  EXPECT_TRUE(ct_equal(d1, d2));
+  d2[31] ^= 1;
+  EXPECT_FALSE(ct_equal(d1, d2));
+}
+
+TEST(CtEqualTest, MpzOverloadUsesCanonicalEncoding) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    mpz_class a = rng.below(mpz_class(1) << 512);
+    mpz_class b = trial % 2 == 0 ? a : rng.below(mpz_class(1) << 512);
+    EXPECT_EQ(ct_equal(a, b), a == b) << "trial " << trial;
+  }
+  EXPECT_TRUE(ct_equal(mpz_class(0), mpz_class(0)));
+  EXPECT_FALSE(ct_equal(mpz_class(0), mpz_class(1)));
+}
+
+TEST(CtEqualTest, ZeroLengthIsEqual) { EXPECT_TRUE(ct_equal(nullptr, nullptr, 0)); }
+
+}  // namespace
+}  // namespace yoso

@@ -1,0 +1,124 @@
+// Fixture tests for the secret-hygiene linter (tools/lint).  Each negative
+// fixture is a miniature tree that must trip exactly its target rule; the
+// clean fixtures and the real repository must pass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace yoso::lint {
+namespace {
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(LINT_FIXTURE_DIR) / name;
+}
+
+std::vector<std::string> rules_fired(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  return rules;
+}
+
+TEST(LintFixtures, RawPowmFires) {
+  auto findings = lint_tree(fixture("raw_powm"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"raw-powm"});
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].file, "src/bad.cpp");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintFixtures, RawInvertFires) {
+  auto findings = lint_tree(fixture("raw_invert"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"raw-invert"});
+}
+
+TEST(LintFixtures, MemcmpFires) {
+  auto findings = lint_tree(fixture("memcmp"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"memcmp"});
+}
+
+TEST(LintFixtures, UnwhitelistedDeclassifyFires) {
+  auto findings = lint_tree(fixture("declassify"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"declassify"});
+}
+
+TEST(LintFixtures, DeclassifyWhitelistSuppresses) {
+  std::string err;
+  Whitelist wl = Whitelist::parse("declassify src/bad.cpp -- fixture exemption\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(lint_tree(fixture("declassify"), wl).empty());
+}
+
+TEST(LintFixtures, NondeterminismFiresInConsensusScope) {
+  auto findings = lint_tree(fixture("nondet"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"nondeterminism"});
+  // unordered_map, time( and rand( each fire on their own line.
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(LintFixtures, BannedIncludeFires) {
+  auto findings = lint_tree(fixture("banned_include"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"banned-include"});
+  EXPECT_EQ(findings.size(), 2u);  // <random> and <unordered_map>
+}
+
+TEST(LintFixtures, CodecSwitchFlagsMissingCase) {
+  auto findings = lint_tree(fixture("codec_switch"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"codec-switch"});
+  // kTagBeta missing from both handler files.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("kTagBeta"), std::string::npos);
+}
+
+TEST(LintFixtures, CommentsAndStringsAreIgnored) {
+  EXPECT_TRUE(lint_tree(fixture("comment_only"), Whitelist()).empty());
+}
+
+TEST(LintFixtures, CleanTreeIsClean) {
+  EXPECT_TRUE(lint_tree(fixture("clean"), Whitelist()).empty());
+}
+
+TEST(LintWhitelist, RejectsEntryWithoutReason) {
+  std::string err;
+  Whitelist::parse("raw-powm src/foo.cpp\n", &err);
+  EXPECT_FALSE(err.empty());
+  Whitelist::parse("raw-powm src/foo.cpp --\n", &err);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(LintWhitelist, ParsesCommentsAndEntries) {
+  std::string err;
+  Whitelist wl = Whitelist::parse("# header\n\nraw-powm src/a.cpp -- funnel\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(wl.size(), 1u);
+  EXPECT_TRUE(wl.allows("raw-powm", "src/a.cpp"));
+  EXPECT_FALSE(wl.allows("raw-powm", "src/b.cpp"));
+  EXPECT_FALSE(wl.allows("raw-invert", "src/a.cpp"));
+}
+
+TEST(LintStrip, PreservesLineNumbers) {
+  std::string s = "a /* x\n y */ b\n// c\nd \"mpz_powm\" e\n";
+  std::string stripped = strip_comments_and_strings(s);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("mpz_powm"), std::string::npos);
+}
+
+// The acceptance criterion: the real tree lints clean under the real
+// whitelist.  Mirrors the `repo_lint` ctest, but in-process so a failure
+// prints the findings inline.
+TEST(LintRepo, RealTreeIsClean) {
+  const std::filesystem::path root(LINT_REPO_ROOT);
+  Whitelist wl = Whitelist::load(root / "tools" / "lint" / "whitelist.txt");
+  auto findings = lint_tree(root, wl);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+}  // namespace
+}  // namespace yoso::lint

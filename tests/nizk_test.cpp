@@ -35,14 +35,14 @@ TEST_F(NizkTest, PlaintextProofAccepts) {
   mpz_class m = rng_->below(sk_->pk.ns);
   mpz_class r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   EXPECT_TRUE(verify_plaintext(sk_->pk, c, proof));
 }
 
 TEST_F(NizkTest, PlaintextProofRejectsWrongCiphertext) {
   mpz_class m = 5, r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   mpz_class other = sk_->pk.enc(mpz_class(6), *rng_);
   EXPECT_FALSE(verify_plaintext(sk_->pk, other, proof));
 }
@@ -50,7 +50,7 @@ TEST_F(NizkTest, PlaintextProofRejectsWrongCiphertext) {
 TEST_F(NizkTest, PlaintextProofRejectsTamperedResponse) {
   mpz_class m = 5, r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   proof.inner.z += 1;
   EXPECT_FALSE(verify_plaintext(sk_->pk, c, proof));
 }
@@ -58,7 +58,7 @@ TEST_F(NizkTest, PlaintextProofRejectsTamperedResponse) {
 TEST_F(NizkTest, PlaintextProofRejectsOversizedResponse) {
   mpz_class m = 5, r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   proof.inner.z += mpz_class(1) << 4096;  // blow the range check
   EXPECT_FALSE(verify_plaintext(sk_->pk, c, proof));
 }
@@ -66,7 +66,7 @@ TEST_F(NizkTest, PlaintextProofRejectsOversizedResponse) {
 TEST_F(NizkTest, PlaintextProofRejectsInvalidCiphertext) {
   mpz_class m = 5, r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   EXPECT_FALSE(verify_plaintext(sk_->pk, mpz_class(0), proof));
 }
 
@@ -78,7 +78,7 @@ TEST_F(NizkTest, MultProofAccepts) {
   mpz_class c_b = pk.enc(b, *rng_, &r_b);
   mpz_class rho;
   mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
-  auto proof = prove_mult(pk, c_a, c_b, c_p, b, r_b, rho, *rng_);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, SecretMpz(b), SecretMpz(r_b), SecretMpz(rho), *rng_);
   EXPECT_TRUE(verify_mult(pk, c_a, c_b, c_p, proof));
   // And the product really decrypts to a*b.
   EXPECT_EQ(sk_->dec(c_p), a * b % pk.ns);
@@ -91,7 +91,7 @@ TEST_F(NizkTest, MultProofRejectsMismatchedProduct) {
   mpz_class c_b = pk.enc(b, *rng_, &r_b);
   mpz_class rho;
   mpz_class c_p = pk.rerandomize(pk.scal(c_a, b), *rng_, &rho);
-  auto proof = prove_mult(pk, c_a, c_b, c_p, b, r_b, rho, *rng_);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, SecretMpz(b), SecretMpz(r_b), SecretMpz(rho), *rng_);
   // Claim the product is something else.
   mpz_class c_bad = pk.enc(mpz_class(13), *rng_);
   EXPECT_FALSE(verify_mult(pk, c_a, c_b, c_bad, proof));
@@ -105,7 +105,7 @@ TEST_F(NizkTest, MultProofRejectsWrongB) {
   mpz_class rho;
   // Product computed with a different scalar than the encrypted b.
   mpz_class c_p = pk.rerandomize(pk.scal(c_a, mpz_class(5)), *rng_, &rho);
-  auto proof = prove_mult(pk, c_a, c_b, c_p, mpz_class(5), r_b, rho, *rng_);
+  auto proof = prove_mult(pk, c_a, c_b, c_p, SecretMpz(mpz_class(5)), SecretMpz(r_b), SecretMpz(rho), *rng_);
   EXPECT_FALSE(verify_mult(pk, c_a, c_b, c_p, proof));
 }
 
@@ -122,7 +122,7 @@ TEST_F(NizkTest, LinkProofTwoPaillierLegsEquality) {
   st.domain = "test.padlink";
   st.paillier_legs = {PaillierLeg{sk_->pk, c1}, PaillierLeg{sk2.pk, c2}};
   st.bound_bits = static_cast<unsigned>(mpz_sizeinbase(sk_->pk.ns.get_mpz_t(), 2));
-  LinkWitness w{pad, {r1, r2}};
+  LinkWitness w{SecretMpz(pad), {SecretMpz(r1), SecretMpz(r2)}};
   auto proof = link_prove(st, w, *rng_);
   EXPECT_TRUE(link_verify(st, proof));
 
@@ -149,7 +149,7 @@ TEST_F(NizkTest, LinkProofPaillierPlusExponentLeg) {
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.exponent_legs = {ExponentLeg{v, target, pk.ns1}};
   st.bound_bits = 100;
-  LinkWitness w{x, {r}};
+  LinkWitness w{SecretMpz(x), {SecretMpz(r)}};
   auto proof = link_prove(st, w, *rng_);
   EXPECT_TRUE(link_verify(st, proof));
 
@@ -174,7 +174,7 @@ TEST_F(NizkTest, LinkProofNegativeWitness) {
   st.paillier_legs = {PaillierLeg{pk, c}};
   st.exponent_legs = {ExponentLeg{v, target, pk.ns1}};
   st.bound_bits = 20;
-  LinkWitness w{x, {r}};
+  LinkWitness w{SecretMpz(x), {SecretMpz(r)}};
   auto proof = link_prove(st, w, *rng_);
   EXPECT_TRUE(link_verify(st, proof));
 }
@@ -187,14 +187,14 @@ TEST_F(NizkTest, LinkProofRejectsWitnessOverBound) {
   mpz_class r;
   mpz_class c = pk.enc(mpz_class(5000), *rng_, &r);
   st.paillier_legs = {PaillierLeg{pk, c}};
-  LinkWitness w{mpz_class(5000), {r}};  // 5000 > 2^10
+  LinkWitness w{SecretMpz(mpz_class(5000)), {SecretMpz(r)}};  // 5000 > 2^10
   EXPECT_THROW(link_prove(st, w, *rng_), std::invalid_argument);
 }
 
 TEST_F(NizkTest, ProofSizesAreReported) {
   mpz_class m = 5, r;
   mpz_class c = sk_->pk.enc(m, *rng_, &r);
-  auto proof = prove_plaintext(sk_->pk, c, m, r, *rng_);
+  auto proof = prove_plaintext(sk_->pk, c, SecretMpz(m), SecretMpz(r), *rng_);
   EXPECT_GT(proof.wire_bytes(), 0u);
 }
 
@@ -264,7 +264,7 @@ TEST_F(PdecNizkTest, WorksAfterResharingEpoch) {
   std::vector<ReshareMsg> msgs;
   for (unsigned i : from) msgs.push_back(tkres(tpk, keys_->shares[i - 1], *rng_));
   ThresholdPK tpk2 = next_epoch_pk(tpk, from, msgs);
-  std::vector<mpz_class> subs;
+  std::vector<SecretMpz> subs;
   for (const auto& m : msgs) subs.push_back(m.subshares[3]);  // party 4's subshares
   auto sh4 = tkrec(tpk, 4, from, subs);
 

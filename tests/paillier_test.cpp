@@ -147,8 +147,8 @@ TEST(PaillierKeygen, KeyStructure) {
   EXPECT_EQ(sk.pk.n, sk.p * sk.q);
   EXPECT_EQ(sk.pk.ns, sk.pk.n);
   EXPECT_EQ(sk.pk.ns1, sk.pk.n * sk.pk.n);
-  EXPECT_EQ(sk.d % sk.pk.ns, 1);
-  EXPECT_EQ(sk.d % sk.m_order, 0);
+  EXPECT_EQ(sk.d.declassify() % sk.pk.ns, 1);
+  EXPECT_EQ(sk.d.declassify() % sk.m_order, 0);
 }
 
 }  // namespace

@@ -46,13 +46,14 @@ TEST(Params, HolderBudgetDominatesActualShareGrowth) {
     for (const auto& m : msgs) {
       for (const auto& s : m.subshares) {
         max_subshare_bits = std::max(
-            max_subshare_bits, static_cast<unsigned>(mpz_sizeinbase(s.get_mpz_t(), 2)));
+            max_subshare_bits,
+            static_cast<unsigned>(mpz_sizeinbase(s.declassify().get_mpz_t(), 2)));
       }
     }
     ThresholdPK next = next_epoch_pk(tpk, from, msgs);
     std::vector<ThresholdKeyShare> next_shares(p.n);
     for (unsigned j = 1; j <= p.n; ++j) {
-      std::vector<mpz_class> subs;
+      std::vector<SecretMpz> subs;
       for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
       next_shares[j - 1] = tkrec(tpk, j, from, subs);
     }

@@ -26,16 +26,16 @@ PaillierSK* RootProofTest::sk_ = nullptr;
 
 TEST_F(RootProofTest, AcceptsEncryptionOfZero) {
   mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
-  mpz_class rho = sk_->extract_root(u);
+  SecretMpz rho = sk_->extract_root(u);
   auto proof = prove_root(sk_->pk, u, rho, *rng_);
   EXPECT_TRUE(verify_root(sk_->pk, u, proof));
 }
 
 TEST_F(RootProofTest, ExtractRootIsARoot) {
   mpz_class u = sk_->pk.enc(mpz_class(0), *rng_);
-  mpz_class rho = sk_->extract_root(u);
+  SecretMpz rho = sk_->extract_root(u);
   mpz_class check;
-  mpz_powm(check.get_mpz_t(), rho.get_mpz_t(), sk_->pk.ns.get_mpz_t(),
+  mpz_powm(check.get_mpz_t(), rho.declassify().get_mpz_t(), sk_->pk.ns.get_mpz_t(),
            sk_->pk.ns1.get_mpz_t());
   EXPECT_EQ(check, u % sk_->pk.ns1);
 }
@@ -48,7 +48,7 @@ TEST_F(RootProofTest, HomomorphicDifferenceOfEqualPlaintexts) {
   mpz_class c2_inv;
   ASSERT_NE(mpz_invert(c2_inv.get_mpz_t(), c2.get_mpz_t(), sk_->pk.ns1.get_mpz_t()), 0);
   mpz_class u = c1 * c2_inv % sk_->pk.ns1;
-  mpz_class rho = sk_->extract_root(u);
+  SecretMpz rho = sk_->extract_root(u);
   auto proof = prove_root(sk_->pk, u, rho, *rng_);
   EXPECT_TRUE(verify_root(sk_->pk, u, proof));
 }
@@ -57,7 +57,7 @@ TEST_F(RootProofTest, RejectsNonZeroPlaintext) {
   // u encrypts 1: no N^s-th root exists; a cheating prover with a random
   // "root" must fail.
   mpz_class u = sk_->pk.enc(mpz_class(1), *rng_);
-  auto proof = prove_root(sk_->pk, u, rng_->unit_mod(sk_->pk.n), *rng_);
+  auto proof = prove_root(sk_->pk, u, SecretMpz(rng_->unit_mod(sk_->pk.n)), *rng_);
   EXPECT_FALSE(verify_root(sk_->pk, u, proof));
 }
 

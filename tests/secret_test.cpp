@@ -1,0 +1,116 @@
+// Secret<T> taint type and the constant-time math funnel (common/ct_math).
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/ct_math.hpp"
+#include "common/secret.hpp"
+#include "crypto/rand.hpp"
+
+namespace yoso {
+namespace {
+
+// Compile-time taint guarantees: no comparisons, no streaming, no implicit
+// construction, and the trait identifies tainted types.
+static_assert(!std::is_convertible_v<mpz_class, SecretMpz>,
+              "Secret must not be implicitly constructible");
+static_assert(!std::is_convertible_v<SecretMpz, mpz_class>,
+              "Secret must not implicitly decay to its value type");
+static_assert(is_secret_v<SecretMpz>);
+static_assert(is_secret_v<Secret<int>>);
+static_assert(!is_secret_v<mpz_class>);
+static_assert(!is_secret_v<int>);
+
+template <typename T, typename = void>
+struct has_equality : std::false_type {};
+template <typename T>
+struct has_equality<T, std::void_t<decltype(std::declval<T>() == std::declval<T>())>>
+    : std::true_type {};
+static_assert(!has_equality<SecretMpz>::value, "operator== must be deleted");
+
+template <typename T, typename = void>
+struct streamable : std::false_type {};
+template <typename T>
+struct streamable<T, std::void_t<decltype(std::declval<std::ostream&>() << std::declval<T>())>>
+    : std::true_type {};
+static_assert(!streamable<SecretMpz>::value, "operator<< must be deleted");
+static_assert(streamable<int>::value, "detection idiom sanity check");
+
+TEST(SecretTest, DeclassifyRoundTrips) {
+  mpz_class v("123456789123456789123456789");
+  SecretMpz s(v);
+  EXPECT_EQ(s.declassify(), v);
+}
+
+TEST(SecretTest, ArithmeticPropagatesTaint) {
+  SecretMpz a(mpz_class(10)), b(mpz_class(4));
+  static_assert(is_secret_v<decltype(a + b)>);
+  static_assert(is_secret_v<decltype(a - b)>);
+  static_assert(is_secret_v<decltype(a * b)>);
+  static_assert(is_secret_v<decltype(a + mpz_class(1))>);
+  static_assert(is_secret_v<decltype(mpz_class(2) * a)>);
+  static_assert(is_secret_v<decltype(a % mpz_class(3))>);
+  EXPECT_EQ((a + b).declassify(), 14);
+  EXPECT_EQ((a - b).declassify(), 6);
+  EXPECT_EQ((a * b).declassify(), 40);
+  EXPECT_EQ((a % mpz_class(3)).declassify(), 1);
+  a += b;
+  EXPECT_EQ(a.declassify(), 14);
+  a *= b;
+  EXPECT_EQ(a.declassify(), 56);
+}
+
+TEST(CtMathTest, PowmSecMatchesPowmOnRandomInputs) {
+  Rng rng(420);
+  for (int trial = 0; trial < 50; ++trial) {
+    mpz_class mod = rng.below(mpz_class(1) << 256) | 1;  // odd, as required
+    if (mod < 3) mod = 3;
+    mpz_class base = rng.below(mod);
+    mpz_class exp = rng.below(mpz_class(1) << 200);
+    mpz_class expected;
+    mpz_powm(expected.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+
+    EXPECT_EQ(powm_sec(base, SecretMpz(exp), mod), expected) << "trial " << trial;
+    EXPECT_EQ(powm_sec(SecretMpz(base), exp, mod).declassify(), expected) << "trial " << trial;
+    EXPECT_EQ(powm_pub(base, exp, mod), expected) << "trial " << trial;
+  }
+}
+
+TEST(CtMathTest, PowmSecHandlesZeroExponent) {
+  mpz_class mod = 101;
+  EXPECT_EQ(powm_sec(mpz_class(7), SecretMpz(mpz_class(0)), mod), 1);
+  EXPECT_EQ(powm_sec(mpz_class(7), SecretMpz(mpz_class(0)), mpz_class(1)), 0);  // 1 % 1
+}
+
+TEST(CtMathTest, PowmSecHandlesNegativeExponent) {
+  // GMP semantics: base^{-e} = (base^{-1})^e mod m.
+  mpz_class mod = 101, base = 7, exp = -5;
+  mpz_class expected;
+  mpz_powm(expected.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
+  EXPECT_EQ(powm_sec(base, SecretMpz(exp), mod), expected);
+}
+
+TEST(CtMathTest, PowmSecRejectsEvenModulus) {
+  EXPECT_THROW(powm_sec(mpz_class(3), SecretMpz(mpz_class(5)), mpz_class(100)),
+               std::invalid_argument);
+}
+
+TEST(CtMathTest, ModInverseAgreesWithGmp) {
+  Rng rng(421);
+  mpz_class m = rng.prime(128);
+  for (int trial = 0; trial < 20; ++trial) {
+    mpz_class a = rng.below(m - 1) + 1;
+    mpz_class expected;
+    ASSERT_NE(mpz_invert(expected.get_mpz_t(), a.get_mpz_t(), m.get_mpz_t()), 0);
+    EXPECT_EQ(mod_inverse(a, m), expected);
+  }
+  EXPECT_THROW(mod_inverse(mpz_class(6), mpz_class(9)), std::domain_error);
+}
+
+TEST(CtMathTest, CtSelectU64) {
+  EXPECT_EQ(ct_select_u64(ct_mask_u64(true), 7u, 9u), 7u);
+  EXPECT_EQ(ct_select_u64(ct_mask_u64(false), 7u, 9u), 9u);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -116,7 +116,7 @@ TEST(Hvzk, SimulatedResponsesMatchHonestMarginals) {
   double honest_bits = 0, sim_bits = 0;
   const int trials = 40;
   for (int i = 0; i < trials; ++i) {
-    auto hp = link_prove(st, LinkWitness{x, {r}}, rng);
+    auto hp = link_prove(st, LinkWitness{SecretMpz(x), {SecretMpz(r)}}, rng);
     honest_bits += static_cast<double>(mpz_sizeinbase(hp.z.get_mpz_t(), 2));
     auto sp = link_simulate(st, rng.bits(kKappa), rng);
     sim_bits += static_cast<double>(mpz_sizeinbase(sp.z.get_mpz_t(), 2));
@@ -136,7 +136,7 @@ TEST(Knowledge, ProofsDoNotTransplantAcrossStatements) {
   st1.domain = "bind";
   st1.paillier_legs = {PaillierLeg{sk.pk, c1}};
   st1.bound_bits = 16;
-  auto proof = link_prove(st1, LinkWitness{x, {r1}}, rng);
+  auto proof = link_prove(st1, LinkWitness{SecretMpz(x), {SecretMpz(r1)}}, rng);
   LinkStatement st2 = st1;
   st2.paillier_legs[0].ciphertext = c2;
   EXPECT_TRUE(link_verify(st1, proof));

@@ -51,7 +51,7 @@ TEST_P(ThresholdGrid, DecryptReshareProveVerify) {
   ThresholdPK tpk2 = next_epoch_pk(tpk, from, msgs);
   std::vector<ThresholdKeyShare> next(n);
   for (unsigned j = 1; j <= n; ++j) {
-    std::vector<mpz_class> subs;
+    std::vector<SecretMpz> subs;
     for (const auto& msg : msgs) subs.push_back(msg.subshares[j - 1]);
     next[j - 1] = tkrec(tpk, j, from, subs);
   }
@@ -95,11 +95,11 @@ TEST_P(LinkGrid, ProveVerifyAndRejectTamper) {
   st.domain = "sweep";
   st.bound_bits = bound;
   LinkWitness w;
-  w.x = x;
+  w.x = SecretMpz(x);
   for (unsigned i = 0; i < np; ++i) {
     mpz_class r;
     st.paillier_legs.push_back(PaillierLeg{sk.pk, sk.pk.enc(x, rng, &r)});
-    w.rs.push_back(r);
+    w.rs.push_back(SecretMpz(r));
   }
   for (unsigned i = 0; i < ne; ++i) {
     mpz_class g = rng.unit_mod(sk.pk.ns1);
@@ -156,9 +156,10 @@ TEST_P(DjGrid, HomomorphismAndEdgePlaintexts) {
   EXPECT_EQ(sk.dec(scaled), 3 * a % sk.pk.ns);
   // Root extraction works at every s.
   mpz_class zero_ct = sk.pk.enc(mpz_class(0), rng);
-  mpz_class rho = sk.extract_root(zero_ct);
+  SecretMpz rho = sk.extract_root(zero_ct);
   mpz_class check;
-  mpz_powm(check.get_mpz_t(), rho.get_mpz_t(), sk.pk.ns.get_mpz_t(), sk.pk.ns1.get_mpz_t());
+  mpz_powm(check.get_mpz_t(), rho.declassify().get_mpz_t(), sk.pk.ns.get_mpz_t(),
+           sk.pk.ns1.get_mpz_t());
   EXPECT_EQ(check, zero_ct % sk.pk.ns1);
 }
 

@@ -81,7 +81,7 @@ TEST_F(ThresholdTest, VerificationKeysMatchShares) {
   const auto& tpk = keys_->tpk;
   for (const auto& sh : keys_->shares) {
     mpz_class expected;
-    mpz_powm(expected.get_mpz_t(), tpk.v.get_mpz_t(), sh.d_i.get_mpz_t(),
+    mpz_powm(expected.get_mpz_t(), tpk.v.get_mpz_t(), sh.d_i.declassify().get_mpz_t(),
              tpk.pk.ns1.get_mpz_t());
     EXPECT_EQ(tpk.vks[sh.index - 1], expected);
   }
@@ -101,7 +101,7 @@ TEST_F(ThresholdTest, ReshareRoundTripOneEpoch) {
   // Each new-committee member assembles its share.
   std::vector<ThresholdKeyShare> new_shares(tpk.n);
   for (unsigned j = 1; j <= tpk.n; ++j) {
-    std::vector<mpz_class> subs;
+    std::vector<SecretMpz> subs;
     for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
     new_shares[j - 1] = tkrec(tpk, j, from, subs);
   }
@@ -117,7 +117,7 @@ TEST_F(ThresholdTest, ReshareRoundTripOneEpoch) {
   // New verification keys are consistent with the new shares.
   for (const auto& sh : new_shares) {
     mpz_class expected;
-    mpz_powm(expected.get_mpz_t(), tpk2.v.get_mpz_t(), sh.d_i.get_mpz_t(),
+    mpz_powm(expected.get_mpz_t(), tpk2.v.get_mpz_t(), sh.d_i.declassify().get_mpz_t(),
              tpk2.pk.ns1.get_mpz_t());
     EXPECT_EQ(tpk2.vks[sh.index - 1], expected);
   }
@@ -133,7 +133,7 @@ TEST_F(ThresholdTest, TwoEpochsOfResharing) {
     ThresholdPK tpk_next = next_epoch_pk(tpk, from, msgs);
     std::vector<ThresholdKeyShare> next(tpk.n);
     for (unsigned j = 1; j <= tpk.n; ++j) {
-      std::vector<mpz_class> subs;
+      std::vector<SecretMpz> subs;
       for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
       next[j - 1] = tkrec(tpk, j, from, subs);
     }
@@ -151,7 +151,7 @@ TEST_F(ThresholdTest, TwoEpochsOfResharing) {
 TEST_F(ThresholdTest, VerifyReshareRejectsTamperedSubshare) {
   const auto& tpk = keys_->tpk;
   ReshareMsg msg = tkres(tpk, keys_->shares[0], *rng_);
-  msg.subshares[2] += 1;
+  msg.subshares[2] = msg.subshares[2] + 1;
   EXPECT_FALSE(verify_reshare(tpk, msg));
 }
 
@@ -160,7 +160,7 @@ TEST_F(ThresholdTest, VerifyReshareRejectsWrongConstantTerm) {
   // Reshare a *different* value than the registered share: commitment[0]
   // will not match the verification key.
   ThresholdKeyShare fake = keys_->shares[0];
-  fake.d_i += 1;
+  fake.d_i = fake.d_i + 1;
   ReshareMsg msg = tkres(tpk, fake, *rng_);
   EXPECT_FALSE(verify_reshare(tpk, msg));
 }
@@ -227,10 +227,10 @@ TEST(ThresholdKeygen, SubshareBoundGrowsWithEpoch) {
   EXPECT_GT(tpk2.share_bound_bits, bound0);
   // The bound really does bound the shares.
   for (unsigned j = 1; j <= keys.tpk.n; ++j) {
-    std::vector<mpz_class> subs;
+    std::vector<SecretMpz> subs;
     for (const auto& m : msgs) subs.push_back(m.subshares[j - 1]);
     auto sh = tkrec(keys.tpk, j, from, subs);
-    EXPECT_LE(mpz_sizeinbase(sh.d_i.get_mpz_t(), 2), tpk2.share_bound_bits);
+    EXPECT_LE(mpz_sizeinbase(sh.d_i.declassify().get_mpz_t(), 2), tpk2.share_bound_bits);
   }
 }
 

@@ -1,0 +1,4 @@
+// Fixture: <random> in a consensus-visible path trips banned-include.
+#pragma once
+#include <random>
+#include <unordered_map>

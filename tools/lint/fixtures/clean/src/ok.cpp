@@ -1,0 +1,2 @@
+// Fixture: a perfectly ordinary file; the linter must report nothing.
+int add(int a, int b) { return a + b; }

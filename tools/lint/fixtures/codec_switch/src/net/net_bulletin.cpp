@@ -1,0 +1,7 @@
+#include "../wire/codec.hpp"
+void check(std::uint8_t tag) {
+  switch (tag) {
+    case kTagAlpha: break;
+    default: break;  // kTagBeta missing here too
+  }
+}

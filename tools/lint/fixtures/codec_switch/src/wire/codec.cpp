@@ -1,0 +1,7 @@
+#include "codec.hpp"
+const char* tag_name(std::uint8_t tag) {
+  switch (tag) {
+    case kTagAlpha: return "Alpha";
+    default: return "?";  // kTagBeta missing: codec-switch must fire
+  }
+}

@@ -1,0 +1,5 @@
+// Fixture: declares two tags; the handlers below only switch on one.
+#pragma once
+#include <cstdint>
+inline constexpr std::uint8_t kTagAlpha = 0x01;
+inline constexpr std::uint8_t kTagBeta = 0x02;

@@ -1,0 +1,4 @@
+// Fixture: banned tokens that appear only in comments and string literals
+// must NOT fire: mpz_powm, mpz_invert, memcmp, .declassify().
+/* block comment: mpz_powm_sec(r, b, e, m); */
+const char* doc() { return "call mpz_powm or memcmp or s.declassify() here"; }

@@ -1,0 +1,2 @@
+// Fixture: a taint exit in a file that is not on the whitelist.
+int leak(const yoso::SecretMpz& s) { return s.declassify() == 0; }

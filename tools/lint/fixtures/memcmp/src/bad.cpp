@@ -1,0 +1,2 @@
+// Fixture: early-exit byte comparison trips the memcmp rule.
+bool eq(const void* a, const void* b) { return memcmp(a, b, 32) == 0; }

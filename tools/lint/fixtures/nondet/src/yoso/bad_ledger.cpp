@@ -1,0 +1,7 @@
+// Fixture: unordered iteration and wall-clock reads in a consensus-visible
+// path (src/yoso) trip the nondeterminism rule.
+void f() {
+  std::unordered_map<int, int> m;
+  auto now = time(nullptr);
+  int x = rand();
+}

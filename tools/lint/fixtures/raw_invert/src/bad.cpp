@@ -1,0 +1,2 @@
+// Fixture: raw mpz_invert outside common/ct_math.cpp trips raw-invert.
+void f() { mpz_invert(r, a, m); }

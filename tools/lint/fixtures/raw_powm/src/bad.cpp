@@ -1,0 +1,6 @@
+// Fixture: raw GMP exponentiation outside the ct_math funnel must trip
+// the raw-powm rule.  Never compiled, only linted.
+void f() {
+  mpz_powm(r, b, e, m);
+  mpz_powm_sec(r, b, e, m);
+}

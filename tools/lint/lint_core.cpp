@@ -1,0 +1,263 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace yoso::lint {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string to_rel(const std::filesystem::path& root, const std::filesystem::path& p) {
+  return std::filesystem::relative(p, root).generic_string();
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Consensus-visible scope: these paths feed the replicated transcript, so
+// iteration order and wall-clock reads must never influence them.
+bool in_consensus_scope(const std::string& rel) {
+  return starts_with(rel, "src/yoso/") || starts_with(rel, "src/wire/") ||
+         starts_with(rel, "src/net/") || starts_with(rel, "src/crypto/transcript");
+}
+
+struct TokenRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+  bool consensus_scope_only;
+};
+
+const std::vector<TokenRule>& token_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"raw-powm", std::regex(R"(\bmpz_powm(_sec|_ui)?\b)"),
+                 "raw GMP exponentiation; use powm_sec/powm_pub from common/ct_math.hpp", false});
+    r.push_back({"raw-invert", std::regex(R"(\bmpz_invert\b)"),
+                 "raw GMP inversion; use mod_inverse from common/ct_math.hpp", false});
+    r.push_back({"memcmp", std::regex(R"(\bmemcmp\b)"),
+                 "early-exit comparison; use ct_equal from crypto/ct.hpp", false});
+    r.push_back({"declassify", std::regex(R"(\.declassify\s*\()"),
+                 "taint exit outside the whitelist; add a justified whitelist entry", false});
+    r.push_back({"nondeterminism",
+                 std::regex(R"(\bstd::unordered_(map|set)\b|\b(s?rand|time)\s*\(|)"
+                            R"(\brandom_device\b|\bmt19937\b|\bsystem_clock\b)"),
+                 "nondeterministic construct in consensus-visible code", true});
+    r.push_back({"banned-include",
+                 std::regex(R"(^\s*#\s*include\s*<(random|ctime|unordered_map|unordered_set)>)"),
+                 "banned include in consensus-visible code", true});
+    return r;
+  }();
+  return rules;
+}
+
+void split_lines(const std::string& s, std::vector<std::string>* out) {
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      out->push_back(s.substr(start));
+      break;
+    }
+    out->push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
+Whitelist Whitelist::load(const std::filesystem::path& file) {
+  std::string err;
+  Whitelist wl = parse(read_file(file), &err);
+  if (!err.empty()) throw std::runtime_error("lint whitelist " + file.string() + ": " + err);
+  return wl;
+}
+
+Whitelist Whitelist::parse(const std::string& text, std::string* error) {
+  Whitelist wl;
+  std::vector<std::string> lines;
+  split_lines(text, &lines);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (auto cr = line.find('\r'); cr != std::string::npos) line.erase(cr);
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    std::string rule, path, dashes;
+    ss >> rule >> path >> dashes;
+    std::string reason;
+    std::getline(ss, reason);
+    std::size_t rs = reason.find_first_not_of(" \t");
+    if (rule.empty() || path.empty() || dashes != "--" || rs == std::string::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(i + 1) +
+                 ": expected '<rule> <path> -- <reason>', got: " + line;
+      }
+      return Whitelist();
+    }
+    wl.entries_.push_back(Entry{rule, path});
+  }
+  if (error != nullptr) error->clear();
+  return wl;
+}
+
+bool Whitelist::allows(const std::string& rule, const std::string& rel_path) const {
+  for (const auto& e : entries_) {
+    if (e.rule == rule && e.path == rel_path) return true;
+  }
+  return false;
+}
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class St { Code, Line, Block, Str, Chr };
+  St st = St::Code;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::Line;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::Str;
+        } else if (c == '\'') {
+          st = St::Chr;
+        }
+        break;
+      case St::Line:
+        if (c == '\n') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::Block:
+        if (c == '*' && next == '/') {
+          st = St::Code;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Str:
+      case St::Chr: {
+        char quote = st == St::Str ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content,
+                               const Whitelist& wl) {
+  std::vector<Finding> findings;
+  const std::string stripped = strip_comments_and_strings(content);
+  std::vector<std::string> lines;
+  split_lines(stripped, &lines);
+  const bool consensus = in_consensus_scope(rel_path);
+  for (const auto& rule : token_rules()) {
+    if (rule.consensus_scope_only && !consensus) continue;
+    if (wl.allows(rule.rule, rel_path)) continue;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+      if (std::regex_search(lines[ln], rule.pattern)) {
+        findings.push_back(Finding{rule.rule, rel_path, ln + 1, rule.message});
+      }
+    }
+  }
+  return findings;
+}
+
+namespace {
+
+// Cross-file rule: each tag constant declared in codec.hpp must be handled
+// in the decoder round-trip switch of codec.cpp and net_bulletin.cpp.
+void check_codec_switch(const std::filesystem::path& root, std::vector<Finding>* findings) {
+  const std::filesystem::path decl = root / "src" / "wire" / "codec.hpp";
+  if (!std::filesystem::exists(decl)) return;  // tree without a codec: rule vacuous
+  const std::string header = strip_comments_and_strings(read_file(decl));
+
+  std::vector<std::string> tags;
+  std::regex tag_decl(R"(constexpr\s+std::uint8_t\s+(kTag\w+)\s*=)");
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), tag_decl);
+       it != std::sregex_iterator(); ++it) {
+    tags.push_back((*it)[1].str());
+  }
+
+  const std::filesystem::path handlers[] = {root / "src" / "wire" / "codec.cpp",
+                                            root / "src" / "net" / "net_bulletin.cpp"};
+  for (const auto& h : handlers) {
+    if (!std::filesystem::exists(h)) continue;
+    const std::string body = strip_comments_and_strings(read_file(h));
+    for (const auto& tag : tags) {
+      std::regex has_case("case\\s+" + tag + "\\s*:");
+      if (!std::regex_search(body, has_case)) {
+        findings->push_back(Finding{"codec-switch", to_rel(root, h), 1,
+                                    "missing `case " + tag + ":` for tag declared in " +
+                                        to_rel(root, decl)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root, const Whitelist& wl) {
+  std::vector<Finding> findings;
+  const std::filesystem::path src = root / "src";
+  if (std::filesystem::exists(src)) {
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      const std::string rel = to_rel(root, entry.path());
+      auto file_findings = lint_file(rel, read_file(entry.path()), wl);
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  }
+  check_codec_switch(root, &findings);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  for (const auto& f : findings) {
+    ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace yoso::lint

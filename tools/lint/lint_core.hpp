@@ -1,0 +1,79 @@
+// Repo-specific secret-hygiene linter (see docs/STATIC_ANALYSIS.md).
+//
+// The linter enforces the invariants that the Secret<T> taint type and the
+// ct_* helpers establish but cannot prove repo-wide on their own:
+//
+//   raw-powm        mpz_powm / mpz_powm_sec / mpz_powm_ui may appear only in
+//                   the whitelisted funnel (common/ct_math.cpp).  Everything
+//                   else must call powm_sec / powm_pub.
+//   raw-invert      mpz_invert likewise funnels through mod_inverse.
+//   memcmp          byte comparisons on potentially secret data must use
+//                   ct_equal (crypto/ct.hpp); memcmp is banned under src/.
+//   declassify      .declassify() — the taint's only exit — may appear only
+//                   in whitelisted files, each with a recorded reason.
+//   nondeterminism  consensus-visible code (src/yoso, src/wire, src/net and
+//                   the Fiat-Shamir transcript) must not use unordered
+//                   containers, rand()/srand()/time(), random_device,
+//                   mt19937 or system_clock: all replicas must derive
+//                   byte-identical transcripts.
+//   banned-include  the same scope must not include <random>, <ctime>,
+//                   <unordered_map> or <unordered_set>.
+//   codec-switch    every kTag* constant declared in src/wire/codec.hpp must
+//                   be handled as a `case kTagX:` in src/wire/codec.cpp and
+//                   src/net/net_bulletin.cpp, so new message kinds cannot be
+//                   silently dropped by the decoder or the network checker.
+//
+// Tokens inside comments and string literals are ignored.  The scan is
+// line-based and self-contained (no external tooling), so it runs in CI and
+// as an ordinary ctest.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace yoso::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path relative to the lint root, '/'-separated
+  std::size_t line = 0;
+  std::string message;
+};
+
+// Per-file exemptions.  Format, one entry per line:
+//   <rule> <relative-path> -- <reason>
+// Blank lines and lines starting with '#' are skipped.  A missing reason is
+// a load error: every exemption must be justified in the whitelist itself.
+class Whitelist {
+public:
+  static Whitelist load(const std::filesystem::path& file);
+  static Whitelist parse(const std::string& text, std::string* error);
+
+  bool allows(const std::string& rule, const std::string& rel_path) const;
+  std::size_t size() const { return entries_.size(); }
+
+private:
+  struct Entry {
+    std::string rule;
+    std::string path;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Blanks out //, /* */ comments and "..." / '...' literals, preserving
+// newlines (and therefore line numbers).
+std::string strip_comments_and_strings(const std::string& src);
+
+// Lints one file's contents.  `rel_path` selects the path-scoped rules.
+std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content,
+                               const Whitelist& wl);
+
+// Walks <root>/src for .hpp/.cpp files, applies lint_file to each, then the
+// cross-file codec-switch rule.  Findings are sorted by (file, line).
+std::vector<Finding> lint_tree(const std::filesystem::path& root, const Whitelist& wl);
+
+// "path/to/file.cpp:12: [rule] message" per finding.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace yoso::lint

@@ -1,0 +1,41 @@
+// CLI wrapper for the secret-hygiene linter.
+//
+//   yoso_lint --root <repo-root> [--whitelist <file>]
+//
+// Exits 0 if the tree is clean, 1 with one finding per line otherwise.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string whitelist_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--whitelist" && i + 1 < argc) {
+      whitelist_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: yoso_lint --root <dir> [--whitelist <file>]\n");
+      return 2;
+    }
+  }
+  try {
+    yoso::lint::Whitelist wl;
+    if (!whitelist_path.empty()) wl = yoso::lint::Whitelist::load(whitelist_path);
+    const auto findings = yoso::lint::lint_tree(root, wl);
+    if (findings.empty()) {
+      std::printf("yoso_lint: clean (%s)\n", root.c_str());
+      return 0;
+    }
+    std::fputs(yoso::lint::format_findings(findings).c_str(), stderr);
+    std::fprintf(stderr, "yoso_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "yoso_lint: error: %s\n", e.what());
+    return 2;
+  }
+}

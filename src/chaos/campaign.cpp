@@ -1,0 +1,232 @@
+#include "chaos/campaign.hpp"
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "mpc/protocol.hpp"
+#include "net/wire_faults.hpp"  // mix64
+
+namespace yoso::chaos {
+
+namespace {
+
+// A NetBulletin together with the Ledger that backs it (the board holds a
+// reference, so the pair must live and die together).
+struct BoardBox {
+  Ledger ledger;
+  net::NetBulletin board;
+  explicit BoardBox(net::NetConfig cfg) : board(ledger, std::move(cfg)) {}
+};
+
+std::vector<std::vector<mpz_class>> schedule_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(net::mix64(seed ^ 0x10901575ULL));
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) {
+      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1u << 16))));
+    }
+  }
+  return inputs;
+}
+
+// Audit-log scan: committee posts must form one contiguous window each.
+void check_one_shot(const Bulletin& board, std::vector<std::string>& violations) {
+  std::set<std::string> closed;
+  std::string open;
+  for (const Post& p : board.log()) {
+    if (p.external) continue;
+    if (p.committee == open) continue;
+    if (closed.count(p.committee) != 0) {
+      violations.push_back("one-shot: committee " + p.committee + " posted after its window");
+      return;
+    }
+    if (!open.empty()) closed.insert(open);
+    open = p.committee;
+  }
+}
+
+void check_board(const net::NetBulletin& board, RunReport& r) {
+  for (Phase phase : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    const net::PhasePosts& pp = board.phase_posts(phase);
+    if (!pp.conserved()) {
+      std::ostringstream os;
+      os << "conservation: phase " << phase_name(phase) << " originated=" << pp.originated
+         << " delivered=" << pp.delivered << " dropped=" << pp.dropped();
+      r.violations.push_back(os.str());
+    }
+  }
+  const net::PhasePosts total = board.total_posts();
+  r.posts_originated += total.originated;
+  r.posts_delivered += total.delivered;
+  r.posts_dropped += total.dropped();
+  r.fuzz_rejected += board.fuzz_rejected();
+  r.fuzz_decoded += board.fuzz_decoded();
+  check_one_shot(board, r.violations);
+}
+
+bool report_consistent(const FailureReport& fr, unsigned n) {
+  if (fr.kind == FailureKind::Consistency) return true;  // counts are informational
+  return fr.verified < fr.threshold && fr.roles() == n && fr.threshold <= n;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Correct: return "correct";
+    case Outcome::Recovered: return "recovered";
+    case Outcome::ClassifiedAbort: return "classified_abort";
+    case Outcome::WrongOutput: return "wrong_output";
+    case Outcome::Crash: return "crash";
+    case Outcome::InvariantViolation: return "invariant_violation";
+  }
+  return "?";
+}
+
+RunReport CampaignRunner::run_one(const FaultSchedule& schedule) {
+  RunReport r;
+  r.schedule = schedule;
+  r.in_bounds = schedule.in_bounds();
+
+  const Circuit circuit = schedule.circuit();
+  const auto inputs = schedule_inputs(circuit, schedule.seed);
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  const auto make_board = [&](bool) -> Bulletin* {
+    boards.push_back(std::make_unique<BoardBox>(schedule.net_config()));
+    return &boards.back()->board;
+  };
+
+  std::optional<OnlineResult> result;
+  mpz_class modulus = 0;
+  try {
+    if (schedule.degradation) {
+      DegradedRunResult d =
+          run_with_degradation(schedule.n, schedule.eps, schedule.paillier_bits, circuit,
+                               schedule.adversary(), schedule.seed, make_board, inputs);
+      r.degraded = d.degraded;
+      r.recovered = d.recovered;
+      r.strict_attempt_bytes = d.strict_attempt_bytes;
+      if (d.failure) r.failure = *d.failure;
+      else if (d.strict_failure) r.failure = *d.strict_failure;
+      result = d.result;
+      modulus = d.plaintext_modulus;
+      if (!d.ok()) {
+        r.outcome = Outcome::ClassifiedAbort;
+        if (!d.failure && !d.strict_failure) {
+          r.violations.push_back("abort carried no FailureReport");
+        }
+      }
+    } else {
+      ProtocolParams params = schedule.params();
+      Bulletin* board = make_board(false);
+      YosoMpc mpc(params, circuit, schedule.adversary(), schedule.seed, board);
+      result = mpc.run(inputs);
+      modulus = mpc.plaintext_modulus();
+    }
+  } catch (const ProtocolAbort& abort) {
+    r.outcome = Outcome::ClassifiedAbort;
+    if (abort.report()) r.failure = *abort.report();
+    else r.violations.push_back("abort carried no FailureReport: " + std::string(abort.what()));
+  } catch (const std::invalid_argument& e) {
+    // Parameter-space rejection (params::validate): the schedule asks for a
+    // protocol outside the theorem; that is a classified, pre-run refusal.
+    r.outcome = Outcome::ClassifiedAbort;
+    r.crash_what = e.what();
+  } catch (const std::exception& e) {
+    r.outcome = Outcome::Crash;
+    r.crash_what = e.what();
+  } catch (...) {
+    r.outcome = Outcome::Crash;
+    r.crash_what = "non-standard exception";
+  }
+
+  for (auto& box : boards) {
+    box->board.flush();
+    check_board(box->board, r);
+  }
+  if (!boards.empty()) r.total_bytes = boards.back()->ledger.total().bytes;
+
+  if (result) {
+    const auto expected = circuit.eval(inputs, modulus);
+    if (result->outputs == expected) {
+      r.outcome = r.recovered ? Outcome::Recovered : Outcome::Correct;
+    } else {
+      r.outcome = Outcome::WrongOutput;
+    }
+  }
+
+  if (r.failure && !report_consistent(*r.failure, schedule.n)) {
+    r.violations.push_back("inconsistent FailureReport: " + r.failure->describe());
+  }
+  if (r.in_bounds && r.outcome != Outcome::Correct && r.outcome != Outcome::Recovered) {
+    r.violations.push_back(std::string("GOD violated in bounds: outcome ") +
+                           outcome_name(r.outcome));
+  }
+  if (!r.violations.empty()) r.outcome = Outcome::InvariantViolation;
+  return r;
+}
+
+FaultSchedule CampaignRunner::campaign_schedule(std::uint64_t campaign_seed, std::size_t i) {
+  return FaultSchedule::random(net::mix64(campaign_seed) ^ static_cast<std::uint64_t>(i));
+}
+
+CampaignSummary CampaignRunner::run_campaign(std::uint64_t campaign_seed, std::size_t count,
+                                             const std::function<void(const RunReport&)>& on_run) {
+  CampaignSummary s;
+  s.campaign_seed = campaign_seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    RunReport r = run_one(campaign_schedule(campaign_seed, i));
+    ++s.runs;
+    switch (r.outcome) {
+      case Outcome::Correct: ++s.correct; break;
+      case Outcome::Recovered: ++s.recovered; break;
+      case Outcome::ClassifiedAbort: ++s.classified; break;
+      case Outcome::WrongOutput: ++s.wrong_output; break;
+      case Outcome::Crash: ++s.crashed; break;
+      case Outcome::InvariantViolation: ++s.invariant_violations; break;
+    }
+    if (!r.acceptable()) s.unacceptable.push_back(r);
+    if (on_run) on_run(r);
+  }
+  return s;
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"outcome\":\"" << outcome_name(outcome) << "\",\"in_bounds\":" << (in_bounds ? 1 : 0)
+     << ",\"degraded\":" << (degraded ? 1 : 0) << ",\"recovered\":" << (recovered ? 1 : 0)
+     << ",\"posts_originated\":" << posts_originated << ",\"posts_delivered\":" << posts_delivered
+     << ",\"posts_dropped\":" << posts_dropped << ",\"fuzz_rejected\":" << fuzz_rejected
+     << ",\"fuzz_decoded\":" << fuzz_decoded << ",\"total_bytes\":" << total_bytes
+     << ",\"strict_attempt_bytes\":" << strict_attempt_bytes;
+  if (failure) os << ",\"failure\":" << failure->to_json();
+  if (!violations.empty()) {
+    os << ",\"violations\":[";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\"" << violations[i] << "\"";
+    }
+    os << "]";
+  }
+  if (!crash_what.empty()) os << ",\"what\":\"" << crash_what << "\"";
+  os << ",\"schedule\":" << schedule.to_json() << "}";
+  return os.str();
+}
+
+std::string CampaignSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\"campaign_seed\":" << campaign_seed << ",\"runs\":" << runs
+     << ",\"correct\":" << correct << ",\"recovered\":" << recovered
+     << ",\"classified\":" << classified << ",\"wrong_output\":" << wrong_output
+     << ",\"crashed\":" << crashed << ",\"invariant_violations\":" << invariant_violations
+     << ",\"unacceptable\":[";
+  for (std::size_t i = 0; i < unacceptable.size(); ++i) {
+    if (i != 0) os << ",";
+    os << unacceptable[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace yoso::chaos

@@ -1,0 +1,100 @@
+// CampaignRunner + InvariantChecker: execute YosoMpc end-to-end over a
+// NetBulletin under a FaultSchedule and machine-check the robustness
+// contract:
+//
+//   * in-bounds schedules (Theorem 1 / Section 5.4) must deliver correct
+//     outputs — guaranteed output delivery, possibly via the Section 5.4
+//     degradation retry;
+//   * out-of-bounds schedules must end in a *classified* failure — a
+//     ProtocolAbort carrying a consistent FailureReport — never a crash,
+//     a hang, or a wrong output;
+//   * the board's post ledger obeys conservation per phase:
+//     originated == delivered + dropped;
+//   * the one-shot discipline is never violated (each committee's posts
+//     form one contiguous window in the audit log).
+//
+// Campaigns are bit-for-bit deterministic: schedule i of a campaign is
+// FaultSchedule::random(mix64(campaign_seed) ^ i), and every RunReport is
+// a pure function of its schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "mpc/failure.hpp"
+
+namespace yoso::chaos {
+
+enum class Outcome : std::uint8_t {
+  Correct,             // completed, outputs match the plaintext evaluation
+  Recovered,           // strict attempt aborted; Section 5.4 retry completed
+  ClassifiedAbort,     // ProtocolAbort with a consistent FailureReport
+  WrongOutput,         // completed with outputs != plaintext evaluation
+  Crash,               // escaped exception that is not a ProtocolAbort
+  InvariantViolation,  // any machine-checked invariant failed
+};
+
+const char* outcome_name(Outcome o);
+
+struct RunReport {
+  FaultSchedule schedule;
+  Outcome outcome = Outcome::Crash;
+  bool in_bounds = false;                  // schedule statically guarantees GOD
+  std::optional<FailureReport> failure;    // classified diagnosis, if any
+  std::vector<std::string> violations;     // invariant violations (empty = ok)
+  std::string crash_what;                  // what() of an escaped exception
+
+  // Board accounting, summed over every board the run used (two under
+  // degradation: strict attempt + retry).
+  std::size_t posts_originated = 0;
+  std::size_t posts_delivered = 0;
+  std::size_t posts_dropped = 0;
+  std::size_t fuzz_rejected = 0;
+  std::size_t fuzz_decoded = 0;
+  std::size_t total_bytes = 0;       // ledger bytes of the final attempt
+  std::size_t strict_attempt_bytes = 0;  // sunk cost of a failed strict attempt
+  bool degraded = false;
+  bool recovered = false;
+
+  bool acceptable() const {
+    return outcome == Outcome::Correct || outcome == Outcome::Recovered ||
+           outcome == Outcome::ClassifiedAbort;
+  }
+  std::string to_json() const;
+};
+
+struct CampaignSummary {
+  std::uint64_t campaign_seed = 0;
+  std::size_t runs = 0;
+  std::size_t correct = 0;
+  std::size_t recovered = 0;
+  std::size_t classified = 0;
+  std::size_t wrong_output = 0;
+  std::size_t crashed = 0;
+  std::size_t invariant_violations = 0;
+  std::vector<RunReport> unacceptable;  // every report that failed the contract
+
+  bool all_acceptable() const { return unacceptable.empty(); }
+  std::string to_json() const;
+};
+
+class CampaignRunner {
+public:
+  // Executes one schedule end-to-end; never throws — every exception is
+  // classified into the report.
+  static RunReport run_one(const FaultSchedule& schedule);
+
+  // Runs `count` schedules derived deterministically from `campaign_seed`.
+  // `on_run` (optional) observes each report as it completes.
+  static CampaignSummary run_campaign(std::uint64_t campaign_seed, std::size_t count,
+                                      const std::function<void(const RunReport&)>& on_run = {});
+
+  // The i-th schedule of a campaign (what run_campaign executes).
+  static FaultSchedule campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
+};
+
+}  // namespace yoso::chaos

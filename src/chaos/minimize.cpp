@@ -1,0 +1,136 @@
+#include "chaos/minimize.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace yoso::chaos {
+
+namespace {
+
+// Halving bottoms out at zero below this floor, so phase 2 terminates in a
+// handful of predicate evaluations per dimension.
+void halve_real(double& v) { v = v < 0.01 ? 0 : v / 2; }
+
+// One shrinkable fault dimension: how to zero it and how to halve it.
+struct Dimension {
+  const char* name;
+  bool (*is_active)(const FaultSchedule&);
+  void (*zero)(FaultSchedule&);
+  void (*halve)(FaultSchedule&);  // must strictly reduce when active
+};
+
+const Dimension kDimensions[] = {
+    {"malicious", [](const FaultSchedule& s) { return s.malicious > 0; },
+     [](FaultSchedule& s) { s.malicious = 0; }, [](FaultSchedule& s) { s.malicious /= 2; }},
+    {"failstop", [](const FaultSchedule& s) { return s.failstop > 0; },
+     [](FaultSchedule& s) { s.failstop = 0; }, [](FaultSchedule& s) { s.failstop /= 2; }},
+    {"silenced", [](const FaultSchedule& s) { return s.silenced > 0; },
+     [](FaultSchedule& s) { s.silenced = 0; }, [](FaultSchedule& s) { s.silenced /= 2; }},
+    {"extra_delay", [](const FaultSchedule& s) { return s.extra_delay_s > 0; },
+     [](FaultSchedule& s) { s.extra_delay_s = 0; },
+     [](FaultSchedule& s) { halve_real(s.extra_delay_s); }},
+    {"drop", [](const FaultSchedule& s) { return s.drop_prob > 0; },
+     [](FaultSchedule& s) { s.drop_prob = 0; },
+     [](FaultSchedule& s) { halve_real(s.drop_prob); }},
+    {"bitflip", [](const FaultSchedule& s) { return s.bitflip_prob > 0; },
+     [](FaultSchedule& s) { s.bitflip_prob = 0; },
+     [](FaultSchedule& s) { halve_real(s.bitflip_prob); }},
+    {"truncate", [](const FaultSchedule& s) { return s.truncate_prob > 0; },
+     [](FaultSchedule& s) { s.truncate_prob = 0; },
+     [](FaultSchedule& s) { halve_real(s.truncate_prob); }},
+    {"duplicate", [](const FaultSchedule& s) { return s.duplicate_prob > 0; },
+     [](FaultSchedule& s) { s.duplicate_prob = 0; },
+     [](FaultSchedule& s) { halve_real(s.duplicate_prob); }},
+    {"late", [](const FaultSchedule& s) { return s.late_prob > 0; },
+     [](FaultSchedule& s) { s.late_prob = 0; },
+     [](FaultSchedule& s) { halve_real(s.late_prob); }},
+};
+
+}  // namespace
+
+ScheduleMinimizer::Result ScheduleMinimizer::minimize(const FaultSchedule& schedule,
+                                                      const Predicate& still_fails) {
+  Result res;
+  res.schedule = schedule;
+  ++res.tests;
+  if (!still_fails(res.schedule)) {
+    throw std::invalid_argument("ScheduleMinimizer: the input schedule does not fail");
+  }
+
+  // Phase 0 (subset probe): fault dimensions interact — wire-fault rolls
+  // share one cumulative-probability stream, and thresholds fail only under
+  // combined loss — so greedy one-at-a-time removal can strand the search
+  // in a local minimum.  Probe every singleton, then every pair, of the
+  // originally active dimensions with all others zeroed; the first failing
+  // subset wins.
+  std::vector<const Dimension*> active;
+  for (const Dimension& d : kDimensions) {
+    if (d.is_active(res.schedule)) active.push_back(&d);
+  }
+  const auto keep_only = [&](const std::vector<const Dimension*>& keep) {
+    FaultSchedule candidate = res.schedule;
+    for (const Dimension& d : kDimensions) {
+      bool kept = false;
+      for (const Dimension* k : keep) kept = kept || k == &d;
+      if (!kept) d.zero(candidate);
+    }
+    return candidate;
+  };
+  bool reduced = false;
+  for (std::size_t subset_size = 1; subset_size <= 2 && !reduced && active.size() > subset_size;
+       ++subset_size) {
+    for (std::size_t i = 0; i < active.size() && !reduced; ++i) {
+      for (std::size_t j = i; j < (subset_size == 1 ? i + 1 : active.size()) && !reduced; ++j) {
+        std::vector<const Dimension*> keep{active[i]};
+        if (j != i) keep.push_back(active[j]);
+        if (keep.size() != subset_size) continue;
+        FaultSchedule candidate = keep_only(keep);
+        if (candidate == res.schedule) continue;
+        ++res.tests;
+        if (still_fails(candidate)) {
+          res.schedule = candidate;
+          reduced = true;
+        }
+      }
+    }
+  }
+
+  // Phase 1 (greedy removal): repeatedly try to remove each remaining
+  // active dimension outright, to a fixpoint.  Removing one dimension can
+  // unlock removing another (faults compose), hence the outer loop.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Dimension& d : kDimensions) {
+      if (!d.is_active(res.schedule)) continue;
+      FaultSchedule candidate = res.schedule;
+      d.zero(candidate);
+      ++res.tests;
+      if (still_fails(candidate)) {
+        res.schedule = candidate;
+        changed = true;
+      }
+    }
+  }
+
+  // Phase 2: shrink the magnitude of every surviving dimension (halving,
+  // again to a fixpoint — bounded since each halving strictly reduces).
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const Dimension& d : kDimensions) {
+      if (!d.is_active(res.schedule)) continue;
+      FaultSchedule candidate = res.schedule;
+      d.halve(candidate);
+      if (candidate == res.schedule) continue;
+      ++res.tests;
+      if (still_fails(candidate)) {
+        res.schedule = candidate;
+        changed = true;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace yoso::chaos

@@ -1,0 +1,35 @@
+// ScheduleMinimizer: delta-debugging shrink of a violating FaultSchedule.
+//
+// Given a schedule under which some predicate holds (typically "run_one
+// reports an unacceptable outcome"), the minimizer searches for a smaller
+// schedule under which it still holds: first it tries to zero out whole
+// fault dimensions (ddmin over the dimension set), then to halve the
+// magnitude of each surviving dimension, iterating to a fixpoint.  The
+// result is the minimal reproducer — few active fault dimensions, small
+// magnitudes — emitted as seed + JSON for regression capture.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/schedule.hpp"
+
+namespace yoso::chaos {
+
+class ScheduleMinimizer {
+public:
+  // Returns true when the schedule still exhibits the behaviour being
+  // minimized (the "interesting" predicate of delta debugging).
+  using Predicate = std::function<bool(const FaultSchedule&)>;
+
+  struct Result {
+    FaultSchedule schedule;   // minimal schedule still satisfying the predicate
+    std::size_t tests = 0;    // predicate evaluations spent
+  };
+
+  // `schedule` must satisfy `still_fails` (throws std::invalid_argument
+  // otherwise — minimizing a passing schedule is a harness bug).
+  static Result minimize(const FaultSchedule& schedule, const Predicate& still_fails);
+};
+
+}  // namespace yoso::chaos

@@ -1,0 +1,186 @@
+#include "chaos/schedule.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/workloads.hpp"
+#include "net/wire_faults.hpp"  // mix64 (deterministic sampling)
+
+namespace yoso::chaos {
+
+namespace {
+
+// SplitMix64 stream for the sampler: fully determined by the seed, no
+// std::random machinery anywhere near a schedule.
+struct Stream {
+  std::uint64_t state;
+  explicit Stream(std::uint64_t seed) : state(net::mix64(seed ^ 0x9e3779b97f4a7c15ULL)) {}
+  std::uint64_t next() {
+    state = net::mix64(state + 0x9e3779b97f4a7c15ULL);
+    return state;
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+double json_num(const std::string& json, const std::string& key, double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return fallback;
+  const char* start = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  double v = std::strtod(start, &end);
+  if (end == start) throw std::invalid_argument("FaultSchedule: bad value for " + key);
+  return v;
+}
+
+std::uint64_t json_u64(const std::string& json, const std::string& key, std::uint64_t fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return fallback;
+  const char* start = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(start, &end, 10);
+  if (end == start) throw std::invalid_argument("FaultSchedule: bad value for " + key);
+  return v;
+}
+
+}  // namespace
+
+ProtocolParams FaultSchedule::params() const {
+  return ProtocolParams::for_gap(n, eps, paillier_bits, failstop_mode);
+}
+
+Circuit FaultSchedule::circuit() const { return wide_mul_circuit(circuit_width); }
+
+AdversaryPlan FaultSchedule::adversary() const {
+  return AdversaryPlan::fixed(n, malicious, failstop, strategy);
+}
+
+net::NetConfig FaultSchedule::net_config() const {
+  net::NetConfig cfg;
+  cfg.faults.silence_per_committee = silenced;
+  cfg.faults.extra_delay_s = extra_delay_s;
+  cfg.faults.drop_prob = drop_prob;
+  cfg.faults.seed = seed;
+  cfg.wire_faults.bitflip_prob = bitflip_prob;
+  cfg.wire_faults.truncate_prob = truncate_prob;
+  cfg.wire_faults.duplicate_prob = duplicate_prob;
+  cfg.wire_faults.late_prob = late_prob;
+  cfg.wire_faults.late_delay_s = late_delay_s;
+  cfg.wire_faults.seed = net::mix64(seed);  // decorrelated from the link stream
+  cfg.grace_window_s = grace_window_s;
+  return cfg;
+}
+
+bool FaultSchedule::in_bounds() const {
+  ProtocolParams p;
+  try {
+    p = params();
+  } catch (const std::invalid_argument&) {
+    return false;  // the schedule itself is outside the theorem's parameter space
+  }
+  if (malicious > p.t) return false;
+  // Probabilistic loss can silence any role: no static guarantee.
+  if (drop_prob > 0 || bitflip_prob > 0 || truncate_prob > 0) return false;
+  if (late_prob > 0 && late_delay_s > grace_window_s) return false;
+  // Duplicates (ignored by the board) and graced late posts are harmless.
+  const unsigned silent = failstop + silenced +
+                          (strategy == MaliciousStrategy::Silent ? malicious : 0);
+  const unsigned absent = silent + (strategy == MaliciousStrategy::Silent ? 0 : malicious);
+  if (absent >= n) return false;
+  return n - absent >= p.recon_threshold();
+}
+
+unsigned FaultSchedule::active_faults() const {
+  unsigned active = 0;
+  active += malicious > 0 ? 1 : 0;
+  active += failstop > 0 ? 1 : 0;
+  active += silenced > 0 ? 1 : 0;
+  active += extra_delay_s > 0 ? 1 : 0;
+  active += drop_prob > 0 ? 1 : 0;
+  active += bitflip_prob > 0 ? 1 : 0;
+  active += truncate_prob > 0 ? 1 : 0;
+  active += duplicate_prob > 0 ? 1 : 0;
+  active += late_prob > 0 ? 1 : 0;
+  return active;
+}
+
+std::string FaultSchedule::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"seed\":" << seed << ",\"n\":" << n << ",\"eps\":" << eps
+     << ",\"paillier_bits\":" << paillier_bits << ",\"failstop_mode\":" << (failstop_mode ? 1 : 0)
+     << ",\"circuit_width\":" << circuit_width << ",\"degradation\":" << (degradation ? 1 : 0)
+     << ",\"malicious\":" << malicious << ",\"failstop\":" << failstop
+     << ",\"strategy\":" << static_cast<unsigned>(strategy) << ",\"silenced\":" << silenced
+     << ",\"extra_delay_s\":" << extra_delay_s << ",\"drop_prob\":" << drop_prob
+     << ",\"bitflip_prob\":" << bitflip_prob << ",\"truncate_prob\":" << truncate_prob
+     << ",\"duplicate_prob\":" << duplicate_prob << ",\"late_prob\":" << late_prob
+     << ",\"late_delay_s\":" << late_delay_s << ",\"grace_window_s\":" << grace_window_s << "}";
+  return os.str();
+}
+
+FaultSchedule FaultSchedule::from_json(const std::string& json) {
+  FaultSchedule s;
+  s.seed = json_u64(json, "seed", s.seed);
+  s.n = static_cast<unsigned>(json_u64(json, "n", s.n));
+  s.eps = json_num(json, "eps", s.eps);
+  s.paillier_bits = static_cast<unsigned>(json_u64(json, "paillier_bits", s.paillier_bits));
+  s.failstop_mode = json_u64(json, "failstop_mode", 0) != 0;
+  s.circuit_width = static_cast<unsigned>(json_u64(json, "circuit_width", s.circuit_width));
+  s.degradation = json_u64(json, "degradation", 0) != 0;
+  s.malicious = static_cast<unsigned>(json_u64(json, "malicious", 0));
+  s.failstop = static_cast<unsigned>(json_u64(json, "failstop", 0));
+  const auto strat = json_u64(json, "strategy", static_cast<unsigned>(s.strategy));
+  if (strat > static_cast<unsigned>(MaliciousStrategy::HonestLooking)) {
+    throw std::invalid_argument("FaultSchedule: unknown strategy " + std::to_string(strat));
+  }
+  s.strategy = static_cast<MaliciousStrategy>(strat);
+  s.silenced = static_cast<unsigned>(json_u64(json, "silenced", 0));
+  s.extra_delay_s = json_num(json, "extra_delay_s", 0);
+  s.drop_prob = json_num(json, "drop_prob", 0);
+  s.bitflip_prob = json_num(json, "bitflip_prob", 0);
+  s.truncate_prob = json_num(json, "truncate_prob", 0);
+  s.duplicate_prob = json_num(json, "duplicate_prob", 0);
+  s.late_prob = json_num(json, "late_prob", 0);
+  s.late_delay_s = json_num(json, "late_delay_s", s.late_delay_s);
+  s.grace_window_s = json_num(json, "grace_window_s", 0);
+  return s;
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed) {
+  Stream st(seed);
+  FaultSchedule s;
+  s.seed = seed;
+  s.n = 5 + static_cast<unsigned>(st.below(2));  // 5 or 6
+  s.eps = 0.25;
+  s.paillier_bits = 128;
+  s.circuit_width = 1 + static_cast<unsigned>(st.below(2));
+  s.failstop_mode = st.below(4) == 0;
+  s.degradation = st.below(4) == 0;
+  switch (st.below(4)) {
+    case 0: s.strategy = MaliciousStrategy::BadShare; break;
+    case 1: s.strategy = MaliciousStrategy::BadProof; break;
+    case 2: s.strategy = MaliciousStrategy::Silent; break;
+    default: s.strategy = MaliciousStrategy::HonestLooking; break;
+  }
+  // At n in {5,6}, eps = 1/4: t = 1.  Sample 0..2 malicious so roughly a
+  // third of schedules overshoot the corruption bound.
+  s.malicious = static_cast<unsigned>(st.below(3));
+  s.failstop = static_cast<unsigned>(st.below(2));
+  s.silenced = static_cast<unsigned>(st.below(2));
+  if (st.below(4) == 0) s.extra_delay_s = 0.005 + 0.02 * st.unit();
+  if (st.below(3) == 0) s.drop_prob = 0.02 + 0.08 * st.unit();
+  if (st.below(4) == 0) s.bitflip_prob = 0.05 + 0.25 * st.unit();
+  if (st.below(4) == 0) s.truncate_prob = 0.05 + 0.25 * st.unit();
+  if (st.below(4) == 0) s.duplicate_prob = 0.05 + 0.25 * st.unit();
+  if (st.below(4) == 0) s.late_prob = 0.05 + 0.25 * st.unit();
+  s.late_delay_s = 0.5;
+  if (st.below(2) == 0) s.grace_window_s = 1.0;  // grace covers the late delay
+  return s;
+}
+
+}  // namespace yoso::chaos

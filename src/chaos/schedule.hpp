@@ -1,0 +1,83 @@
+// FaultSchedule: one deterministic, seeded, composable description of every
+// fault a chaos run injects, spanning all three layers the stack exposes:
+//
+//   * adversary corruption (yoso::AdversaryPlan)   — malicious / fail-stop
+//     roles per committee and the malicious strategy;
+//   * link faults (net::FaultPlan)                 — dead links realized as
+//     fail-stop roles, per-message drops, added delay;
+//   * wire faults (net::WireFaultPlan)             — bit-flipped payloads,
+//     truncated frames, duplicate posts, late posts at the codec boundary.
+//
+// A schedule is a value: serializable to flat JSON and back (the minimal
+// reproducer format the ScheduleMinimizer emits), sampleable from a single
+// seed, and statically classifiable — in_bounds() says whether Theorem 1 /
+// Section 5.4 guarantee output delivery under it, which is what the
+// campaign's invariants key on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "mpc/params.hpp"
+#include "net/net_bulletin.hpp"
+#include "yoso/adversary.hpp"
+
+namespace yoso::chaos {
+
+struct FaultSchedule {
+  // --- Protocol instance ---------------------------------------------------
+  std::uint64_t seed = 1;       // protocol rng + all fault decision streams
+  unsigned n = 6;               // committee size
+  double eps = 0.25;            // the gap t < n(1/2 - eps)
+  unsigned paillier_bits = 128;
+  bool failstop_mode = false;   // run with the Section 5.4 parameterization
+  unsigned circuit_width = 2;   // wide_mul_circuit(circuit_width)
+  bool degradation = false;     // drive via run_with_degradation
+
+  // --- Adversary corruption ------------------------------------------------
+  unsigned malicious = 0;       // actively corrupt roles per committee
+  unsigned failstop = 0;        // adversarially crashed roles per committee
+  MaliciousStrategy strategy = MaliciousStrategy::BadShare;
+
+  // --- Link faults (net::FaultPlan) ----------------------------------------
+  unsigned silenced = 0;        // honest roles with dead links per committee
+  double extra_delay_s = 0;
+  double drop_prob = 0;
+
+  // --- Wire faults (net::WireFaultPlan) ------------------------------------
+  double bitflip_prob = 0;
+  double truncate_prob = 0;
+  double duplicate_prob = 0;
+  double late_prob = 0;
+  double late_delay_s = 1.0;
+  double grace_window_s = 0;    // NetBulletin grace for late posts
+
+  // Derived protocol parameters for this schedule.
+  ProtocolParams params() const;
+  Circuit circuit() const;
+  AdversaryPlan adversary() const;
+  net::NetConfig net_config() const;
+
+  // True when Theorem 1 (resp. Section 5.4 in failstop_mode) statically
+  // guarantees output delivery: every committee keeps at least
+  // recon_threshold() speaking honest roles and no probabilistic loss can
+  // silence further ones.  Duplicates and graced late posts are harmless.
+  bool in_bounds() const;
+
+  // Number of fault dimensions this schedule actually exercises (the
+  // minimizer's size metric).
+  unsigned active_faults() const;
+
+  std::string to_json() const;
+  static FaultSchedule from_json(const std::string& json);
+
+  // Deterministic sampler: the same seed always yields the same schedule.
+  // Mixes in-bounds and out-of-bounds regions so a campaign exercises both
+  // the GOD invariant and the classified-failure invariant.
+  static FaultSchedule random(std::uint64_t seed);
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+}  // namespace yoso::chaos

@@ -45,9 +45,16 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
       }
       payload = encode_contrib_msg(wire);
     }
-    bulletin.publish(com, j, phase, label, bytes, count, /*first_post_of_role=*/false,
-                     payload.empty() ? nullptr : &payload);
+    PostStatus st = bulletin.publish(com, j, phase, label, bytes, count,
+                                     /*first_post_of_role=*/false,
+                                     payload.empty() ? nullptr : &payload);
+    // A post that never reached the board leaves the role silent: observers
+    // verify what the board serves, not what the role computed.
+    if (st != PostStatus::Accepted) msgs[j].clear();
   }
+
+  unsigned present = 0;
+  for (unsigned j = 0; j < n; ++j) present += msgs[j].empty() ? 0 : 1;
 
   std::vector<mpz_class> out(count);
   for (std::size_t v = 0; v < count; ++v) {
@@ -67,7 +74,8 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
       }
     }
     if (verified < tpk.t + 1) {
-      throw ProtocolAbort("randomness contribution: fewer than t+1 verified");
+      throw ProtocolAbort(FailureReport{FailureKind::Threshold, phase, com.name, label,
+                                        tpk.t + 1, verified, present - verified, n - present});
     }
     out[v] = std::move(sum);
   }
@@ -116,9 +124,14 @@ std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee&
       }
       payload = encode_beaver_msg(wire);
     }
-    bulletin.publish(com_b, j, phase, "beaver.bc", bytes, 2 * count,
-                     /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
+    PostStatus st = bulletin.publish(com_b, j, phase, "beaver.bc", bytes, 2 * count,
+                                     /*first_post_of_role=*/false,
+                                     payload.empty() ? nullptr : &payload);
+    if (st != PostStatus::Accepted) msgs[j].clear();
   }
+
+  unsigned present = 0;
+  for (unsigned j = 0; j < n; ++j) present += msgs[j].empty() ? 0 : 1;
 
   std::vector<BeaverTriple> out(count);
   for (std::size_t g = 0; g < count; ++g) {
@@ -140,7 +153,8 @@ std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee&
       }
     }
     if (verified < tpk.t + 1) {
-      throw ProtocolAbort("beaver: fewer than t+1 verified contributions");
+      throw ProtocolAbort(FailureReport{FailureKind::Threshold, phase, com_b.name, "beaver.bc",
+                                        tpk.t + 1, verified, present - verified, n - present});
     }
     out[g] = BeaverTriple{c_a[g], std::move(sb), std::move(sc)};
   }

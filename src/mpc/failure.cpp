@@ -1,0 +1,33 @@
+#include "mpc/failure.hpp"
+
+#include <sstream>
+
+namespace yoso {
+
+std::string FailureReport::describe() const {
+  std::ostringstream os;
+  os << phase_name(phase) << " " << gate << " [" << committee << "]: ";
+  if (kind == FailureKind::Consistency) {
+    os << "inconsistent reconstruction from " << verified << " verified posts";
+  } else {
+    os << verified << " verified < threshold " << threshold << " (" << invalid << " invalid, "
+       << missing << " missing";
+    os << (silence_decisive() ? "; silence decisive)" : "; malice decisive)");
+  }
+  return os.str();
+}
+
+std::string FailureReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << (kind == FailureKind::Threshold ? "threshold" : "consistency")
+     << "\",\"phase\":\"" << phase_name(phase) << "\",\"committee\":\"" << committee
+     << "\",\"gate\":\"" << gate << "\",\"threshold\":" << threshold
+     << ",\"verified\":" << verified << ",\"invalid\":" << invalid << ",\"missing\":" << missing
+     << ",\"silence_decisive\":" << (silence_decisive() ? "true" : "false") << "}";
+  return os.str();
+}
+
+ProtocolAbort::ProtocolAbort(FailureReport r)
+    : std::runtime_error(r.describe()), report_(std::move(r)) {}
+
+}  // namespace yoso

@@ -1,0 +1,70 @@
+// Structured failure diagnosis for protocol aborts.
+//
+// Every threshold gate in the protocol (t+1 verified pads / partials /
+// contributions, t+2(k-1)+1 verified mu-shares) can miss when the adversary
+// plus fault injection remove too many posts.  Instead of a context-free
+// string, ProtocolAbort carries a FailureReport: which committee missed
+// which gate, the expected threshold, and the verified / invalid / missing
+// breakdown.  Consumers:
+//   * the chaos InvariantChecker (src/chaos) asserts every out-of-bounds
+//     run ends in a *classified* failure, and that the report's counts are
+//     internally consistent;
+//   * the degradation driver (mpc/protocol.hpp) re-runs with the Section
+//     5.4 fail-stop parameterization exactly when silence_decisive() says
+//     the shortfall is attributable to silent roles, not malice.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "yoso/ledger.hpp"
+
+namespace yoso {
+
+// What kind of gate failed.
+enum class FailureKind : unsigned char {
+  Threshold,    // fewer verified contributions than the gate requires
+  Consistency,  // contradictory reconstructions (equivocation on the board)
+};
+
+struct FailureReport {
+  FailureKind kind = FailureKind::Threshold;
+  Phase phase = Phase::Setup;
+  std::string committee;   // committee whose activation missed the gate
+  std::string gate;        // ledger label of the gate ("offline.reenc.mask", ...)
+  unsigned threshold = 0;  // verified contributions the gate needed
+  unsigned verified = 0;   // posts that arrived and passed verification
+  unsigned invalid = 0;    // posts that arrived but failed verification
+  unsigned missing = 0;    // roles whose post never reached the board
+
+  // The committee size implied by the counts (every role is exactly one of
+  // verified / invalid / missing).
+  unsigned roles() const { return verified + invalid + missing; }
+
+  // True when restoring the missing (silent) roles would have met the
+  // gate: the abort is attributable to silence rather than malice, so the
+  // Section 5.4 parameterization (halved packing, lower reconstruction
+  // threshold) can recover.  Consistency failures are never recoverable.
+  bool silence_decisive() const {
+    return kind == FailureKind::Threshold && verified + missing >= threshold;
+  }
+
+  std::string describe() const;
+  std::string to_json() const;
+};
+
+// Raised when the adversary manages to stall the protocol (must never
+// happen within the theorem's corruption bounds; tests assert on it).
+// Carries the structured diagnosis when the throw site can provide one.
+struct ProtocolAbort : std::runtime_error {
+  explicit ProtocolAbort(const std::string& what) : std::runtime_error(what) {}
+  explicit ProtocolAbort(FailureReport r);
+
+  const std::optional<FailureReport>& report() const { return report_; }
+
+private:
+  std::optional<FailureReport> report_;
+};
+
+}  // namespace yoso

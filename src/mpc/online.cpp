@@ -204,10 +204,14 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
       if (bulletin.wants_payload()) {
         payload = encode_mult_share_msg(MultShareMsg{rm.p_int, rm.proofs});
       }
-      bulletin.publish(com, i, Phase::Online, "online.mult", bytes, layer_batches.size(),
-                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
-      msgs[i] = std::move(rm);
+      PostStatus st = bulletin.publish(com, i, Phase::Online, "online.mult", bytes,
+                                       layer_batches.size(), /*first_post_of_role=*/false,
+                                       payload.empty() ? nullptr : &payload);
+      if (st == PostStatus::Accepted) msgs[i] = std::move(rm);
     }
+
+    unsigned present = 0;
+    for (unsigned i = 0; i < n; ++i) present += msgs[i] ? 1 : 0;
 
     // Everyone verifies and reconstructs mu^gamma per batch.
     const mpz_class pint_bound = mpz_class(1) << params.pint_bound_bits();
@@ -241,14 +245,19 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
                                          bs.beta[i].masked, bs.gamma[i].masked, p_int));
       }
       if (pts.size() < params.recon_threshold()) {
-        throw ProtocolAbort("online mult: fewer than t+2(k-1)+1 verified mu-shares");
+        const unsigned verified = static_cast<unsigned>(pts.size());
+        throw ProtocolAbort(FailureReport{FailureKind::Threshold, Phase::Online, com.name,
+                                          "online.mult", params.recon_threshold(), verified,
+                                          present - verified, n - present});
       }
       for (unsigned j = 0; j < batch.real; ++j) {
         mpz_class mu_g = lagrange_at(ring, pts, shares, secret_point(j));
         WireId w = batch.gamma[j];
         auto [it, inserted] = result.mu.emplace(w, mu_g);
         if (!inserted && it->second != mu_g) {
-          throw ProtocolAbort("online mult: inconsistent duplicate reconstruction");
+          FailureReport fr{FailureKind::Consistency, Phase::Online, com.name, "online.mult",
+                           params.recon_threshold(), static_cast<unsigned>(pts.size()), 0, 0};
+          throw ProtocolAbort(std::move(fr));
         }
       }
     }

@@ -82,4 +82,55 @@ const mpz_class& YosoMpc::plaintext_modulus() const {
 
 unsigned YosoMpc::epochs() const { return chain_ ? chain_->epochs() : 0; }
 
+DegradedRunResult run_with_degradation(unsigned n, double eps, unsigned paillier_bits,
+                                       const Circuit& circuit, const AdversaryPlan& plan,
+                                       std::uint64_t seed, const BoardFactory& board_for,
+                                       const std::vector<std::vector<mpz_class>>& inputs) {
+  DegradedRunResult out;
+  const ProtocolParams strict = ProtocolParams::for_gap(n, eps, paillier_bits);
+  out.params_used = strict;
+
+  Bulletin* strict_board = board_for ? board_for(/*failstop_retry=*/false) : nullptr;
+  try {
+    YosoMpc mpc(strict, circuit, plan, seed, strict_board);
+    out.result = mpc.run(inputs);
+    out.plaintext_modulus = mpc.plaintext_modulus();
+    return out;
+  } catch (const ProtocolAbort& abort) {
+    if (abort.report()) out.strict_failure = *abort.report();
+    if (strict_board != nullptr) {
+      out.strict_attempt_bytes = strict_board->ledger().total().bytes;
+    }
+    const ProtocolParams failstop =
+        ProtocolParams::for_gap(n, eps, paillier_bits, /*failstop_mode=*/true);
+    const bool recoverable = out.strict_failure && out.strict_failure->silence_decisive() &&
+                             failstop.recon_threshold() < strict.recon_threshold();
+    if (!recoverable) {
+      out.failure = out.strict_failure;
+      return out;
+    }
+
+    // Silence-attributable and the fail-stop regime genuinely lowers the
+    // reconstruction bar: retry under Section 5.4 on a fresh board.
+    out.degraded = true;
+    out.params_used = failstop;
+    Bulletin* retry_board = board_for ? board_for(/*failstop_retry=*/true) : nullptr;
+    try {
+      YosoMpc mpc(failstop, circuit, plan, seed, retry_board);
+      if (retry_board != nullptr) {
+        // Make the recovery's sunk cost ledger-visible before the retry runs.
+        retry_board->publish_external("degrade", Phase::Setup, "degrade.retry",
+                                      out.strict_attempt_bytes, 0);
+      }
+      out.result = mpc.run(inputs);
+      out.plaintext_modulus = mpc.plaintext_modulus();
+      out.recovered = true;
+    } catch (const ProtocolAbort& retry_abort) {
+      if (retry_abort.report()) out.failure = *retry_abort.report();
+      else out.failure = out.strict_failure;
+    }
+    return out;
+  }
+}
+
 }  // namespace yoso

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "mpc/online.hpp"
@@ -65,5 +66,45 @@ private:
   bool preprocessed_ = false;
   bool evaluated_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Graceful degradation to the Section 5.4 fail-stop regime.
+//
+// A threshold abort whose FailureReport is silence-decisive (restoring the
+// missing roles alone would have met the gate) is attributable to crashes /
+// dead links rather than malice.  The strict parameterization gave those
+// runs no slack: k - 1 = floor(n * eps) spends the whole gap on packing.
+// Section 5.4 spends half the gap on fail-stop tolerance instead
+// (k - 1 <= n * eps / 2), so the same fault pattern completes.  The driver
+// runs the strict attempt, diagnoses the abort, and — when the diagnosis
+// licenses it — re-runs with ProtocolParams::for_gap(..., failstop_mode).
+// ---------------------------------------------------------------------------
+
+struct DegradedRunResult {
+  std::optional<OnlineResult> result;  // outputs of the attempt that completed
+  bool degraded = false;               // the Section 5.4 retry was attempted
+  bool recovered = false;              // the retry completed after a strict abort
+  std::optional<FailureReport> strict_failure;  // strict attempt's diagnosis
+  std::optional<FailureReport> failure;  // terminal failure (unrecoverable/retry failed)
+  ProtocolParams params_used;          // parameters of the final attempt
+  mpz_class plaintext_modulus = 0;     // N^s of the completed attempt (0 if none)
+  std::size_t strict_attempt_bytes = 0;  // bytes spent on a failed strict attempt
+
+  bool ok() const { return result.has_value(); }
+};
+
+// Supplies the board for each attempt (`failstop_retry` = false for the
+// strict attempt, true for the retry); return nullptr to let YosoMpc own a
+// passive board.  Each attempt needs a fresh board: roles speak once, so a
+// retry is a brand-new activation of every committee.  The retry's board
+// additionally carries a ledger entry "degrade.retry" (phase Setup) priced
+// at the strict attempt's total bytes, so recovery's true communication
+// cost — retry traffic plus the sunk strict attempt — is ledger-visible.
+using BoardFactory = std::function<Bulletin*(bool failstop_retry)>;
+
+DegradedRunResult run_with_degradation(unsigned n, double eps, unsigned paillier_bits,
+                                       const Circuit& circuit, const AdversaryPlan& plan,
+                                       std::uint64_t seed, const BoardFactory& board_for,
+                                       const std::vector<std::vector<mpz_class>>& inputs);
 
 }  // namespace yoso

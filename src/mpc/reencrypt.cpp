@@ -79,9 +79,15 @@ std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
     }
     std::vector<std::uint8_t> payload;
     if (bulletin_->wants_payload()) payload = encode_mask_batch(msgs[j]);
-    bulletin_->publish(masker, j, phase, label + ".mask", bytes, 2 * m,
-                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
+    PostStatus st = bulletin_->publish(masker, j, phase, label + ".mask", bytes, 2 * m,
+                                       /*first_post_of_role=*/false,
+                                       payload.empty() ? nullptr : &payload);
+    // A post that never reached the board leaves the role silent.
+    if (st != PostStatus::Accepted) msgs[j].clear();
   }
+
+  unsigned present = 0;
+  for (unsigned j = 0; j < n; ++j) present += msgs[j].empty() ? 0 : 1;
 
   // Everyone verifies; per value, sum over the roles whose proof checks.
   std::vector<MaskSums> out(m);
@@ -106,7 +112,9 @@ std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
       }
     }
     if (verified < tpk_.t + 1) {
-      throw ProtocolAbort("mask committee: fewer than t+1 verified pads");
+      throw ProtocolAbort(FailureReport{FailureKind::Threshold, phase, masker.name,
+                                        label + ".mask", tpk_.t + 1, verified,
+                                        present - verified, n - present});
     }
     out[r] = MaskSums{std::move(a_sum), std::move(b_sum)};
   }
@@ -146,10 +154,14 @@ std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
     }
     std::vector<std::uint8_t> payload;
     if (bulletin_->wants_payload()) payload = encode_pdec_msg(PdecMsg{ro.partials, ro.proofs});
-    bulletin_->publish(holder, j, phase, label + ".pdec", bytes, m,
-                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
-    outputs[j] = std::move(ro);
+    PostStatus st = bulletin_->publish(holder, j, phase, label + ".pdec", bytes, m,
+                                       /*first_post_of_role=*/false,
+                                       payload.empty() ? nullptr : &payload);
+    if (st == PostStatus::Accepted) outputs[j] = std::move(ro);
   }
+
+  unsigned present = 0;
+  for (unsigned j = 0; j < n; ++j) present += outputs[j] ? 1 : 0;
 
   // Combine: per ciphertext, take the first t+1 verified partials.
   std::vector<mpz_class> plain(m);
@@ -164,7 +176,10 @@ std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
       parts.push_back(ro.partials[r]);
     }
     if (idx.size() < tpk_.t + 1) {
-      throw ProtocolAbort("decrypt committee: fewer than t+1 verified partials");
+      const unsigned verified = static_cast<unsigned>(idx.size());
+      throw ProtocolAbort(FailureReport{FailureKind::Threshold, phase, holder.name,
+                                        label + ".pdec", tpk_.t + 1, verified,
+                                        present - verified, n - present});
     }
     plain[r] = tdec(tpk_, idx, parts);
   }
@@ -220,10 +235,14 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
     }
     std::vector<std::uint8_t> payload;
     if (bulletin_->wants_payload()) payload = encode_handover_msg(msg);
-    bulletin_->publish(holder, j, phase, "tsk.handover", msg.wire_bytes(), n * 2,
-                       /*first_post_of_role=*/false, payload.empty() ? nullptr : &payload);
-    msgs[j] = std::move(msg);
+    PostStatus st = bulletin_->publish(holder, j, phase, "tsk.handover", msg.wire_bytes(),
+                                       n * 2, /*first_post_of_role=*/false,
+                                       payload.empty() ? nullptr : &payload);
+    if (st == PostStatus::Accepted) msgs[j] = std::move(msg);
   }
+
+  unsigned present = 0;
+  for (unsigned j = 0; j < n; ++j) present += msgs[j] ? 1 : 0;
 
   // Everyone verifies and agrees on the qualified set: the first t+1 roles
   // whose commitments tie to their verification key and whose every
@@ -258,7 +277,10 @@ void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase pha
     qualified_msgs.push_back(std::move(rm));
   }
   if (qualified.size() < tpk_.t + 1) {
-    throw ProtocolAbort("tsk hand-over: fewer than t+1 qualified resharings");
+    const unsigned verified = static_cast<unsigned>(qualified.size());
+    throw ProtocolAbort(FailureReport{FailureKind::Threshold, phase, holder.name,
+                                      "tsk.handover", tpk_.t + 1, verified, present - verified,
+                                      n - present});
   }
 
   // Each next-committee role decrypts the subshares addressed to it and

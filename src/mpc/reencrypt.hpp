@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "mpc/failure.hpp"  // ProtocolAbort + FailureReport
 #include "mpc/params.hpp"
 #include "nizk/link_proof.hpp"
 #include "nizk/pdec_proof.hpp"
@@ -31,12 +32,6 @@
 #include "yoso/bulletin.hpp"
 
 namespace yoso {
-
-// Raised when the adversary manages to stall the protocol (must never
-// happen within the theorem's corruption bounds; tests assert on it).
-struct ProtocolAbort : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
 
 // A "ciphertext to the future": the public masked value together with the
 // pad ciphertext sum under the recipient's key.

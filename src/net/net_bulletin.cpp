@@ -28,7 +28,7 @@ NetBulletin::NetBulletin(Ledger& ledger, NetConfig cfg)
     : Bulletin(ledger), cfg_(std::move(cfg)),
       transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults) {}
 
-void NetBulletin::check_payload(const std::vector<std::uint8_t>& payload) {
+bool NetBulletin::roundtrip_ok(const std::vector<std::uint8_t>& payload) {
   try {
     std::vector<std::uint8_t> again;
     switch (peek_tag(payload)) {
@@ -43,44 +43,134 @@ void NetBulletin::check_payload(const std::vector<std::uint8_t>& payload) {
       case kTagBeaverMsg: again = encode_beaver_msg(decode_beaver_msg(payload)); break;
       case kTagMultShareMsg: again = encode_mult_share_msg(decode_mult_share_msg(payload)); break;
       case kTagMaskBatch: again = encode_mask_batch(decode_mask_batch(payload)); break;
-      default: ++decode_failures_; return;
+      default: return false;
     }
     // Compare round-trip digests instead of the raw byte vectors: the digest
     // comparison runs in time independent of where the first mismatch falls.
     const Sha256::Digest d_again = Sha256::hash(again.data(), again.size());
     const Sha256::Digest d_payload = Sha256::hash(payload.data(), payload.size());
-    if (!ct_equal(d_again, d_payload)) ++decode_failures_;
+    return ct_equal(d_again, d_payload);
   } catch (const CodecError&) {
-    ++decode_failures_;
+    return false;
+  }
+}
+
+// Runs a fault-mutated payload through the decoder: it must either reject
+// with CodecError (counted as a clean rejection) or decode to some value (a
+// flip inside a bignum body is syntactically valid — the frame checksum is
+// what rejects the post).  Anything else (crash, UB) is caught by the
+// sanitizer jobs running the chaos campaign.
+void NetBulletin::probe_mutated(std::vector<std::uint8_t> mutated) {
+  if (mutated.empty()) {
+    ++fuzz_rejected_;
+    return;
+  }
+  if (roundtrip_ok(mutated)) {
+    ++fuzz_decoded_;
+  } else {
+    ++fuzz_rejected_;
   }
 }
 
 void NetBulletin::enqueue(std::string round_key, Phase phase, std::string sender,
-                          std::size_t bytes, const std::vector<std::uint8_t>* payload) {
-  if (payload != nullptr) {
-    bytes = payload->size();  // price the real serialized message
-    if (cfg_.decode_check) check_payload(*payload);
-  }
+                          std::size_t bytes, const std::vector<std::uint8_t>* payload,
+                          bool link_dropped, double release_delay) {
+  if (payload != nullptr && cfg_.decode_check && !roundtrip_ok(*payload)) ++decode_failures_;
   if (!pending_.empty() && (round_key != pending_key_ || phase != pending_phase_)) flush();
   pending_key_ = std::move(round_key);
   pending_phase_ = phase;
-  pending_.push_back(PendingPost{std::move(sender), bytes});
+  pending_.push_back(PendingPost{std::move(sender), bytes, link_dropped, release_delay});
 }
 
-void NetBulletin::publish(Committee& committee, unsigned index0, Phase phase,
-                          const std::string& label, std::size_t bytes, std::size_t elements,
-                          bool first_post_of_role, const std::vector<std::uint8_t>* payload) {
+PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase phase,
+                                const std::string& label, std::size_t bytes,
+                                std::size_t elements, bool first_post_of_role,
+                                const std::vector<std::uint8_t>* payload) {
   Bulletin::publish(committee, index0, phase, label, bytes, elements, first_post_of_role,
                     payload);
-  enqueue("c:" + committee.name, phase,
-          committee.name + "#" + std::to_string(index0), bytes, payload);
+  if (payload != nullptr) bytes = payload->size();  // price the real serialized message
+  const std::string sender = committee.name + "#" + std::to_string(index0);
+  const std::string key = "c:" + committee.name;
+  PhasePosts& pp = posts(phase);
+  ++pp.originated;
+
+  // Link-level fate first: a post lost on the sender's uplink never reaches
+  // the board, whatever its payload.
+  if (transport_.roll_drop(sender)) {
+    ++pp.dropped_link;
+    enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/true, 0);
+    return PostStatus::DroppedLink;
+  }
+
+  // Wire-level fate: at most one fault per post, deterministic from
+  // (seed, sender, sequence).
+  std::uint64_t aux = 0;
+  const WireFault fault = cfg_.wire_faults.roll(sender, ++post_seq_, &aux);
+  switch (fault) {
+    case WireFault::BitFlip: {
+      if (payload != nullptr && !payload->empty()) {
+        std::vector<std::uint8_t> flipped = *payload;
+        const std::uint64_t bit = aux % (static_cast<std::uint64_t>(flipped.size()) * 8);
+        flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        probe_mutated(std::move(flipped));
+      }
+      ++pp.corrupt;
+      enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
+      return PostStatus::CorruptPayload;
+    }
+    case WireFault::Truncate: {
+      std::size_t cut = bytes == 0 ? 0 : static_cast<std::size_t>(aux % bytes);
+      if (payload != nullptr && !payload->empty()) {
+        std::vector<std::uint8_t> shorter = *payload;
+        shorter.resize(std::min<std::size_t>(cut, shorter.size()));
+        probe_mutated(std::move(shorter));
+      }
+      ++pp.truncated;
+      // Only the truncated prefix ever hit the wire.
+      enqueue(key, phase, sender, cut, nullptr, /*link_dropped=*/false, 0);
+      return PostStatus::Truncated;
+    }
+    case WireFault::Duplicate: {
+      // The original counts; the replayed copy is priced on the wire but the
+      // board's one-shot discipline ignores it.
+      ++pp.delivered;
+      enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
+      ++pp.originated;
+      ++pp.duplicate;
+      const bool dup_dropped = transport_.roll_drop(sender);
+      enqueue(key, phase, sender, bytes, nullptr, dup_dropped, 0);
+      return PostStatus::Accepted;
+    }
+    case WireFault::LatePost: {
+      const double delay = cfg_.wire_faults.late_delay_s;
+      if (delay <= cfg_.grace_window_s) {
+        ++pp.delivered;
+        ++pp.late_graced;
+        enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
+        return PostStatus::Accepted;
+      }
+      ++pp.late;
+      enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
+      return PostStatus::Late;
+    }
+    case WireFault::None: break;
+  }
+  ++pp.delivered;
+  enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
+  return PostStatus::Accepted;
 }
 
 void NetBulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
                                    std::size_t bytes, std::size_t elements,
                                    const std::vector<std::uint8_t>* payload) {
   Bulletin::publish_external(who, phase, label, bytes, elements, payload);
-  enqueue("x:" + label, phase, who, bytes, payload);
+  if (payload != nullptr) bytes = payload->size();
+  // External senders (clients, the dealer) are outside the committee fault
+  // plans: their posts always count.
+  PhasePosts& pp = posts(phase);
+  ++pp.originated;
+  ++pp.delivered;
+  enqueue("x:" + label, phase, who, bytes, payload, /*link_dropped=*/false, 0);
 }
 
 void NetBulletin::on_committee_spawn(Committee& committee) {
@@ -99,7 +189,7 @@ void NetBulletin::flush() {
   if (pending_.empty()) return;
   PhaseTraffic& pt = traffic_[phase_idx(pending_phase_)];
   for (const PendingPost& p : pending_) {
-    transport_.broadcast(p.sender, p.bytes, clock_);
+    transport_.broadcast_decided(p.sender, p.bytes, clock_ + p.release_delay, p.link_dropped);
     pt.messages += 1;
     pt.payload_bytes += p.bytes;
   }
@@ -127,6 +217,25 @@ const TransportStats& NetBulletin::stats() {
   return transport_.stats();
 }
 
+const PhasePosts& NetBulletin::phase_posts(Phase phase) const {
+  return posts_[phase_idx(phase)];
+}
+
+PhasePosts NetBulletin::total_posts() const {
+  PhasePosts total;
+  for (const PhasePosts& pp : posts_) {
+    total.originated += pp.originated;
+    total.delivered += pp.delivered;
+    total.dropped_link += pp.dropped_link;
+    total.corrupt += pp.corrupt;
+    total.truncated += pp.truncated;
+    total.late += pp.late;
+    total.duplicate += pp.duplicate;
+    total.late_graced += pp.late_graced;
+  }
+  return total;
+}
+
 std::string NetBulletin::report_json() const {
   const_cast<NetBulletin*>(this)->flush();
   const TransportStats& ts = transport_.stats();
@@ -136,12 +245,22 @@ std::string NetBulletin::report_json() const {
   for (std::size_t i = 0; i < traffic_.size(); ++i) {
     if (i != 0) os << ",";
     const PhaseTraffic& pt = traffic_[i];
+    const PhasePosts& pp = posts_[i];
     os << "\"" << phase_key(i) << "\":{\"seconds\":" << pt.seconds << ",\"rounds\":" << pt.rounds
-       << ",\"messages\":" << pt.messages << ",\"payload_bytes\":" << pt.payload_bytes << "}";
+       << ",\"messages\":" << pt.messages << ",\"payload_bytes\":" << pt.payload_bytes
+       << ",\"posts\":{\"originated\":" << pp.originated << ",\"delivered\":" << pp.delivered
+       << ",\"dropped\":" << pp.dropped() << ",\"dropped_link\":" << pp.dropped_link
+       << ",\"corrupt\":" << pp.corrupt << ",\"truncated\":" << pp.truncated
+       << ",\"late\":" << pp.late << ",\"duplicate\":" << pp.duplicate
+       << ",\"late_graced\":" << pp.late_graced << "}}";
   }
+  const PhasePosts total = total_posts();
   os << "},\"delivered\":" << ts.delivered << ",\"dropped\":" << ts.dropped
      << ",\"downlink_queue_s\":" << ts.downlink_queue_seconds
-     << ",\"decode_failures\":" << decode_failures_
+     << ",\"posts_originated\":" << total.originated << ",\"posts_delivered\":" << total.delivered
+     << ",\"posts_dropped\":" << total.dropped()
+     << ",\"decode_failures\":" << decode_failures_ << ",\"fuzz_rejected\":" << fuzz_rejected_
+     << ",\"fuzz_decoded\":" << fuzz_decoded_
      << ",\"roles_silenced\":" << roles_silenced_ << ",\"base\":" << Bulletin::report_json()
      << "}";
   return os.str();

@@ -18,6 +18,16 @@
 // and — with decode_check on — round-trips it through the codec to catch
 // encoder drift.  Posts without payloads fall back to the ledger's byte
 // count.
+//
+// Fault model: beyond the link-level FaultPlan (dead links realized as
+// fail-stop roles, per-message drops, added delay), a WireFaultPlan
+// injects message-level faults at the codec boundary — bit-flipped
+// payloads (rejected by the frame checksum), truncated frames (rejected by
+// the codec), duplicated posts (ignored by the one-shot discipline), and
+// late posts (rejected unless within `grace_window_s`).  Every post's fate
+// is returned to the publishing protocol code as a PostStatus and tallied
+// per phase; the chaos campaign (src/chaos) asserts the conservation law
+// originated == delivered + dropped over these tallies.
 #pragma once
 
 #include <array>
@@ -28,6 +38,7 @@
 #include "net/event_loop.hpp"
 #include "net/link.hpp"
 #include "net/transport.hpp"
+#include "net/wire_faults.hpp"
 #include "yoso/bulletin.hpp"
 
 namespace yoso::net {
@@ -37,7 +48,9 @@ struct NetConfig {
   Topology topology = Topology::StarViaBoard;
   unsigned observers = 0;  // downloading parties; 0 = first committee's n
   FaultPlan faults = {};
-  bool decode_check = true;  // round-trip every payload through the codec
+  WireFaultPlan wire_faults = {};
+  double grace_window_s = 0;  // late posts within this window still count
+  bool decode_check = true;   // round-trip every payload through the codec
 };
 
 // Virtual-time traffic accumulated for one protocol phase.
@@ -48,13 +61,33 @@ struct PhaseTraffic {
   std::size_t payload_bytes = 0;
 };
 
+// Board-level post accounting for one protocol phase.  Conservation law:
+// originated == delivered + dropped, where dropped splits into the loss
+// classes below (duplicate counts the injected copies the board ignored).
+struct PhasePosts {
+  std::size_t originated = 0;  // posts attempted, including duplicate copies
+  std::size_t delivered = 0;   // accepted onto the board
+  std::size_t dropped_link = 0;
+  std::size_t corrupt = 0;
+  std::size_t truncated = 0;
+  std::size_t late = 0;        // late beyond the grace window
+  std::size_t duplicate = 0;   // injected copies ignored by the board
+  std::size_t late_graced = 0; // late but within grace (subset of delivered)
+
+  std::size_t dropped() const {
+    return dropped_link + corrupt + truncated + late + duplicate;
+  }
+  bool conserved() const { return originated == delivered + dropped(); }
+};
+
 class NetBulletin : public Bulletin {
 public:
   NetBulletin(Ledger& ledger, NetConfig cfg = {});
 
-  void publish(Committee& committee, unsigned index0, Phase phase, const std::string& label,
-               std::size_t bytes, std::size_t elements, bool first_post_of_role = false,
-               const std::vector<std::uint8_t>* payload = nullptr) override;
+  PostStatus publish(Committee& committee, unsigned index0, Phase phase,
+                     const std::string& label, std::size_t bytes, std::size_t elements,
+                     bool first_post_of_role = false,
+                     const std::vector<std::uint8_t>* payload = nullptr) override;
   void publish_external(const std::string& who, Phase phase, const std::string& label,
                         std::size_t bytes, std::size_t elements,
                         const std::vector<std::uint8_t>* payload = nullptr) override;
@@ -78,17 +111,31 @@ public:
   std::size_t decode_failures() const { return decode_failures_; }
   unsigned roles_silenced() const { return roles_silenced_; }
 
+  // Post accounting (chaos invariants + report_json).
+  const PhasePosts& phase_posts(Phase phase) const;
+  PhasePosts total_posts() const;
+  // Mutated payloads probed through the codec: rejected cleanly vs. decoded
+  // anyway (a flip inside a bignum body is syntactically valid; the frame
+  // checksum still rejects the post).
+  std::size_t fuzz_rejected() const { return fuzz_rejected_; }
+  std::size_t fuzz_decoded() const { return fuzz_decoded_; }
+
   std::string report_json() const override;
 
 private:
   struct PendingPost {
     std::string sender;
     std::size_t bytes;
+    bool link_dropped = false;
+    double release_delay = 0;  // late posts enter the uplink this much later
   };
 
   void enqueue(std::string round_key, Phase phase, std::string sender, std::size_t bytes,
-               const std::vector<std::uint8_t>* payload);
-  void check_payload(const std::vector<std::uint8_t>& payload);
+               const std::vector<std::uint8_t>* payload, bool link_dropped,
+               double release_delay);
+  bool roundtrip_ok(const std::vector<std::uint8_t>& payload);
+  void probe_mutated(std::vector<std::uint8_t> mutated);
+  PhasePosts& posts(Phase phase) { return posts_[static_cast<std::size_t>(phase)]; }
 
   NetConfig cfg_;
   EventLoop loop_;
@@ -98,7 +145,11 @@ private:
   std::string pending_key_;
   Phase pending_phase_ = Phase::Setup;
   std::array<PhaseTraffic, 3> traffic_{};
+  std::array<PhasePosts, 3> posts_{};
   std::size_t decode_failures_ = 0;
+  std::size_t fuzz_rejected_ = 0;
+  std::size_t fuzz_decoded_ = 0;
+  std::uint64_t post_seq_ = 0;  // wire-fault roll sequence
   unsigned roles_silenced_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "net/wire_faults.hpp"  // mix64 / mix64_str
+
 namespace yoso::net {
 
 void TransportStats::note_size(std::size_t bytes) {
@@ -28,31 +30,27 @@ Transport::Transport(EventLoop& loop, LinkModel link, Topology topo, unsigned ob
     : loop_(&loop), link_(std::move(link)), topo_(topo), observers_(observers),
       faults_(std::move(faults)) {}
 
-namespace {
-
-// SplitMix64: deterministic per-message drop decisions from (seed, sender,
-// sequence) without touching the protocol's Rng stream.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
+// Deterministic per-message drop decisions from (seed, sender, sequence)
+// without touching the protocol's Rng stream.
 bool Transport::should_drop(const std::string& sender) {
   if (faults_.drop_prob <= 0) return false;
-  std::uint64_t h = faults_.seed;
-  for (char c : sender) h = mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
-  h = mix64(h ^ msg_seq_);
+  std::uint64_t h = mix64(mix64_str(faults_.seed, sender) ^ msg_seq_);
   double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   return u < faults_.drop_prob;
 }
 
-bool Transport::broadcast(const std::string& sender, std::size_t bytes, double release) {
+bool Transport::roll_drop(const std::string& sender) {
   ++msg_seq_;
-  if (should_drop(sender)) {
+  return should_drop(sender);
+}
+
+bool Transport::broadcast(const std::string& sender, std::size_t bytes, double release) {
+  return broadcast_decided(sender, bytes, release, roll_drop(sender));
+}
+
+bool Transport::broadcast_decided(const std::string& sender, std::size_t bytes, double release,
+                                  bool dropped) {
+  if (dropped) {
     ++stats_.dropped;
     return false;
   }

@@ -49,6 +49,17 @@ public:
   // plan drops the message at the sender's link.
   bool broadcast(const std::string& sender, std::size_t bytes, double release);
 
+  // Pre-rolls the drop decision for the next broadcast from `sender`,
+  // advancing the per-message sequence.  Callers that need the verdict
+  // before the message is priced (NetBulletin decides a post's fate at
+  // publish time but prices it at round flush) roll here and pass the
+  // decision back through broadcast_decided.
+  bool roll_drop(const std::string& sender);
+
+  // As broadcast(), but with the drop decision already made by roll_drop.
+  bool broadcast_decided(const std::string& sender, std::size_t bytes, double release,
+                         bool dropped);
+
   // Drains the event loop (all queued frames delivered).
   double run();
 

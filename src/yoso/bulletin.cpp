@@ -4,15 +4,27 @@
 
 namespace yoso {
 
-void Bulletin::record_post(const std::string& sender, unsigned index0, Phase phase,
-                           const std::string& label, std::size_t bytes, std::size_t elements) {
-  ledger_->record(phase, label, bytes, elements);
-  log_.push_back(Post{sender, index0, label, bytes, elements, phase});
+const char* post_status_name(PostStatus s) {
+  switch (s) {
+    case PostStatus::Accepted: return "accepted";
+    case PostStatus::DroppedLink: return "dropped";
+    case PostStatus::CorruptPayload: return "corrupt";
+    case PostStatus::Truncated: return "truncated";
+    case PostStatus::Late: return "late";
+  }
+  return "?";
 }
 
-void Bulletin::publish(Committee& committee, unsigned index0, Phase phase,
-                       const std::string& label, std::size_t bytes, std::size_t elements,
-                       bool first_post_of_role, const std::vector<std::uint8_t>* payload) {
+void Bulletin::record_post(const std::string& sender, unsigned index0, Phase phase,
+                           const std::string& label, std::size_t bytes, std::size_t elements,
+                           bool external) {
+  ledger_->record(phase, label, bytes, elements);
+  log_.push_back(Post{sender, index0, label, bytes, elements, phase, external});
+}
+
+PostStatus Bulletin::publish(Committee& committee, unsigned index0, Phase phase,
+                             const std::string& label, std::size_t bytes, std::size_t elements,
+                             bool first_post_of_role, const std::vector<std::uint8_t>* payload) {
   (void)payload;  // the passive board only prices messages
   if (committee.name != open_committee_) {
     if (closed_committees_.count(committee.name)) {
@@ -26,13 +38,14 @@ void Bulletin::publish(Committee& committee, unsigned index0, Phase phase,
   // activation window are parts of the same one-shot message.
   if (first_post_of_role || !committee.has_spoken(index0)) committee.speak(index0);
   record_post(committee.name, index0, phase, label, bytes, elements);
+  return PostStatus::Accepted;
 }
 
 void Bulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
                                 std::size_t bytes, std::size_t elements,
                                 const std::vector<std::uint8_t>* payload) {
   (void)payload;
-  record_post(who, 0, phase, label, bytes, elements);
+  record_post(who, 0, phase, label, bytes, elements, /*external=*/true);
 }
 
 std::size_t Bulletin::posts_by(const std::string& committee) const {

@@ -30,7 +30,23 @@ struct Post {
   std::size_t bytes = 0;
   std::size_t elements = 0;
   Phase phase = Phase::Setup;
+  bool external = false;  // client/dealer post, not a one-shot role
 };
+
+// Fate of one post, reported back to the publishing protocol code.  The
+// passive board accepts everything; fault-injecting transports
+// (net::NetBulletin under a chaos schedule) return the loss class so the
+// caller can treat the role as unheard — the role still spoke (its one-shot
+// token is consumed) but no observer ever sees the message.
+enum class PostStatus : std::uint8_t {
+  Accepted,        // on the board, visible to every observer
+  DroppedLink,     // lost on the sender's access link
+  CorruptPayload,  // bit-flipped in flight; the frame checksum rejects it
+  Truncated,       // truncated frame; the codec rejects it
+  Late,            // arrived after the committee's window (+ grace) closed
+};
+
+const char* post_status_name(PostStatus s);
 
 class Bulletin {
 public:
@@ -50,10 +66,14 @@ public:
   // `payload` optionally carries the real serialized message (one tagged
   // wire/codec message per post); transports that model traffic request it
   // via wants_payload() and fragment it into frames.
-  virtual void publish(Committee& committee, unsigned index0, Phase phase,
-                       const std::string& label, std::size_t bytes, std::size_t elements,
-                       bool first_post_of_role = false,
-                       const std::vector<std::uint8_t>* payload = nullptr);
+  //
+  // The return value is the post's fate.  Anything other than Accepted
+  // means no observer sees the message: the publishing code must treat the
+  // role as silent for this value (its in-memory contribution is void).
+  virtual PostStatus publish(Committee& committee, unsigned index0, Phase phase,
+                             const std::string& label, std::size_t bytes, std::size_t elements,
+                             bool first_post_of_role = false,
+                             const std::vector<std::uint8_t>* payload = nullptr);
 
   // Publication by an entity outside any committee (a client / the dealer);
   // those senders are not one-shot roles.
@@ -80,7 +100,8 @@ public:
 protected:
   // Shared bookkeeping for subclasses: ledger recording + audit log.
   void record_post(const std::string& sender, unsigned index0, Phase phase,
-                   const std::string& label, std::size_t bytes, std::size_t elements);
+                   const std::string& label, std::size_t bytes, std::size_t elements,
+                   bool external = false);
 
 private:
   Ledger* ledger_;

@@ -1,0 +1,320 @@
+// Chaos campaign tests: schedule determinism and JSON round-trips, the
+// machine-checked robustness contract over a seeded campaign (in-bounds
+// schedules deliver, out-of-bounds schedules fail *classified*, post
+// conservation, one-shot discipline), delta-debugging minimization of a
+// planted failure, and graceful degradation to the Section 5.4 fail-stop
+// regime verified against the ideal functionality with the retry's extra
+// communication visible in the ledger.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chaos/campaign.hpp"
+#include "chaos/minimize.hpp"
+#include "circuit/workloads.hpp"
+#include "mpc/ideal.hpp"
+#include "mpc/protocol.hpp"
+#include "net/net_bulletin.hpp"
+#include "yoso/adversary.hpp"
+
+namespace yoso {
+namespace {
+
+using chaos::CampaignRunner;
+using chaos::CampaignSummary;
+using chaos::FaultSchedule;
+using chaos::Outcome;
+using chaos::RunReport;
+using chaos::ScheduleMinimizer;
+
+// --- FaultSchedule ----------------------------------------------------------
+
+TEST(FaultScheduleTest, SamplerIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    EXPECT_EQ(FaultSchedule::random(seed), FaultSchedule::random(seed));
+  }
+  EXPECT_NE(FaultSchedule::random(1), FaultSchedule::random(2));
+}
+
+TEST(FaultScheduleTest, JsonRoundTripsExactly) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    FaultSchedule s = FaultSchedule::random(seed);
+    EXPECT_EQ(FaultSchedule::from_json(s.to_json()), s) << s.to_json();
+  }
+}
+
+TEST(FaultScheduleTest, JsonRejectsGarbageValues) {
+  EXPECT_THROW(FaultSchedule::from_json("{\"seed\":oops}"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::from_json("{\"strategy\":9}"), std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, InBoundsMatchesTheoremConditions) {
+  FaultSchedule s;
+  s.n = 6;
+  s.eps = 0.25;  // t = 1, k = 2, recon = 4
+  EXPECT_TRUE(s.in_bounds());
+
+  s.malicious = 1;  // == t: still guaranteed
+  EXPECT_TRUE(s.in_bounds());
+  s.malicious = 2;  // > t
+  EXPECT_FALSE(s.in_bounds());
+  s.malicious = 1;
+
+  s.failstop = 1;  // 4 speaking honest roles left == recon threshold
+  EXPECT_TRUE(s.in_bounds());
+  s.silenced = 1;  // 3 < 4
+  EXPECT_FALSE(s.in_bounds());
+  s.silenced = 0;
+  s.failstop = 0;
+
+  // Probabilistic loss voids the static guarantee...
+  s.drop_prob = 0.01;
+  EXPECT_FALSE(s.in_bounds());
+  s.drop_prob = 0;
+  // ...but duplicates and graced late posts are harmless.
+  s.duplicate_prob = 0.5;
+  EXPECT_TRUE(s.in_bounds());
+  s.late_prob = 0.5;
+  s.late_delay_s = 0.5;
+  s.grace_window_s = 0;
+  EXPECT_FALSE(s.in_bounds());
+  s.grace_window_s = 1.0;
+  EXPECT_TRUE(s.in_bounds());
+}
+
+TEST(FaultScheduleTest, ActiveFaultsCountsDimensions) {
+  FaultSchedule s;
+  EXPECT_EQ(s.active_faults(), 0u);
+  s.malicious = 1;
+  s.drop_prob = 0.1;
+  s.late_prob = 0.2;
+  EXPECT_EQ(s.active_faults(), 3u);
+}
+
+// --- The campaign contract --------------------------------------------------
+
+TEST(ChaosCampaignTest, SmokeCampaignUpholdsTheContract) {
+  // ~50 seeded schedules: every in-bounds run delivers GOD, every
+  // out-of-bounds run fails classified — zero crashes, hangs, wrong
+  // outputs, or invariant violations.  This is the CI chaos-smoke gate.
+  CampaignSummary s = CampaignRunner::run_campaign(0xC7A05, 50);
+  EXPECT_EQ(s.runs, 50u);
+  EXPECT_TRUE(s.all_acceptable()) << s.to_json();
+  EXPECT_EQ(s.crashed, 0u);
+  EXPECT_EQ(s.wrong_output, 0u);
+  EXPECT_EQ(s.invariant_violations, 0u);
+  // The sampler must exercise both regimes.
+  EXPECT_GT(s.correct, 0u);
+  EXPECT_GT(s.classified, 0u);
+}
+
+TEST(ChaosCampaignTest, CampaignIsBitForBitDeterministic) {
+  CampaignSummary a = CampaignRunner::run_campaign(7, 10);
+  CampaignSummary b = CampaignRunner::run_campaign(7, 10);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // And per-run reports replay identically from their schedule JSON.
+  FaultSchedule s = CampaignRunner::campaign_schedule(7, 3);
+  RunReport r1 = CampaignRunner::run_one(s);
+  RunReport r2 = CampaignRunner::run_one(FaultSchedule::from_json(s.to_json()));
+  EXPECT_EQ(r1.to_json(), r2.to_json());
+}
+
+TEST(ChaosCampaignTest, OutOfBoundsAbortIsClassifiedWithConsistentCounts) {
+  FaultSchedule s;
+  s.seed = 31;
+  s.n = 6;
+  s.circuit_width = 1;
+  s.malicious = 2;  // t = 1: one over the corruption bound
+  s.failstop = 1;
+  RunReport r = CampaignRunner::run_one(s);
+  EXPECT_EQ(r.outcome, Outcome::ClassifiedAbort) << r.to_json();
+  ASSERT_TRUE(r.failure.has_value());
+  EXPECT_LT(r.failure->verified, r.failure->threshold);
+  EXPECT_EQ(r.failure->roles(), s.n);
+  EXPECT_FALSE(r.failure->gate.empty());
+  EXPECT_FALSE(r.failure->committee.empty());
+}
+
+TEST(ChaosCampaignTest, WireFaultsConserveThePostLedger) {
+  FaultSchedule s;
+  s.seed = 77;
+  s.n = 5;
+  s.circuit_width = 1;
+  s.drop_prob = 0.05;
+  s.bitflip_prob = 0.1;
+  s.truncate_prob = 0.1;
+  s.duplicate_prob = 0.1;
+  s.late_prob = 0.1;
+  s.late_delay_s = 0.5;
+  RunReport r = CampaignRunner::run_one(s);
+  EXPECT_TRUE(r.acceptable()) << r.to_json();
+  EXPECT_TRUE(r.violations.empty()) << r.to_json();
+  EXPECT_EQ(r.posts_originated, r.posts_delivered + r.posts_dropped);
+  EXPECT_GT(r.posts_dropped, 0u);  // the faults actually fired
+}
+
+// --- Minimization ------------------------------------------------------------
+
+TEST(ScheduleMinimizerTest, PlantedFailureShrinksToMinimalReproducer) {
+  // Plant a schedule with six active fault dimensions whose failure is
+  // driven by malicious + failstop; the minimizer must strip the noise.
+  FaultSchedule planted;
+  planted.seed = 11;
+  planted.n = 6;
+  planted.circuit_width = 1;
+  planted.malicious = 2;
+  planted.failstop = 1;
+  planted.silenced = 1;
+  planted.duplicate_prob = 0.1;
+  planted.extra_delay_s = 0.01;
+  planted.late_prob = 0.1;
+  planted.late_delay_s = 0.5;
+  ASSERT_EQ(planted.active_faults(), 6u);
+
+  const auto fails = [](const FaultSchedule& c) {
+    RunReport r = CampaignRunner::run_one(c);
+    return r.outcome != Outcome::Correct && r.outcome != Outcome::Recovered;
+  };
+  ASSERT_TRUE(fails(planted));
+  auto res = ScheduleMinimizer::minimize(planted, fails);
+  EXPECT_LE(res.schedule.active_faults(), 2u) << res.schedule.to_json();
+  EXPECT_TRUE(fails(res.schedule));
+  // The reproducer replays from its JSON.
+  EXPECT_TRUE(fails(FaultSchedule::from_json(res.schedule.to_json())));
+}
+
+TEST(ScheduleMinimizerTest, RejectsPassingSchedule) {
+  FaultSchedule healthy;
+  healthy.n = 5;
+  healthy.circuit_width = 1;
+  EXPECT_THROW(ScheduleMinimizer::minimize(
+                   healthy,
+                   [](const FaultSchedule& c) {
+                     return !CampaignRunner::run_one(c).acceptable();
+                   }),
+               std::invalid_argument);
+}
+
+// --- Graceful degradation ----------------------------------------------------
+
+struct BoardBox {
+  Ledger ledger;
+  net::NetBulletin board;
+  explicit BoardBox(net::NetConfig cfg) : board(ledger, std::move(cfg)) {}
+};
+
+TEST(DegradationTest, SilenceAbortRecoversUnderFailstopParams) {
+  // Three silenced links per committee: the strict parameterization
+  // (n = 6, t = 1, k = 2, recon = 4) hard-aborts — only 3 roles speak —
+  // while the Section 5.4 retry (k = 1, recon = 2) completes.
+  const unsigned n = 6;
+  const double eps = 0.25;
+  const std::uint64_t seed = 909;
+  Circuit c = wide_mul_circuit(1);
+  std::vector<std::vector<mpz_class>> inputs = {{mpz_class(21)}, {mpz_class(2)}};
+
+  net::NetConfig cfg;
+  cfg.faults.silence_per_committee = 3;
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  auto factory = [&](bool) -> Bulletin* {
+    boards.push_back(std::make_unique<BoardBox>(cfg));
+    return &boards.back()->board;
+  };
+
+  DegradedRunResult d = run_with_degradation(n, eps, 128, c, AdversaryPlan::honest(n), seed,
+                                             factory, inputs);
+  ASSERT_TRUE(d.ok()) << (d.failure ? d.failure->describe() : "no failure report");
+  EXPECT_TRUE(d.degraded);
+  EXPECT_TRUE(d.recovered);
+  ASSERT_TRUE(d.strict_failure.has_value());
+  EXPECT_TRUE(d.strict_failure->silence_decisive());
+  EXPECT_EQ(d.params_used.k, 1u);
+  EXPECT_TRUE(d.params_used.failstop_mode);
+
+  // Correctness against the ideal functionality F_MPC on the same inputs.
+  IdealMpc ideal(2, 1, [&](const std::vector<mpz_class>& xs) {
+    return c.eval({{xs[0]}, {xs[1]}}, d.plaintext_modulus);
+  });
+  ideal.input(0, inputs[0][0], 1);
+  ideal.input(1, inputs[1][0], 1);
+  ideal.evaluate(2);
+  ASSERT_EQ(d.result->outputs.size(), 1u);
+  EXPECT_EQ(d.result->outputs[0], ideal.read(0).value());
+  EXPECT_EQ(d.result->outputs[0], mpz_class(42));
+
+  // The recovery's sunk cost is ledger-visible: the retry board carries a
+  // degrade.retry entry priced at the failed strict attempt's total bytes.
+  ASSERT_EQ(boards.size(), 2u);
+  EXPECT_GT(d.strict_attempt_bytes, 0u);
+  EXPECT_EQ(boards[0]->ledger.total().bytes, d.strict_attempt_bytes);
+  const auto& retry_cats = boards[1]->ledger.categories(Phase::Setup);
+  ASSERT_TRUE(retry_cats.count("degrade.retry"));
+  EXPECT_EQ(retry_cats.at("degrade.retry").bytes, d.strict_attempt_bytes);
+  // Retry traffic itself exceeds the bookkeeping entry alone.
+  EXPECT_GT(boards[1]->ledger.total().bytes, d.strict_attempt_bytes);
+}
+
+TEST(DegradationTest, MaliceDecisiveAbortIsNotRetried) {
+  // Three malicious roles (t = 1): only 3 of 6 posts verify and none are
+  // missing, so the shortfall is attributable to invalid contributions,
+  // not silence — degrading would not help and must not run.
+  const unsigned n = 6;
+  Circuit c = wide_mul_circuit(1);
+  std::vector<std::vector<mpz_class>> inputs = {{mpz_class(3)}, {mpz_class(4)}};
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  auto factory = [&](bool) -> Bulletin* {
+    boards.push_back(std::make_unique<BoardBox>(net::NetConfig{}));
+    return &boards.back()->board;
+  };
+  DegradedRunResult d = run_with_degradation(
+      n, 0.25, 128, c, AdversaryPlan::fixed(n, 3, 0, MaliciousStrategy::BadShare), 910,
+      factory, inputs);
+  EXPECT_FALSE(d.ok());
+  EXPECT_FALSE(d.degraded);
+  ASSERT_TRUE(d.failure.has_value());
+  EXPECT_EQ(boards.size(), 1u);  // no second attempt
+}
+
+TEST(DegradationTest, CampaignSchedulesExerciseRecovery) {
+  // Via the campaign surface: a degradation schedule whose strict run
+  // aborts on silence ends in Outcome::Recovered with the sunk cost
+  // reported.
+  FaultSchedule s;
+  s.seed = 911;
+  s.n = 6;
+  s.circuit_width = 1;
+  s.silenced = 3;
+  s.degradation = true;
+  RunReport r = CampaignRunner::run_one(s);
+  EXPECT_EQ(r.outcome, Outcome::Recovered) << r.to_json();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.strict_attempt_bytes, 0u);
+  EXPECT_TRUE(r.violations.empty()) << r.to_json();
+}
+
+// --- FailureReport -----------------------------------------------------------
+
+TEST(FailureReportTest, DescribeAndJsonCarryTheDiagnosis) {
+  FailureReport fr{FailureKind::Threshold, Phase::Online, "on.mult.L1", "online.mult", 4, 2, 1,
+                   3};
+  EXPECT_TRUE(fr.silence_decisive());  // 2 verified + 3 missing >= 4
+  const std::string desc = fr.describe();
+  EXPECT_NE(desc.find("online.mult"), std::string::npos);
+  EXPECT_NE(desc.find("on.mult.L1"), std::string::npos);
+  const std::string json = fr.to_json();
+  for (const char* key : {"\"kind\"", "\"phase\"", "\"committee\"", "\"gate\"", "\"threshold\"",
+                          "\"verified\"", "\"invalid\"", "\"missing\"", "\"silence_decisive\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+
+  FailureReport malice{FailureKind::Threshold, Phase::Offline, "c", "g", 4, 1, 4, 1};
+  EXPECT_FALSE(malice.silence_decisive());  // 1 + 1 < 4: silence alone is not enough
+
+  ProtocolAbort abort(fr);
+  ASSERT_TRUE(abort.report().has_value());
+  EXPECT_EQ(abort.report()->gate, "online.mult");
+  EXPECT_STREQ(abort.what(), fr.describe().c_str());
+}
+
+}  // namespace
+}  // namespace yoso

@@ -347,5 +347,113 @@ TEST(NetFaultInjection, HalvedPackingSurvivesSilencedParties) {
   }
 }
 
+// --- Post accounting: the conservation law ----------------------------------
+
+TEST(NetFaultInjection, PostLedgerConservesUnderWireFaults) {
+  // Drive the full protocol through link drops plus every wire-fault class
+  // and check the board's books balance per phase:
+  //   originated == delivered + dropped_link + corrupt + truncated + late
+  //                 + duplicate
+  // whether or not the protocol survives the losses.
+  const std::uint64_t seed = 6101;
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  auto inputs = make_inputs(c, seed);
+
+  NetConfig cfg;
+  cfg.faults.drop_prob = 0.05;
+  cfg.faults.seed = seed;
+  cfg.wire_faults.bitflip_prob = 0.1;
+  cfg.wire_faults.truncate_prob = 0.1;
+  cfg.wire_faults.duplicate_prob = 0.1;
+  cfg.wire_faults.late_prob = 0.1;
+  cfg.wire_faults.late_delay_s = 0.5;
+  cfg.wire_faults.seed = seed + 1;
+
+  Ledger ledger;
+  NetBulletin board(ledger, cfg);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), seed, &board);
+  bool aborted = false;
+  try {
+    mpc.run(inputs);
+  } catch (const ProtocolAbort& e) {
+    aborted = true;  // losses may exceed the thresholds; must still balance
+    EXPECT_TRUE(e.report().has_value()) << e.what();
+  }
+  board.flush();
+
+  std::size_t dropped = 0;
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    const net::PhasePosts& pp = board.phase_posts(p);
+    EXPECT_TRUE(pp.conserved())
+        << phase_name(p) << ": originated=" << pp.originated << " delivered=" << pp.delivered
+        << " dropped=" << pp.dropped();
+    dropped += pp.dropped();
+  }
+  const net::PhasePosts total = board.total_posts();
+  EXPECT_TRUE(total.conserved());
+  EXPECT_GT(total.originated, 0u);
+  EXPECT_GT(dropped, 0u);  // the fault plan actually fired
+  EXPECT_GT(total.delivered, 0u);
+  // Mutated payloads were probed through the codec and tallied separately
+  // from honest decode checking (which must stay clean).
+  EXPECT_GT(board.fuzz_rejected() + board.fuzz_decoded(), 0u);
+  EXPECT_EQ(board.decode_failures(), 0u);
+  (void)aborted;
+}
+
+TEST(NetFaultInjection, GraceWindowAdmitsLatePosts) {
+  const std::uint64_t seed = 6102;
+  auto params = ProtocolParams::for_gap(5, 0.2, kBits);
+  Circuit c = inner_product_circuit(2);
+  auto inputs = make_inputs(c, seed);
+
+  NetConfig cfg;
+  cfg.wire_faults.late_prob = 1.0;  // every committee post misses its window
+  cfg.wire_faults.late_delay_s = 0.5;
+  cfg.wire_faults.seed = seed;
+
+  {
+    // No grace: every post is late, so the first threshold gate starves.
+    Ledger ledger;
+    NetBulletin board(ledger, cfg);
+    YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), seed, &board);
+    EXPECT_THROW(mpc.run(inputs), ProtocolAbort);
+    board.flush();
+    EXPECT_GT(board.total_posts().late, 0u);
+    EXPECT_EQ(board.total_posts().late_graced, 0u);
+  }
+  {
+    // Grace covering the delay: the same posts count, the run completes
+    // with correct outputs, and the books record them as late-but-graced.
+    NetConfig graced = cfg;
+    graced.grace_window_s = 1.0;
+    Ledger ledger;
+    NetBulletin board(ledger, graced);
+    YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), seed, &board);
+    auto res = mpc.run(inputs);
+    board.flush();
+    EXPECT_EQ(res.outputs, c.eval(inputs, mpc.plaintext_modulus()));
+    const net::PhasePosts total = board.total_posts();
+    EXPECT_EQ(total.late, 0u);
+    EXPECT_GT(total.late_graced, 0u);
+    EXPECT_EQ(total.originated, total.delivered);
+    EXPECT_TRUE(total.conserved());
+  }
+}
+
+TEST(NetBulletinTest, ReportJsonIncludesPostAccounting) {
+  Ledger ledger;
+  NetBulletin board(ledger, NetConfig{});
+  auto json = board.report_json();
+  for (const char* key :
+       {"\"posts\"", "\"originated\"", "\"dropped_link\"", "\"corrupt\"", "\"truncated\"",
+        "\"late\"", "\"duplicate\"", "\"late_graced\"", "\"posts_originated\"",
+        "\"posts_delivered\"", "\"posts_dropped\"", "\"fuzz_rejected\"", "\"fuzz_decoded\"",
+        "\"roles_silenced\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+}
+
 }  // namespace
 }  // namespace yoso

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_packing.dir/bench_ablation_packing.cpp.o"
+  "CMakeFiles/bench_ablation_packing.dir/bench_ablation_packing.cpp.o.d"
+  "bench_ablation_packing"
+  "bench_ablation_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o"
+  "CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o.d"
+  "bench_chaos"
+  "bench_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failstop.dir/bench_failstop.cpp.o"
+  "CMakeFiles/bench_failstop.dir/bench_failstop.cpp.o.d"
+  "bench_failstop"
+  "bench_failstop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_god.dir/bench_god.cpp.o"
+  "CMakeFiles/bench_god.dir/bench_god.cpp.o.d"
+  "bench_god"
+  "bench_god.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_god.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

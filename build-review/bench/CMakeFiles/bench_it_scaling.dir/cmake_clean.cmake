@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_it_scaling.dir/bench_it_scaling.cpp.o"
+  "CMakeFiles/bench_it_scaling.dir/bench_it_scaling.cpp.o.d"
+  "bench_it_scaling"
+  "bench_it_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_it_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modulus_scaling.dir/bench_modulus_scaling.cpp.o"
+  "CMakeFiles/bench_modulus_scaling.dir/bench_modulus_scaling.cpp.o.d"
+  "bench_modulus_scaling"
+  "bench_modulus_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modulus_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_latency.dir/bench_net_latency.cpp.o"
+  "CMakeFiles/bench_net_latency.dir/bench_net_latency.cpp.o.d"
+  "bench_net_latency"
+  "bench_net_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

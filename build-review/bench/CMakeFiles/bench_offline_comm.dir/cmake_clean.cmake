@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_comm.dir/bench_offline_comm.cpp.o"
+  "CMakeFiles/bench_offline_comm.dir/bench_offline_comm.cpp.o.d"
+  "bench_offline_comm"
+  "bench_offline_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

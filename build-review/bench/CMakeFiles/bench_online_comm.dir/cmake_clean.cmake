@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_comm.dir/bench_online_comm.cpp.o"
+  "CMakeFiles/bench_online_comm.dir/bench_online_comm.cpp.o.d"
+  "bench_online_comm"
+  "bench_online_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

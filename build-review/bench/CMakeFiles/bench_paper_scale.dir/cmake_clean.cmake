@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_scale.dir/bench_paper_scale.cpp.o"
+  "CMakeFiles/bench_paper_scale.dir/bench_paper_scale.cpp.o.d"
+  "bench_paper_scale"
+  "bench_paper_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_paper_scale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sortition_mc.dir/bench_sortition_mc.cpp.o"
+  "CMakeFiles/bench_sortition_mc.dir/bench_sortition_mc.cpp.o.d"
+  "bench_sortition_mc"
+  "bench_sortition_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sortition_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

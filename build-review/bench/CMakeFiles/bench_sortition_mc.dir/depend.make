@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sortition_mc.
+# This may be replaced when dependencies are built.

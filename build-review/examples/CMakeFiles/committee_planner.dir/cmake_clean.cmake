@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committee_planner.dir/committee_planner.cpp.o"
+  "CMakeFiles/committee_planner.dir/committee_planner.cpp.o.d"
+  "committee_planner"
+  "committee_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

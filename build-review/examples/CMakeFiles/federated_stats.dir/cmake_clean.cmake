@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_stats.dir/federated_stats.cpp.o"
+  "CMakeFiles/federated_stats.dir/federated_stats.cpp.o.d"
+  "federated_stats"
+  "federated_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

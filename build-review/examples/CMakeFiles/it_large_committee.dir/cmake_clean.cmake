@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_large_committee.dir/it_large_committee.cpp.o"
+  "CMakeFiles/it_large_committee.dir/it_large_committee.cpp.o.d"
+  "it_large_committee"
+  "it_large_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_large_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

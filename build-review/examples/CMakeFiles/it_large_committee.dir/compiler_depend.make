@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for it_large_committee.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for it_large_committee.
+# This may be replaced when dependencies are built.

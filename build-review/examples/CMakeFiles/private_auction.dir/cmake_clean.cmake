@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_auction.dir/private_auction.cpp.o"
+  "CMakeFiles/private_auction.dir/private_auction.cpp.o.d"
+  "private_auction"
+  "private_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

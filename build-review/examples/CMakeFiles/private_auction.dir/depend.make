@@ -1,0 +1,2 @@
+# Empty dependencies file for private_auction.
+# This may be replaced when dependencies are built.

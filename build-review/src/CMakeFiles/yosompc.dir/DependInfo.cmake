@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cdn.cpp" "src/CMakeFiles/yosompc.dir/baseline/cdn.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/baseline/cdn.cpp.o.d"
+  "/root/repo/src/chaos/campaign.cpp" "src/CMakeFiles/yosompc.dir/chaos/campaign.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/chaos/campaign.cpp.o.d"
+  "/root/repo/src/chaos/minimize.cpp" "src/CMakeFiles/yosompc.dir/chaos/minimize.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/chaos/minimize.cpp.o.d"
+  "/root/repo/src/chaos/schedule.cpp" "src/CMakeFiles/yosompc.dir/chaos/schedule.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/chaos/schedule.cpp.o.d"
+  "/root/repo/src/circuit/batching.cpp" "src/CMakeFiles/yosompc.dir/circuit/batching.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/circuit/batching.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/yosompc.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/workloads.cpp" "src/CMakeFiles/yosompc.dir/circuit/workloads.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/circuit/workloads.cpp.o.d"
+  "/root/repo/src/common/ct_math.cpp" "src/CMakeFiles/yosompc.dir/common/ct_math.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/common/ct_math.cpp.o.d"
+  "/root/repo/src/crypto/ct.cpp" "src/CMakeFiles/yosompc.dir/crypto/ct.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/crypto/ct.cpp.o.d"
+  "/root/repo/src/crypto/prg.cpp" "src/CMakeFiles/yosompc.dir/crypto/prg.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/crypto/prg.cpp.o.d"
+  "/root/repo/src/crypto/rand.cpp" "src/CMakeFiles/yosompc.dir/crypto/rand.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/crypto/rand.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/yosompc.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/transcript.cpp" "src/CMakeFiles/yosompc.dir/crypto/transcript.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/crypto/transcript.cpp.o.d"
+  "/root/repo/src/field/fp61.cpp" "src/CMakeFiles/yosompc.dir/field/fp61.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/field/fp61.cpp.o.d"
+  "/root/repo/src/field/poly.cpp" "src/CMakeFiles/yosompc.dir/field/poly.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/field/poly.cpp.o.d"
+  "/root/repo/src/field/zn_ring.cpp" "src/CMakeFiles/yosompc.dir/field/zn_ring.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/field/zn_ring.cpp.o.d"
+  "/root/repo/src/itmpc/itmpc.cpp" "src/CMakeFiles/yosompc.dir/itmpc/itmpc.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/itmpc/itmpc.cpp.o.d"
+  "/root/repo/src/mpc/contrib.cpp" "src/CMakeFiles/yosompc.dir/mpc/contrib.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/contrib.cpp.o.d"
+  "/root/repo/src/mpc/failure.cpp" "src/CMakeFiles/yosompc.dir/mpc/failure.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/failure.cpp.o.d"
+  "/root/repo/src/mpc/ideal.cpp" "src/CMakeFiles/yosompc.dir/mpc/ideal.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/ideal.cpp.o.d"
+  "/root/repo/src/mpc/offline.cpp" "src/CMakeFiles/yosompc.dir/mpc/offline.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/offline.cpp.o.d"
+  "/root/repo/src/mpc/online.cpp" "src/CMakeFiles/yosompc.dir/mpc/online.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/online.cpp.o.d"
+  "/root/repo/src/mpc/params.cpp" "src/CMakeFiles/yosompc.dir/mpc/params.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/params.cpp.o.d"
+  "/root/repo/src/mpc/protocol.cpp" "src/CMakeFiles/yosompc.dir/mpc/protocol.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/protocol.cpp.o.d"
+  "/root/repo/src/mpc/reencrypt.cpp" "src/CMakeFiles/yosompc.dir/mpc/reencrypt.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/reencrypt.cpp.o.d"
+  "/root/repo/src/mpc/setup.cpp" "src/CMakeFiles/yosompc.dir/mpc/setup.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/mpc/setup.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "src/CMakeFiles/yosompc.dir/net/event_loop.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/net/event_loop.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/yosompc.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/net_bulletin.cpp" "src/CMakeFiles/yosompc.dir/net/net_bulletin.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/net/net_bulletin.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/yosompc.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/net/transport.cpp.o.d"
+  "/root/repo/src/net/wire_faults.cpp" "src/CMakeFiles/yosompc.dir/net/wire_faults.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/net/wire_faults.cpp.o.d"
+  "/root/repo/src/nizk/link_proof.cpp" "src/CMakeFiles/yosompc.dir/nizk/link_proof.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/nizk/link_proof.cpp.o.d"
+  "/root/repo/src/nizk/mult_proof.cpp" "src/CMakeFiles/yosompc.dir/nizk/mult_proof.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/nizk/mult_proof.cpp.o.d"
+  "/root/repo/src/nizk/pdec_proof.cpp" "src/CMakeFiles/yosompc.dir/nizk/pdec_proof.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/nizk/pdec_proof.cpp.o.d"
+  "/root/repo/src/nizk/plaintext_proof.cpp" "src/CMakeFiles/yosompc.dir/nizk/plaintext_proof.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/nizk/plaintext_proof.cpp.o.d"
+  "/root/repo/src/nizk/root_proof.cpp" "src/CMakeFiles/yosompc.dir/nizk/root_proof.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/nizk/root_proof.cpp.o.d"
+  "/root/repo/src/paillier/batching.cpp" "src/CMakeFiles/yosompc.dir/paillier/batching.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/paillier/batching.cpp.o.d"
+  "/root/repo/src/paillier/paillier.cpp" "src/CMakeFiles/yosompc.dir/paillier/paillier.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/paillier/paillier.cpp.o.d"
+  "/root/repo/src/paillier/threshold.cpp" "src/CMakeFiles/yosompc.dir/paillier/threshold.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/paillier/threshold.cpp.o.d"
+  "/root/repo/src/sortition/analysis.cpp" "src/CMakeFiles/yosompc.dir/sortition/analysis.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/sortition/analysis.cpp.o.d"
+  "/root/repo/src/sortition/costmodel.cpp" "src/CMakeFiles/yosompc.dir/sortition/costmodel.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/sortition/costmodel.cpp.o.d"
+  "/root/repo/src/sortition/montecarlo.cpp" "src/CMakeFiles/yosompc.dir/sortition/montecarlo.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/sortition/montecarlo.cpp.o.d"
+  "/root/repo/src/sortition/table1.cpp" "src/CMakeFiles/yosompc.dir/sortition/table1.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/sortition/table1.cpp.o.d"
+  "/root/repo/src/wire/codec.cpp" "src/CMakeFiles/yosompc.dir/wire/codec.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/wire/codec.cpp.o.d"
+  "/root/repo/src/yoso/adversary.cpp" "src/CMakeFiles/yosompc.dir/yoso/adversary.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/yoso/adversary.cpp.o.d"
+  "/root/repo/src/yoso/bulletin.cpp" "src/CMakeFiles/yosompc.dir/yoso/bulletin.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/yoso/bulletin.cpp.o.d"
+  "/root/repo/src/yoso/ledger.cpp" "src/CMakeFiles/yosompc.dir/yoso/ledger.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/yoso/ledger.cpp.o.d"
+  "/root/repo/src/yoso/role_assign.cpp" "src/CMakeFiles/yosompc.dir/yoso/role_assign.cpp.o" "gcc" "src/CMakeFiles/yosompc.dir/yoso/role_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

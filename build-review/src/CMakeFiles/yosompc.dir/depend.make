@@ -1,0 +1,2 @@
+# Empty dependencies file for yosompc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test.dir/baseline_test.cpp.o"
+  "CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  "baseline_test"
+  "baseline_test.pdb"
+  "baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_paillier_test.dir/batching_paillier_test.cpp.o"
+  "CMakeFiles/batching_paillier_test.dir/batching_paillier_test.cpp.o.d"
+  "batching_paillier_test"
+  "batching_paillier_test.pdb"
+  "batching_paillier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_paillier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

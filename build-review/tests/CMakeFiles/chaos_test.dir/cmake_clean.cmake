@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_test.dir/chaos_test.cpp.o"
+  "CMakeFiles/chaos_test.dir/chaos_test.cpp.o.d"
+  "chaos_test"
+  "chaos_test.pdb"
+  "chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_fuzz_test.dir/codec_fuzz_test.cpp.o"
+  "CMakeFiles/codec_fuzz_test.dir/codec_fuzz_test.cpp.o.d"
+  "codec_fuzz_test"
+  "codec_fuzz_test.pdb"
+  "codec_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_test.dir/codec_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec_test.cpp.o.d"
+  "codec_test"
+  "codec_test.pdb"
+  "codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contrib_test.dir/contrib_test.cpp.o"
+  "CMakeFiles/contrib_test.dir/contrib_test.cpp.o.d"
+  "contrib_test"
+  "contrib_test.pdb"
+  "contrib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contrib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

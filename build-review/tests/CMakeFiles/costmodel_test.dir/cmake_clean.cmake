@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_test.dir/costmodel_test.cpp.o"
+  "CMakeFiles/costmodel_test.dir/costmodel_test.cpp.o.d"
+  "costmodel_test"
+  "costmodel_test.pdb"
+  "costmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_test.dir/ct_test.cpp.o"
+  "CMakeFiles/ct_test.dir/ct_test.cpp.o.d"
+  "ct_test"
+  "ct_test.pdb"
+  "ct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_test.dir/field_test.cpp.o"
+  "CMakeFiles/field_test.dir/field_test.cpp.o.d"
+  "field_test"
+  "field_test.pdb"
+  "field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ideal_test.dir/ideal_test.cpp.o"
+  "CMakeFiles/ideal_test.dir/ideal_test.cpp.o.d"
+  "ideal_test"
+  "ideal_test.pdb"
+  "ideal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ideal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

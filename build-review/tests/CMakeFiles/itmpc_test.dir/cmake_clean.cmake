@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itmpc_test.dir/itmpc_test.cpp.o"
+  "CMakeFiles/itmpc_test.dir/itmpc_test.cpp.o.d"
+  "itmpc_test"
+  "itmpc_test.pdb"
+  "itmpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itmpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_test.dir/lint_test.cpp.o"
+  "CMakeFiles/lint_test.dir/lint_test.cpp.o.d"
+  "lint_test"
+  "lint_test.pdb"
+  "lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

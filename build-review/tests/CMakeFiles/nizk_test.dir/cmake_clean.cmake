@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nizk_test.dir/nizk_test.cpp.o"
+  "CMakeFiles/nizk_test.dir/nizk_test.cpp.o.d"
+  "nizk_test"
+  "nizk_test.pdb"
+  "nizk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nizk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

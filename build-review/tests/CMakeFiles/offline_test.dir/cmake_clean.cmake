@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_test.dir/offline_test.cpp.o"
+  "CMakeFiles/offline_test.dir/offline_test.cpp.o.d"
+  "offline_test"
+  "offline_test.pdb"
+  "offline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

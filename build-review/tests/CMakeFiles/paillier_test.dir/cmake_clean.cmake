@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paillier_test.dir/paillier_test.cpp.o"
+  "CMakeFiles/paillier_test.dir/paillier_test.cpp.o.d"
+  "paillier_test"
+  "paillier_test.pdb"
+  "paillier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paillier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

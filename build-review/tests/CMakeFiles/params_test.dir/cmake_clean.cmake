@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_test.dir/params_test.cpp.o"
+  "CMakeFiles/params_test.dir/params_test.cpp.o.d"
+  "params_test"
+  "params_test.pdb"
+  "params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_test.dir/poly_test.cpp.o"
+  "CMakeFiles/poly_test.dir/poly_test.cpp.o.d"
+  "poly_test"
+  "poly_test.pdb"
+  "poly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

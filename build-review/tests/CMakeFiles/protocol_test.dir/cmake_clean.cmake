@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_test.dir/protocol_test.cpp.o"
+  "CMakeFiles/protocol_test.dir/protocol_test.cpp.o.d"
+  "protocol_test"
+  "protocol_test.pdb"
+  "protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reencrypt_test.dir/reencrypt_test.cpp.o"
+  "CMakeFiles/reencrypt_test.dir/reencrypt_test.cpp.o.d"
+  "reencrypt_test"
+  "reencrypt_test.pdb"
+  "reencrypt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reencrypt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_proof_test.dir/root_proof_test.cpp.o"
+  "CMakeFiles/root_proof_test.dir/root_proof_test.cpp.o.d"
+  "root_proof_test"
+  "root_proof_test.pdb"
+  "root_proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

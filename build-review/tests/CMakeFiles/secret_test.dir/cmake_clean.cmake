@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secret_test.dir/secret_test.cpp.o"
+  "CMakeFiles/secret_test.dir/secret_test.cpp.o.d"
+  "secret_test"
+  "secret_test.pdb"
+  "secret_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_games_test.dir/security_games_test.cpp.o"
+  "CMakeFiles/security_games_test.dir/security_games_test.cpp.o.d"
+  "security_games_test"
+  "security_games_test.pdb"
+  "security_games_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_games_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_test.dir/sharing_test.cpp.o"
+  "CMakeFiles/sharing_test.dir/sharing_test.cpp.o.d"
+  "sharing_test"
+  "sharing_test.pdb"
+  "sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

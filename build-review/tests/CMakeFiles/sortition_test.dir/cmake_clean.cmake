@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sortition_test.dir/sortition_test.cpp.o"
+  "CMakeFiles/sortition_test.dir/sortition_test.cpp.o.d"
+  "sortition_test"
+  "sortition_test.pdb"
+  "sortition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sortition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

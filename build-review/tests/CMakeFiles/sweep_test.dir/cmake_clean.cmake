@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_test.dir/sweep_test.cpp.o"
+  "CMakeFiles/sweep_test.dir/sweep_test.cpp.o.d"
+  "sweep_test"
+  "sweep_test.pdb"
+  "sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

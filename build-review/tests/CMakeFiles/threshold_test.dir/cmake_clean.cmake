@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_test.dir/threshold_test.cpp.o"
+  "CMakeFiles/threshold_test.dir/threshold_test.cpp.o.d"
+  "threshold_test"
+  "threshold_test.pdb"
+  "threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

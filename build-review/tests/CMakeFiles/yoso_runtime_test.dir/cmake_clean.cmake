@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_runtime_test.dir/yoso_runtime_test.cpp.o"
+  "CMakeFiles/yoso_runtime_test.dir/yoso_runtime_test.cpp.o.d"
+  "yoso_runtime_test"
+  "yoso_runtime_test.pdb"
+  "yoso_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos.dir/chaos_main.cpp.o"
+  "CMakeFiles/chaos.dir/chaos_main.cpp.o.d"
+  "chaos"
+  "chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_core.dir/lint_core.cpp.o"
+  "CMakeFiles/lint_core.dir/lint_core.cpp.o.d"
+  "liblint_core.a"
+  "liblint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yoso_lint.dir/lint_main.cpp.o"
+  "CMakeFiles/yoso_lint.dir/lint_main.cpp.o.d"
+  "yoso_lint"
+  "yoso_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yoso_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

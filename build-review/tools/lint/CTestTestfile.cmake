@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/lint
+# Build directory: /root/repo/build-review/tools/lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[repo_lint]=] "/root/repo/build-review/tools/lint/yoso_lint" "--root" "/root/repo" "--whitelist" "/root/repo/tools/lint/whitelist.txt")
+set_tests_properties([=[repo_lint]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/lint/CMakeLists.txt;10;add_test;/root/repo/tools/lint/CMakeLists.txt;0;")

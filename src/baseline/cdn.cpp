@@ -3,6 +3,7 @@
 #include "field/zn_ring.hpp"
 #include "mpc/contrib.hpp"
 #include "nizk/plaintext_proof.hpp"
+#include "obs/trace.hpp"
 
 namespace yoso {
 
@@ -27,6 +28,8 @@ void CdnBaseline::preprocess() {
   if (preprocessed_) throw std::logic_error("CdnBaseline: preprocess called twice");
   preprocessed_ = true;
 
+  obs::Span span("cdn.preprocess", "cdn");
+  span.attr("n", params_.n);
   ThresholdKeys keys = tkgen(params_.paillier_bits, params_.s, params_.n, params_.t, rng_);
   tkeys_ = keys;
   board_->publish_external("dealer", Phase::Setup, "setup.tpk",
@@ -62,6 +65,8 @@ CdnResult CdnBaseline::evaluate(const std::vector<std::vector<mpz_class>>& input
   if (evaluated_) throw std::logic_error("CdnBaseline: evaluate called twice");
   evaluated_ = true;
 
+  obs::Span span("cdn.evaluate", "cdn");
+  span.attr("n", params_.n).attr("gates", circuit_.gates().size());
   const PaillierPK& pk = chain_->tpk().pk;
   ZnRing ring(pk.ns);
   const auto& gates = circuit_.gates();

@@ -4,8 +4,10 @@
 #include <set>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "mpc/protocol.hpp"
 #include "net/wire_faults.hpp"  // mix64
+#include "obs/trace.hpp"
 
 namespace yoso::chaos {
 
@@ -85,6 +87,10 @@ const char* outcome_name(Outcome o) {
 }
 
 RunReport CampaignRunner::run_one(const FaultSchedule& schedule) {
+  obs::Span span("chaos.run", "chaos");
+  span.attr("seed", std::to_string(schedule.seed))
+      .attr("n", schedule.n)
+      .attr("faults", schedule.active_faults());
   RunReport r;
   r.schedule = schedule;
   r.in_bounds = schedule.in_bounds();
@@ -164,6 +170,7 @@ RunReport CampaignRunner::run_one(const FaultSchedule& schedule) {
                            outcome_name(r.outcome));
   }
   if (!r.violations.empty()) r.outcome = Outcome::InvariantViolation;
+  span.attr("outcome", outcome_name(r.outcome));
   return r;
 }
 
@@ -193,40 +200,47 @@ CampaignSummary CampaignRunner::run_campaign(std::uint64_t campaign_seed, std::s
 }
 
 std::string RunReport::to_json() const {
-  std::ostringstream os;
-  os << "{\"outcome\":\"" << outcome_name(outcome) << "\",\"in_bounds\":" << (in_bounds ? 1 : 0)
-     << ",\"degraded\":" << (degraded ? 1 : 0) << ",\"recovered\":" << (recovered ? 1 : 0)
-     << ",\"posts_originated\":" << posts_originated << ",\"posts_delivered\":" << posts_delivered
-     << ",\"posts_dropped\":" << posts_dropped << ",\"fuzz_rejected\":" << fuzz_rejected
-     << ",\"fuzz_decoded\":" << fuzz_decoded << ",\"total_bytes\":" << total_bytes
-     << ",\"strict_attempt_bytes\":" << strict_attempt_bytes;
-  if (failure) os << ",\"failure\":" << failure->to_json();
+  json::Writer w;
+  w.begin_object();
+  w.field("outcome", outcome_name(outcome));
+  w.field("in_bounds", in_bounds ? 1 : 0);
+  w.field("degraded", degraded ? 1 : 0);
+  w.field("recovered", recovered ? 1 : 0);
+  w.field("posts_originated", static_cast<std::uint64_t>(posts_originated));
+  w.field("posts_delivered", static_cast<std::uint64_t>(posts_delivered));
+  w.field("posts_dropped", static_cast<std::uint64_t>(posts_dropped));
+  w.field("fuzz_rejected", static_cast<std::uint64_t>(fuzz_rejected));
+  w.field("fuzz_decoded", static_cast<std::uint64_t>(fuzz_decoded));
+  w.field("total_bytes", static_cast<std::uint64_t>(total_bytes));
+  w.field("strict_attempt_bytes", static_cast<std::uint64_t>(strict_attempt_bytes));
+  if (failure) w.key("failure").raw(failure->to_json());
   if (!violations.empty()) {
-    os << ",\"violations\":[";
-    for (std::size_t i = 0; i < violations.size(); ++i) {
-      if (i != 0) os << ",";
-      os << "\"" << violations[i] << "\"";
-    }
-    os << "]";
+    w.key("violations").begin_array();
+    for (const std::string& v : violations) w.str(v);
+    w.end_array();
   }
-  if (!crash_what.empty()) os << ",\"what\":\"" << crash_what << "\"";
-  os << ",\"schedule\":" << schedule.to_json() << "}";
-  return os.str();
+  if (!crash_what.empty()) w.field("what", crash_what);
+  w.key("schedule").raw(schedule.to_json());
+  w.end_object();
+  return w.take();
 }
 
 std::string CampaignSummary::to_json() const {
-  std::ostringstream os;
-  os << "{\"campaign_seed\":" << campaign_seed << ",\"runs\":" << runs
-     << ",\"correct\":" << correct << ",\"recovered\":" << recovered
-     << ",\"classified\":" << classified << ",\"wrong_output\":" << wrong_output
-     << ",\"crashed\":" << crashed << ",\"invariant_violations\":" << invariant_violations
-     << ",\"unacceptable\":[";
-  for (std::size_t i = 0; i < unacceptable.size(); ++i) {
-    if (i != 0) os << ",";
-    os << unacceptable[i].to_json();
-  }
-  os << "]}";
-  return os.str();
+  json::Writer w;
+  w.begin_object();
+  w.field("campaign_seed", campaign_seed);
+  w.field("runs", static_cast<std::uint64_t>(runs));
+  w.field("correct", static_cast<std::uint64_t>(correct));
+  w.field("recovered", static_cast<std::uint64_t>(recovered));
+  w.field("classified", static_cast<std::uint64_t>(classified));
+  w.field("wrong_output", static_cast<std::uint64_t>(wrong_output));
+  w.field("crashed", static_cast<std::uint64_t>(crashed));
+  w.field("invariant_violations", static_cast<std::uint64_t>(invariant_violations));
+  w.key("unacceptable").begin_array();
+  for (const RunReport& rr : unacceptable) w.raw(rr.to_json());
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace yoso::chaos

@@ -1,11 +1,9 @@
 #include "chaos/schedule.hpp"
 
-#include <cstdlib>
-#include <iomanip>
-#include <sstream>
 #include <stdexcept>
 
 #include "circuit/workloads.hpp"
+#include "common/json.hpp"
 #include "net/wire_faults.hpp"  // mix64 (deterministic sampling)
 
 namespace yoso::chaos {
@@ -24,28 +22,6 @@ struct Stream {
   std::uint64_t below(std::uint64_t bound) { return next() % bound; }
   double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 };
-
-double json_num(const std::string& json, const std::string& key, double fallback) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = json.find(needle);
-  if (at == std::string::npos) return fallback;
-  const char* start = json.c_str() + at + needle.size();
-  char* end = nullptr;
-  double v = std::strtod(start, &end);
-  if (end == start) throw std::invalid_argument("FaultSchedule: bad value for " + key);
-  return v;
-}
-
-std::uint64_t json_u64(const std::string& json, const std::string& key, std::uint64_t fallback) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = json.find(needle);
-  if (at == std::string::npos) return fallback;
-  const char* start = json.c_str() + at + needle.size();
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(start, &end, 10);
-  if (end == start) throw std::invalid_argument("FaultSchedule: bad value for " + key);
-  return v;
-}
 
 }  // namespace
 
@@ -109,45 +85,63 @@ unsigned FaultSchedule::active_faults() const {
 }
 
 std::string FaultSchedule::to_json() const {
-  std::ostringstream os;
-  os << std::setprecision(17);
-  os << "{\"seed\":" << seed << ",\"n\":" << n << ",\"eps\":" << eps
-     << ",\"paillier_bits\":" << paillier_bits << ",\"failstop_mode\":" << (failstop_mode ? 1 : 0)
-     << ",\"circuit_width\":" << circuit_width << ",\"degradation\":" << (degradation ? 1 : 0)
-     << ",\"malicious\":" << malicious << ",\"failstop\":" << failstop
-     << ",\"strategy\":" << static_cast<unsigned>(strategy) << ",\"silenced\":" << silenced
-     << ",\"extra_delay_s\":" << extra_delay_s << ",\"drop_prob\":" << drop_prob
-     << ",\"bitflip_prob\":" << bitflip_prob << ",\"truncate_prob\":" << truncate_prob
-     << ",\"duplicate_prob\":" << duplicate_prob << ",\"late_prob\":" << late_prob
-     << ",\"late_delay_s\":" << late_delay_s << ",\"grace_window_s\":" << grace_window_s << "}";
-  return os.str();
+  json::Writer w;
+  w.begin_object();
+  w.field("seed", seed);
+  w.field("n", n);
+  w.field("eps", eps);
+  w.field("paillier_bits", paillier_bits);
+  w.field("failstop_mode", failstop_mode ? 1 : 0);
+  w.field("circuit_width", circuit_width);
+  w.field("degradation", degradation ? 1 : 0);
+  w.field("malicious", malicious);
+  w.field("failstop", failstop);
+  w.field("strategy", static_cast<std::uint32_t>(strategy));
+  w.field("silenced", silenced);
+  w.field("extra_delay_s", extra_delay_s);
+  w.field("drop_prob", drop_prob);
+  w.field("bitflip_prob", bitflip_prob);
+  w.field("truncate_prob", truncate_prob);
+  w.field("duplicate_prob", duplicate_prob);
+  w.field("late_prob", late_prob);
+  w.field("late_delay_s", late_delay_s);
+  w.field("grace_window_s", grace_window_s);
+  w.end_object();
+  return w.take();
 }
 
 FaultSchedule FaultSchedule::from_json(const std::string& json) {
+  json::Value doc;
+  try {
+    doc = json::parse(json);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("FaultSchedule: ") + e.what());
+  }
+  if (!doc.is_object()) throw std::invalid_argument("FaultSchedule: not a JSON object");
   FaultSchedule s;
-  s.seed = json_u64(json, "seed", s.seed);
-  s.n = static_cast<unsigned>(json_u64(json, "n", s.n));
-  s.eps = json_num(json, "eps", s.eps);
-  s.paillier_bits = static_cast<unsigned>(json_u64(json, "paillier_bits", s.paillier_bits));
-  s.failstop_mode = json_u64(json, "failstop_mode", 0) != 0;
-  s.circuit_width = static_cast<unsigned>(json_u64(json, "circuit_width", s.circuit_width));
-  s.degradation = json_u64(json, "degradation", 0) != 0;
-  s.malicious = static_cast<unsigned>(json_u64(json, "malicious", 0));
-  s.failstop = static_cast<unsigned>(json_u64(json, "failstop", 0));
-  const auto strat = json_u64(json, "strategy", static_cast<unsigned>(s.strategy));
+  s.seed = doc.u64_or("seed", s.seed);
+  s.n = static_cast<unsigned>(doc.u64_or("n", s.n));
+  s.eps = doc.num_or("eps", s.eps);
+  s.paillier_bits = static_cast<unsigned>(doc.u64_or("paillier_bits", s.paillier_bits));
+  s.failstop_mode = doc.u64_or("failstop_mode", 0) != 0;
+  s.circuit_width = static_cast<unsigned>(doc.u64_or("circuit_width", s.circuit_width));
+  s.degradation = doc.u64_or("degradation", 0) != 0;
+  s.malicious = static_cast<unsigned>(doc.u64_or("malicious", 0));
+  s.failstop = static_cast<unsigned>(doc.u64_or("failstop", 0));
+  const auto strat = doc.u64_or("strategy", static_cast<unsigned>(s.strategy));
   if (strat > static_cast<unsigned>(MaliciousStrategy::HonestLooking)) {
     throw std::invalid_argument("FaultSchedule: unknown strategy " + std::to_string(strat));
   }
   s.strategy = static_cast<MaliciousStrategy>(strat);
-  s.silenced = static_cast<unsigned>(json_u64(json, "silenced", 0));
-  s.extra_delay_s = json_num(json, "extra_delay_s", 0);
-  s.drop_prob = json_num(json, "drop_prob", 0);
-  s.bitflip_prob = json_num(json, "bitflip_prob", 0);
-  s.truncate_prob = json_num(json, "truncate_prob", 0);
-  s.duplicate_prob = json_num(json, "duplicate_prob", 0);
-  s.late_prob = json_num(json, "late_prob", 0);
-  s.late_delay_s = json_num(json, "late_delay_s", s.late_delay_s);
-  s.grace_window_s = json_num(json, "grace_window_s", 0);
+  s.silenced = static_cast<unsigned>(doc.u64_or("silenced", 0));
+  s.extra_delay_s = doc.num_or("extra_delay_s", 0);
+  s.drop_prob = doc.num_or("drop_prob", 0);
+  s.bitflip_prob = doc.num_or("bitflip_prob", 0);
+  s.truncate_prob = doc.num_or("truncate_prob", 0);
+  s.duplicate_prob = doc.num_or("duplicate_prob", 0);
+  s.late_prob = doc.num_or("late_prob", 0);
+  s.late_delay_s = doc.num_or("late_delay_s", s.late_delay_s);
+  s.grace_window_s = doc.num_or("grace_window_s", 0);
   return s;
 }
 

@@ -1,0 +1,392 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace yoso::json {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+Writer::Writer() { out_.reserve(256); }
+
+std::string Writer::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::before_value() {
+  if (done_) throw std::logic_error("json::Writer: document already finished");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Frame::Object && !key_pending_) {
+    throw std::logic_error("json::Writer: value in object without key()");
+  }
+  if (stack_.back() == Frame::Array && has_value_.back()) out_ += ',';
+  key_pending_ = false;
+  has_value_.back() = true;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::Object) {
+    throw std::logic_error("json::Writer: key() outside an object");
+  }
+  if (key_pending_) throw std::logic_error("json::Writer: key() twice in a row");
+  if (has_value_.back()) out_ += ',';
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || key_pending_) {
+    throw std::logic_error("json::Writer: unbalanced end_object()");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw std::logic_error("json::Writer: unbalanced end_array()");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+Writer& Writer::str(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::num(std::int64_t v) {
+  before_value();
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+Writer& Writer::num(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+Writer& Writer::num(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);  // shortest round-trip
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+Writer& Writer::boolean(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view json_value) {
+  before_value();
+  out_ += json_value;
+  return *this;
+}
+
+std::string Writer::take() {
+  if (!stack_.empty()) throw std::logic_error("json::Writer: unclosed container");
+  done_ = true;
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.text = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (literal("true")) v.boolean = true;
+        else if (literal("false")) v.boolean = false;
+        else fail("bad literal");
+        return v;
+      }
+      case 'n': {
+        if (!literal("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string k = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(k), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Escaped ASCII round-trips exactly; wider code points encode UTF-8.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        digits = digits || (c >= '0' && c <= '9');
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.text = std::string(text_.substr(start, pos_ - start));
+    auto r = std::from_chars(v.text.data(), v.text.data() + v.text.size(), v.number);
+    if (r.ec != std::errc()) fail("bad number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view k) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [key, val] : members) {
+    if (key == k) return &val;
+  }
+  return nullptr;
+}
+
+double Value::num_or(std::string_view k, double fallback) const {
+  const Value* v = find(k);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::uint64_t Value::u64_or(std::string_view k, std::uint64_t fallback) const {
+  const Value* v = find(k);
+  if (v == nullptr || !v->is_number()) return fallback;
+  std::uint64_t out = 0;
+  auto r = std::from_chars(v->text.data(), v->text.data() + v->text.size(), out);
+  if (r.ec != std::errc() || r.ptr != v->text.data() + v->text.size()) {
+    return static_cast<std::uint64_t>(v->number);  // float-formed (1e3) or signed
+  }
+  return out;
+}
+
+std::string Value::str_or(std::string_view k, std::string fallback) const {
+  const Value* v = find(k);
+  return (v != nullptr && v->is_string()) ? v->text : std::move(fallback);
+}
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace yoso::json

@@ -1,0 +1,108 @@
+// The repository's single JSON surface.
+//
+// Every machine-readable report in the tree (Ledger, Bulletin, NetBulletin,
+// FailureReport, the chaos RunReport/CampaignSummary/FaultSchedule, the obs
+// tracer and metrics registry) emits through json::Writer, and every consumer
+// that needs to read JSON back (FaultSchedule reproducers, tools/trace, the
+// schema tests) goes through json::parse.  Hand-rolled "{\"key\":..." string
+// building is banned outside this header by the tools/lint `raw-json` rule:
+// the three emitters that predated this file had already diverged on string
+// escaping (none escaped at all), which is exactly the class of bug a single
+// funnel removes.
+//
+// Writer guarantees:
+//   * commas and colons are managed by the writer, never by the caller;
+//   * strings are escaped per RFC 8259 (quote, backslash, control chars);
+//   * doubles print shortest-round-trip via std::to_chars, so output is
+//     deterministic and locale-independent (required for bit-for-bit
+//     reproducible traces);
+//   * nesting is validated: mismatched begin/end throw std::logic_error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yoso::json {
+
+class Writer {
+public:
+  Writer();
+
+  // Containers.  key() is mandatory between values inside an object.
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(std::string_view k);
+
+  // Scalars.
+  Writer& str(std::string_view v);
+  Writer& num(std::int64_t v);
+  Writer& num(std::uint64_t v);
+  Writer& num(std::uint32_t v) { return num(static_cast<std::uint64_t>(v)); }
+  Writer& num(std::int32_t v) { return num(static_cast<std::int64_t>(v)); }
+  Writer& num(double v);
+  Writer& boolean(bool v);
+  Writer& null();
+  // Splices an already-serialized JSON value (a nested report).
+  Writer& raw(std::string_view json_value);
+
+  // Convenience for the ubiquitous `"k": v` pairs.
+  Writer& field(std::string_view k, std::string_view v) { return key(k).str(v); }
+  Writer& field(std::string_view k, const char* v) { return key(k).str(v); }
+  Writer& field(std::string_view k, std::int64_t v) { return key(k).num(v); }
+  Writer& field(std::string_view k, std::uint64_t v) { return key(k).num(v); }
+  Writer& field(std::string_view k, std::uint32_t v) { return key(k).num(v); }
+  Writer& field(std::string_view k, std::int32_t v) { return key(k).num(v); }
+  Writer& field(std::string_view k, double v) { return key(k).num(v); }
+  Writer& field(std::string_view k, bool v) { return key(k).boolean(v); }
+
+  // Finishes and returns the document; throws if containers are still open.
+  std::string take();
+
+  static std::string escape(std::string_view raw);
+
+private:
+  enum class Frame : std::uint8_t { Object, Array };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_value_;  // per frame: a value was already written
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+// Parsed JSON value.  Numbers keep both the double value and the raw source
+// text so integer consumers do not round-trip through floating point.
+struct Value {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;  // String: the value; Number: the raw token
+  std::vector<Value> items;                          // Array
+  std::vector<std::pair<std::string, Value>> members;  // Object, source order
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  // find() + kind check helpers with defaults.
+  double num_or(std::string_view key, double fallback) const;
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+  std::string str_or(std::string_view key, std::string fallback) const;
+};
+
+// Parses one JSON document (object/array/scalar + trailing whitespace).
+// Throws std::invalid_argument with a byte offset on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace yoso::json

@@ -3,6 +3,7 @@
 #include "mpc/reencrypt.hpp"  // ProtocolAbort
 #include "nizk/mult_proof.hpp"
 #include "nizk/plaintext_proof.hpp"
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace yoso {
@@ -11,6 +12,8 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
                                           std::size_t count, Phase phase,
                                           const std::string& label, Bulletin& bulletin,
                                           Rng& rng) {
+  obs::Span span("contrib.randoms", "contrib");
+  span.attr("committee", com.name).attr("count", count).attr("phase", phase_name(phase));
   const unsigned n = com.n();
   struct Contribution {
     mpz_class ct;
@@ -85,6 +88,8 @@ std::vector<mpz_class> contribute_randoms(const ThresholdPK& tpk, Committee& com
 std::vector<BeaverTriple> make_beaver_triples(const ThresholdPK& tpk, Committee& com_a,
                                               Committee& com_b, std::size_t count, Phase phase,
                                               Bulletin& bulletin, Rng& rng) {
+  obs::Span span("contrib.beaver", "contrib");
+  span.attr("committee", com_b.name).attr("count", count).attr("phase", phase_name(phase));
   std::vector<mpz_class> c_a =
       contribute_randoms(tpk, com_a, count, phase, "beaver.a", bulletin, rng);
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace yoso {
 
 std::string FailureReport::describe() const {
@@ -18,13 +20,19 @@ std::string FailureReport::describe() const {
 }
 
 std::string FailureReport::to_json() const {
-  std::ostringstream os;
-  os << "{\"kind\":\"" << (kind == FailureKind::Threshold ? "threshold" : "consistency")
-     << "\",\"phase\":\"" << phase_name(phase) << "\",\"committee\":\"" << committee
-     << "\",\"gate\":\"" << gate << "\",\"threshold\":" << threshold
-     << ",\"verified\":" << verified << ",\"invalid\":" << invalid << ",\"missing\":" << missing
-     << ",\"silence_decisive\":" << (silence_decisive() ? "true" : "false") << "}";
-  return os.str();
+  json::Writer w;
+  w.begin_object();
+  w.field("kind", kind == FailureKind::Threshold ? "threshold" : "consistency");
+  w.field("phase", phase_name(phase));
+  w.field("committee", committee);
+  w.field("gate", gate);
+  w.field("threshold", static_cast<std::uint64_t>(threshold));
+  w.field("verified", static_cast<std::uint64_t>(verified));
+  w.field("invalid", static_cast<std::uint64_t>(invalid));
+  w.field("missing", static_cast<std::uint64_t>(missing));
+  w.field("silence_decisive", silence_decisive());
+  w.end_object();
+  return w.take();
 }
 
 ProtocolAbort::ProtocolAbort(FailureReport r)

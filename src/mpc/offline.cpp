@@ -5,6 +5,7 @@
 #include "field/poly.hpp"
 #include "field/zn_ring.hpp"
 #include "mpc/contrib.hpp"
+#include "obs/trace.hpp"
 #include "sharing/packed.hpp"
 #include "nizk/mult_proof.hpp"
 #include "nizk/plaintext_proof.hpp"
@@ -82,59 +83,67 @@ OfflineArtifacts run_offline(const ProtocolParams& params, const Circuit& circui
   // Per multiplicative layer: decrypt epsilon/delta and derive Gamma.
   std::map<WireId, mpz_class> gamma_ct;  // mul gate -> TEnc(Gamma)
   auto by_layer = circuit.mul_gates_by_layer();
-  for (unsigned layer = 1; layer <= by_layer.size(); ++layer) {
-    const auto& ids = by_layer[layer - 1];
-    std::vector<mpz_class> to_decrypt;
-    to_decrypt.reserve(2 * ids.size());
-    for (WireId w : ids) {
-      const Gate& g = gates[w];
-      const BeaverTriple& tr = triples[triple_of[w]];
-      to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in0], tr.a));  // epsilon
-      to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in1], tr.b));  // delta
-    }
-    Committee* next = (layer < by_layer.size()) ? committees.layer_holders[layer]
-                                                : committees.reenc_holder;
-    std::vector<mpz_class> opened = chain.run_decrypt_committee(
-        *committees.layer_holders[layer - 1], to_decrypt, Phase::Offline,
-        "offline.epsdelta", next);
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      WireId w = ids[i];
-      const Gate& g = gates[w];
-      const BeaverTriple& tr = triples[triple_of[w]];
-      const mpz_class& eps = opened[2 * i];
-      const mpz_class& del = opened[2 * i + 1];
-      // Gamma = eps * lambda^beta - delta * lambda^x + lambda^z - lambda^gamma
-      gamma_ct[w] = pk.eval({out.wire_lambda_ct[g.in1], tr.a, tr.c, out.wire_lambda_ct[w]},
-                            {eps, ring.neg(del), ring.one(), ring.neg(ring.one())});
+  {
+    obs::Span epsdelta_span("offline.epsdelta", "offline");
+    epsdelta_span.attr("layers", by_layer.size());
+    for (unsigned layer = 1; layer <= by_layer.size(); ++layer) {
+      const auto& ids = by_layer[layer - 1];
+      std::vector<mpz_class> to_decrypt;
+      to_decrypt.reserve(2 * ids.size());
+      for (WireId w : ids) {
+        const Gate& g = gates[w];
+        const BeaverTriple& tr = triples[triple_of[w]];
+        to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in0], tr.a));  // epsilon
+        to_decrypt.push_back(pk.add(out.wire_lambda_ct[g.in1], tr.b));  // delta
+      }
+      Committee* next = (layer < by_layer.size()) ? committees.layer_holders[layer]
+                                                  : committees.reenc_holder;
+      std::vector<mpz_class> opened = chain.run_decrypt_committee(
+          *committees.layer_holders[layer - 1], to_decrypt, Phase::Offline,
+          "offline.epsdelta", next);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        WireId w = ids[i];
+        const Gate& g = gates[w];
+        const BeaverTriple& tr = triples[triple_of[w]];
+        const mpz_class& eps = opened[2 * i];
+        const mpz_class& del = opened[2 * i + 1];
+        // Gamma = eps * lambda^beta - delta * lambda^x + lambda^z - lambda^gamma
+        gamma_ct[w] = pk.eval({out.wire_lambda_ct[g.in1], tr.a, tr.c, out.wire_lambda_ct[w]},
+                              {eps, ring.neg(del), ring.one(), ring.neg(ring.one())});
+      }
     }
   }
 
   // ----- Step 4: packing (local homomorphic interpolation) ----------------
   // Polynomial through secrets at 0, -1, ..., -(k-1) and helpers at 1..t;
   // party i's packed share is its evaluation at i.
-  std::vector<std::int64_t> src_points;
-  for (unsigned j = 0; j < params.k; ++j) src_points.push_back(secret_point(j));
-  for (unsigned j = 1; j <= params.t; ++j) src_points.push_back(j);
-  std::vector<std::vector<mpz_class>> coeffs_at(params.n);
-  for (unsigned i = 0; i < params.n; ++i) {
-    coeffs_at[i] = lagrange_coeffs(ring, src_points, static_cast<std::int64_t>(i) + 1);
-  }
-
   // packed[b][which][i]: ciphertext of role i's packed share.
   std::vector<std::array<std::vector<mpz_class>, 3>> packed(out.batches.size());
-  for (std::size_t b = 0; b < out.batches.size(); ++b) {
-    const MulBatch& batch = out.batches[b];
-    for (unsigned which = 0; which < 3; ++which) {
-      std::vector<mpz_class> sources;
-      sources.reserve(params.k + params.t);
-      for (unsigned j = 0; j < params.k; ++j) {
-        WireId w = (which == 0) ? batch.alpha[j] : (which == 1) ? batch.beta[j] : batch.gamma[j];
-        sources.push_back(which == 2 ? gamma_ct.at(w) : out.wire_lambda_ct[w]);
-      }
-      for (unsigned j = 0; j < params.t; ++j) sources.push_back(helper_at(b, which, j));
-      packed[b][which].reserve(params.n);
-      for (unsigned i = 0; i < params.n; ++i) {
-        packed[b][which].push_back(pk.eval(sources, coeffs_at[i]));
+  {
+    obs::Span pack_span("offline.pack", "offline");
+    pack_span.attr("batches", out.batches.size()).attr("k", params.k);
+    std::vector<std::int64_t> src_points;
+    for (unsigned j = 0; j < params.k; ++j) src_points.push_back(secret_point(j));
+    for (unsigned j = 1; j <= params.t; ++j) src_points.push_back(j);
+    std::vector<std::vector<mpz_class>> coeffs_at(params.n);
+    for (unsigned i = 0; i < params.n; ++i) {
+      coeffs_at[i] = lagrange_coeffs(ring, src_points, static_cast<std::int64_t>(i) + 1);
+    }
+
+    for (std::size_t b = 0; b < out.batches.size(); ++b) {
+      const MulBatch& batch = out.batches[b];
+      for (unsigned which = 0; which < 3; ++which) {
+        std::vector<mpz_class> sources;
+        sources.reserve(params.k + params.t);
+        for (unsigned j = 0; j < params.k; ++j) {
+          WireId w = (which == 0) ? batch.alpha[j] : (which == 1) ? batch.beta[j] : batch.gamma[j];
+          sources.push_back(which == 2 ? gamma_ct.at(w) : out.wire_lambda_ct[w]);
+        }
+        for (unsigned j = 0; j < params.t; ++j) sources.push_back(helper_at(b, which, j));
+        packed[b][which].reserve(params.n);
+        for (unsigned i = 0; i < params.n; ++i) {
+          packed[b][which].push_back(pk.eval(sources, coeffs_at[i]));
+        }
       }
     }
   }

@@ -5,6 +5,7 @@
 #include "field/zn_ring.hpp"
 #include "nizk/link_proof.hpp"  // kKappa/kStat (bounds)
 #include "nizk/root_proof.hpp"
+#include "obs/trace.hpp"
 #include "sharing/packed.hpp"
 #include "wire/codec.hpp"
 
@@ -37,6 +38,7 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
 
   // ----- Step 1: future key distribution + output pads --------------------
   // One mask-committee activation covers the FKD pads and the output pads.
+  obs::Span fkd_span("online.fkd", "online");
   std::vector<mpz_class> fkd_cts;
   std::vector<const PaillierPK*> fkd_targets;
   for (std::size_t l = 0; l < committees.mult.size(); ++l) {
@@ -84,6 +86,7 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
     mpz_class factor = open_future(setup.client_keys[c], fct, ns);
     client_kff_sk.push_back(paillier_sk_from_factor(setup.kff_client[c].sk.pk, factor));
   }
+  fkd_span.attr("keys", pos).end();
 
   // ----- Step 2: client inputs ---------------------------------------------
   OnlineResult result;
@@ -144,6 +147,9 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
     for (std::size_t b = 0; b < offline.batches.size(); ++b) {
       if (offline.batches[b].layer == layer) layer_batches.push_back(b);
     }
+    obs::Span layer_span("online.mult", "online");
+    layer_span.attr("committee", com.name).attr("layer", layer).attr("batches",
+                                                                     layer_batches.size());
     // Public, determined degree-(k-1) sharings of the mu input vectors.
     std::vector<std::vector<mpz_class>> mu_a_shares(layer_batches.size());
     std::vector<std::vector<mpz_class>> mu_b_shares(layer_batches.size());
@@ -265,6 +271,8 @@ OnlineResult run_online(const ProtocolParams& params, const Circuit& circuit,
   }
 
   // ----- Step 5: outputs ----------------------------------------------------
+  obs::Span out_span("online.output", "online");
+  out_span.attr("outputs", circuit.outputs().size());
   std::vector<mpz_class> out_masked;
   for (std::size_t r = 0; r < out_cts.size(); ++r) {
     out_masked.push_back(pk.add(out_cts[r], mask_sums[fkd_cts.size() + r].a_sum));

@@ -1,5 +1,8 @@
 #include "mpc/protocol.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace yoso {
 
 YosoMpc::YosoMpc(ProtocolParams params, Circuit circuit, AdversaryPlan plan, std::uint64_t seed,
@@ -17,6 +20,10 @@ Committee& YosoMpc::spawn(const std::string& name, unsigned plain_bits) {
   committees_.push_back(make_committee(name, params_.paillier_bits, s,
                                        plan_.committee(committee_counter_++), rng_));
   board_->on_committee_spawn(committees_.back());
+  OBS_COUNT("committee.spawned");
+  obs::Span("committee.spawn", "proto")
+      .attr("committee", name)
+      .attr("n", committees_.back().n());
   return committees_.back();
 }
 
@@ -25,7 +32,11 @@ void YosoMpc::preprocess() {
   preprocessed_ = true;
 
   const unsigned depth = circuit_.mul_depth();
-  setup_ = run_setup(params_, depth, circuit_.num_clients(), *board_, rng_);
+  {
+    obs::Span span("phase.setup", "phase");
+    span.attr("n", params_.n).attr("depth", depth);
+    setup_ = run_setup(params_, depth, circuit_.num_clients(), *board_, rng_);
+  }
 
   // Spawn the full committee schedule.  Mask/contribution committees never
   // receive private data, so their role keys are minimal.
@@ -59,6 +70,8 @@ void YosoMpc::preprocess() {
     // No layer holders: the re-encrypt holder is the first in the chain.
     off.layer_holders.clear();
   }
+  obs::Span span("phase.offline", "phase");
+  span.attr("n", params_.n).attr("depth", depth).attr("gates", circuit_.gates().size());
   offline_ = run_offline(params_, circuit_, *setup_, *chain_, off, *board_, rng_);
 }
 
@@ -66,6 +79,8 @@ OnlineResult YosoMpc::evaluate(const std::vector<std::vector<mpz_class>>& inputs
   if (!preprocessed_) throw std::logic_error("YosoMpc: evaluate before preprocess");
   if (evaluated_) throw std::logic_error("YosoMpc: roles speak once; evaluate called twice");
   evaluated_ = true;
+  obs::Span span("phase.online", "phase");
+  span.attr("n", params_.n).attr("gates", circuit_.gates().size());
   return run_online(params_, circuit_, *setup_, *offline_, *chain_, online_coms_, inputs,
                     *board_, rng_);
 }
@@ -92,6 +107,8 @@ DegradedRunResult run_with_degradation(unsigned n, double eps, unsigned paillier
 
   Bulletin* strict_board = board_for ? board_for(/*failstop_retry=*/false) : nullptr;
   try {
+    obs::Span span("degrade.strict", "degrade");
+    span.attr("n", n);
     YosoMpc mpc(strict, circuit, plan, seed, strict_board);
     out.result = mpc.run(inputs);
     out.plaintext_modulus = mpc.plaintext_modulus();
@@ -114,8 +131,11 @@ DegradedRunResult run_with_degradation(unsigned n, double eps, unsigned paillier
     // reconstruction bar: retry under Section 5.4 on a fresh board.
     out.degraded = true;
     out.params_used = failstop;
+    OBS_COUNT_N("degrade.retry_bytes", out.strict_attempt_bytes);
     Bulletin* retry_board = board_for ? board_for(/*failstop_retry=*/true) : nullptr;
     try {
+      obs::Span span("degrade.retry", "degrade");
+      span.attr("n", n).attr("sunk_bytes", out.strict_attempt_bytes);
       YosoMpc mpc(failstop, circuit, plan, seed, retry_board);
       if (retry_board != nullptr) {
         // Make the recovery's sunk cost ledger-visible before the retry runs.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace yoso {
@@ -46,6 +47,8 @@ LinkStatement pad_statement(const ThresholdPK& tpk, const PaillierPK& target,
 std::vector<DecryptChain::MaskSums> DecryptChain::run_mask_committee(
     Committee& masker, const std::vector<const PaillierPK*>& targets, Phase phase,
     const std::string& label) {
+  obs::Span span("reencrypt.mask", "reencrypt");
+  span.attr("committee", masker.name).attr("targets", targets.size()).attr("label", label);
   const unsigned n = masker.n();
   const std::size_t m = targets.size();
   const unsigned bound_bits = params_->pad_bound_bits();
@@ -125,6 +128,8 @@ std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
                                                            const std::vector<mpz_class>& cts,
                                                            Phase phase, const std::string& label,
                                                            Committee* next_holder) {
+  obs::Span span("reencrypt.pdec", "reencrypt");
+  span.attr("committee", holder.name).attr("cts", cts.size()).attr("label", label);
   const unsigned n = holder.n();
   const std::size_t m = cts.size();
 
@@ -189,6 +194,8 @@ std::vector<mpz_class> DecryptChain::run_decrypt_committee(Committee& holder,
 }
 
 void DecryptChain::handover(Committee& holder, Committee& next_holder, Phase phase) {
+  obs::Span span("reencrypt.handover", "reencrypt");
+  span.attr("from", holder.name).attr("to", next_holder.name).attr("phase", phase_name(phase));
   const unsigned n = holder.n();
   const unsigned bound_bits = tpk_.subshare_bound_bits();
 
@@ -309,6 +316,8 @@ std::vector<FutureCt> DecryptChain::reencrypt_batch(Committee& masker, Committee
                                                     Phase phase, const std::string& label,
                                                     Committee* next_holder) {
   assert(cts.size() == targets.size());
+  obs::Span span("reencrypt.batch", "reencrypt");
+  span.attr("masker", masker.name).attr("holder", holder.name).attr("cts", cts.size());
   auto sums = run_mask_committee(masker, targets, phase, label);
   std::vector<mpz_class> masked_cts;
   masked_cts.reserve(cts.size());

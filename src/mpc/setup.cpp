@@ -1,6 +1,7 @@
 #include "mpc/setup.hpp"
 
 #include "crypto/transcript.hpp"
+#include "obs/trace.hpp"
 
 namespace yoso {
 
@@ -26,12 +27,18 @@ KffKey make_kff(const ProtocolParams& params, const ThresholdPK& tpk, unsigned p
 SetupArtifacts run_setup(const ProtocolParams& params, unsigned online_layers,
                          unsigned num_clients, Bulletin& bulletin, Rng& rng) {
   SetupArtifacts out;
-  out.tkeys = tkgen(params.paillier_bits, params.s, params.n, params.t, rng);
+  {
+    obs::Span span("setup.tkgen", "setup");
+    span.attr("n", params.n).attr("t", params.t);
+    out.tkeys = tkgen(params.paillier_bits, params.s, params.n, params.t, rng);
+  }
   bulletin.publish_external("dealer", Phase::Setup, "setup.tpk",
                             mpz_wire_size(out.tkeys.tpk.pk.n) +
                                 mpz_wire_size(out.tkeys.tpk.v),
                             2 + params.n);
 
+  obs::Span span("setup.kff", "setup");
+  span.attr("layers", online_layers).attr("clients", num_clients);
   out.kff_mult.resize(online_layers);
   for (unsigned l = 0; l < online_layers; ++l) {
     out.kff_mult[l].reserve(params.n);

@@ -1,10 +1,12 @@
 #include "net/net_bulletin.hpp"
 
 #include <algorithm>
-#include <sstream>
 
+#include "common/json.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
 namespace yoso::net {
@@ -26,7 +28,20 @@ const char* phase_key(std::size_t idx) {
 
 NetBulletin::NetBulletin(Ledger& ledger, NetConfig cfg)
     : Bulletin(ledger), cfg_(std::move(cfg)),
-      transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults) {}
+      transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults) {
+#ifndef OBS_DISABLED
+  // Spans begun while this board is alive get deterministic virtual
+  // timestamps.  Keyed by `this` so destroying an old board (degradation
+  // retries, chaos campaigns) cannot clobber a newer board's clock.
+  obs::tracer().attach_virtual_clock(this, [this] { return clock_; });
+#endif
+}
+
+NetBulletin::~NetBulletin() {
+#ifndef OBS_DISABLED
+  obs::tracer().detach_virtual_clock(this);
+#endif
+}
 
 bool NetBulletin::roundtrip_ok(const std::vector<std::uint8_t>& payload) {
   try {
@@ -93,11 +108,14 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
   const std::string key = "c:" + committee.name;
   PhasePosts& pp = posts(phase);
   ++pp.originated;
+  OBS_HIST("post.bytes", bytes);
 
   // Link-level fate first: a post lost on the sender's uplink never reaches
   // the board, whatever its payload.
   if (transport_.roll_drop(sender)) {
     ++pp.dropped_link;
+    OBS_COUNT("post.dropped_link");
+    obs::Span("post.dropped_link", "net").attr("sender", sender).attr("phase", phase_name(phase));
     enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/true, 0);
     return PostStatus::DroppedLink;
   }
@@ -115,6 +133,8 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
         probe_mutated(std::move(flipped));
       }
       ++pp.corrupt;
+      OBS_COUNT("post.corrupt");
+      obs::Span("post.corrupt", "net").attr("sender", sender).attr("phase", phase_name(phase));
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
       return PostStatus::CorruptPayload;
     }
@@ -126,6 +146,8 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
         probe_mutated(std::move(shorter));
       }
       ++pp.truncated;
+      OBS_COUNT("post.truncated");
+      obs::Span("post.truncated", "net").attr("sender", sender).attr("phase", phase_name(phase));
       // Only the truncated prefix ever hit the wire.
       enqueue(key, phase, sender, cut, nullptr, /*link_dropped=*/false, 0);
       return PostStatus::Truncated;
@@ -137,6 +159,9 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
       ++pp.originated;
       ++pp.duplicate;
+      OBS_COUNT("post.accepted");
+      OBS_COUNT("post.duplicate");
+      obs::Span("post.duplicate", "net").attr("sender", sender).attr("phase", phase_name(phase));
       const bool dup_dropped = transport_.roll_drop(sender);
       enqueue(key, phase, sender, bytes, nullptr, dup_dropped, 0);
       return PostStatus::Accepted;
@@ -146,16 +171,21 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       if (delay <= cfg_.grace_window_s) {
         ++pp.delivered;
         ++pp.late_graced;
+        OBS_COUNT("post.accepted");
+        OBS_COUNT("post.late_graced");
         enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
         return PostStatus::Accepted;
       }
       ++pp.late;
+      OBS_COUNT("post.late");
+      obs::Span("post.late", "net").attr("sender", sender).attr("phase", phase_name(phase));
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
       return PostStatus::Late;
     }
     case WireFault::None: break;
   }
   ++pp.delivered;
+  OBS_COUNT("post.accepted");
   enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
   return PostStatus::Accepted;
 }
@@ -239,31 +269,48 @@ PhasePosts NetBulletin::total_posts() const {
 std::string NetBulletin::report_json() const {
   const_cast<NetBulletin*>(this)->flush();
   const TransportStats& ts = transport_.stats();
-  std::ostringstream os;
-  os << "{\"link\":\"" << cfg_.link.name << "\",\"topology\":\""
-     << topology_name(cfg_.topology) << "\",\"elapsed_s\":" << clock_ << ",\"phases\":{";
+  json::Writer w;
+  w.begin_object();
+  w.field("link", cfg_.link.name);
+  w.field("topology", topology_name(cfg_.topology));
+  w.field("elapsed_s", clock_);
+  w.key("phases").begin_object();
   for (std::size_t i = 0; i < traffic_.size(); ++i) {
-    if (i != 0) os << ",";
     const PhaseTraffic& pt = traffic_[i];
     const PhasePosts& pp = posts_[i];
-    os << "\"" << phase_key(i) << "\":{\"seconds\":" << pt.seconds << ",\"rounds\":" << pt.rounds
-       << ",\"messages\":" << pt.messages << ",\"payload_bytes\":" << pt.payload_bytes
-       << ",\"posts\":{\"originated\":" << pp.originated << ",\"delivered\":" << pp.delivered
-       << ",\"dropped\":" << pp.dropped() << ",\"dropped_link\":" << pp.dropped_link
-       << ",\"corrupt\":" << pp.corrupt << ",\"truncated\":" << pp.truncated
-       << ",\"late\":" << pp.late << ",\"duplicate\":" << pp.duplicate
-       << ",\"late_graced\":" << pp.late_graced << "}}";
+    w.key(phase_key(i)).begin_object();
+    w.field("seconds", pt.seconds);
+    w.field("rounds", static_cast<std::uint64_t>(pt.rounds));
+    w.field("messages", static_cast<std::uint64_t>(pt.messages));
+    w.field("payload_bytes", static_cast<std::uint64_t>(pt.payload_bytes));
+    w.key("posts").begin_object();
+    w.field("originated", static_cast<std::uint64_t>(pp.originated));
+    w.field("delivered", static_cast<std::uint64_t>(pp.delivered));
+    w.field("dropped", static_cast<std::uint64_t>(pp.dropped()));
+    w.field("dropped_link", static_cast<std::uint64_t>(pp.dropped_link));
+    w.field("corrupt", static_cast<std::uint64_t>(pp.corrupt));
+    w.field("truncated", static_cast<std::uint64_t>(pp.truncated));
+    w.field("late", static_cast<std::uint64_t>(pp.late));
+    w.field("duplicate", static_cast<std::uint64_t>(pp.duplicate));
+    w.field("late_graced", static_cast<std::uint64_t>(pp.late_graced));
+    w.end_object();
+    w.end_object();
   }
+  w.end_object();
   const PhasePosts total = total_posts();
-  os << "},\"delivered\":" << ts.delivered << ",\"dropped\":" << ts.dropped
-     << ",\"downlink_queue_s\":" << ts.downlink_queue_seconds
-     << ",\"posts_originated\":" << total.originated << ",\"posts_delivered\":" << total.delivered
-     << ",\"posts_dropped\":" << total.dropped()
-     << ",\"decode_failures\":" << decode_failures_ << ",\"fuzz_rejected\":" << fuzz_rejected_
-     << ",\"fuzz_decoded\":" << fuzz_decoded_
-     << ",\"roles_silenced\":" << roles_silenced_ << ",\"base\":" << Bulletin::report_json()
-     << "}";
-  return os.str();
+  w.field("delivered", static_cast<std::uint64_t>(ts.delivered));
+  w.field("dropped", static_cast<std::uint64_t>(ts.dropped));
+  w.field("downlink_queue_s", ts.downlink_queue_seconds);
+  w.field("posts_originated", static_cast<std::uint64_t>(total.originated));
+  w.field("posts_delivered", static_cast<std::uint64_t>(total.delivered));
+  w.field("posts_dropped", static_cast<std::uint64_t>(total.dropped()));
+  w.field("decode_failures", static_cast<std::uint64_t>(decode_failures_));
+  w.field("fuzz_rejected", static_cast<std::uint64_t>(fuzz_rejected_));
+  w.field("fuzz_decoded", static_cast<std::uint64_t>(fuzz_decoded_));
+  w.field("roles_silenced", static_cast<std::uint64_t>(roles_silenced_));
+  w.key("base").raw(Bulletin::report_json());
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace yoso::net

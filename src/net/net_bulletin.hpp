@@ -83,6 +83,7 @@ struct PhasePosts {
 class NetBulletin : public Bulletin {
 public:
   NetBulletin(Ledger& ledger, NetConfig cfg = {});
+  ~NetBulletin() override;
 
   PostStatus publish(Committee& committee, unsigned index0, Phase phase,
                      const std::string& label, std::size_t bytes, std::size_t elements,

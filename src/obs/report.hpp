@@ -1,0 +1,35 @@
+// Unified run report + trace validation.
+//
+// run_report_json() is the one JSON document a run leaves behind: the board
+// report (posts + ledger), the metrics registry snapshot, and — when the run
+// aborted — the structured FailureReport.  Every producer (tools/trace run,
+// the chaos campaign, bench_obs) emits this same shape, so downstream
+// tooling parses one schema instead of three.
+//
+// validate_trace_json() is the schema check behind `tools/trace check` and
+// tests/obs_test: it parses a Chrome trace-event document and verifies the
+// fields Perfetto actually requires.
+#pragma once
+
+#include <string>
+
+namespace yoso {
+class Bulletin;
+struct FailureReport;
+}  // namespace yoso
+
+namespace yoso::obs {
+
+// {"board":{...},"metrics":{...}[,"failure":{...}]}
+// Under OBS_DISABLED the metrics section is an empty object.
+std::string run_report_json(const Bulletin& board, const FailureReport* failure = nullptr);
+
+// Validates a Chrome trace-event JSON document:
+//   * parses as an object with a `traceEvents` array;
+//   * every event has string `name`/`ph` and numeric `pid`/`tid`;
+//   * `ph` is one of X M i C B E;
+//   * X events carry numeric ts >= 0 and dur >= 0.
+// On failure returns false and, if `error` is non-null, a description.
+bool validate_trace_json(const std::string& text, std::string* error = nullptr);
+
+}  // namespace yoso::obs

@@ -1,0 +1,182 @@
+#include "obs/trace.hpp"
+
+#ifndef OBS_DISABLED
+
+#include <chrono>
+
+#include "common/json.hpp"
+
+namespace yoso::obs {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  spans_.reserve(1024);
+  open_.reserve(32);
+}
+
+void Tracer::reset() {
+  spans_.clear();
+  open_.clear();
+}
+
+void Tracer::attach_virtual_clock(const void* owner, VirtualClock clock) {
+  vclock_ = std::move(clock);
+  vclock_owner_ = owner;
+}
+
+void Tracer::detach_virtual_clock(const void* owner) {
+  if (owner != vclock_owner_) return;  // a newer clock took over; leave it
+  vclock_ = nullptr;
+  vclock_owner_ = nullptr;
+}
+
+std::uint32_t Tracer::begin_span(std::string name, std::string cat) {
+  if (!enabled()) return 0;
+  SpanRecord rec;
+  rec.id = static_cast<std::uint32_t>(spans_.size()) + 1;
+  rec.parent = open_.empty() ? 0 : open_.back();
+  rec.depth = static_cast<std::uint16_t>(open_.size());
+  rec.open = true;
+  rec.name = std::move(name);
+  rec.cat = std::move(cat);
+  if (vclock_) rec.virt_start = vclock_();
+  rec.wall_start_ns = wall_now_ns();
+  spans_.push_back(std::move(rec));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::end_span(std::uint32_t id) {
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& rec = spans_[id - 1];
+  if (!rec.open) return;
+  rec.open = false;
+  if (vclock_) rec.virt_end = vclock_();
+  rec.wall_end_ns = wall_now_ns();
+  // Unwind the open stack down to (and including) this span; exceptions may
+  // close an outer span while an inner one is still marked open.
+  while (!open_.empty()) {
+    std::uint32_t top = open_.back();
+    open_.pop_back();
+    if (top == id) break;
+    SpanRecord& inner = spans_[top - 1];
+    if (inner.open) {
+      inner.open = false;
+      inner.virt_end = rec.virt_end;
+      inner.wall_end_ns = rec.wall_end_ns;
+    }
+  }
+}
+
+void Tracer::attr(std::uint32_t id, std::string key, std::string value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.push_back(SpanAttr{std::move(key), std::move(value), false});
+}
+
+void Tracer::attr_num(std::uint32_t id, std::string key, std::int64_t value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.push_back(SpanAttr{std::move(key), std::to_string(value), true});
+}
+
+std::string Tracer::chrome_trace_json(bool include_wall) const {
+  json::Writer w;
+  w.begin_object();
+  w.key("displayTimeUnit").str("ms");
+  w.key("traceEvents").begin_array();
+
+  w.begin_object();
+  w.field("ph", "M").field("pid", 1).field("tid", 1).field("name", "process_name");
+  w.key("args").begin_object().field("name", "yoso-mpc").end_object();
+  w.end_object();
+
+  // Wall epoch: the first span's start, so wall ts stay small and relative.
+  std::uint64_t wall_epoch = 0;
+  for (const SpanRecord& s : spans_) {
+    if (wall_epoch == 0 || (s.wall_start_ns != 0 && s.wall_start_ns < wall_epoch)) {
+      wall_epoch = s.wall_start_ns;
+    }
+  }
+
+  for (const SpanRecord& s : spans_) {
+    const bool has_virt = s.virt_start >= 0;
+    const double ts_us = has_virt
+                             ? s.virt_start * 1e6
+                             : static_cast<double>(s.wall_start_ns - wall_epoch) / 1e3;
+    const std::uint64_t wall_end = s.open ? s.wall_start_ns : s.wall_end_ns;
+    const double dur_us =
+        has_virt ? (s.open ? 0.0 : (s.virt_end - s.virt_start) * 1e6)
+                 : static_cast<double>(wall_end - s.wall_start_ns) / 1e3;
+    w.begin_object();
+    w.field("ph", "X").field("pid", 1).field("tid", 1);
+    w.field("name", s.name).field("cat", s.cat);
+    w.key("ts").num(ts_us);
+    w.key("dur").num(dur_us < 0 ? 0.0 : dur_us);
+    w.key("args").begin_object();
+    for (const SpanAttr& a : s.attrs) {
+      if (a.numeric) {
+        w.key(a.key).raw(a.value);
+      } else {
+        w.field(a.key, a.value);
+      }
+    }
+    if (include_wall) {
+      w.key("wall_start_us").num(static_cast<double>(s.wall_start_ns - wall_epoch) / 1e3);
+      w.key("wall_dur_us").num(static_cast<double>(wall_end - s.wall_start_ns) / 1e3);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+Span::Span(const char* name, const char* cat) { id_ = tracer().begin_span(name, cat); }
+
+Span::Span(std::string name, const char* cat) {
+  id_ = tracer().begin_span(std::move(name), cat);
+}
+
+Span::~Span() {
+  if (id_ != 0) tracer().end_span(id_);
+}
+
+void Span::end() {
+  if (id_ != 0) tracer().end_span(id_);
+  id_ = 0;
+}
+
+Span& Span::attr(const char* key, std::string value) {
+  if (id_ != 0) tracer().attr(id_, key, std::move(value));
+  return *this;
+}
+
+Span& Span::attr(const char* key, const char* value) {
+  if (id_ != 0) tracer().attr(id_, key, value);
+  return *this;
+}
+
+Span& Span::attr_i64(const char* key, std::int64_t value) {
+  if (id_ != 0) tracer().attr_num(id_, key, value);
+  return *this;
+}
+
+}  // namespace yoso::obs
+
+#endif  // OBS_DISABLED

@@ -1,0 +1,131 @@
+// Span tracer: RAII scoped spans over the whole protocol stack.
+//
+// Spans nest (parent = innermost open span), carry key/value attributes
+// (committee id, gate label, phase, party role), and record *dual*
+// timestamps:
+//   * virtual seconds from the discrete-event clock, whenever a
+//     net::NetBulletin is attached (attach_virtual_clock) — deterministic,
+//     so two identical runs export bit-for-bit identical traces;
+//   * monotonic wall-clock nanoseconds, always — for profiling real CPU
+//     cost (excluded from the export by default to keep it deterministic).
+//
+// The export is Chrome trace-event JSON ("X" complete events), which loads
+// directly in Perfetto / chrome://tracing; tools/trace wraps it in a CLI
+// (run / check / summarize / diff).
+//
+// Cost model: recording is sampling-free; the span buffer is preallocated
+// and grows geometrically; a muted tracer (obs::set_enabled(false)) costs
+// one branch per event; OBS_DISABLED compiles call sites out entirely.
+// Single-threaded by design, like the rest of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/runtime.hpp"
+
+namespace yoso::obs {
+
+#ifndef OBS_DISABLED
+
+struct SpanAttr {
+  std::string key;
+  std::string value;
+  bool numeric = false;  // emit bare (unquoted) in the export
+};
+
+struct SpanRecord {
+  std::uint32_t id = 0;      // 1-based; 0 means "no span"
+  std::uint32_t parent = 0;  // 0 for roots
+  std::uint16_t depth = 0;
+  bool open = false;
+  std::string name;
+  std::string cat;
+  double virt_start = -1;  // seconds; -1 when no virtual clock was attached
+  double virt_end = -1;
+  std::uint64_t wall_start_ns = 0;
+  std::uint64_t wall_end_ns = 0;
+  std::vector<SpanAttr> attrs;
+};
+
+class Tracer {
+public:
+  Tracer();
+
+  // Drops every recorded span (keeps the preallocated buffer).
+  void reset();
+
+  // Virtual clock source in seconds.  Keyed by owner so that a board being
+  // destroyed cannot detach a clock some newer board installed.
+  using VirtualClock = std::function<double()>;
+  void attach_virtual_clock(const void* owner, VirtualClock clock);
+  void detach_virtual_clock(const void* owner);
+  bool has_virtual_clock() const { return static_cast<bool>(vclock_); }
+
+  std::uint32_t begin_span(std::string name, std::string cat);
+  void end_span(std::uint32_t id);
+  void attr(std::uint32_t id, std::string key, std::string value);
+  void attr_num(std::uint32_t id, std::string key, std::int64_t value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  std::size_t open_depth() const { return open_.size(); }
+
+  // Chrome trace-event JSON.  With include_wall the wall-clock timings ride
+  // along as args (making the bytes machine-dependent); without it the
+  // export is a pure function of the virtual clock.
+  std::string chrome_trace_json(bool include_wall = false) const;
+
+private:
+  std::vector<SpanRecord> spans_;
+  std::vector<std::uint32_t> open_;  // stack of open span ids
+  VirtualClock vclock_;
+  const void* vclock_owner_ = nullptr;
+};
+
+Tracer& tracer();
+
+// RAII span handle.  A full-expression temporary (constructed and destroyed
+// in one statement) records a zero-duration event.
+class Span {
+public:
+  explicit Span(const char* name, const char* cat = "proto");
+  Span(std::string name, const char* cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& attr(const char* key, std::string value);
+  Span& attr(const char* key, const char* value);
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Span& attr(const char* key, T value) {
+    return attr_i64(key, static_cast<std::int64_t>(value));
+  }
+  // Closes the span before scope exit (the destructor becomes a no-op).
+  void end();
+
+private:
+  Span& attr_i64(const char* key, std::int64_t value);
+  std::uint32_t id_ = 0;
+};
+
+#else  // OBS_DISABLED: the entire tracer compiles away.
+
+class Span {
+public:
+  explicit Span(const char*, const char* = "proto") {}
+  Span(const std::string&, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  template <typename K, typename V>
+  Span& attr(K&&, V&&) {
+    return *this;
+  }
+  void end() {}
+};
+
+#endif
+
+}  // namespace yoso::obs

@@ -1,6 +1,6 @@
 #include "yoso/bulletin.hpp"
 
-#include <sstream>
+#include "common/json.hpp"
 
 namespace yoso {
 
@@ -57,9 +57,12 @@ std::size_t Bulletin::posts_by(const std::string& committee) const {
 }
 
 std::string Bulletin::report_json() const {
-  std::ostringstream os;
-  os << "{\"posts\":" << log_.size() << ",\"ledger\":" << ledger_->report_json() << "}";
-  return os.str();
+  json::Writer w;
+  w.begin_object();
+  w.field("posts", static_cast<std::uint64_t>(log_.size()));
+  w.key("ledger").raw(ledger_->report_json());
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace yoso

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
 namespace yoso {
 
 const char* phase_name(Phase p) {
@@ -37,6 +40,12 @@ void Ledger::record(Phase phase, const std::string& category, std::size_t bytes,
   e.messages += 1;
   e.elements += elements;
   e.bytes += bytes;
+#ifndef OBS_DISABLED
+  static obs::Counter* by_phase[3] = {&obs::metrics().counter("bytes.posted.setup"),
+                                      &obs::metrics().counter("bytes.posted.offline"),
+                                      &obs::metrics().counter("bytes.posted.online")};
+  by_phase[static_cast<int>(phase)]->add(bytes);
+#endif
 }
 
 LedgerEntry Ledger::phase_total(Phase phase) const {
@@ -72,33 +81,35 @@ void Ledger::reset() {
 
 namespace {
 
-void entry_json(std::ostringstream& os, const LedgerEntry& e) {
-  os << "{\"messages\":" << e.messages << ",\"elements\":" << e.elements << ",\"bytes\":"
-     << e.bytes << "}";
+void entry_json(json::Writer& w, const LedgerEntry& e) {
+  w.begin_object();
+  w.field("messages", static_cast<std::uint64_t>(e.messages));
+  w.field("elements", static_cast<std::uint64_t>(e.elements));
+  w.field("bytes", static_cast<std::uint64_t>(e.bytes));
+  w.end_object();
 }
 
 }  // namespace
 
 std::string Ledger::report_json() const {
-  std::ostringstream os;
-  os << "{";
+  json::Writer w;
+  w.begin_object();
   for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
-    os << "\"" << phase_name(p) << "\":{\"total\":";
-    entry_json(os, phase_total(p));
-    os << ",\"categories\":{";
-    bool first = true;
+    w.key(phase_name(p)).begin_object();
+    w.key("total");
+    entry_json(w, phase_total(p));
+    w.key("categories").begin_object();
     for (const auto& [cat, e] : bucket(p)) {
-      if (!first) os << ",";
-      first = false;
-      os << "\"" << cat << "\":";
-      entry_json(os, e);
+      w.key(cat);
+      entry_json(w, e);
     }
-    os << "}},";
+    w.end_object();
+    w.end_object();
   }
-  os << "\"total\":";
-  entry_json(os, total());
-  os << "}";
-  return os.str();
+  w.key("total");
+  entry_json(w, total());
+  w.end_object();
+  return w.take();
 }
 
 std::string Ledger::report() const {

@@ -76,6 +76,28 @@ TEST(LintFixtures, CodecSwitchFlagsMissingCase) {
   EXPECT_NE(findings[0].message.find("kTagBeta"), std::string::npos);
 }
 
+TEST(LintFixtures, RawJsonFiresOutsideTheWriterFunnel) {
+  auto findings = lint_tree(fixture("raw_json"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"raw-json"});
+  // src/common/json.cpp is exempt: only src/bad.cpp fires.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/bad.cpp");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintFixtures, RawJsonWhitelistSuppresses) {
+  std::string err;
+  Whitelist wl = Whitelist::parse("raw-json src/bad.cpp -- fixture exemption\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(lint_tree(fixture("raw_json"), wl).empty());
+}
+
+TEST(LintFixtures, RawJsonIgnoresComments) {
+  // A commented-out `\"key\":` must not fire; only live string literals do.
+  auto findings = lint_file("src/x.cpp", "// return \"{\\\"key\\\":1}\";\n", Whitelist());
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
 TEST(LintFixtures, CommentsAndStringsAreIgnored) {
   EXPECT_TRUE(lint_tree(fixture("comment_only"), Whitelist()).empty());
 }

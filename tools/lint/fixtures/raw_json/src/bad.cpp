@@ -1,0 +1,5 @@
+// Fixture: hand-built JSON in a string literal must trip raw-json.
+#include <string>
+std::string report(int n) {
+  return "{\"posts\":" + std::to_string(n) + "}";
+}

@@ -1,0 +1,3 @@
+// The Writer funnel itself is exempt from raw-json.
+#include <string>
+std::string k() { return "\"key\":"; }

@@ -120,7 +120,9 @@ bool Whitelist::allows(const std::string& rule, const std::string& rel_path) con
   return false;
 }
 
-std::string strip_comments_and_strings(const std::string& src) {
+namespace {
+
+std::string strip_impl(const std::string& src, bool blank_strings) {
   std::string out = src;
   enum class St { Code, Line, Block, Str, Chr };
   St st = St::Code;
@@ -162,12 +164,14 @@ std::string strip_comments_and_strings(const std::string& src) {
       case St::Chr: {
         char quote = st == St::Str ? '"' : '\'';
         if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
+          if (blank_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
           ++i;
         } else if (c == quote) {
           st = St::Code;
-        } else if (c != '\n') {
+        } else if (c != '\n' && blank_strings) {
           out[i] = ' ';
         }
         break;
@@ -175,6 +179,16 @@ std::string strip_comments_and_strings(const std::string& src) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& src) {
+  return strip_impl(src, /*blank_strings=*/true);
+}
+
+std::string strip_comments(const std::string& src) {
+  return strip_impl(src, /*blank_strings=*/false);
 }
 
 std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content,
@@ -190,6 +204,23 @@ std::vector<Finding> lint_file(const std::string& rel_path, const std::string& c
     for (std::size_t ln = 0; ln < lines.size(); ++ln) {
       if (std::regex_search(lines[ln], rule.pattern)) {
         findings.push_back(Finding{rule.rule, rel_path, ln + 1, rule.message});
+      }
+    }
+  }
+
+  // raw-json runs on string literals (comments stripped, strings kept): an
+  // escaped `\"key\":` inside a C++ string is a hand-built JSON object.  All
+  // JSON must go through the json::Writer funnel in src/common/json.hpp.
+  if (starts_with(rel_path, "src/") && !starts_with(rel_path, "src/common/json") &&
+      !wl.allows("raw-json", rel_path)) {
+    static const std::regex raw_json(R"re(\\"[A-Za-z_][A-Za-z0-9_.]*\\"\s*:)re");
+    std::vector<std::string> raw_lines;
+    split_lines(strip_comments(content), &raw_lines);
+    for (std::size_t ln = 0; ln < raw_lines.size(); ++ln) {
+      if (std::regex_search(raw_lines[ln], raw_json)) {
+        findings.push_back(Finding{"raw-json", rel_path, ln + 1,
+                                   "hand-built JSON literal; use json::Writer from "
+                                   "common/json.hpp"});
       }
     }
   }

@@ -22,6 +22,9 @@
 //                   be handled as a `case kTagX:` in src/wire/codec.cpp and
 //                   src/net/net_bulletin.cpp, so new message kinds cannot be
 //                   silently dropped by the decoder or the network checker.
+//   raw-json        string literals containing `\"key\":` under src/ are
+//                   hand-built JSON; all JSON emission funnels through the
+//                   json::Writer in src/common/json.hpp (which is exempt).
 //
 // Tokens inside comments and string literals are ignored.  The scan is
 // line-based and self-contained (no external tooling), so it runs in CI and
@@ -64,6 +67,9 @@ private:
 // Blanks out //, /* */ comments and "..." / '...' literals, preserving
 // newlines (and therefore line numbers).
 std::string strip_comments_and_strings(const std::string& src);
+
+// Blanks out comments only; string literals survive (raw-json scans them).
+std::string strip_comments(const std::string& src);
 
 // Lints one file's contents.  `rel_path` selects the path-scoped rules.
 std::vector<Finding> lint_file(const std::string& rel_path, const std::string& content,

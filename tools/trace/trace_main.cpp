@@ -1,0 +1,321 @@
+// trace — the observability CLI over src/obs.
+//
+//   trace run [--seed S] [--n N] [--width W] [--degrade] [--wall]
+//             [--out FILE] [--report FILE]
+//       Run YosoMpc over a NetBulletin with tracing on; write the Chrome
+//       trace-event JSON (stdout or --out) and, with --report, the unified
+//       run report (board + metrics [+ failure]).  Deterministic: the same
+//       seed yields byte-identical traces (unless --wall).
+//   trace check [FILE]
+//       Validate a trace document (stdin when FILE is absent); exit nonzero
+//       on schema violations.
+//   trace summarize [FILE]
+//       Per-span-name table: count, total/mean duration, category.
+//   trace diff A B
+//       Compare two traces by span name: count and total-duration deltas.
+//   trace export FILE --cat C
+//       Re-emit a trace keeping only events of category C (plus metadata).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "common/json.hpp"
+#include "crypto/rand.hpp"
+#include "mpc/protocol.hpp"
+#include "net/net_bulletin.hpp"
+#include "net/wire_faults.hpp"  // mix64
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using yoso::chaos::FaultSchedule;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace run [--seed S] [--n N] [--width W] [--degrade] [--wall]\n"
+               "                 [--out FILE] [--report FILE]\n"
+               "       trace check [FILE]\n"
+               "       trace summarize [FILE]\n"
+               "       trace diff A B\n"
+               "       trace export FILE --cat C\n");
+  return 2;
+}
+
+std::string read_input(const std::string& path) {
+  if (path.empty() || path == "-") {
+    return std::string(std::istreambuf_iterator<char>(std::cin), {});
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+bool write_output(const std::string& path, const std::string& content) {
+  if (path.empty() || path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << content << "\n";
+  return static_cast<bool>(out);
+}
+
+std::vector<std::vector<mpz_class>> inputs_for(const yoso::Circuit& c, std::uint64_t seed) {
+  yoso::Rng rng(yoso::net::mix64(seed ^ 0x10901575ULL));
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == yoso::GateKind::Input) {
+      inputs[g.client].push_back(
+          mpz_class(static_cast<unsigned long>(rng.u64_below(1u << 16))));
+    }
+  }
+  return inputs;
+}
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  unsigned n = 6;
+  unsigned width = 2;
+  bool degrade = false;
+  bool wall = false;
+  std::string out;
+  std::string report;
+};
+
+int cmd_run(const RunOptions& opt) {
+#ifdef OBS_DISABLED
+  (void)opt;
+  std::fprintf(stderr, "trace run: built with OBS_DISABLED; no tracer available\n");
+  return 1;
+#else
+  FaultSchedule schedule;
+  schedule.seed = opt.seed;
+  schedule.n = opt.n;
+  schedule.circuit_width = opt.width;
+  schedule.degradation = opt.degrade;
+
+  yoso::obs::tracer().reset();
+  yoso::obs::metrics().reset();
+  yoso::obs::set_enabled(true);
+
+  const yoso::Circuit circuit = schedule.circuit();
+  const auto inputs = inputs_for(circuit, opt.seed);
+
+  struct BoardBox {
+    yoso::Ledger ledger;
+    yoso::net::NetBulletin board;
+    explicit BoardBox(yoso::net::NetConfig cfg) : board(ledger, std::move(cfg)) {}
+  };
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  const auto make_board = [&](bool) -> yoso::Bulletin* {
+    boards.push_back(std::make_unique<BoardBox>(schedule.net_config()));
+    return &boards.back()->board;
+  };
+
+  std::optional<yoso::FailureReport> failure;
+  int status = 0;
+  try {
+    if (opt.degrade) {
+      yoso::DegradedRunResult d = yoso::run_with_degradation(
+          schedule.n, schedule.eps, schedule.paillier_bits, circuit, schedule.adversary(),
+          schedule.seed, make_board, inputs);
+      if (d.failure) failure = *d.failure;
+      if (!d.ok()) status = 1;
+    } else {
+      yoso::Bulletin* board = make_board(false);
+      yoso::YosoMpc mpc(schedule.params(), circuit, schedule.adversary(), schedule.seed, board);
+      (void)mpc.run(inputs);
+    }
+  } catch (const yoso::ProtocolAbort& abort) {
+    if (abort.report()) failure = *abort.report();
+    status = 1;
+  }
+  for (auto& box : boards) box->board.flush();
+
+  const std::string trace = yoso::obs::tracer().chrome_trace_json(opt.wall);
+  if (!write_output(opt.out, trace)) {
+    std::fprintf(stderr, "trace run: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  if (!opt.report.empty() && !boards.empty()) {
+    const std::string report = yoso::obs::run_report_json(
+        boards.back()->board, failure ? &*failure : nullptr);
+    if (!write_output(opt.report, report)) {
+      std::fprintf(stderr, "trace run: cannot write %s\n", opt.report.c_str());
+      return 1;
+    }
+  }
+  return status;
+#endif
+}
+
+int cmd_check(const std::string& path) {
+  const std::string text = read_input(path);
+  std::string error;
+  if (!yoso::obs::validate_trace_json(text, &error)) {
+    std::fprintf(stderr, "trace check: %s\n", error.c_str());
+    return 1;
+  }
+  const yoso::json::Value doc = yoso::json::parse(text);
+  std::printf("ok: %zu events\n", doc.find("traceEvents")->items.size());
+  return 0;
+}
+
+struct NameStats {
+  std::size_t count = 0;
+  double total_us = 0;
+  std::string cat;
+};
+
+std::map<std::string, NameStats> aggregate(const yoso::json::Value& doc) {
+  std::map<std::string, NameStats> by_name;
+  const yoso::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return by_name;
+  for (const auto& ev : events->items) {
+    if (ev.str_or("ph", "") != "X") continue;
+    NameStats& s = by_name[ev.str_or("name", "?")];
+    s.count += 1;
+    s.total_us += ev.num_or("dur", 0);
+    if (s.cat.empty()) s.cat = ev.str_or("cat", "");
+  }
+  return by_name;
+}
+
+int cmd_summarize(const std::string& path) {
+  const yoso::json::Value doc = yoso::json::parse(read_input(path));
+  const auto by_name = aggregate(doc);
+  std::printf("%-24s %-10s %8s %14s %14s\n", "span", "cat", "count", "total_ms", "mean_ms");
+  for (const auto& [name, s] : by_name) {
+    std::printf("%-24s %-10s %8zu %14.3f %14.3f\n", name.c_str(), s.cat.c_str(), s.count,
+                s.total_us / 1e3, s.total_us / 1e3 / static_cast<double>(s.count));
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  const auto a = aggregate(yoso::json::parse(read_input(a_path)));
+  const auto b = aggregate(yoso::json::parse(read_input(b_path)));
+  std::map<std::string, std::pair<NameStats, NameStats>> merged;
+  for (const auto& [name, s] : a) merged[name].first = s;
+  for (const auto& [name, s] : b) merged[name].second = s;
+  std::printf("%-24s %10s %10s %14s\n", "span", "count_a", "count_b", "d_total_ms");
+  bool differs = false;
+  for (const auto& [name, pair] : merged) {
+    const auto& [sa, sb] = pair;
+    if (sa.count != sb.count || sa.total_us != sb.total_us) differs = true;
+    std::printf("%-24s %10zu %10zu %14.3f\n", name.c_str(), sa.count, sb.count,
+                (sb.total_us - sa.total_us) / 1e3);
+  }
+  return differs ? 1 : 0;
+}
+
+void emit_value(yoso::json::Writer& w, const yoso::json::Value& v) {
+  using Kind = yoso::json::Value::Kind;
+  switch (v.kind) {
+    case Kind::Null: w.null(); break;
+    case Kind::Bool: w.boolean(v.boolean); break;
+    case Kind::Number: w.raw(v.text); break;  // raw token: integers stay exact
+    case Kind::String: w.str(v.text); break;
+    case Kind::Array:
+      w.begin_array();
+      for (const auto& item : v.items) emit_value(w, item);
+      w.end_array();
+      break;
+    case Kind::Object:
+      w.begin_object();
+      for (const auto& [key, val] : v.members) {
+        w.key(key);
+        emit_value(w, val);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+int cmd_export(const std::string& path, const std::string& cat) {
+  const yoso::json::Value doc = yoso::json::parse(read_input(path));
+  const yoso::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace export: missing traceEvents\n");
+    return 1;
+  }
+  yoso::json::Writer w;
+  w.begin_object();
+  w.field("displayTimeUnit", doc.str_or("displayTimeUnit", "ms"));
+  w.key("traceEvents").begin_array();
+  std::size_t kept = 0;
+  for (const auto& ev : events->items) {
+    const bool meta = ev.str_or("ph", "") == "M";
+    if (!meta && !cat.empty() && ev.str_or("cat", "") != cat) continue;
+    emit_value(w, ev);
+    if (!meta) ++kept;
+  }
+  w.end_array();
+  w.end_object();
+  write_output("", w.take());
+  std::fprintf(stderr, "kept %zu events\n", kept);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") {
+      RunOptions opt;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+          opt.n = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
+          opt.width = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--degrade") == 0) {
+          opt.degrade = true;
+        } else if (std::strcmp(argv[i], "--wall") == 0) {
+          opt.wall = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          opt.out = argv[++i];
+        } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+          opt.report = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_run(opt);
+    }
+    if (cmd == "check") return cmd_check(argc > 2 ? argv[2] : "");
+    if (cmd == "summarize") return cmd_summarize(argc > 2 ? argv[2] : "");
+    if (cmd == "diff" && argc > 3) return cmd_diff(argv[2], argv[3]);
+    if (cmd == "export") {
+      std::string path, cat;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cat") == 0 && i + 1 < argc) {
+          cat = argv[++i];
+        } else {
+          path = argv[i];
+        }
+      }
+      if (path.empty()) return usage();
+      return cmd_export(path, cat);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

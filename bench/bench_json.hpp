@@ -1,49 +1,16 @@
 // Line-per-key JSON merge for the bench result files (BENCH_comm.json).
 //
-// The file is a JSON object whose every top-level key sits on exactly one
-// line ("key": <single-line value>), so independent benches can each update
-// their own key without parsing the others' values.  merge_bench_json
-// rewrites the matching line (or appends a new one), keeping the rest.
+// The implementation lives in perf/benchfile.hpp so tools/perf shares it;
+// the file is parsed through the json::parse funnel (malformed input is an
+// error, not a silent partial merge) and rewritten one top-level key per
+// line, so independent benches can each update their own key while a plain
+// `git diff` still shows which experiment moved.
 #pragma once
 
-#include <cstdio>
-#include <fstream>
-#include <string>
-#include <utility>
-#include <vector>
+#include "perf/benchfile.hpp"
 
 namespace yoso::bench {
 
-inline void merge_bench_json(const std::string& path, const std::string& key,
-                             const std::string& value) {
-  std::vector<std::pair<std::string, std::string>> entries;
-  {
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto q1 = line.find('"');
-      if (q1 == std::string::npos) continue;  // braces / blank lines
-      const auto q2 = line.find('"', q1 + 1);
-      if (q2 == std::string::npos) continue;
-      const auto colon = line.find(':', q2);
-      if (colon == std::string::npos) continue;
-      std::string k = line.substr(q1 + 1, q2 - q1 - 1);
-      std::string v = line.substr(colon + 1);
-      while (!v.empty() && (v.back() == ',' || v.back() == ' ' || v.back() == '\r')) v.pop_back();
-      while (!v.empty() && v.front() == ' ') v.erase(v.begin());
-      if (k != key) entries.emplace_back(std::move(k), std::move(v));
-    }
-  }
-  entries.emplace_back(key, value);
-
-  std::ofstream out(path, std::ios::trunc);
-  out << "{\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    out << "\"" << entries[i].first << "\": " << entries[i].second
-        << (i + 1 < entries.size() ? ",\n" : "\n");
-  }
-  out << "}\n";
-  std::printf("[%s updated: key \"%s\"]\n", path.c_str(), key.c_str());
-}
+using yoso::perf::merge_bench_json;
 
 }  // namespace yoso::bench

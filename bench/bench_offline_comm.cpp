@@ -5,30 +5,17 @@
 // the KFF re-encryptions each contribute Theta(n) per gate).  This bench
 // measures the real ledger across a sweep of n and prints the per-category
 // breakdown for one configuration.
+//
+// The sweep itself lives in perf/sweep.hpp (tools/perf records the same
+// points); this bench keeps the human-readable table and shape check.
 #include <cstdio>
-#include <sstream>
 #include <vector>
 
 #include "bench_json.hpp"
-#include "circuit/workloads.hpp"
-#include "mpc/protocol.hpp"
+#include "common/json.hpp"
+#include "perf/sweep.hpp"
 
 using namespace yoso;
-
-namespace {
-
-std::vector<std::vector<mpz_class>> make_inputs(const Circuit& c, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
-  for (const auto& g : c.gates()) {
-    if (g.kind == GateKind::Input) {
-      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1 << 20))));
-    }
-  }
-  return inputs;
-}
-
-}  // namespace
 
 int main() {
   std::printf("=== E4: offline broadcast elements per multiplication gate ===\n");
@@ -36,46 +23,37 @@ int main() {
   std::printf("%4s %3s %3s | %16s | %16s\n", "n", "t", "k", "offline elems/gate",
               "offline/(n*gate)");
 
-  double first_ratio = 0, last_ratio = 0;
-  unsigned n_first = 0, n_last = 0;
-  const Ledger* last_ledger = nullptr;
-  static std::vector<YosoMpc*> keep;  // keep ledgers alive for the breakdown
-  std::ostringstream json;
-  json << "{";
+  std::vector<perf::OfflinePoint> points;
   for (unsigned n : {4u, 6u, 8u, 12u, 16u}) {
-    auto params = ProtocolParams::for_gap(n, 0.25, 128);
-    Circuit c = wide_mul_circuit(n);
-    auto* mpc = new YosoMpc(params, c, AdversaryPlan::honest(n), 9200 + n);
-    keep.push_back(mpc);
-    mpc->run(make_inputs(c, n));
-    double per_gate =
-        static_cast<double>(mpc->ledger().phase_total(Phase::Offline).elements) /
-        static_cast<double>(c.num_mul_gates());
-    std::printf("%4u %3u %3u | %16.1f | %16.2f\n", n, params.t, params.k, per_gate,
-                per_gate / n);
-    if (n_first != 0) json << ",";
-    json << "\"n" << n << "\":" << mpc->ledger().report_json();
-    if (n_first == 0) {
-      n_first = n;
-      first_ratio = per_gate;
-    }
-    n_last = n;
-    last_ratio = per_gate;
-    last_ledger = &mpc->ledger();
+    perf::OfflinePoint pt = perf::run_offline_point(n);
+    const double per_gate = pt.offline_elems / static_cast<double>(pt.gates);
+    std::printf("%4u %3u %3u | %16.1f | %16.2f\n", pt.n, pt.t, pt.k, per_gate, per_gate / n);
+    points.push_back(std::move(pt));
   }
 
+  const perf::OfflinePoint& first = points.front();
+  const perf::OfflinePoint& last = points.back();
+  const double first_ratio = first.offline_elems / static_cast<double>(first.gates);
+  const double last_ratio = last.offline_elems / static_cast<double>(last.gates);
   std::printf("\nShape check (n: %u -> %u): offline elems/gate grew %.2fx over a %.1fx "
               "increase in n — paper predicts ~linear (O(n)).\n",
-              n_first, n_last, last_ratio / first_ratio,
-              static_cast<double>(n_last) / n_first);
+              first.n, last.n, last_ratio / first_ratio,
+              static_cast<double>(last.n) / first.n);
 
-  std::printf("\nPer-category offline breakdown at n = %u:\n", n_last);
-  for (const auto& [cat, e] : last_ledger->categories(Phase::Offline)) {
-    std::printf("  %-22s %8zu msgs %10zu elems %12zu bytes\n", cat.c_str(), e.messages,
-                e.elements, e.bytes);
+  std::printf("\nPer-category offline breakdown at n = %u:\n", last.n);
+  const json::Value report = json::parse(last.report);
+  if (const json::Value* offline = report.find("offline")) {
+    if (const json::Value* cats = offline->find("categories")) {
+      for (const auto& [cat, e] : cats->members) {
+        std::printf("  %-22s %8zu msgs %10zu elems %12zu bytes\n", cat.c_str(),
+                    static_cast<std::size_t>(e.u64_or("messages", 0)),
+                    static_cast<std::size_t>(e.u64_or("elements", 0)),
+                    static_cast<std::size_t>(e.u64_or("bytes", 0)));
+      }
+    }
   }
 
-  json << "}";
-  yoso::bench::merge_bench_json("BENCH_comm.json", "offline_comm", json.str());
+  yoso::bench::merge_bench_json("BENCH_comm.json", "offline_comm",
+                                perf::offline_comm_json(points));
   return 0;
 }

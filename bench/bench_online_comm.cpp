@@ -7,32 +7,20 @@
 // decryptions per gate.  A third column shows the analytic cost of the
 // "naive" variant the paper warns about (leaving packed shares under tpk,
 // Section 3.4): n partials per packed share, i.e. O(n^2 / k) per gate.
+//
+// The sweep itself lives in perf/sweep.hpp (tools/perf records the same
+// points); this bench keeps the human-readable table and shape check.
 #include <cstdio>
-#include <sstream>
 #include <vector>
 
-#include "baseline/cdn.hpp"
 #include "bench_json.hpp"
+#include "circuit/batching.hpp"
 #include "circuit/workloads.hpp"
-#include "mpc/protocol.hpp"
+#include "mpc/params.hpp"
+#include "perf/sweep.hpp"
 #include "sortition/analysis.hpp"
 
 using namespace yoso;
-
-namespace {
-
-std::vector<std::vector<mpz_class>> make_inputs(const Circuit& c, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
-  for (const auto& g : c.gates()) {
-    if (g.kind == GateKind::Input) {
-      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1 << 20))));
-    }
-  }
-  return inputs;
-}
-
-}  // namespace
 
 int main() {
   std::printf("=== E3: online broadcast elements per multiplication gate ===\n");
@@ -40,53 +28,31 @@ int main() {
   std::printf("%4s %3s %3s | %14s | %14s | %14s | %10s\n", "n", "t", "k", "ours: mult/gate",
               "ours: total/gate", "CDN: total/gate", "naive/gate");
 
-  double ours_first = 0, cdn_first = 0, cdn_last = 0, ours_last = 0;
-  unsigned n_first = 0, n_last = 0;
-  std::ostringstream json;
-  json << "{";
+  std::vector<perf::OnlinePoint> points;
   for (unsigned n : {4u, 6u, 8u, 12u, 16u}) {
-    auto params = ProtocolParams::for_gap(n, 0.25, 128);
-    Circuit c = wide_mul_circuit(4 * n);  // width Theta(n), the paper's regime
-    const double gates = static_cast<double>(c.num_mul_gates());
-
-    YosoMpc ours(params, c, AdversaryPlan::honest(n), 9000 + n);
-    ours.run(make_inputs(c, n));
-    double ours_mult =
-        static_cast<double>(ours.ledger().categories(Phase::Online).at("online.mult").elements) /
-        gates;
-    double ours_total =
-        static_cast<double>(ours.ledger().phase_total(Phase::Online).elements) / gates;
-
-    CdnBaseline cdn(params, c, AdversaryPlan::honest(n), 9100 + n);
-    cdn.run(make_inputs(c, n));
-    double cdn_total =
-        static_cast<double>(cdn.ledger().phase_total(Phase::Online).elements) / gates;
-    double cdn_mult =
-        static_cast<double>(cdn.ledger().categories(Phase::Online).at("cdn.mult.pdec").elements) /
-        gates;
+    perf::OnlinePoint pt = perf::run_online_point(n);
+    const double gates = static_cast<double>(pt.gates);
 
     // Naive variant: every packed share (3 per role per batch) threshold-
     // decrypted under tpk online: 3 * n * n partials per batch of k gates.
-    double naive = 3.0 * n * n * batch_count(c, params.k) / gates;
+    Circuit c = wide_mul_circuit(4 * n);
+    double naive = 3.0 * n * n * batch_count(c, pt.k) / gates;
 
-    if (n_first != 0) json << ",";
-    json << "\"n" << n << "\":{\"ours\":" << ours.ledger().report_json()
-         << ",\"cdn\":" << cdn.ledger().report_json() << "}";
-
-    std::printf("%4u %3u %3u | %14.1f | %14.1f | %14.1f | %10.1f\n", n, params.t, params.k,
-                ours_mult, ours_total, cdn_total, naive);
-    if (n_first == 0) {
-      n_first = n;
-      ours_first = ours_mult;
-      cdn_first = cdn_mult;
-    }
-    n_last = n;
-    ours_last = ours_mult;
-    cdn_last = cdn_mult;
+    std::printf("%4u %3u %3u | %14.1f | %14.1f | %14.1f | %10.1f\n", pt.n, pt.t, pt.k,
+                pt.ours_mult_elems / gates, pt.ours_total_elems / gates,
+                pt.cdn_total_elems / gates, naive);
+    points.push_back(std::move(pt));
   }
 
-  std::printf("\nShape check (n: %u -> %u, a %.1fx increase):\n", n_first, n_last,
-              static_cast<double>(n_last) / n_first);
+  const perf::OnlinePoint& first = points.front();
+  const perf::OnlinePoint& last = points.back();
+  const double ours_first = first.ours_mult_elems / static_cast<double>(first.gates);
+  const double ours_last = last.ours_mult_elems / static_cast<double>(last.gates);
+  const double cdn_first = first.cdn_mult_elems / static_cast<double>(first.gates);
+  const double cdn_last = last.cdn_mult_elems / static_cast<double>(last.gates);
+
+  std::printf("\nShape check (n: %u -> %u, a %.1fx increase):\n", first.n, last.n,
+              static_cast<double>(last.n) / first.n);
   std::printf("  ours  (mult/gate) grew %.2fx  — paper predicts ~flat (O(1))\n",
               ours_last / ours_first);
   std::printf("  CDN   (mult/gate)  grew %.2fx — paper predicts ~linear (O(n))\n",
@@ -97,9 +63,8 @@ int main() {
   // Calibrate on the steady-state mult categories only: the baseline posts
   // cdn_slope elements per gate per member (2 partials, analytically), ours
   // posts e0 elements per mu-share with n/k shares per gate.
-  double cdn_slope = cdn_last / n_last;
-  auto last_params = ProtocolParams::for_gap(n_last, 0.25, 128);
-  double e0 = ours_last * last_params.k / n_last;
+  double cdn_slope = cdn_last / last.n;
+  double e0 = ours_last * last.k / last.n;
   for (double C : {1000.0, 20000.0}) {
     for (double f : {0.05, 0.20}) {
       auto g = analyze_gap(SortitionConfig{C, f});
@@ -113,7 +78,7 @@ int main() {
     }
   }
 
-  json << "}";
-  yoso::bench::merge_bench_json("BENCH_comm.json", "online_comm", json.str());
+  yoso::bench::merge_bench_json("BENCH_comm.json", "online_comm",
+                                perf::online_comm_json(points));
   return 0;
 }

@@ -389,4 +389,26 @@ std::string Value::str_or(std::string_view k, std::string fallback) const {
 
 Value parse(std::string_view text) { return Parser(text).document(); }
 
+void write(Writer& w, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::Null: w.null(); break;
+    case Value::Kind::Bool: w.boolean(v.boolean); break;
+    case Value::Kind::Number: w.raw(v.text); break;  // raw token: integers stay exact
+    case Value::Kind::String: w.str(v.text); break;
+    case Value::Kind::Array:
+      w.begin_array();
+      for (const auto& item : v.items) write(w, item);
+      w.end_array();
+      break;
+    case Value::Kind::Object:
+      w.begin_object();
+      for (const auto& [key, val] : v.members) {
+        w.key(key);
+        write(w, val);
+      }
+      w.end_object();
+      break;
+  }
+}
+
 }  // namespace yoso::json

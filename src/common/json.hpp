@@ -105,4 +105,8 @@ struct Value {
 // Throws std::invalid_argument with a byte offset on malformed input.
 Value parse(std::string_view text);
 
+// Re-emits a parsed Value through a Writer (numbers keep their raw source
+// token, so integers stay exact across a parse/write round trip).
+void write(Writer& w, const Value& v);
+
 }  // namespace yoso::json

@@ -6,6 +6,7 @@
 #include "crypto/ct.hpp"
 #include "crypto/sha256.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "wire/codec.hpp"
 
@@ -103,6 +104,15 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
                                 const std::vector<std::uint8_t>* payload) {
   Bulletin::publish(committee, index0, phase, label, bytes, elements, first_post_of_role,
                     payload);
+  // A committee that begins publishing has just activated; in the YOSO
+  // handover order it consumed everything already on the board, so pending
+  // flow edges resolve to it on its first post.  (Resolution cannot happen
+  // at spawn time: YosoMpc spawns the whole committee schedule up front,
+  // before any of them act.)
+  if (committee.name != flow_actor_) {
+    flow_.resolve(committee.name);
+    flow_actor_ = committee.name;
+  }
   if (payload != nullptr) bytes = payload->size();  // price the real serialized message
   const std::string sender = committee.name + "#" + std::to_string(index0);
   const std::string key = "c:" + committee.name;
@@ -156,6 +166,8 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       // The original counts; the replayed copy is priced on the wire but the
       // board's one-shot discipline ignores it.
       ++pp.delivered;
+      flow_.record(committee.name, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes,
+                   elements);
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
       ++pp.originated;
       ++pp.duplicate;
@@ -173,6 +185,8 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
         ++pp.late_graced;
         OBS_COUNT("post.accepted");
         OBS_COUNT("post.late_graced");
+        flow_.record(committee.name, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes,
+                     elements);
         enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
         return PostStatus::Accepted;
       }
@@ -186,6 +200,8 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
   }
   ++pp.delivered;
   OBS_COUNT("post.accepted");
+  flow_.record(committee.name, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes,
+               elements);
   enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
   return PostStatus::Accepted;
 }
@@ -200,6 +216,7 @@ void NetBulletin::publish_external(const std::string& who, Phase phase, const st
   PhasePosts& pp = posts(phase);
   ++pp.originated;
   ++pp.delivered;
+  flow_.record(who, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes, elements);
   enqueue("x:" + label, phase, who, bytes, payload, /*link_dropped=*/false, 0);
 }
 
@@ -218,10 +235,14 @@ void NetBulletin::on_committee_spawn(Committee& committee) {
 void NetBulletin::flush() {
   if (pending_.empty()) return;
   PhaseTraffic& pt = traffic_[phase_idx(pending_phase_)];
+  const double round_start = clock_;
+  std::size_t round_bytes = 0;
+  const std::size_t round_posts = pending_.size();
   for (const PendingPost& p : pending_) {
     transport_.broadcast_decided(p.sender, p.bytes, clock_ + p.release_delay, p.link_dropped);
     pt.messages += 1;
     pt.payload_bytes += p.bytes;
+    round_bytes += p.bytes;
   }
   transport_.run();
   const double round_end = std::max(clock_, transport_.last_delivery());
@@ -230,6 +251,22 @@ void NetBulletin::flush() {
   clock_ = round_end;
   pending_.clear();
   pending_key_.clear();
+#ifndef OBS_DISABLED
+  // Sample the round's shape on the virtual clock: what was in flight, how
+  // deep the board queue ran, and the bandwidth the round achieved.  These
+  // render as Perfetto counter tracks under the span timeline.
+  auto& ts = obs::timeseries();
+  ts.series("net.queue.posts").sample(round_start, static_cast<double>(round_posts));
+  ts.series("net.inflight.bytes").sample(round_start, static_cast<double>(round_bytes));
+  ts.series("net.inflight.bytes").sample(round_end, 0);
+  if (round_end > round_start) {
+    ts.series(std::string("net.bw.") + phase_key(phase_idx(pending_phase_)))
+        .sample(round_end, static_cast<double>(round_bytes) / (round_end - round_start));
+  }
+#else
+  (void)round_start;
+  (void)round_posts;
+#endif
 }
 
 double NetBulletin::elapsed() {
@@ -249,6 +286,12 @@ const TransportStats& NetBulletin::stats() {
 
 const PhasePosts& NetBulletin::phase_posts(Phase phase) const {
   return posts_[phase_idx(phase)];
+}
+
+const obs::FlowMatrix& NetBulletin::flow() {
+  flush();
+  flow_.finalize("observers");
+  return flow_;
 }
 
 PhasePosts NetBulletin::total_posts() const {
@@ -274,6 +317,9 @@ std::string NetBulletin::report_json() const {
   w.field("link", cfg_.link.name);
   w.field("topology", topology_name(cfg_.topology));
   w.field("elapsed_s", clock_);
+  // Always stated, even when zero: an absent key would be ambiguous between
+  // "grace disabled" and "no grace configured".
+  w.field("grace_window_s", cfg_.grace_window_s);
   w.key("phases").begin_object();
   for (std::size_t i = 0; i < traffic_.size(); ++i) {
     const PhaseTraffic& pt = traffic_[i];
@@ -308,6 +354,20 @@ std::string NetBulletin::report_json() const {
   w.field("fuzz_rejected", static_cast<std::uint64_t>(fuzz_rejected_));
   w.field("fuzz_decoded", static_cast<std::uint64_t>(fuzz_decoded_));
   w.field("roles_silenced", static_cast<std::uint64_t>(roles_silenced_));
+  w.key("flow").begin_object();
+  {
+    // flow() flushes and finalizes pending edges to "observers".
+    const obs::FlowMatrix& fm = const_cast<NetBulletin*>(this)->flow();
+    json::Writer edges;
+    fm.write_json(edges);
+    w.key("edges").raw(edges.take());
+#ifndef OBS_DISABLED
+    w.key("series").raw(obs::timeseries().report_json());
+#else
+    w.key("series").raw("{}");
+#endif
+  }
+  w.end_object();
   w.key("base").raw(Bulletin::report_json());
   w.end_object();
   return w.take();

@@ -39,6 +39,7 @@
 #include "net/link.hpp"
 #include "net/transport.hpp"
 #include "net/wire_faults.hpp"
+#include "obs/flow.hpp"
 #include "yoso/bulletin.hpp"
 
 namespace yoso::net {
@@ -115,6 +116,11 @@ public:
   // Post accounting (chaos invariants + report_json).
   const PhasePosts& phase_posts(Phase phase) const;
   PhasePosts total_posts() const;
+  // Per-edge traffic matrix over delivered posts: sender committee ->
+  // consuming committee (the next one to begin publishing), keyed by ledger
+  // category.  Edges still pending a consumer — the final committee's
+  // output posts — resolve to "observers" on first access.
+  const obs::FlowMatrix& flow();
   // Mutated payloads probed through the codec: rejected cleanly vs. decoded
   // anyway (a flip inside a bignum body is syntactically valid; the frame
   // checksum still rejects the post).
@@ -147,6 +153,8 @@ private:
   Phase pending_phase_ = Phase::Setup;
   std::array<PhaseTraffic, 3> traffic_{};
   std::array<PhasePosts, 3> posts_{};
+  obs::FlowMatrix flow_;
+  std::string flow_actor_;  // committee currently publishing (flow consumer tracking)
   std::size_t decode_failures_ = 0;
   std::size_t fuzz_rejected_ = 0;
   std::size_t fuzz_decoded_ = 0;

@@ -1,0 +1,60 @@
+#include "obs/flow.hpp"
+
+#include "common/json.hpp"
+
+namespace yoso::obs {
+
+#ifndef OBS_DISABLED
+
+void FlowMatrix::record(std::string src, std::string category, std::uint8_t phase,
+                        std::uint64_t bytes, std::uint64_t elements) {
+  pending_.push_back(Pending{std::move(src), std::move(category), phase, bytes, elements});
+}
+
+void FlowMatrix::resolve(const std::string& dst) {
+  for (Pending& p : pending_) {
+    FlowCell& cell = edges_[FlowKey{std::move(p.src), dst, std::move(p.category), p.phase}];
+    cell.messages += 1;
+    cell.bytes += p.bytes;
+    cell.elements += p.elements;
+  }
+  pending_.clear();
+}
+
+void FlowMatrix::finalize(const std::string& fallback) { resolve(fallback); }
+
+void FlowMatrix::reset() {
+  pending_.clear();
+  edges_.clear();
+}
+
+#endif  // OBS_DISABLED
+
+FlowCell FlowMatrix::phase_total(std::uint8_t phase) const {
+  FlowCell total;
+  for (const auto& [key, cell] : edges()) {
+    if (key.phase != phase) continue;
+    total.messages += cell.messages;
+    total.bytes += cell.bytes;
+    total.elements += cell.elements;
+  }
+  return total;
+}
+
+void FlowMatrix::write_json(json::Writer& w) const {
+  w.begin_array();
+  for (const auto& [key, cell] : edges()) {
+    w.begin_object();
+    w.field("src", key.src);
+    w.field("dst", key.dst);
+    w.field("category", key.category);
+    w.field("phase", static_cast<std::uint64_t>(key.phase));
+    w.field("messages", cell.messages);
+    w.field("bytes", cell.bytes);
+    w.field("elements", cell.elements);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace yoso::obs

@@ -1,0 +1,106 @@
+// Per-edge traffic matrix: who sent how much to whom, under which ledger
+// category, in which phase.
+//
+// The bulletin board realizes every message as a broadcast, so the
+// "receiver" of a post is the committee that *consumes* it — which, in the
+// YOSO activation order, is the next committee to act after the post is on
+// the board.  FlowMatrix therefore records posts with a pending receiver;
+// NetBulletin resolves all pending posts to a committee when it begins
+// publishing (its first post marks its activation — spawn time is useless
+// as a signal, the whole schedule is spawned up front), and anything still
+// pending at report time (the final committee's output posts) resolves to
+// the `observers` fallback.
+//
+// Only posts *accepted onto the board* are recorded, so the matrix obeys a
+// conservation law against the PhasePosts accounting from the chaos layer:
+// for every phase, the sum of edge messages equals PhasePosts::delivered
+// (tests/flow_test.cpp asserts this under fault injection).
+//
+// Like the rest of src/obs the matrix is compiled out by OBS_DISABLED:
+// record()/resolve() become empty inline functions and the report emits an
+// empty edge list.  It is deliberately *not* muted by obs::set_enabled —
+// it is board-scoped accounting (like the ledger), not sampling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace yoso::json {
+class Writer;
+}
+
+namespace yoso::obs {
+
+struct FlowKey {
+  std::string src;       // sending committee (or external sender name)
+  std::string dst;       // consuming committee (or "observers")
+  std::string category;  // ledger category of the post
+  std::uint8_t phase = 0;
+
+  bool operator<(const FlowKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    if (category != o.category) return category < o.category;
+    return phase < o.phase;
+  }
+};
+
+struct FlowCell {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t elements = 0;
+};
+
+class FlowMatrix {
+public:
+#ifndef OBS_DISABLED
+  // Records one delivered post whose consumer is not yet known.
+  void record(std::string src, std::string category, std::uint8_t phase, std::uint64_t bytes,
+              std::uint64_t elements);
+  // Assigns every pending post to `dst` (the committee that just started
+  // acting consumes everything already on the board).
+  void resolve(const std::string& dst);
+  // Resolves any leftover pending posts to `fallback`; idempotent.
+  void finalize(const std::string& fallback);
+  void reset();
+
+  const std::map<FlowKey, FlowCell>& edges() const { return edges_; }
+  std::size_t pending() const { return pending_.size(); }
+#else
+  void record(const std::string&, const std::string&, std::uint8_t, std::uint64_t,
+              std::uint64_t) {}
+  void resolve(const std::string&) {}
+  void finalize(const std::string&) {}
+  void reset() {}
+
+  const std::map<FlowKey, FlowCell>& edges() const {
+    static const std::map<FlowKey, FlowCell> kEmpty;
+    return kEmpty;
+  }
+  std::size_t pending() const { return 0; }
+#endif
+
+  // Sum over all edges of one phase.
+  FlowCell phase_total(std::uint8_t phase) const;
+
+  // Writes the matrix as a JSON array value (one object per edge, sorted by
+  // key, so identical runs serialize byte-identically).
+  void write_json(json::Writer& w) const;
+
+#ifndef OBS_DISABLED
+private:
+  struct Pending {
+    std::string src;
+    std::string category;
+    std::uint8_t phase;
+    std::uint64_t bytes;
+    std::uint64_t elements;
+  };
+  std::vector<Pending> pending_;
+  std::map<FlowKey, FlowCell> edges_;
+#endif
+};
+
+}  // namespace yoso::obs

@@ -1,0 +1,65 @@
+// Virtual-clock-sampled time series: the communication *shape* of a run
+// over time, inspectable and diffable.
+//
+// A Series is a list of (t, value) samples in virtual seconds; the
+// registry hands out stable handles by dotted name, exactly like the
+// metrics registry (node-based map — reset() clears the points but keeps
+// every handle valid).  NetBulletin samples in-flight bytes, board queue
+// depth and per-phase bandwidth at every round flush; because the sample
+// clock is the discrete-event virtual clock, two identical seeded runs
+// produce byte-identical series.
+//
+// The tracer's Chrome-trace export emits every series as a Perfetto
+// counter track ("C" events), so the byte flow renders as a graph under
+// the span timeline.  Sampling is muted by obs::set_enabled(false) and the
+// whole registry is compiled out by OBS_DISABLED (call sites must be
+// guarded, as they are in net_bulletin.cpp).
+#pragma once
+
+#ifndef OBS_DISABLED
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/runtime.hpp"
+
+namespace yoso::obs {
+
+class Series {
+public:
+  void sample(double t, double v) {
+    if (enabled()) points_.emplace_back(t, v);
+  }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+  void reset() { points_.clear(); }
+
+private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+class TimeSeriesRegistry {
+public:
+  // Stable for the registry's lifetime (node-based map).
+  Series& series(const std::string& name);
+
+  // Clears every series' points (handles stay valid).
+  void reset();
+
+  const std::map<std::string, std::unique_ptr<Series>>& all() const { return series_; }
+
+  // {"name":[[t,v],...],...} — names in lexicographic order; series with no
+  // samples are omitted.
+  std::string report_json() const;
+
+private:
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+TimeSeriesRegistry& timeseries();
+
+}  // namespace yoso::obs
+
+#endif  // OBS_DISABLED

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/json.hpp"
+#include "obs/timeseries.hpp"
 
 namespace yoso::obs {
 
@@ -135,6 +136,21 @@ std::string Tracer::chrome_trace_json(bool include_wall) const {
     }
     w.end_object();
     w.end_object();
+  }
+
+  // Flow/time-series samples become Perfetto counter tracks: one "C" event
+  // per sample, named after the series, on the virtual-clock timeline.
+  for (const auto& [name, series] : timeseries().all()) {
+    for (const auto& [t, v] : series->points()) {
+      w.begin_object();
+      w.field("ph", "C").field("pid", 1).field("tid", 1);
+      w.field("name", name);
+      w.key("ts").num(t * 1e6);
+      w.key("args").begin_object();
+      w.key("value").num(v);
+      w.end_object();
+      w.end_object();
+    }
   }
 
   w.end_array();

@@ -1,0 +1,59 @@
+#include "perf/history.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace yoso::perf {
+
+std::string snapshot_json(const HistorySnapshot& snap) {
+  json::Writer w;
+  w.begin_object();
+  w.field("timestamp", snap.timestamp);
+  w.field("label", snap.label);
+  w.key("metrics").begin_object();
+  for (const auto& [metric, value] : snap.metrics) {
+    w.field(metric, value);
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+void append_history(const std::string& path, const HistorySnapshot& snap) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  if (!out) throw std::runtime_error("history: cannot open " + path);
+  out << snapshot_json(snap) << "\n";
+}
+
+std::vector<HistorySnapshot> load_history(const std::string& path) {
+  std::vector<HistorySnapshot> snaps;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return snaps;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("history " + path + " line " + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+    HistorySnapshot snap;
+    snap.timestamp = doc.str_or("timestamp", "");
+    snap.label = doc.str_or("label", "");
+    if (const json::Value* metrics = doc.find("metrics"); metrics && metrics->is_object()) {
+      for (const auto& [key, val] : metrics->members) {
+        if (val.is_number()) snap.metrics[key] = val.number;
+      }
+    }
+    snaps.push_back(std::move(snap));
+  }
+  return snaps;
+}
+
+}  // namespace yoso::perf

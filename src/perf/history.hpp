@@ -1,0 +1,32 @@
+// Append-only perf history (BENCH_history.jsonl).
+//
+// `perf record` appends one snapshot line per run — timestamp, free-form
+// label, and the flattened metric map — and `perf trend` diffs consecutive
+// snapshots.  JSONL keeps the file merge-friendly: appends never rewrite
+// earlier lines.  Timestamps are supplied by the caller (the CLI), not
+// read here, so the library stays deterministic and testable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace yoso::perf {
+
+struct HistorySnapshot {
+  std::string timestamp;  // ISO-8601 UTC, caller-provided
+  std::string label;
+  std::map<std::string, double> metrics;
+};
+
+// One-line JSON document for a snapshot.
+std::string snapshot_json(const HistorySnapshot& snap);
+
+// Appends `snap` as one line; creates the file when absent.
+void append_history(const std::string& path, const HistorySnapshot& snap);
+
+// Parses every non-blank line; a malformed line throws std::invalid_argument
+// naming its line number.
+std::vector<HistorySnapshot> load_history(const std::string& path);
+
+}  // namespace yoso::perf

@@ -35,6 +35,7 @@
 #include "net/wire_faults.hpp"  // mix64
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -108,6 +109,7 @@ int cmd_run(const RunOptions& opt) {
 
   yoso::obs::tracer().reset();
   yoso::obs::metrics().reset();
+  yoso::obs::timeseries().reset();
   yoso::obs::set_enabled(true);
 
   const yoso::Circuit circuit = schedule.circuit();
@@ -221,29 +223,6 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
   return differs ? 1 : 0;
 }
 
-void emit_value(yoso::json::Writer& w, const yoso::json::Value& v) {
-  using Kind = yoso::json::Value::Kind;
-  switch (v.kind) {
-    case Kind::Null: w.null(); break;
-    case Kind::Bool: w.boolean(v.boolean); break;
-    case Kind::Number: w.raw(v.text); break;  // raw token: integers stay exact
-    case Kind::String: w.str(v.text); break;
-    case Kind::Array:
-      w.begin_array();
-      for (const auto& item : v.items) emit_value(w, item);
-      w.end_array();
-      break;
-    case Kind::Object:
-      w.begin_object();
-      for (const auto& [key, val] : v.members) {
-        w.key(key);
-        emit_value(w, val);
-      }
-      w.end_object();
-      break;
-  }
-}
-
 int cmd_export(const std::string& path, const std::string& cat) {
   const yoso::json::Value doc = yoso::json::parse(read_input(path));
   const yoso::json::Value* events = doc.find("traceEvents");
@@ -259,7 +238,7 @@ int cmd_export(const std::string& path, const std::string& cat) {
   for (const auto& ev : events->items) {
     const bool meta = ev.str_or("ph", "") == "M";
     if (!meta && !cat.empty() && ev.str_or("cat", "") != cat) continue;
-    emit_value(w, ev);
+    yoso::json::write(w, ev);
     if (!meta) ++kept;
   }
   w.end_array();

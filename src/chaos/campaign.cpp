@@ -8,6 +8,7 @@
 #include "mpc/protocol.hpp"
 #include "net/wire_faults.hpp"  // mix64
 #include "obs/trace.hpp"
+#include "service/service.hpp"
 
 namespace yoso::chaos {
 
@@ -72,6 +73,107 @@ bool report_consistent(const FailureReport& fr, unsigned n) {
   return fr.verified < fr.threshold && fr.roles() == n && fr.threshold <= n;
 }
 
+// Service-mode run: the same fault layers, but the target is an MpcService
+// multiplexing schedule.service_sessions sessions over a shared triple
+// pool.  The contract lifts per-session: in-bounds schedules must complete
+// every session correctly; every failed session must carry a classified,
+// consistent FailureReport; each session board obeys conservation and the
+// one-shot discipline; pool accounting must balance (hits + misses equals
+// sessions run, and a stalled pool never serves a hit).
+void run_one_service(const FaultSchedule& schedule, RunReport& r) {
+  service::ServiceConfig cfg;
+  cfg.n = schedule.n;
+  cfg.eps = schedule.eps;
+  cfg.paillier_bits = schedule.paillier_bits;
+  cfg.failstop_mode = schedule.failstop_mode;
+  cfg.seed = schedule.seed;
+  cfg.max_concurrent = 2;
+  cfg.max_queue = schedule.service_sessions;
+  cfg.net = schedule.net_config();
+  cfg.plan = schedule.adversary();
+  cfg.pool.lanes = 1;
+  cfg.pool.capacity = 2;
+  cfg.pool.stalled = schedule.pool_stall;
+  cfg.pool_circuit = schedule.circuit();
+
+  const Circuit circuit = schedule.circuit();
+  std::vector<std::vector<std::vector<mpz_class>>> inputs;
+  service::MpcService svc(cfg);
+  for (unsigned i = 0; i < schedule.service_sessions; ++i) {
+    inputs.push_back(
+        schedule_inputs(circuit, net::mix64(schedule.seed ^ (0xabc0ULL + i))));
+    service::SessionRequest req;
+    req.tag = "chaos.session." + std::to_string(i);
+    req.circuit = circuit;
+    req.inputs = inputs.back();
+    // Spaced past the pool's first banking time, so later sessions exercise
+    // the hit path while the first usually misses cold.
+    svc.submit_at(0.02 * static_cast<double>(i), std::move(req));
+  }
+  svc.run();
+
+  bool any_failed = false, any_wrong = false;
+  std::size_t ran = 0;
+  for (const auto& rec : svc.sessions()) {
+    if (!rec->terminal()) {
+      r.violations.push_back("session " + std::to_string(rec->id) + " not terminal: " +
+                             session_state_name(rec->state));
+      continue;
+    }
+    switch (rec->state) {
+      case service::SessionState::Rejected:
+        ++r.svc_rejected;
+        continue;  // never ran; no board to audit
+      case service::SessionState::Completed: ++r.svc_completed; break;
+      case service::SessionState::Failed: ++r.svc_failed; break;
+      default: break;
+    }
+    ++ran;
+    if (rec->board) {
+      check_board(*rec->board, r);
+      r.total_bytes += rec->ledger->total().bytes;
+    }
+    if (rec->state == service::SessionState::Completed) {
+      const auto expected =
+          circuit.eval(inputs[rec->id - 1], rec->plaintext_modulus);
+      if (rec->outputs != expected) {
+        any_wrong = true;
+        r.violations.push_back("session " + std::to_string(rec->id) + " wrong output");
+      }
+    } else {
+      any_failed = true;
+      if (rec->failure) {
+        if (!report_consistent(*rec->failure, schedule.n)) {
+          r.violations.push_back("session " + std::to_string(rec->id) +
+                                 " inconsistent FailureReport: " + rec->failure->describe());
+        }
+        if (!r.failure) r.failure = rec->failure;  // surface the first diagnosis
+      } else {
+        r.violations.push_back("session " + std::to_string(rec->id) +
+                               " failed without a FailureReport: " + rec->error);
+      }
+    }
+  }
+
+  const service::PoolStats& pool = svc.pool().stats();
+  r.svc_pool_hits = pool.hits;
+  r.svc_pool_misses = pool.misses;
+  if (pool.hits + pool.misses != ran) {
+    r.violations.push_back("pool accounting: hits + misses != sessions run");
+  }
+  if (schedule.pool_stall && pool.hits != 0) {
+    r.violations.push_back("stalled pool served a hit");
+  }
+
+  if (any_wrong) {
+    r.outcome = Outcome::WrongOutput;
+  } else if (any_failed) {
+    r.outcome = Outcome::ClassifiedAbort;
+  } else {
+    r.outcome = Outcome::Correct;
+  }
+}
+
 }  // namespace
 
 const char* outcome_name(Outcome o) {
@@ -106,7 +208,9 @@ RunReport CampaignRunner::run_one(const FaultSchedule& schedule) {
   std::optional<OnlineResult> result;
   mpz_class modulus = 0;
   try {
-    if (schedule.degradation) {
+    if (schedule.service_sessions > 0) {
+      run_one_service(schedule, r);
+    } else if (schedule.degradation) {
       DegradedRunResult d =
           run_with_degradation(schedule.n, schedule.eps, schedule.paillier_bits, circuit,
                                schedule.adversary(), schedule.seed, make_board, inputs);
@@ -178,12 +282,22 @@ FaultSchedule CampaignRunner::campaign_schedule(std::uint64_t campaign_seed, std
   return FaultSchedule::random(net::mix64(campaign_seed) ^ static_cast<std::uint64_t>(i));
 }
 
-CampaignSummary CampaignRunner::run_campaign(std::uint64_t campaign_seed, std::size_t count,
-                                             const std::function<void(const RunReport&)>& on_run) {
+FaultSchedule CampaignRunner::service_campaign_schedule(std::uint64_t campaign_seed,
+                                                        std::size_t i) {
+  return FaultSchedule::random_service(net::mix64(campaign_seed) ^
+                                       static_cast<std::uint64_t>(i));
+}
+
+namespace {
+
+CampaignSummary run_campaign_with(
+    std::uint64_t campaign_seed, std::size_t count,
+    const std::function<FaultSchedule(std::uint64_t, std::size_t)>& schedule_for,
+    const std::function<void(const RunReport&)>& on_run) {
   CampaignSummary s;
   s.campaign_seed = campaign_seed;
   for (std::size_t i = 0; i < count; ++i) {
-    RunReport r = run_one(campaign_schedule(campaign_seed, i));
+    RunReport r = CampaignRunner::run_one(schedule_for(campaign_seed, i));
     ++s.runs;
     switch (r.outcome) {
       case Outcome::Correct: ++s.correct; break;
@@ -197,6 +311,20 @@ CampaignSummary CampaignRunner::run_campaign(std::uint64_t campaign_seed, std::s
     if (on_run) on_run(r);
   }
   return s;
+}
+
+}  // namespace
+
+CampaignSummary CampaignRunner::run_campaign(std::uint64_t campaign_seed, std::size_t count,
+                                             const std::function<void(const RunReport&)>& on_run) {
+  return run_campaign_with(campaign_seed, count, &CampaignRunner::campaign_schedule, on_run);
+}
+
+CampaignSummary CampaignRunner::run_service_campaign(
+    std::uint64_t campaign_seed, std::size_t count,
+    const std::function<void(const RunReport&)>& on_run) {
+  return run_campaign_with(campaign_seed, count, &CampaignRunner::service_campaign_schedule,
+                           on_run);
 }
 
 std::string RunReport::to_json() const {
@@ -213,6 +341,16 @@ std::string RunReport::to_json() const {
   w.field("fuzz_decoded", static_cast<std::uint64_t>(fuzz_decoded));
   w.field("total_bytes", static_cast<std::uint64_t>(total_bytes));
   w.field("strict_attempt_bytes", static_cast<std::uint64_t>(strict_attempt_bytes));
+  if (schedule.service_sessions > 0) {
+    w.key("service").begin_object();
+    w.field("sessions", schedule.service_sessions);
+    w.field("completed", static_cast<std::uint64_t>(svc_completed));
+    w.field("failed", static_cast<std::uint64_t>(svc_failed));
+    w.field("rejected", static_cast<std::uint64_t>(svc_rejected));
+    w.field("pool_hits", static_cast<std::uint64_t>(svc_pool_hits));
+    w.field("pool_misses", static_cast<std::uint64_t>(svc_pool_misses));
+    w.end_object();
+  }
   if (failure) w.key("failure").raw(failure->to_json());
   if (!violations.empty()) {
     w.key("violations").begin_array();

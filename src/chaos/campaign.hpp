@@ -48,8 +48,17 @@ struct RunReport {
   std::vector<std::string> violations;     // invariant violations (empty = ok)
   std::string crash_what;                  // what() of an escaped exception
 
+  // Service-mode accounting (schedule.service_sessions > 0): session fates
+  // and triple-pool hit/miss splits for the MpcService the run drove.
+  std::size_t svc_completed = 0;
+  std::size_t svc_failed = 0;
+  std::size_t svc_rejected = 0;
+  std::size_t svc_pool_hits = 0;
+  std::size_t svc_pool_misses = 0;
+
   // Board accounting, summed over every board the run used (two under
-  // degradation: strict attempt + retry).
+  // degradation: strict attempt + retry; one per session + unclaimed pool
+  // production in service mode).
   std::size_t posts_originated = 0;
   std::size_t posts_delivered = 0;
   std::size_t posts_dropped = 0;
@@ -93,8 +102,16 @@ public:
   static CampaignSummary run_campaign(std::uint64_t campaign_seed, std::size_t count,
                                       const std::function<void(const RunReport&)>& on_run = {});
 
+  // Service-mode campaign: every schedule targets an MpcService
+  // (FaultSchedule::random_service), exercising admission, queueing and the
+  // triple pool under the same layered faults and the same contract.
+  static CampaignSummary run_service_campaign(
+      std::uint64_t campaign_seed, std::size_t count,
+      const std::function<void(const RunReport&)>& on_run = {});
+
   // The i-th schedule of a campaign (what run_campaign executes).
   static FaultSchedule campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
+  static FaultSchedule service_campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
 };
 
 }  // namespace yoso::chaos

@@ -106,6 +106,8 @@ std::string FaultSchedule::to_json() const {
   w.field("late_prob", late_prob);
   w.field("late_delay_s", late_delay_s);
   w.field("grace_window_s", grace_window_s);
+  w.field("service_sessions", service_sessions);
+  w.field("pool_stall", pool_stall ? 1 : 0);
   w.end_object();
   return w.take();
 }
@@ -142,6 +144,8 @@ FaultSchedule FaultSchedule::from_json(const std::string& json) {
   s.late_prob = doc.num_or("late_prob", 0);
   s.late_delay_s = doc.num_or("late_delay_s", s.late_delay_s);
   s.grace_window_s = doc.num_or("grace_window_s", 0);
+  s.service_sessions = static_cast<unsigned>(doc.u64_or("service_sessions", 0));
+  s.pool_stall = doc.u64_or("pool_stall", 0) != 0;
   return s;
 }
 
@@ -174,6 +178,16 @@ FaultSchedule FaultSchedule::random(std::uint64_t seed) {
   if (st.below(4) == 0) s.late_prob = 0.05 + 0.25 * st.unit();
   s.late_delay_s = 0.5;
   if (st.below(2) == 0) s.grace_window_s = 1.0;  // grace covers the late delay
+  return s;
+}
+
+FaultSchedule FaultSchedule::random_service(std::uint64_t seed) {
+  FaultSchedule s = random(seed);
+  // A decorrelated stream for the service dimensions, so the base fault
+  // sampler's draws stay exactly what random(seed) produces.
+  Stream st(net::mix64(seed ^ 0x5e571ceULL));
+  s.service_sessions = 2 + static_cast<unsigned>(st.below(3));  // 2..4 sessions
+  s.pool_stall = st.below(4) == 0;
   return s;
 }
 

@@ -53,6 +53,15 @@ struct FaultSchedule {
   double late_delay_s = 1.0;
   double grace_window_s = 0;    // NetBulletin grace for late posts
 
+  // --- Service-mode target (src/service) -----------------------------------
+  // When service_sessions > 0 the campaign drives an MpcService — admission,
+  // queueing, the background triple pool — instead of a single bare YosoMpc
+  // run, submitting that many sessions of circuit() under the same fault
+  // layers.  pool_stall starves the pool (production never starts), forcing
+  // every session onto the inline miss path.
+  unsigned service_sessions = 0;
+  bool pool_stall = false;
+
   // Derived protocol parameters for this schedule.
   ProtocolParams params() const;
   Circuit circuit() const;
@@ -76,6 +85,10 @@ struct FaultSchedule {
   // Mixes in-bounds and out-of-bounds regions so a campaign exercises both
   // the GOD invariant and the classified-failure invariant.
   static FaultSchedule random(std::uint64_t seed);
+  // Service-mode sampler: random(seed) plus a session count and pool-stall
+  // roll.  Kept separate so existing campaign seeds keep reproducing the
+  // exact single-run schedules they always did.
+  static FaultSchedule random_service(std::uint64_t seed);
 
   bool operator==(const FaultSchedule&) const = default;
 };

@@ -178,4 +178,32 @@ std::vector<mpz_class> Circuit::eval(const std::vector<std::vector<mpz_class>>& 
   return out;
 }
 
+std::uint64_t Circuit::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(num_clients_);
+  mix(gates_.size());
+  for (const Gate& g : gates_) {
+    mix(static_cast<std::uint64_t>(g.kind));
+    mix(g.in0);
+    mix(g.in1);
+    mix(g.client);
+    if (g.kind == GateKind::AddConst || g.kind == GateKind::MulConst) {
+      const std::string c = g.constant.get_str(16);
+      for (char ch : c) mix(static_cast<unsigned char>(ch));
+    }
+  }
+  mix(outputs_.size());
+  for (const OutputSpec& o : outputs_) {
+    mix(o.wire);
+    mix(o.client);
+  }
+  return h;
+}
+
 }  // namespace yoso

@@ -66,6 +66,12 @@ public:
   std::vector<mpz_class> eval(const std::vector<std::vector<mpz_class>>& inputs,
                               const mpz_class& modulus) const;
 
+  // Deterministic structural fingerprint (FNV-1a over gates, constants and
+  // output specs).  Two circuits with equal fingerprints have identical gate
+  // lists, so preprocessing banked for one (src/service triple pool) is
+  // consumable by the other.
+  std::uint64_t fingerprint() const;
+
 private:
   WireId push(Gate g);
   void check_wire(WireId w) const;

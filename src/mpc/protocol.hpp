@@ -41,6 +41,12 @@ public:
   const Circuit& circuit() const { return circuit_; }
   const Ledger& ledger() const { return board_->ledger(); }
   const Bulletin& bulletin() const { return *board_; }
+  // Session re-entry seams (src/service): the triple pool banks instances
+  // after preprocess() and hands them to sessions, which call evaluate()
+  // later on the same board — these accessors let the service layer check
+  // where an instance stands without poking the run.
+  bool preprocessed() const { return preprocessed_; }
+  bool evaluated() const { return evaluated_; }
   // Plaintext modulus N^s of the computation.
   const mpz_class& plaintext_modulus() const;
   // Number of tsk hand-overs executed so far.

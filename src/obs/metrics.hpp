@@ -113,6 +113,13 @@ Metrics& metrics();
     obs_h_.observe(static_cast<std::uint64_t>(value));       \
   } while (0)
 
+#define OBS_GAUGE_SET(name, value)                           \
+  do {                                                       \
+    static ::yoso::obs::Gauge& obs_g_ =                      \
+        ::yoso::obs::metrics().gauge(name);                  \
+    obs_g_.set(static_cast<std::int64_t>(value));            \
+  } while (0)
+
 #else  // OBS_DISABLED
 
 #define OBS_COUNT(name) \
@@ -123,6 +130,10 @@ Metrics& metrics();
     (void)sizeof((delta));         \
   } while (0)
 #define OBS_HIST(name, value)      \
+  do {                             \
+    (void)sizeof((value));         \
+  } while (0)
+#define OBS_GAUGE_SET(name, value) \
   do {                             \
     (void)sizeof((value));         \
   } while (0)

@@ -1,0 +1,57 @@
+#include "service/session.hpp"
+
+#include "common/json.hpp"
+
+namespace yoso::service {
+
+const char* session_state_name(SessionState s) {
+  switch (s) {
+    case SessionState::Queued: return "queued";
+    case SessionState::Running: return "running";
+    case SessionState::Completed: return "completed";
+    case SessionState::Failed: return "failed";
+    case SessionState::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::TooManyClients: return "too_many_clients";
+    case RejectReason::TooDeep: return "too_deep";
+    case RejectReason::BadInputs: return "bad_inputs";
+    case RejectReason::ShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+std::string SessionRecord::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.field("id", static_cast<std::uint64_t>(id));
+  w.field("tag", tag);
+  w.field("priority", static_cast<std::uint64_t>(priority));
+  w.field("state", session_state_name(state));
+  w.field("reject_reason", reject_reason_name(reject_reason));
+  w.field("submit_s", submit_s);
+  w.field("start_s", start_s);
+  w.field("finish_s", finish_s);
+  w.field("latency_s", latency_s());
+  w.field("pool_hit", pool_hit);
+  if (failure.has_value()) {
+    w.key("failure").raw(failure->to_json());
+  }
+  if (!error.empty()) w.field("error", error);
+  w.key("outputs").begin_array();
+  for (const mpz_class& v : outputs) w.str(v.get_str());
+  w.end_array();
+  if (ledger) {
+    w.key("ledger").raw(ledger->report_json());
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace yoso::service

@@ -1,0 +1,90 @@
+// One session of the MPC-as-a-service layer (src/service).
+//
+// A session is one client-facing computation request — a circuit plus the
+// clients' inputs — multiplexed with many others over the YOSO substrate by
+// MpcService.  Each session owns its complete execution context: a Ledger,
+// a net::NetBulletin (its own discrete-event network), and the YosoMpc
+// instance that ran (or will run) on them, so traces, flow matrices and
+// byte accounting split cleanly by session.  All timestamps are virtual
+// seconds on the *service* clock, which is what makes a multi-session run
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpc/failure.hpp"
+#include "mpc/protocol.hpp"
+#include "net/net_bulletin.hpp"
+
+namespace yoso::service {
+
+// Lifecycle: Submitted -> (Rejected | Queued) -> Running -> (Completed | Failed).
+enum class SessionState : std::uint8_t { Queued, Running, Completed, Failed, Rejected };
+
+const char* session_state_name(SessionState s);
+
+// Structured admission-control rejection reasons (never free-form strings:
+// clients and the chaos invariants key on these).
+enum class RejectReason : std::uint8_t {
+  None,            // not rejected
+  QueueFull,       // the deterministic session queue is at max_queue
+  TooManyClients,  // circuit declares more input clients than the service cap
+  TooDeep,         // multiplicative depth beyond the service cap
+  BadInputs,       // inputs do not match the circuit's client declarations
+  ShuttingDown,    // arrived after shutdown_at()
+};
+
+const char* reject_reason_name(RejectReason r);
+
+// What a client submits.
+struct SessionRequest {
+  std::string tag;      // caller-assigned label ("agg.batch.17")
+  Circuit circuit;
+  std::vector<std::vector<mpz_class>> inputs;  // inputs[c] = client c's values
+  unsigned priority = 0;                       // higher admits first among queued
+};
+
+// The full lifecycle record of one session, owned by MpcService.  For a
+// pool hit the board/ledger/mpc are the banked unit's (its ledger already
+// carries the offline production traffic, paid before the session arrived);
+// for a miss they are created at session start and carry all three phases.
+struct SessionRecord {
+  std::uint64_t id = 0;  // 1-based, in submission order
+  std::string tag;
+  unsigned priority = 0;
+  SessionState state = SessionState::Queued;
+  RejectReason reject_reason = RejectReason::None;
+
+  // Virtual timestamps on the service clock (seconds; -1 = never happened).
+  double submit_s = -1;
+  double start_s = -1;
+  double finish_s = -1;
+
+  bool pool_hit = false;  // served from the banked triple pool
+  std::optional<FailureReport> failure;  // classified diagnosis when Failed
+  std::string error;                     // abort message when no report exists
+
+  SessionRequest request;
+  std::vector<mpz_class> outputs;  // Completed: in circuit.outputs() order
+  mpz_class plaintext_modulus = 0;
+
+  // Execution context (null for Rejected sessions, which never run).
+  std::unique_ptr<Ledger> ledger;
+  std::unique_ptr<net::NetBulletin> board;
+  std::unique_ptr<YosoMpc> mpc;
+
+  bool terminal() const {
+    return state == SessionState::Completed || state == SessionState::Failed ||
+           state == SessionState::Rejected;
+  }
+  // Submission-to-finish virtual latency (only meaningful once terminal and run).
+  double latency_s() const { return finish_s >= 0 && submit_s >= 0 ? finish_s - submit_s : -1; }
+
+  std::string to_json() const;
+};
+
+}  // namespace yoso::service

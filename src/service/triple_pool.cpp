@@ -1,0 +1,145 @@
+#include "service/triple_pool.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+#include "net/wire_faults.hpp"  // mix64 (per-unit seed derivation)
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace yoso::service {
+
+TriplePool::TriplePool(ProtocolParams params, Circuit circuit, net::NetConfig net,
+                       AdversaryPlan plan, std::uint64_t seed, PoolConfig cfg,
+                       net::EventLoop* loop)
+    : params_(std::move(params)),
+      circuit_(std::move(circuit)),
+      net_(std::move(net)),
+      plan_(std::move(plan)),
+      seed_(seed),
+      cfg_(cfg),
+      loop_(loop),
+      fingerprint_(circuit_.fingerprint()),
+      parked_(cfg.lanes, false) {}
+
+TriplePool::~TriplePool() {
+#ifndef OBS_DISABLED
+  obs::tracer().detach_virtual_clock(this);
+#endif
+}
+
+void TriplePool::set_depth_gauge() {
+  stats_.depth = bank_.size();
+  if (stats_.depth > stats_.peak_depth) stats_.peak_depth = stats_.depth;
+  OBS_GAUGE_SET("service.pool.depth", stats_.depth);
+}
+
+void TriplePool::start() {
+  if (cfg_.stalled || cfg_.lanes == 0 || circuit_.num_wires() == 0) return;
+  for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
+    loop_->schedule_at(loop_->now(), [this, lane] { lane_cycle(lane); });
+  }
+}
+
+void TriplePool::halt() { halted_ = true; }
+
+void TriplePool::lane_cycle(unsigned lane) {
+  if (halted_ || cfg_.stalled) return;
+  if (bank_.size() + in_flight_ >= cfg_.capacity) {
+    parked_[lane] = true;  // claim() wakes us when a slot frees up
+    return;
+  }
+
+  const std::uint64_t id = ++next_unit_;
+  auto unit = std::make_shared<PooledUnit>();
+  unit->id = id;
+  unit->fingerprint = fingerprint_;
+  unit->ledger = std::make_unique<Ledger>();
+  net::NetConfig net = net_;
+  net.wire_faults.seed = net::mix64(net_.wire_faults.seed ^ id);
+  unit->board = std::make_unique<net::NetBulletin>(*unit->ledger, net);
+  // The board's constructor claimed the tracer's virtual clock for its own
+  // private loop; put the service clock back so spans read service time.
+#ifndef OBS_DISABLED
+  obs::tracer().attach_virtual_clock(this, [loop = loop_] { return loop->now(); });
+#endif
+  unit->mpc = std::make_unique<YosoMpc>(params_, circuit_, plan_, net::mix64(seed_ ^ id),
+                                        unit->board.get());
+
+  obs::Span span("pool.produce", "service");
+  span.attr("unit", static_cast<std::int64_t>(id)).attr("lane", static_cast<std::int64_t>(lane));
+  try {
+    unit->mpc->preprocess();
+  } catch (const std::exception&) {
+    // Production failed (faulted offline phase under chaos).  The lane halts
+    // — retrying against the same fault plan would spin — and the unit's
+    // traffic is kept for the aggregate ledger fold.
+    stats_.production_failed += 1;
+    retired_.push_back(std::move(unit));
+    span.attr("failed", "true");
+    return;
+  }
+  unit->board->flush();
+  const double produce_s = unit->board->phase_traffic(Phase::Setup).seconds +
+                           unit->board->phase_traffic(Phase::Offline).seconds;
+  unit->offline_virtual_s = produce_s;
+  span.end();
+
+  // The CPU work ran now, but on the virtual timeline the unit only becomes
+  // claimable after its production traffic has flowed.
+  in_flight_ += 1;
+  loop_->schedule_in(produce_s, [this, lane, unit] { bank(lane, unit); });
+}
+
+void TriplePool::bank(unsigned lane, std::shared_ptr<PooledUnit> unit) {
+  in_flight_ -= 1;
+  unit->produced_at = loop_->now();
+  stats_.produced += 1;
+  bank_.push_back(std::move(unit));
+  set_depth_gauge();
+  lane_cycle(lane);
+}
+
+std::shared_ptr<PooledUnit> TriplePool::claim(std::uint64_t fingerprint) {
+  if (bank_.empty() || fingerprint != fingerprint_) {
+    stats_.misses += 1;
+    return nullptr;
+  }
+  std::shared_ptr<PooledUnit> unit = bank_.front();
+  bank_.pop_front();
+  stats_.hits += 1;
+  set_depth_gauge();
+  if (!halted_ && !cfg_.stalled) {
+    for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
+      if (!parked_[lane]) continue;
+      parked_[lane] = false;
+      loop_->schedule_at(loop_->now(), [this, lane] { lane_cycle(lane); });
+    }
+  }
+  return unit;
+}
+
+void TriplePool::fold_unclaimed(Ledger& into) const {
+  for (const auto& unit : bank_) into.merge(*unit->ledger);
+  for (const auto& unit : retired_) into.merge(*unit->ledger);
+}
+
+std::string TriplePool::report_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.field("lanes", static_cast<std::uint64_t>(cfg_.lanes));
+  w.field("capacity", static_cast<std::uint64_t>(cfg_.capacity));
+  w.field("stalled", cfg_.stalled);
+  w.key("fingerprint").str(std::to_string(fingerprint_));
+  w.field("produced", static_cast<std::uint64_t>(stats_.produced));
+  w.field("production_failed", static_cast<std::uint64_t>(stats_.production_failed));
+  w.field("hits", static_cast<std::uint64_t>(stats_.hits));
+  w.field("misses", static_cast<std::uint64_t>(stats_.misses));
+  w.field("hit_rate", stats_.hit_rate());
+  w.field("depth", static_cast<std::uint64_t>(stats_.depth));
+  w.field("peak_depth", static_cast<std::uint64_t>(stats_.peak_depth));
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace yoso::service

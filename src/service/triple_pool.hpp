@@ -1,0 +1,112 @@
+// Background triple/λ-wire pool: the offline phase as a producer.
+//
+// The paper's offline phase (Pi_Offline) is circuit-dependent but
+// input-independent, so for a fixed circuit shape whole preprocessed
+// protocol instances can be banked ahead of demand and handed to sessions
+// when they arrive — amortizing the dominant offline cost across a stream
+// of sessions instead of paying it inline per request.  The pool runs
+// `lanes` producer lanes on the service's virtual clock: each lane
+// preprocesses one YosoMpc instance at a time (CPU work happens inside the
+// event; the banked unit becomes claimable after the instance's own
+// setup+offline virtual time has elapsed), parks when the bank is full,
+// and resumes when a claim frees a slot.  Banked units are matched to
+// sessions by Circuit::fingerprint(); a hit pays only online virtual
+// latency, a miss falls back to a full inline run.  Hit/miss accounting is
+// ledger-visible ("service.pool.hit"/"service.pool.miss" markers, written
+// by MpcService) and exported as the `service.pool.depth` gauge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mpc/protocol.hpp"
+#include "net/net_bulletin.hpp"
+
+namespace yoso::service {
+
+struct PoolConfig {
+  unsigned lanes = 2;        // concurrent producer lanes
+  std::size_t capacity = 8;  // banked + in-flight units before lanes park
+  bool stalled = false;      // chaos knob: production never starts (all misses)
+};
+
+// One banked preprocessed instance.  The ledger/board/mpc triple moves into
+// the claiming SessionRecord wholesale, so the session's ledger shows the
+// production-time setup/offline traffic it is amortizing.
+struct PooledUnit {
+  std::uint64_t id = 0;
+  std::uint64_t fingerprint = 0;
+  double produced_at = -1;      // virtual time the unit became claimable
+  double offline_virtual_s = 0; // setup+offline virtual seconds of production
+  std::unique_ptr<Ledger> ledger;
+  std::unique_ptr<net::NetBulletin> board;
+  std::unique_ptr<YosoMpc> mpc;
+};
+
+struct PoolStats {
+  std::size_t produced = 0;           // units banked
+  std::size_t production_failed = 0;  // preprocess aborted (lane halts)
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t depth = 0;       // currently banked
+  std::size_t peak_depth = 0;
+  double hit_rate() const {
+    return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / (hits + misses);
+  }
+};
+
+class TriplePool {
+public:
+  // `loop` is the service's master event loop (must outlive the pool); all
+  // production is scheduled on it.  Unit seeds derive from `seed` via
+  // mix64(seed ^ unit_id), so a pool run is a pure function of its config.
+  TriplePool(ProtocolParams params, Circuit circuit, net::NetConfig net, AdversaryPlan plan,
+             std::uint64_t seed, PoolConfig cfg, net::EventLoop* loop);
+  ~TriplePool();
+
+  // Kicks every lane (no-op when stalled or lanes == 0).
+  void start();
+  // Stops lanes from starting further productions (in-flight units still bank).
+  void halt();
+
+  // Hands out the oldest banked unit when `fingerprint` matches; counts a
+  // hit.  Returns nullptr (and counts a miss) when the bank is empty or the
+  // shape differs.  Parked lanes resume on the freed slot.
+  std::shared_ptr<PooledUnit> claim(std::uint64_t fingerprint);
+
+  const PoolStats& stats() const { return stats_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  // Merges production traffic that no session ever claimed (still-banked
+  // units and failed productions) into `into` — the service's aggregate
+  // ledger view stays conservation-complete.
+  void fold_unclaimed(Ledger& into) const;
+
+  std::string report_json() const;
+
+private:
+  void lane_cycle(unsigned lane);
+  void bank(unsigned lane, std::shared_ptr<PooledUnit> unit);
+  void set_depth_gauge();
+
+  ProtocolParams params_;
+  Circuit circuit_;
+  net::NetConfig net_;
+  AdversaryPlan plan_;
+  std::uint64_t seed_ = 0;
+  PoolConfig cfg_;
+  net::EventLoop* loop_;
+  std::uint64_t fingerprint_ = 0;
+
+  std::deque<std::shared_ptr<PooledUnit>> bank_;
+  std::vector<std::shared_ptr<PooledUnit>> retired_;  // failed productions
+  std::vector<bool> parked_;
+  std::size_t in_flight_ = 0;  // preprocessed, banking event pending
+  bool halted_ = false;
+  std::uint64_t next_unit_ = 0;
+  PoolStats stats_;
+};
+
+}  // namespace yoso::service

@@ -1,0 +1,91 @@
+#include "service/workloads.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/wire_faults.hpp"  // mix64 (per-client value/mask derivation)
+
+namespace yoso::service {
+
+namespace {
+
+std::uint64_t bit_mask(unsigned bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+}  // namespace
+
+AggregationWorkload::AggregationWorkload(AggregationConfig cfg) : cfg_(cfg) {
+  if (cfg_.gateways == 0) throw std::invalid_argument("aggregation: need gateways");
+  if (cfg_.batch_clients == 0) throw std::invalid_argument("aggregation: need batch_clients");
+}
+
+Circuit AggregationWorkload::session_circuit() const {
+  if (cfg_.integrity) return statistics_circuit(cfg_.gateways);
+  Circuit c;
+  WireId acc = c.input(0);
+  for (unsigned g = 1; g < cfg_.gateways; ++g) acc = c.add(acc, c.input(g));
+  c.output(acc, 0);
+  return c;
+}
+
+std::uint64_t AggregationWorkload::num_batches() const {
+  return (cfg_.clients_total + cfg_.batch_clients - 1) / cfg_.batch_clients;
+}
+
+AggregationBatch AggregationWorkload::batch(std::uint64_t b) const {
+  if (b >= num_batches()) throw std::out_of_range("aggregation: batch index");
+  AggregationBatch out;
+  out.index = b;
+  const std::uint64_t first = b * cfg_.batch_clients;
+  const std::uint64_t last = std::min(first + cfg_.batch_clients, cfg_.clients_total);
+  out.clients = last - first;
+
+  const std::uint64_t vmask = bit_mask(cfg_.value_bits);
+  const std::uint64_t rmask = bit_mask(cfg_.mask_bits);
+  std::vector<mpz_class> subtotal(cfg_.gateways, 0);
+  for (std::uint64_t i = first; i < last; ++i) {
+    const std::uint64_t x = net::mix64(cfg_.seed ^ (2 * i + 1)) & vmask;
+    const std::uint64_t r = net::mix64(cfg_.seed ^ (2 * i + 2)) & rmask;
+    subtotal[i % cfg_.gateways] += r;
+    out.masked_sum += x + r;
+    out.expected_value_sum += x;
+    out.expected_mask_total += r;
+  }
+
+  out.request.tag = "agg.batch." + std::to_string(b);
+  out.request.circuit = session_circuit();
+  out.request.inputs.reserve(cfg_.gateways);
+  for (unsigned g = 0; g < cfg_.gateways; ++g) {
+    out.request.inputs.push_back({subtotal[g]});
+  }
+  out.request.priority =
+      cfg_.priority_every != 0 && (b + 1) % cfg_.priority_every == 0 ? 1u : 0u;
+  out.submit_at = cfg_.start_s + static_cast<double>(b) * cfg_.interarrival_s;
+  return out;
+}
+
+bool AggregationWorkload::verify(const AggregationBatch& b, const SessionRecord& rec) const {
+  if (rec.state != SessionState::Completed) return false;
+  if (rec.outputs.empty() || rec.plaintext_modulus == 0) return false;
+
+  // The MPC reveals the batch's mask total (reduced mod N^s; the totals are
+  // far below the modulus at any sane parameterization, so compare reduced).
+  const mpz_class expected_total = b.expected_mask_total % rec.plaintext_modulus;
+  if (rec.outputs[0] != expected_total) return false;
+
+  // Coordinator-side unmasking in the clear.
+  if (b.masked_sum - b.expected_mask_total != b.expected_value_sum) return false;
+
+  if (cfg_.integrity) {
+    if (rec.outputs.size() < 2) return false;
+    mpz_class sq = 0;
+    for (const auto& gateway_inputs : b.request.inputs) {
+      sq += gateway_inputs[0] * gateway_inputs[0];
+    }
+    if (rec.outputs[1] != sq % rec.plaintext_modulus) return false;
+  }
+  return true;
+}
+
+}  // namespace yoso::service

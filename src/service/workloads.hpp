@@ -1,0 +1,75 @@
+// Secure-aggregation workload generator: the service's flagship load.
+//
+// Model (the "masked inputs through gateways" pattern of large-scale secure
+// aggregation): each of up to millions of clients holds a small value x_i,
+// samples a mask r_i, and publishes only y_i = x_i + r_i.  Clients are
+// sharded round-robin across a handful of gateways; gateway g's MPC input
+// is the sum of the masks of its shard.  One MPC session per batch computes
+// the batch's mask total R = sum_g R_g (and, as an integrity check, the sum
+// of squares of the gateway subtotals — exercising the packed Beaver-style
+// multiplication path), after which the coordinator unmasks
+// sum(x) = sum(y) - R in the clear.  The per-client work never enters the
+// MPC: batch size scales to millions while every session stays a
+// `gateways`-client circuit matched to the packing parameter.
+//
+// Everything derives from `seed` via mix64, so the batch stream — values,
+// masks, submit times, priorities — is a pure function of the config.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/workloads.hpp"
+#include "service/service.hpp"
+
+namespace yoso::service {
+
+struct AggregationConfig {
+  std::uint64_t clients_total = 1'000'000;  // masked-input clients overall
+  std::uint64_t batch_clients = 10'000;     // clients aggregated per session
+  unsigned gateways = 4;      // MPC input parties (mask-subtotal holders)
+  unsigned value_bits = 16;   // client values x_i < 2^value_bits
+  unsigned mask_bits = 32;    // masks r_i < 2^mask_bits
+  bool integrity = true;      // also compute sum of squares of subtotals
+  double start_s = 0.05;      // first batch's submit time (lets the pool warm)
+  double interarrival_s = 0.01;  // gap between batch submissions
+  unsigned priority_every = 10;  // every k-th batch submits at priority 1
+  std::uint64_t seed = 42;
+};
+
+// One batch, ready to submit: the session request plus the public masked
+// sum and the cleartext oracles the verifier checks against.
+struct AggregationBatch {
+  std::uint64_t index = 0;
+  std::uint64_t clients = 0;
+  SessionRequest request;
+  mpz_class masked_sum = 0;           // sum(y_i), public
+  mpz_class expected_mask_total = 0;  // oracle for the MPC's sum output
+  mpz_class expected_value_sum = 0;   // oracle for the unmasked result
+  double submit_at = 0;
+};
+
+class AggregationWorkload {
+public:
+  explicit AggregationWorkload(AggregationConfig cfg);
+
+  // The one circuit shape every batch session runs — hand this to
+  // ServiceConfig::pool_circuit so the triple pool banks for it.
+  Circuit session_circuit() const;
+
+  std::uint64_t num_batches() const;
+  // Generates batch `b` on demand (per-client data is streamed through
+  // mix64, never materialized).
+  AggregationBatch batch(std::uint64_t b) const;
+
+  // Checks a finished session against the batch's oracles: the MPC's mask
+  // total matches, and unmasking recovers the true value sum (plus the
+  // sum-of-squares integrity output when enabled).
+  bool verify(const AggregationBatch& b, const SessionRecord& rec) const;
+
+  const AggregationConfig& config() const { return cfg_; }
+
+private:
+  AggregationConfig cfg_;
+};
+
+}  // namespace yoso::service

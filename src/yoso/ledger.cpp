@@ -79,6 +79,17 @@ void Ledger::reset() {
   online_.clear();
 }
 
+void Ledger::merge(const Ledger& other) {
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    for (const auto& [cat, e] : other.bucket(p)) {
+      LedgerEntry& mine = bucket(p)[cat];
+      mine.messages += e.messages;
+      mine.elements += e.elements;
+      mine.bytes += e.bytes;
+    }
+  }
+}
+
 namespace {
 
 void entry_json(json::Writer& w, const LedgerEntry& e) {

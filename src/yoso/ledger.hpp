@@ -34,6 +34,11 @@ public:
 
   void reset();
 
+  // Adds every entry of `other` into this ledger, phase and category
+  // preserved.  The service layer (src/service) folds per-session ledgers
+  // and the triple pool's production ledgers into one aggregate view.
+  void merge(const Ledger& other);
+
   // Human-readable dump (used by benches and examples).
   std::string report() const;
 

@@ -1,0 +1,330 @@
+// MPC-as-a-service tests: structured admission control, deterministic
+// queueing, triple-pool hit/miss accounting with ledger-visible amortized
+// offline cost, per-session ledger isolation, solo-vs-multiplexed
+// determinism of session outputs and of the whole service report, the
+// secure-aggregation workload oracles, and the chaos campaign's
+// service-mode contract (GOD in bounds, classified failures out of bounds,
+// a stalled pool never serves a hit).
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+#include "circuit/workloads.hpp"
+#include "service/service.hpp"
+#include "service/workloads.hpp"
+
+namespace yoso {
+namespace {
+
+using service::AggregationConfig;
+using service::AggregationWorkload;
+using service::MpcService;
+using service::RejectReason;
+using service::ServiceConfig;
+using service::SessionRequest;
+using service::SessionState;
+
+// Small, fast parameterization: n = 4, eps = 1/4 gives t = 0, k = 2.
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<std::vector<mpz_class>> stats_inputs(unsigned parties, unsigned base) {
+  std::vector<std::vector<mpz_class>> inputs;
+  for (unsigned i = 0; i < parties; ++i) inputs.push_back({mpz_class(base + i)});
+  return inputs;
+}
+
+SessionRequest stats_request(const std::string& tag, unsigned parties, unsigned base,
+                             unsigned priority = 0) {
+  SessionRequest req;
+  req.tag = tag;
+  req.circuit = statistics_circuit(parties);
+  req.inputs = stats_inputs(parties, base);
+  req.priority = priority;
+  return req;
+}
+
+// --- Admission control ------------------------------------------------------
+
+TEST(ServiceAdmissionTest, StructuredRejectionReasons) {
+  ServiceConfig cfg = small_config();
+  cfg.max_clients = 2;
+  cfg.max_mul_depth = 1;
+  cfg.max_concurrent = 1;
+  cfg.max_queue = 0;  // no waiting room: second concurrent arrival bounces
+  MpcService svc(cfg);
+
+  // Too many input clients for the service.
+  const auto too_many = svc.submit_at(0.0, stats_request("too-many", 3, 10));
+  // Multiplicative depth beyond the cap.
+  SessionRequest deep;
+  deep.tag = "too-deep";
+  deep.circuit = mul_tree_circuit(4);  // depth 2
+  deep.inputs = {{mpz_class(1), mpz_class(2), mpz_class(3), mpz_class(4)}};
+  const auto too_deep = svc.submit_at(0.0, std::move(deep));
+  // Inputs not matching the circuit's declarations.
+  SessionRequest bad;
+  bad.tag = "bad-inputs";
+  bad.circuit = statistics_circuit(2);
+  bad.inputs = {{mpz_class(1)}};  // second client's inputs missing
+  const auto bad_inputs = svc.submit_at(0.0, std::move(bad));
+  // Admissible; occupies the single runner slot.
+  const auto ok = svc.submit_at(0.0, stats_request("ok", 2, 10));
+  // Arrives while the slot is taken and the queue holds zero: bounced.
+  const auto overflow = svc.submit_at(1e-6, stats_request("overflow", 2, 20));
+  // Arrives after shutdown.
+  svc.shutdown_at(1.0);
+  const auto late = svc.submit_at(2.0, stats_request("late", 2, 30));
+
+  svc.run();
+
+  EXPECT_EQ(svc.session(too_many).state, SessionState::Rejected);
+  EXPECT_EQ(svc.session(too_many).reject_reason, RejectReason::TooManyClients);
+  EXPECT_EQ(svc.session(too_deep).reject_reason, RejectReason::TooDeep);
+  EXPECT_EQ(svc.session(bad_inputs).reject_reason, RejectReason::BadInputs);
+  EXPECT_EQ(svc.session(overflow).reject_reason, RejectReason::QueueFull);
+  EXPECT_EQ(svc.session(late).reject_reason, RejectReason::ShuttingDown);
+
+  const auto& done = svc.session(ok);
+  EXPECT_EQ(done.state, SessionState::Completed);
+  EXPECT_EQ(done.reject_reason, RejectReason::None);
+  // sum(10, 11) and 10^2 + 11^2.
+  ASSERT_EQ(done.outputs.size(), 2u);
+  EXPECT_EQ(done.outputs[0], 21);
+  EXPECT_EQ(done.outputs[1], 221);
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.rejected, 5u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceQueueTest, PriorityBeforeFifoWithinLevel) {
+  ServiceConfig cfg = small_config();
+  cfg.max_concurrent = 1;
+  MpcService svc(cfg);
+  // All three arrive while the first submission runs; the priority-1 session
+  // overtakes the earlier priority-0 one, FIFO breaks the tie at level 0.
+  const auto head = svc.submit_at(0.0, stats_request("head", 2, 1));
+  const auto low_a = svc.submit_at(0.001, stats_request("low-a", 2, 2));
+  const auto high = svc.submit_at(0.002, stats_request("high", 2, 3, /*priority=*/1));
+  const auto low_b = svc.submit_at(0.003, stats_request("low-b", 2, 4));
+  svc.run();
+
+  EXPECT_EQ(svc.session(head).state, SessionState::Completed);
+  EXPECT_LT(svc.session(high).start_s, svc.session(low_a).start_s);
+  EXPECT_LT(svc.session(low_a).start_s, svc.session(low_b).start_s);
+}
+
+// --- Triple pool ------------------------------------------------------------
+
+TEST(ServicePoolTest, HitMissAccountingAndAmortizedLedger) {
+  ServiceConfig cfg = small_config();
+  cfg.max_concurrent = 1;
+  cfg.pool.lanes = 1;
+  cfg.pool.capacity = 2;
+  cfg.pool_circuit = statistics_circuit(3);
+  MpcService svc(cfg);
+
+  // By t = 0.5 the pool has banked its two units; the third session reuses
+  // the slot freed by the first claim.
+  const auto a = svc.submit_at(0.50, stats_request("a", 3, 10));
+  const auto b = svc.submit_at(0.51, stats_request("b", 3, 20));
+  const auto c = svc.submit_at(0.52, stats_request("c", 3, 30));
+  // Different circuit shape: never matches the pool's fingerprint.
+  SessionRequest other;
+  other.tag = "other";
+  other.circuit = inner_product_circuit(1);
+  other.inputs = {{mpz_class(6)}, {mpz_class(7)}};
+  const auto d = svc.submit_at(0.53, std::move(other));
+  svc.run();
+
+  for (auto id : {a, b, c, d}) {
+    EXPECT_EQ(svc.session(id).state, SessionState::Completed) << "session " << id;
+  }
+  EXPECT_TRUE(svc.session(a).pool_hit);
+  EXPECT_FALSE(svc.session(d).pool_hit);
+  EXPECT_EQ(svc.session(d).outputs[0], 42);
+
+  const auto& pool = svc.pool().stats();
+  EXPECT_EQ(pool.hits + pool.misses, 4u);
+  EXPECT_GE(pool.hits, 2u);
+  EXPECT_GE(pool.peak_depth, 2u);
+
+  // A hit session's ledger carries the marker and the amortized production
+  // traffic (setup + offline paid before the session arrived).
+  const Ledger& hit_ledger = *svc.session(a).ledger;
+  EXPECT_EQ(hit_ledger.categories(Phase::Online).count("service.pool.hit"), 1u);
+  EXPECT_GT(hit_ledger.phase_total(Phase::Offline).bytes, 0u);
+  // The mismatched session ran inline and is marked as a miss.
+  const Ledger& miss_ledger = *svc.session(d).ledger;
+  EXPECT_EQ(miss_ledger.categories(Phase::Online).count("service.pool.miss"), 1u);
+
+  // A hit pays only online virtual latency; the mismatch paid all phases.
+  EXPECT_LT(svc.session(a).latency_s(), svc.session(d).latency_s());
+}
+
+TEST(ServicePoolTest, StalledPoolForcesInlineMisses) {
+  ServiceConfig cfg = small_config();
+  cfg.pool.lanes = 1;
+  cfg.pool.stalled = true;
+  cfg.pool_circuit = statistics_circuit(2);
+  MpcService svc(cfg);
+  const auto id = svc.submit_at(0.5, stats_request("starved", 2, 5));
+  svc.run();
+
+  EXPECT_EQ(svc.session(id).state, SessionState::Completed);
+  EXPECT_FALSE(svc.session(id).pool_hit);
+  EXPECT_EQ(svc.pool().stats().hits, 0u);
+  EXPECT_EQ(svc.pool().stats().produced, 0u);
+}
+
+// --- Ledger scoping ---------------------------------------------------------
+
+TEST(ServiceLedgerTest, PerSessionIsolationAndAggregateFold) {
+  ServiceConfig cfg = small_config();
+  MpcService svc(cfg);
+  const auto a = svc.submit_at(0.0, stats_request("a", 2, 10));
+  const auto b = svc.submit_at(0.0, stats_request("b", 2, 20));
+  svc.run();
+
+  const Ledger& la = *svc.session(a).ledger;
+  const Ledger& lb = *svc.session(b).ledger;
+  // Identical workloads, isolated boards: same message structure, separate
+  // books (byte totals differ slightly with each session's randomness).
+  EXPECT_GT(la.total().bytes, 0u);
+  EXPECT_EQ(la.total().messages, lb.total().messages);
+  EXPECT_NE(&la, &lb);
+
+  // The aggregate view is exactly the fold of the per-session ledgers (the
+  // pool is idle here, so there is no unclaimed production traffic).
+  const Ledger agg = svc.aggregate_ledger();
+  EXPECT_EQ(agg.total().bytes, la.total().bytes + lb.total().bytes);
+  EXPECT_EQ(agg.total().messages, la.total().messages + lb.total().messages);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(ServiceDeterminismTest, SoloVersusMultiplexedOutputs) {
+  AggregationConfig acfg;
+  acfg.clients_total = 3000;
+  acfg.batch_clients = 1000;
+  acfg.gateways = 3;
+  AggregationWorkload workload(acfg);
+
+  const auto run_service = [&](unsigned batches) {
+    ServiceConfig cfg = small_config();
+    cfg.pool.lanes = 1;
+    cfg.pool.capacity = 2;
+    cfg.pool_circuit = workload.session_circuit();
+    auto svc = std::make_unique<MpcService>(cfg);
+    for (unsigned b = 0; b < batches; ++b) {
+      auto batch = workload.batch(b);
+      svc->submit_at(batch.submit_at, std::move(batch.request));
+    }
+    svc->run();
+    return svc;
+  };
+
+  const auto solo = run_service(1);
+  const auto multi = run_service(3);
+  ASSERT_EQ(solo->session(1).state, SessionState::Completed);
+  ASSERT_EQ(multi->session(1).state, SessionState::Completed);
+  // Batch 0's outputs do not depend on how many sessions share the service.
+  EXPECT_EQ(solo->session(1).outputs, multi->session(1).outputs);
+  for (unsigned b = 0; b < 3; ++b) {
+    EXPECT_TRUE(workload.verify(workload.batch(b), multi->session(b + 1)))
+        << "batch " << b;
+  }
+
+  // Bit-for-bit reproducibility of the full report across identical runs.
+  const auto multi2 = run_service(3);
+  EXPECT_EQ(multi->report_json(), multi2->report_json());
+}
+
+// --- Aggregation workload ---------------------------------------------------
+
+TEST(AggregationWorkloadTest, BatchStreamIsDeterministicAndUnmasks) {
+  AggregationConfig cfg;
+  cfg.clients_total = 50'000;
+  cfg.batch_clients = 10'000;
+  cfg.gateways = 4;
+  AggregationWorkload w(cfg);
+  EXPECT_EQ(w.num_batches(), 5u);
+
+  const auto b2 = w.batch(2);
+  const auto b2_again = w.batch(2);
+  EXPECT_EQ(b2.masked_sum, b2_again.masked_sum);
+  EXPECT_EQ(b2.expected_mask_total, b2_again.expected_mask_total);
+  EXPECT_EQ(b2.request.inputs, b2_again.request.inputs);
+  EXPECT_EQ(b2.clients, 10'000u);
+
+  // The coordinator's unmasking identity holds in the clear.
+  EXPECT_EQ(b2.masked_sum - b2.expected_mask_total, b2.expected_value_sum);
+  // Gateway subtotals sum to the batch's mask total.
+  mpz_class total = 0;
+  for (const auto& gw : b2.request.inputs) total += gw[0];
+  EXPECT_EQ(total, b2.expected_mask_total);
+  // Distinct seeds give distinct streams.
+  AggregationConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_NE(AggregationWorkload(other).batch(2).masked_sum, b2.masked_sum);
+}
+
+// --- Chaos service mode -----------------------------------------------------
+
+TEST(ChaosServiceTest, SamplerAndJsonCoverServiceFields) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    chaos::FaultSchedule s = chaos::FaultSchedule::random_service(seed);
+    EXPECT_EQ(chaos::FaultSchedule::random_service(seed), s);
+    EXPECT_GE(s.service_sessions, 2u);
+    EXPECT_EQ(chaos::FaultSchedule::from_json(s.to_json()), s) << s.to_json();
+    // The base sampler's dimensions are untouched by the service roll.
+    chaos::FaultSchedule base = chaos::FaultSchedule::random(seed);
+    base.service_sessions = s.service_sessions;
+    base.pool_stall = s.pool_stall;
+    EXPECT_EQ(base, s);
+  }
+}
+
+TEST(ChaosServiceTest, InBoundsServiceRunDeliversEverySession) {
+  chaos::FaultSchedule s;  // honest defaults: n = 6, eps = 1/4
+  s.paillier_bits = 96;
+  s.service_sessions = 2;
+  const chaos::RunReport r = chaos::CampaignRunner::run_one(s);
+  EXPECT_EQ(r.outcome, chaos::Outcome::Correct) << r.to_json();
+  EXPECT_EQ(r.svc_completed, 2u);
+  EXPECT_EQ(r.svc_pool_hits + r.svc_pool_misses, 2u);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(ChaosServiceTest, PoolStallStarvationStaysCorrect) {
+  chaos::FaultSchedule s;
+  s.paillier_bits = 96;
+  s.service_sessions = 2;
+  s.pool_stall = true;
+  const chaos::RunReport r = chaos::CampaignRunner::run_one(s);
+  EXPECT_EQ(r.outcome, chaos::Outcome::Correct) << r.to_json();
+  EXPECT_EQ(r.svc_pool_hits, 0u);
+  EXPECT_EQ(r.svc_pool_misses, 2u);
+}
+
+TEST(ChaosServiceTest, OutOfBoundsServiceRunFailsClassified) {
+  chaos::FaultSchedule s;
+  s.paillier_bits = 96;
+  s.service_sessions = 2;
+  s.malicious = 3;  // leaves only 3 verifiable roles < recon threshold 4
+  ASSERT_FALSE(s.in_bounds());
+  const chaos::RunReport r = chaos::CampaignRunner::run_one(s);
+  EXPECT_EQ(r.outcome, chaos::Outcome::ClassifiedAbort) << r.to_json();
+  EXPECT_EQ(r.svc_failed, 2u);
+  EXPECT_TRUE(r.failure.has_value());
+}
+
+}  // namespace
+}  // namespace yoso

@@ -3,6 +3,11 @@
 //   chaos campaign [--seed S] [--count N] [--verbose]
 //       Run N seeded schedules; print the summary JSON; exit nonzero when
 //       any run breaks the robustness contract.
+//   chaos service [--seed S] [--count N] [--verbose]
+//       Like campaign, but every schedule targets an MpcService
+//       (src/service): admission, queueing and the triple pool under the
+//       same layered faults — pool starvation and mid-session fail-stop
+//       included — checked against the same contract.
 //   chaos sample [--seed S]
 //       Print the schedule S deterministically expands to (no run).
 //   chaos replay '<schedule-json>'
@@ -29,6 +34,7 @@ using yoso::chaos::ScheduleMinimizer;
 int usage() {
   std::fprintf(stderr,
                "usage: chaos campaign [--seed S] [--count N] [--verbose]\n"
+               "       chaos service  [--seed S] [--count N] [--verbose]\n"
                "       chaos sample   [--seed S]\n"
                "       chaos replay   '<schedule-json>'\n"
                "       chaos minimize [--violation] '<schedule-json>'\n");
@@ -70,6 +76,15 @@ int cmd_campaign(const Options& opt) {
   return summary.all_acceptable() ? 0 : 1;
 }
 
+int cmd_service(const Options& opt) {
+  auto summary =
+      CampaignRunner::run_service_campaign(opt.seed, opt.count, [&](const RunReport& r) {
+        if (opt.verbose || !r.acceptable()) std::printf("%s\n", r.to_json().c_str());
+      });
+  std::printf("%s\n", summary.to_json().c_str());
+  return summary.all_acceptable() ? 0 : 1;
+}
+
 int cmd_sample(const Options& opt) {
   std::printf("%s\n", FaultSchedule::random(opt.seed).to_json().c_str());
   return 0;
@@ -107,6 +122,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "campaign") return cmd_campaign(opt);
+    if (cmd == "service") return cmd_service(opt);
     if (cmd == "sample") return cmd_sample(opt);
     if (cmd == "replay") return cmd_replay(opt);
     if (cmd == "minimize") return cmd_minimize(opt);

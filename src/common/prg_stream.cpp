@@ -1,0 +1,62 @@
+#include "common/prg_stream.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace yoso::prg {
+
+namespace {
+
+constexpr char kDomain[] = "yoso.prg.stream";
+
+void append_u64_le(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// SHA-256(domain || seed || len(role) || role || activation): the role
+// length is hashed so ("ab", 1) and ("a", ...) style boundary ambiguities
+// cannot alias two distinct keys.
+Sha256::Digest key_digest(const StreamKey& key) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(sizeof(kDomain) + key.role.size() + 24);
+  buf.insert(buf.end(), kDomain, kDomain + sizeof(kDomain) - 1);
+  append_u64_le(&buf, key.seed);
+  append_u64_le(&buf, key.role.size());
+  buf.insert(buf.end(), key.role.begin(), key.role.end());
+  append_u64_le(&buf, key.activation);
+  return Sha256::hash(buf.data(), buf.size());
+}
+
+}  // namespace
+
+std::uint64_t subseed(const StreamKey& key) {
+  const Sha256::Digest d = key_digest(key);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t subseed(std::uint64_t seed, std::string_view role, std::uint64_t activation) {
+  return subseed(StreamKey{seed, std::string(role), activation});
+}
+
+Prg derive_prg(const StreamKey& key) {
+  const Sha256::Digest d = key_digest(key);
+  return Prg(std::vector<std::uint8_t>(d.begin(), d.end()));
+}
+
+std::uint64_t SequentialStreams::next_subseed(const std::string& role) {
+  const std::uint64_t activation = next_[role]++;
+  return subseed(StreamKey{seed_, role, activation});
+}
+
+Prg SequentialStreams::next_prg(const std::string& role) {
+  const std::uint64_t activation = next_[role]++;
+  return derive_prg(StreamKey{seed_, role, activation});
+}
+
+std::uint64_t SequentialStreams::activations(const std::string& role) const {
+  auto it = next_.find(role);
+  return it == next_.end() ? 0 : it->second;
+}
+
+}  // namespace yoso::prg

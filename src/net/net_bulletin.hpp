@@ -130,6 +130,12 @@ public:
   std::string report_json() const override;
 
 private:
+  // Concurrency note (docs/STATIC_ANALYSIS.md): unlike the base Bulletin,
+  // whose window/log state is lock-protected, NetBulletin's own members are
+  // deliberately *not* annotated — each instance is confined to one session
+  // or pool lane and driven by one event loop, so the multi-core plan never
+  // shares an instance across workers.  Cross-session state (the Ledger the
+  // board feeds, the obs registries) carries its own locks.
   struct PendingPost {
     std::string sender;
     std::size_t bytes;

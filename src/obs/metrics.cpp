@@ -35,30 +35,35 @@ void Histogram::reset() {
 }
 
 Counter& Metrics::counter(const std::string& name) {
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Metrics::gauge(const std::string& name) {
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Metrics::histogram(const std::string& name) {
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 void Metrics::reset() {
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::string Metrics::report_json() const {
+  MutexLock lock(&mu_);
   json::Writer w;
   w.begin_object();
   w.key("counters").begin_object();

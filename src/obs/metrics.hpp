@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "common/sync.hpp"
 #include "obs/runtime.hpp"
 
 namespace yoso::obs {
@@ -71,6 +72,11 @@ private:
   std::uint64_t max_ = 0;
 };
 
+// The registry *maps* are lock-protected (handle lookup may happen from any
+// worker once the multi-core engine lands); the instrument cells themselves
+// are not — the determinism plan keeps recording task-local, with a
+// deterministic merge on join, so cross-thread increments on one cell are a
+// design error, not a locking gap (docs/STATIC_ANALYSIS.md).
 class Metrics {
 public:
   Counter& counter(const std::string& name);
@@ -85,9 +91,10 @@ public:
   std::string report_json() const;
 
 private:
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 Metrics& metrics();

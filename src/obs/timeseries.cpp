@@ -7,6 +7,7 @@
 namespace yoso::obs {
 
 Series& TimeSeriesRegistry::series(const std::string& name) {
+  MutexLock lock(&mu_);
   auto it = series_.find(name);
   if (it == series_.end()) {
     it = series_.emplace(name, std::make_unique<Series>()).first;
@@ -15,10 +16,12 @@ Series& TimeSeriesRegistry::series(const std::string& name) {
 }
 
 void TimeSeriesRegistry::reset() {
+  MutexLock lock(&mu_);
   for (auto& [name, s] : series_) s->reset();
 }
 
 std::string TimeSeriesRegistry::report_json() const {
+  MutexLock lock(&mu_);
   json::Writer w;
   w.begin_object();
   for (const auto& [name, s] : series_) {

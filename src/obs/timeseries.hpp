@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "obs/runtime.hpp"
 
 namespace yoso::obs {
@@ -40,6 +41,10 @@ private:
   std::vector<std::pair<double, double>> points_;
 };
 
+// Like the metrics registry: the name->handle map is lock-protected (any
+// worker may look up a series once the multi-core engine lands), while the
+// Series cells stay task-local by the determinism plan's merge-on-join rule
+// (docs/STATIC_ANALYSIS.md).
 class TimeSeriesRegistry {
 public:
   // Stable for the registry's lifetime (node-based map).
@@ -48,14 +53,20 @@ public:
   // Clears every series' points (handles stay valid).
   void reset();
 
-  const std::map<std::string, std::unique_ptr<Series>>& all() const { return series_; }
+  // Locks internally; the reference is only consistent while no sampler is
+  // active (today the simulation is single-threaded).
+  const std::map<std::string, std::unique_ptr<Series>>& all() const {
+    MutexLock lock(&mu_);
+    return series_;
+  }
 
   // {"name":[[t,v],...],...} — names in lexicographic order; series with no
   // samples are omitted.
   std::string report_json() const;
 
 private:
-  std::map<std::string, std::unique_ptr<Series>> series_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
 };
 
 TimeSeriesRegistry& timeseries();

@@ -26,16 +26,19 @@ Tracer::Tracer() {
 }
 
 void Tracer::reset() {
+  MutexLock lock(&mu_);
   spans_.clear();
   open_.clear();
 }
 
 void Tracer::attach_virtual_clock(const void* owner, VirtualClock clock) {
+  MutexLock lock(&mu_);
   vclock_ = std::move(clock);
   vclock_owner_ = owner;
 }
 
 void Tracer::detach_virtual_clock(const void* owner) {
+  MutexLock lock(&mu_);
   if (owner != vclock_owner_) return;  // a newer clock took over; leave it
   vclock_ = nullptr;
   vclock_owner_ = nullptr;
@@ -43,6 +46,7 @@ void Tracer::detach_virtual_clock(const void* owner) {
 
 std::uint32_t Tracer::begin_span(std::string name, std::string cat) {
   if (!enabled()) return 0;
+  MutexLock lock(&mu_);
   SpanRecord rec;
   rec.id = static_cast<std::uint32_t>(spans_.size()) + 1;
   rec.parent = open_.empty() ? 0 : open_.back();
@@ -58,6 +62,7 @@ std::uint32_t Tracer::begin_span(std::string name, std::string cat) {
 }
 
 void Tracer::end_span(std::uint32_t id) {
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   SpanRecord& rec = spans_[id - 1];
   if (!rec.open) return;
@@ -80,16 +85,19 @@ void Tracer::end_span(std::uint32_t id) {
 }
 
 void Tracer::attr(std::uint32_t id, std::string key, std::string value) {
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].attrs.push_back(SpanAttr{std::move(key), std::move(value), false});
 }
 
 void Tracer::attr_num(std::uint32_t id, std::string key, std::int64_t value) {
+  MutexLock lock(&mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].attrs.push_back(SpanAttr{std::move(key), std::to_string(value), true});
 }
 
 std::string Tracer::chrome_trace_json(bool include_wall) const {
+  MutexLock lock(&mu_);
   json::Writer w;
   w.begin_object();
   w.key("displayTimeUnit").str("ms");

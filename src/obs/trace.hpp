@@ -16,7 +16,8 @@
 // Cost model: recording is sampling-free; the span buffer is preallocated
 // and grows geometrically; a muted tracer (obs::set_enabled(false)) costs
 // one branch per event; OBS_DISABLED compiles call sites out entirely.
-// Single-threaded by design, like the rest of the simulation.
+// The buffers are lock-protected and thread-safety-annotated ahead of the
+// multi-core engine (docs/STATIC_ANALYSIS.md, "Concurrency readiness").
 #pragma once
 
 #include <cstdint>
@@ -25,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "obs/runtime.hpp"
 
 namespace yoso::obs {
@@ -63,15 +65,26 @@ public:
   using VirtualClock = std::function<double()>;
   void attach_virtual_clock(const void* owner, VirtualClock clock);
   void detach_virtual_clock(const void* owner);
-  bool has_virtual_clock() const { return static_cast<bool>(vclock_); }
+  bool has_virtual_clock() const {
+    MutexLock lock(&mu_);
+    return static_cast<bool>(vclock_);
+  }
 
   std::uint32_t begin_span(std::string name, std::string cat);
   void end_span(std::uint32_t id);
   void attr(std::uint32_t id, std::string key, std::string value);
   void attr_num(std::uint32_t id, std::string key, std::int64_t value);
 
-  const std::vector<SpanRecord>& spans() const { return spans_; }
-  std::size_t open_depth() const { return open_.size(); }
+  // Locks internally; the reference is only consistent while no span is
+  // being recorded (today the simulation is single-threaded).
+  const std::vector<SpanRecord>& spans() const {
+    MutexLock lock(&mu_);
+    return spans_;
+  }
+  std::size_t open_depth() const {
+    MutexLock lock(&mu_);
+    return open_.size();
+  }
 
   // Chrome trace-event JSON.  With include_wall the wall-clock timings ride
   // along as args (making the bytes machine-dependent); without it the
@@ -79,10 +92,14 @@ public:
   std::string chrome_trace_json(bool include_wall = false) const;
 
 private:
-  std::vector<SpanRecord> spans_;
-  std::vector<std::uint32_t> open_;  // stack of open span ids
-  VirtualClock vclock_;
-  const void* vclock_owner_ = nullptr;
+  // The tracer is a process-wide singleton the multi-core engine's workers
+  // will all reach; its buffers are lock-protected and annotated so
+  // -Wthread-safety proves every access (docs/STATIC_ANALYSIS.md).
+  mutable Mutex mu_;
+  std::vector<SpanRecord> spans_ GUARDED_BY(mu_);
+  std::vector<std::uint32_t> open_ GUARDED_BY(mu_);  // stack of open span ids
+  VirtualClock vclock_ GUARDED_BY(mu_);
+  const void* vclock_owner_ GUARDED_BY(mu_) = nullptr;
 };
 
 Tracer& tracer();

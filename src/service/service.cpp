@@ -40,7 +40,10 @@ std::uint64_t MpcService::submit_at(double at, SessionRequest req) {
   rec->request = std::move(req);
   const std::uint64_t id = rec->id;
   records_.push_back(std::move(rec));
-  pending_arrivals_ += 1;
+  {
+    MutexLock lock(&mu_);
+    pending_arrivals_ += 1;
+  }
   loop_.schedule_at(at, [this, id] { arrive(id); });
   return id;
 }
@@ -51,18 +54,26 @@ std::uint64_t MpcService::submit(SessionRequest req) {
 
 void MpcService::shutdown_at(double at) {
   loop_.schedule_at(at, [this] {
-    shutting_down_ = true;
+    {
+      MutexLock lock(&mu_);
+      shutting_down_ = true;
+    }
     pool_->halt();
   });
 }
 
 void MpcService::arrive(std::uint64_t id) {
-  pending_arrivals_ -= 1;
   SessionRecord& rec = *records_[id - 1];
   rec.submit_s = loop_.now();
   const Circuit& c = rec.request.circuit;
 
-  if (shutting_down_) {
+  bool shutting = false;
+  {
+    MutexLock lock(&mu_);
+    pending_arrivals_ -= 1;
+    shutting = shutting_down_;
+  }
+  if (shutting) {
     reject(rec, RejectReason::ShuttingDown);
     return;
   }
@@ -83,13 +94,22 @@ void MpcService::arrive(std::uint64_t id) {
     return;
   }
   // Occupancy check: a session that can start immediately never queues, so
-  // the cap only bites when every runner slot is taken too.
-  if (queue_.size() >= cfg_.max_queue && running_ >= cfg_.max_concurrent) {
+  // the cap only bites when every runner slot is taken too.  Checked and
+  // enqueued under one lock so concurrent arrivals cannot both squeeze past
+  // the cap.
+  bool full = false;
+  {
+    MutexLock lock(&mu_);
+    if (queue_.size() >= cfg_.max_queue && running_ >= cfg_.max_concurrent) {
+      full = true;
+    } else {
+      queue_.insert({-static_cast<std::int64_t>(rec.priority), id});
+    }
+  }
+  if (full) {
     reject(rec, RejectReason::QueueFull);
     return;
   }
-
-  queue_.insert({-static_cast<std::int64_t>(rec.priority), id});
   try_dispatch();
 }
 
@@ -102,10 +122,18 @@ void MpcService::reject(SessionRecord& rec, RejectReason reason) {
 }
 
 void MpcService::try_dispatch() {
-  while (running_ < cfg_.max_concurrent && !queue_.empty()) {
-    const std::uint64_t id = queue_.begin()->second;
-    queue_.erase(queue_.begin());
-    execute(id);
+  while (true) {
+    std::uint64_t id = 0;
+    {
+      // Pop + slot reservation in one critical section, so two finish
+      // events cannot dispatch the same session or overshoot the cap.
+      MutexLock lock(&mu_);
+      if (running_ >= cfg_.max_concurrent || queue_.empty()) return;
+      id = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+      running_ += 1;
+    }
+    execute(id);  // heavy protocol work runs outside the lock
   }
 }
 
@@ -113,7 +141,6 @@ void MpcService::execute(std::uint64_t id) {
   SessionRecord& rec = *records_[id - 1];
   rec.state = SessionState::Running;
   rec.start_s = loop_.now();
-  running_ += 1;
 
   std::shared_ptr<PooledUnit> unit = pool_->claim(rec.request.circuit.fingerprint());
   if (unit) {
@@ -186,17 +213,28 @@ void MpcService::finish(std::uint64_t id, bool success) {
   }
   OBS_HIST("service.session.latency_us",
            static_cast<std::uint64_t>(rec.latency_s() * 1e6));
-  running_ -= 1;
+  {
+    MutexLock lock(&mu_);
+    running_ -= 1;
+  }
   try_dispatch();
   maybe_halt_pool();
 }
 
 void MpcService::maybe_halt_pool() {
-  if (pending_arrivals_ == 0 && queue_.empty() && running_ == 0) pool_->halt();
+  bool idle = false;
+  {
+    MutexLock lock(&mu_);
+    idle = pending_arrivals_ == 0 && queue_.empty() && running_ == 0;
+  }
+  if (idle) pool_->halt();  // the pool takes its own lock
 }
 
 double MpcService::run() {
-  started_ = true;
+  {
+    MutexLock lock(&mu_);
+    started_ = true;
+  }
   attach_master_clock();
   pool_->start();
   return loop_.run();

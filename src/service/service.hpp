@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "service/session.hpp"
 #include "service/triple_pool.hpp"
 #include "yoso/adversary.hpp"
@@ -125,13 +126,22 @@ private:
   net::EventLoop loop_;
   std::unique_ptr<TriplePool> pool_;
 
+  // Session records are appended at submission time and then owned by their
+  // session; the multi-core plan shards sessions per worker, so records_
+  // itself is not lock-protected here (a SessionRecord's address is stable
+  // once created — the vector holds pointers).
   std::vector<std::unique_ptr<SessionRecord>> records_;
+
+  // The dispatch queue and its occupancy counters are the state concurrent
+  // arrival/finish events contend on; lock-protected and annotated ahead of
+  // the multi-core engine (docs/STATIC_ANALYSIS.md).
+  mutable Mutex mu_;
   // Dispatch order: (-priority, id) — higher priority first, FIFO within.
-  std::set<std::pair<std::int64_t, std::uint64_t>> queue_;
-  std::size_t running_ = 0;
-  std::size_t pending_arrivals_ = 0;
-  bool shutting_down_ = false;
-  bool started_ = false;
+  std::set<std::pair<std::int64_t, std::uint64_t>> queue_ GUARDED_BY(mu_);
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  std::size_t pending_arrivals_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace yoso::service

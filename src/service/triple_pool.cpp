@@ -41,16 +41,25 @@ void TriplePool::start() {
   }
 }
 
-void TriplePool::halt() { halted_ = true; }
+void TriplePool::halt() {
+  MutexLock lock(&mu_);
+  halted_ = true;
+}
 
 void TriplePool::lane_cycle(unsigned lane) {
-  if (halted_ || cfg_.stalled) return;
-  if (bank_.size() + in_flight_ >= cfg_.capacity) {
-    parked_[lane] = true;  // claim() wakes us when a slot frees up
-    return;
+  std::uint64_t id = 0;
+  {
+    MutexLock lock(&mu_);
+    if (halted_ || cfg_.stalled) return;
+    if (bank_.size() + in_flight_ >= cfg_.capacity) {
+      parked_[lane] = true;  // claim() wakes us when a slot frees up
+      return;
+    }
+    id = ++next_unit_;
   }
 
-  const std::uint64_t id = ++next_unit_;
+  // Production proper runs outside the lock: it touches only the fresh unit
+  // and the pool's immutable config, so lanes can overlap once threaded.
   auto unit = std::make_shared<PooledUnit>();
   unit->id = id;
   unit->fingerprint = fingerprint_;
@@ -74,9 +83,10 @@ void TriplePool::lane_cycle(unsigned lane) {
     // Production failed (faulted offline phase under chaos).  The lane halts
     // — retrying against the same fault plan would spin — and the unit's
     // traffic is kept for the aggregate ledger fold.
+    span.attr("failed", "true");
+    MutexLock lock(&mu_);
     stats_.production_failed += 1;
     retired_.push_back(std::move(unit));
-    span.attr("failed", "true");
     return;
   }
   unit->board->flush();
@@ -87,20 +97,27 @@ void TriplePool::lane_cycle(unsigned lane) {
 
   // The CPU work ran now, but on the virtual timeline the unit only becomes
   // claimable after its production traffic has flowed.
-  in_flight_ += 1;
+  {
+    MutexLock lock(&mu_);
+    in_flight_ += 1;
+  }
   loop_->schedule_in(produce_s, [this, lane, unit] { bank(lane, unit); });
 }
 
 void TriplePool::bank(unsigned lane, std::shared_ptr<PooledUnit> unit) {
-  in_flight_ -= 1;
-  unit->produced_at = loop_->now();
-  stats_.produced += 1;
-  bank_.push_back(std::move(unit));
-  set_depth_gauge();
-  lane_cycle(lane);
+  {
+    MutexLock lock(&mu_);
+    in_flight_ -= 1;
+    unit->produced_at = loop_->now();
+    stats_.produced += 1;
+    bank_.push_back(std::move(unit));
+    set_depth_gauge();
+  }
+  lane_cycle(lane);  // re-locks; kept outside to avoid recursive acquisition
 }
 
 std::shared_ptr<PooledUnit> TriplePool::claim(std::uint64_t fingerprint) {
+  MutexLock lock(&mu_);
   if (bank_.empty() || fingerprint != fingerprint_) {
     stats_.misses += 1;
     return nullptr;
@@ -113,18 +130,27 @@ std::shared_ptr<PooledUnit> TriplePool::claim(std::uint64_t fingerprint) {
     for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
       if (!parked_[lane]) continue;
       parked_[lane] = false;
+      // Deferred through the loop, so the resumed lane_cycle never runs
+      // under this lock.
       loop_->schedule_at(loop_->now(), [this, lane] { lane_cycle(lane); });
     }
   }
   return unit;
 }
 
+PoolStats TriplePool::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
 void TriplePool::fold_unclaimed(Ledger& into) const {
+  MutexLock lock(&mu_);
   for (const auto& unit : bank_) into.merge(*unit->ledger);
   for (const auto& unit : retired_) into.merge(*unit->ledger);
 }
 
 std::string TriplePool::report_json() const {
+  MutexLock lock(&mu_);
   json::Writer w;
   w.begin_object();
   w.field("lanes", static_cast<std::uint64_t>(cfg_.lanes));

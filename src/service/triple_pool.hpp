@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "mpc/protocol.hpp"
 #include "net/net_bulletin.hpp"
 
@@ -76,7 +77,7 @@ public:
   // shape differs.  Parked lanes resume on the freed slot.
   std::shared_ptr<PooledUnit> claim(std::uint64_t fingerprint);
 
-  const PoolStats& stats() const { return stats_; }
+  PoolStats stats() const;  // snapshot under the pool lock
   std::uint64_t fingerprint() const { return fingerprint_; }
 
   // Merges production traffic that no session ever claimed (still-banked
@@ -89,7 +90,7 @@ public:
 private:
   void lane_cycle(unsigned lane);
   void bank(unsigned lane, std::shared_ptr<PooledUnit> unit);
-  void set_depth_gauge();
+  void set_depth_gauge() REQUIRES(mu_);
 
   ProtocolParams params_;
   Circuit circuit_;
@@ -100,13 +101,19 @@ private:
   net::EventLoop* loop_;
   std::uint64_t fingerprint_ = 0;
 
-  std::deque<std::shared_ptr<PooledUnit>> bank_;
-  std::vector<std::shared_ptr<PooledUnit>> retired_;  // failed productions
-  std::vector<bool> parked_;
-  std::size_t in_flight_ = 0;  // preprocessed, banking event pending
-  bool halted_ = false;
-  std::uint64_t next_unit_ = 0;
-  PoolStats stats_;
+  // Bank/lane state is shared between producer lanes and claiming sessions
+  // once lanes run on worker threads (ROADMAP item 3); lock-protected and
+  // annotated now so -Wthread-safety proves the discipline.  Production
+  // itself (preprocess) runs outside the lock — only the state mutations
+  // before and after are critical sections.
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<PooledUnit>> bank_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<PooledUnit>> retired_ GUARDED_BY(mu_);  // failed productions
+  std::vector<bool> parked_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;  // preprocessed, banking event pending
+  bool halted_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_unit_ GUARDED_BY(mu_) = 0;
+  PoolStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace yoso::service

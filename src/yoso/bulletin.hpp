@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "yoso/committee.hpp"
 #include "yoso/ledger.hpp"
 
@@ -91,7 +92,10 @@ public:
   virtual void on_committee_spawn(Committee& committee) { (void)committee; }
 
   const Ledger& ledger() const { return *ledger_; }
-  const std::vector<Post>& log() const { return log_; }
+  // Locks internally; the reference stays valid for the board's lifetime
+  // but is only consistent while no publisher is active (today the
+  // simulation is single-threaded).
+  const std::vector<Post>& log() const;
   std::size_t posts_by(const std::string& committee) const;
 
   // Machine-readable single-line JSON dump (ledger + audit-log summary).
@@ -105,9 +109,14 @@ protected:
 
 private:
   Ledger* ledger_;
-  std::vector<Post> log_;
-  std::string open_committee_;              // committee currently posting
-  std::set<std::string> closed_committees_; // committees whose window closed
+  // The audit log and the one-shot window state are shared across every
+  // publisher, so they are lock-protected and thread-safety-annotated
+  // ahead of the multi-core engine (docs/STATIC_ANALYSIS.md).  The Ledger
+  // carries its own lock.
+  mutable Mutex mu_;
+  std::vector<Post> log_ GUARDED_BY(mu_);
+  std::string open_committee_ GUARDED_BY(mu_);               // committee currently posting
+  std::set<std::string> closed_committees_ GUARDED_BY(mu_);  // posting window closed
 };
 
 }  // namespace yoso

@@ -2,12 +2,19 @@
 // is recorded here, priced in bytes and in ring elements.  The paper's
 // claims (online O(1) per gate, offline O(n) per gate) are verified against
 // these counters by the benchmark harness.
+//
+// The ledger is one of the shared-state classes the multi-core engine
+// (ROADMAP item 3) will contend on, so its buckets are lock-protected and
+// thread-safety-annotated: clang -Wthread-safety proves every access goes
+// through mu_ (see docs/STATIC_ANALYSIS.md, "Concurrency readiness").
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/sync.hpp"
 
 namespace yoso {
 
@@ -23,13 +30,22 @@ struct LedgerEntry {
 
 class Ledger {
 public:
+  Ledger() = default;
+  // Deep copy under `other`'s lock.  Needed because the mutex member would
+  // otherwise delete copying, and the service layer returns aggregate
+  // ledgers by value.
+  Ledger(const Ledger& other);
+  Ledger& operator=(const Ledger& other);
+
   // Records one broadcast of `elements` ring elements totaling `bytes`.
   void record(Phase phase, const std::string& category, std::size_t bytes,
               std::size_t elements = 1);
 
   LedgerEntry phase_total(Phase phase) const;
   LedgerEntry total() const;
-  // Per-category breakdown within a phase.
+  // Per-category breakdown within a phase.  Locks internally; the returned
+  // reference stays valid for the ledger's lifetime but is only consistent
+  // while no writer is active (today the simulation is single-threaded).
   const std::map<std::string, LedgerEntry>& categories(Phase phase) const;
 
   void reset();
@@ -48,9 +64,15 @@ public:
   std::string report_json() const;
 
 private:
-  std::map<std::string, LedgerEntry> setup_, offline_, online_;
-  std::map<std::string, LedgerEntry>& bucket(Phase phase);
-  const std::map<std::string, LedgerEntry>& bucket(Phase phase) const;
+  mutable Mutex mu_;
+  std::map<std::string, LedgerEntry> setup_ GUARDED_BY(mu_);
+  std::map<std::string, LedgerEntry> offline_ GUARDED_BY(mu_);
+  std::map<std::string, LedgerEntry> online_ GUARDED_BY(mu_);
+
+  std::map<std::string, LedgerEntry>& bucket(Phase phase) REQUIRES(mu_);
+  const std::map<std::string, LedgerEntry>& bucket(Phase phase) const REQUIRES(mu_);
+  LedgerEntry phase_total_locked(Phase phase) const REQUIRES(mu_);
+  LedgerEntry total_locked() const REQUIRES(mu_);
 };
 
 }  // namespace yoso

@@ -1,0 +1,104 @@
+// Replay-determinism harness: every seeded entry point must produce
+// byte-identical reports when run again from the same seed.  This is the
+// dynamic counterpart of the nondeterminism/prg-discipline lint rules — the
+// property the deterministic multi-core engine will rely on is that a run
+// is a pure function of its seeds, with no hidden state leaking between
+// runs through the obs singletons or anywhere else.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "circuit/workloads.hpp"
+#include "mpc/protocol.hpp"
+#include "net/net_bulletin.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "perf/sweep.hpp"
+#include "service/service.hpp"
+
+namespace yoso {
+namespace {
+
+// Runs `body` from a clean observability slate and returns its report.  The
+// obs singletons are process-global (reviewed mutable-global whitelist
+// entries), so a replay must reset them or counters would accumulate across
+// replays and mask — or fake — divergence.
+std::string replay(const std::function<std::string()>& body) {
+  obs::metrics().reset();
+  obs::tracer().reset();
+  obs::timeseries().reset();
+  return body();
+}
+
+void expect_replay_identical(const std::function<std::string()>& body) {
+  const std::string first = replay(body);
+  const std::string second = replay(body);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "replay diverged";
+}
+
+std::vector<std::vector<mpz_class>> seeded_inputs(const Circuit& c, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<mpz_class>> inputs(c.num_clients());
+  for (const auto& g : c.gates()) {
+    if (g.kind == GateKind::Input) {
+      inputs[g.client].push_back(mpz_class(static_cast<unsigned long>(rng.u64_below(1 << 16))));
+    }
+  }
+  return inputs;
+}
+
+TEST(DeterminismTest, ProtocolOverNetBulletinReplays) {
+  expect_replay_identical([] {
+    auto params = ProtocolParams::for_gap(4, 0.25, 96);
+    Circuit c = statistics_circuit(3);
+    auto inputs = seeded_inputs(c, 4242);
+    Ledger ledger;
+    net::NetBulletin board(ledger, net::NetConfig{});
+    YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 4242, &board);
+    auto result = mpc.run(inputs);
+    board.flush();
+    std::ostringstream ss;
+    for (const auto& v : result.outputs) ss << v << "\n";
+    ss << board.report_json() << "\n" << mpc.ledger().report_json();
+    return ss.str();
+  });
+}
+
+TEST(DeterminismTest, ChaosCampaignReplays) {
+  expect_replay_identical([] { return chaos::CampaignRunner::run_campaign(42, 3).to_json(); });
+}
+
+TEST(DeterminismTest, PerfSweepPointReplays) {
+  expect_replay_identical([] {
+    return perf::online_comm_json({perf::run_online_point(4)});
+  });
+}
+
+TEST(DeterminismTest, ServiceRunReplays) {
+  expect_replay_identical([] {
+    service::ServiceConfig cfg;
+    cfg.n = 4;
+    cfg.eps = 0.25;
+    cfg.paillier_bits = 96;
+    cfg.seed = 7;
+    service::MpcService svc(cfg);
+    for (unsigned s = 0; s < 2; ++s) {
+      service::SessionRequest req;
+      req.tag = "det-" + std::to_string(s);
+      req.circuit = statistics_circuit(2);
+      req.inputs = {{mpz_class(10 + s)}, {mpz_class(20 + s)}};
+      svc.submit_at(0.01 * (s + 1), std::move(req));
+    }
+    svc.shutdown_at(10.0);
+    svc.run();
+    return svc.report_json();
+  });
+}
+
+}  // namespace
+}  // namespace yoso

@@ -102,6 +102,85 @@ TEST(LintFixtures, CommentsAndStringsAreIgnored) {
   EXPECT_TRUE(lint_tree(fixture("comment_only"), Whitelist()).empty());
 }
 
+TEST(LintFixtures, PrgDisciplineFires) {
+  auto findings = lint_tree(fixture("prg_discipline"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"prg-discipline"});
+  // Rng ctor and gmp_randinit fire; the prg::derive_prg line is blessed.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 4u);
+  EXPECT_EQ(findings[1].line, 6u);
+}
+
+TEST(LintFixtures, PrgDisciplineWhitelistSuppresses) {
+  std::string err;
+  Whitelist wl = Whitelist::parse("prg-discipline src/bad.cpp -- fixture exemption\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(lint_tree(fixture("prg_discipline"), wl).empty());
+}
+
+TEST(LintFixtures, MutableGlobalFires) {
+  auto findings = lint_tree(fixture("mutable_global"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"mutable-global"});
+  // Only the mutable static fires; const/constexpr/function lines are clean.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintFixtures, OneShotFires) {
+  auto findings = lint_tree(fixture("one_shot"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"one-shot"});
+  ASSERT_EQ(findings.size(), 2u);
+  // (a) the duplicate (committee, label) publish …
+  EXPECT_EQ(findings[0].file, "src/mpc/bad.cpp");
+  EXPECT_EQ(findings[0].line, 7u);
+  EXPECT_NE(findings[0].message.find("mult-share"), std::string::npos);
+  // … and (b) the Secret<…> member retained in a role-scope header.
+  EXPECT_EQ(findings[1].file, "src/mpc/bad_state.hpp");
+  EXPECT_EQ(findings[1].line, 9u);
+}
+
+TEST(LintFixtures, TsanSuppressionWithoutReasonFires) {
+  auto findings = lint_tree(fixture("tsan_reason"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"tsan-suppression"});
+  // The reasoned entry is clean; the bare one fires.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "tools/tsan/suppressions.txt");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintFixtures, ServiceScopeIsConsensusVisible) {
+  // src/service joined the consensus scope: scheduling decisions replicate
+  // across workers, so the nondeterminism rule applies there too.
+  auto findings = lint_tree(fixture("service_scope"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"nondeterminism"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/service/bad.cpp");
+}
+
+TEST(LintStrip, DigitSeparatorsAreNotCharLiterals) {
+  // 10'000 must not open a char-literal state that swallows the ';' and
+  // leaves a later comment visible to the token rules.
+  auto findings = lint_file("src/yoso/x.cpp",
+                            "int clients = 10'000;\n"
+                            "// the batch's submit time (lets the pool warm)\n",
+                            Whitelist());
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(LintJson, FindingsJsonlMatchesFindings) {
+  auto findings = lint_tree(fixture("raw_powm"), Whitelist());
+  ASSERT_FALSE(findings.empty());
+  const std::string jsonl = findings_jsonl(findings);
+  // One object per finding, one per line.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(jsonl.begin(), jsonl.end(), '\n')),
+            findings.size());
+  EXPECT_EQ(jsonl.substr(0, jsonl.find('\n')),
+            "{\"rule\":\"raw-powm\",\"file\":\"src/bad.cpp\",\"line\":4,"
+            "\"message\":\"raw GMP exponentiation; use powm_sec/powm_pub from "
+            "common/ct_math.hpp\"}");
+  EXPECT_EQ(findings_jsonl({}), "");
+}
+
 TEST(LintFixtures, CleanTreeIsClean) {
   EXPECT_TRUE(lint_tree(fixture("clean"), Whitelist()).empty());
 }

@@ -1,0 +1,12 @@
+// Fixture: hidden mutable static state.
+int counter_next() {
+  static int counter = 0;  // fires: mutable function-local static
+  return ++counter;
+}
+
+static const int kFixed = 7;          // clean: const
+static constexpr double kRatio = 0.5; // clean: constexpr
+static int helper(int x);             // clean: function declaration, not data
+
+int use_all(int x) { return helper(x) + kFixed + static_cast<int>(kRatio); }
+static int helper(int x) { return x; }

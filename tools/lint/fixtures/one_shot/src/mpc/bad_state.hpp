@@ -1,0 +1,11 @@
+// Fixture: secret state retained in a role-scope header.
+#pragma once
+
+class LeakyRole {
+public:
+  void speak(Board& board);
+
+private:
+  Secret<mpz_class> retained_share_;  // fires: secret member outlives the speak
+  using SecretVec = std::vector<int>; // clean: type alias, no Secret
+};

@@ -1,0 +1,11 @@
+// Fixture: ad-hoc sequential PRG construction outside the stream seam.
+void derive_stuff(unsigned long seed) {
+  // Fires: raw Rng keyed directly off the task seed.
+  Rng rng(seed);
+  // Fires: raw gmp_randinit outside the generator definitions.
+  gmp_randinit_default(state);
+  // Blessed: seed derived through the per-task stream seam.
+  Prg g = prg::derive_prg(prg::StreamKey{seed, "dealer", 0});
+  (void)rng;
+  (void)g;
+}

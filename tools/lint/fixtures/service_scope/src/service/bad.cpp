@@ -1,0 +1,6 @@
+// Fixture: src/service is consensus-visible — session scheduling decisions
+// replicate across workers, so iteration order must be deterministic.
+void tally() {
+  std::unordered_map<int, int> per_session;  // fires: nondeterminism
+  per_session[1] = 2;
+}

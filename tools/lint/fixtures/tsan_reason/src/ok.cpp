@@ -1,0 +1,3 @@
+// Fixture filler: the tsan_reason fixture exercises the cross-file
+// suppressions rule only; the source tree itself is clean.
+int identity(int x) { return x; }

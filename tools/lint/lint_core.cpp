@@ -1,10 +1,14 @@
 #include "lint_core.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/json.hpp"
 
 namespace yoso::lint {
 
@@ -28,9 +32,26 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 
 // Consensus-visible scope: these paths feed the replicated transcript, so
 // iteration order and wall-clock reads must never influence them.
+// src/service is included since PR 6: its report_json() is a bit-for-bit
+// deterministic contract.
 bool in_consensus_scope(const std::string& rel) {
   return starts_with(rel, "src/yoso/") || starts_with(rel, "src/wire/") ||
-         starts_with(rel, "src/net/") || starts_with(rel, "src/crypto/transcript");
+         starts_with(rel, "src/net/") || starts_with(rel, "src/crypto/transcript") ||
+         starts_with(rel, "src/service/");
+}
+
+// Role-bearing scope for the YOSO one-shot/erasure rule: code that drives
+// speaking roles or retains protocol state across activations.
+bool in_role_scope(const std::string& rel) {
+  return starts_with(rel, "src/mpc/") || starts_with(rel, "src/yoso/") ||
+         starts_with(rel, "src/itmpc/") || starts_with(rel, "src/service/");
+}
+
+// Files allowed to construct sequential generators directly: the blessed
+// derivation seam itself and the generator definitions.
+bool prg_discipline_exempt(const std::string& rel) {
+  return starts_with(rel, "src/common/prg_stream.") || starts_with(rel, "src/crypto/rand.") ||
+         starts_with(rel, "src/crypto/prg.");
 }
 
 struct TokenRule {
@@ -129,6 +150,7 @@ std::string strip_impl(const std::string& src, bool blank_strings) {
   for (std::size_t i = 0; i < src.size(); ++i) {
     char c = src[i];
     char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    char prev = i > 0 ? src[i - 1] : '\0';
     switch (st) {
       case St::Code:
         if (c == '/' && next == '/') {
@@ -140,7 +162,14 @@ std::string strip_impl(const std::string& src, bool blank_strings) {
         } else if (c == '"') {
           st = St::Str;
         } else if (c == '\'') {
-          st = St::Chr;
+          // A ' between a digit and an alphanumeric is a C++14 digit
+          // separator (1'000'000, 0x3'F), not a char literal.  Treating it
+          // as one would leave the stripper in Chr state until the next
+          // stray apostrophe — often inside a later comment.
+          if (!(std::isdigit(static_cast<unsigned char>(prev)) &&
+                std::isalnum(static_cast<unsigned char>(next)))) {
+            st = St::Chr;
+          }
         }
         break;
       case St::Line:
@@ -224,6 +253,110 @@ std::vector<Finding> lint_file(const std::string& rel_path, const std::string& c
       }
     }
   }
+
+  // prg-discipline: constructing a sequential generator (Rng, Prg,
+  // gmp_randclass) outside the blessed per-task derivation seam.  A line
+  // that derives its seed via prg::subseed / prg::derive_prg is blessed —
+  // that is the (seed, role, activation) keying the multi-core engine
+  // depends on.  Whole-file exemptions go through the whitelist with a
+  // recorded reason (pre-existing derivations keep the seeded transcripts
+  // and perf baselines stable).
+  if (starts_with(rel_path, "src/") && !prg_discipline_exempt(rel_path) &&
+      !wl.allows("prg-discipline", rel_path)) {
+    static const std::regex prg_ctor(
+        R"(\b(?:Rng|Prg|gmp_randclass)\s+[A-Za-z_]\w*\s*[({;=]|\bgmp_randinit\w*\s*\()");
+    static const std::regex blessed(
+        R"(\bprg::(subseed|derive_prg|StreamKey|SequentialStreams)\b)");
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+      if (!std::regex_search(lines[ln], prg_ctor)) continue;
+      if (std::regex_search(lines[ln], blessed)) continue;
+      findings.push_back(Finding{"prg-discipline", rel_path, ln + 1,
+                                 "sequential PRG constructed outside the per-task stream seam; "
+                                 "derive the seed via prg::subseed (common/prg_stream.hpp) or "
+                                 "whitelist with a reason"});
+    }
+  }
+
+  // mutable-global: non-const namespace-scope or function-local `static`
+  // mutable state.  Hidden shared state is what the thread-safety
+  // annotations cannot see; every surviving instance must be a reviewed
+  // whitelist entry.  A '(' in the declaration head (before any '=' or ';')
+  // marks a function declaration, which is fine.
+  if (starts_with(rel_path, "src/") && !wl.allows("mutable-global", rel_path)) {
+    static const std::regex static_decl(R"(^\s*(?:inline\s+|thread_local\s+)*static\s)");
+    static const std::regex const_mark(R"(\bconst\b|\bconstexpr\b|\bconstinit\b)");
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+      const std::string& line = lines[ln];
+      if (!std::regex_search(line, static_decl)) continue;
+      const std::size_t cut = line.find_first_of("=;");
+      const std::string head = line.substr(0, cut == std::string::npos ? line.size() : cut);
+      if (head.find('(') != std::string::npos) continue;  // function, not data
+      if (std::regex_search(head, const_mark)) continue;
+      findings.push_back(Finding{"mutable-global", rel_path, ln + 1,
+                                 "mutable static state; thread-safety analysis cannot guard "
+                                 "hidden globals — remove it or whitelist with a reason"});
+    }
+  }
+
+  // one-shot: YOSO role hygiene in the role-bearing scope.
+  if (in_role_scope(rel_path) && !wl.allows("one-shot", rel_path)) {
+    // (a) Two publish() calls in one file with the same (committee
+    // expression, label literal): syntactically, a role identity that can
+    // speak twice.  Label literals live in strings, so this scan keeps them
+    // (comments stripped only).
+    std::vector<std::string> code_lines;
+    split_lines(strip_comments(content), &code_lines);
+    static const std::regex publish_call(R"((\.|->)publish\s*\()");
+    static const std::regex label_literal("\"([^\"]*)\"");
+    std::map<std::string, std::size_t> seen;  // (committee|label) -> first line
+    for (std::size_t ln = 0; ln < code_lines.size(); ++ln) {
+      std::smatch m;
+      if (!std::regex_search(code_lines[ln], m, publish_call)) continue;
+      // Argument window: rest of this line plus the next two (publish calls
+      // in this tree span at most three lines).
+      std::string window = code_lines[ln].substr(m.position(0) + m.length(0));
+      for (std::size_t extra = 1; extra <= 2 && ln + extra < code_lines.size(); ++extra) {
+        window += ' ';
+        window += code_lines[ln + extra];
+      }
+      const std::size_t comma = window.find(',');
+      if (comma == std::string::npos) continue;
+      std::string committee = window.substr(0, comma);
+      committee.erase(std::remove_if(committee.begin(), committee.end(),
+                                     [](unsigned char c) { return std::isspace(c); }),
+                      committee.end());
+      std::smatch lm;
+      if (!std::regex_search(window, lm, label_literal)) continue;  // dynamic label
+      const std::string sig = committee + "|" + lm[1].str();
+      auto [it, inserted] = seen.emplace(sig, ln + 1);
+      if (!inserted) {
+        findings.push_back(Finding{"one-shot", rel_path, ln + 1,
+                                   "second publish with committee " + committee + " and label \"" +
+                                       lm[1].str() + "\" (first at line " +
+                                       std::to_string(it->second) +
+                                       "); a YOSO role speaks exactly once"});
+      }
+    }
+
+    // (b) A Secret<…> member in a role-scope header is secret state a role
+    // could retain past its speaking phase; whitelisting requires a
+    // recorded erasure story.
+    if (rel_path.size() > 4 && rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0) {
+      static const std::regex secret_member(R"(\bSecret\s*<|\bSecretMpz\b)");
+      for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        const std::string& line = lines[ln];
+        if (!std::regex_search(line, secret_member)) continue;
+        if (line.find('(') != std::string::npos) continue;  // function signature
+        const std::size_t last = line.find_last_not_of(" \t");
+        if (last == std::string::npos || line[last] != ';') continue;  // not a declaration
+        if (line.find("using") != std::string::npos) continue;        // type alias
+        findings.push_back(Finding{"one-shot", rel_path, ln + 1,
+                                   "Secret<…> member retained in a role-scope header; erase "
+                                   "secret state after the speaking phase or whitelist with "
+                                   "the erasure story"});
+      }
+    }
+  }
   return findings;
 }
 
@@ -259,6 +392,37 @@ void check_codec_switch(const std::filesystem::path& root, std::vector<Finding>*
   }
 }
 
+// Cross-file rule: every entry in the TSan suppressions funnel must be
+// immediately preceded by a '#' comment recording why the suppression is
+// sound — the same reason-mandatory policy as the lint whitelist.  An
+// unexplained suppression is how a real race hides forever.
+void check_tsan_suppressions(const std::filesystem::path& root, std::vector<Finding>* findings) {
+  const std::filesystem::path supp = root / "tools" / "tsan" / "suppressions.txt";
+  if (!std::filesystem::exists(supp)) return;  // tree without TSan wiring: rule vacuous
+  std::vector<std::string> lines;
+  split_lines(read_file(supp), &lines);
+  bool prev_was_reason = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    std::string line = lines[ln];
+    if (auto cr = line.find('\r'); cr != std::string::npos) line.erase(cr);
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      prev_was_reason = false;  // a blank line breaks the comment/entry pairing
+      continue;
+    }
+    if (line[first] == '#') {
+      prev_was_reason = true;
+      continue;
+    }
+    if (!prev_was_reason) {
+      findings->push_back(Finding{"tsan-suppression", to_rel(root, supp), ln + 1,
+                                  "suppression entry without a preceding '# reason' comment; "
+                                  "every TSan suppression must record why it is sound"});
+    }
+    prev_was_reason = false;  // each entry needs its own reason line
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> lint_tree(const std::filesystem::path& root, const Whitelist& wl) {
@@ -275,6 +439,7 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root, const Whitelis
     }
   }
   check_codec_switch(root, &findings);
+  check_tsan_suppressions(root, &findings);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -287,6 +452,21 @@ std::string format_findings(const std::vector<Finding>& findings) {
   std::ostringstream ss;
   for (const auto& f : findings) {
     ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  return ss.str();
+}
+
+std::string findings_jsonl(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  for (const auto& f : findings) {
+    json::Writer w;
+    w.begin_object();
+    w.field("rule", f.rule);
+    w.field("file", f.file);
+    w.field("line", static_cast<std::uint64_t>(f.line));
+    w.field("message", f.message);
+    w.end_object();
+    ss << w.take() << "\n";
   }
   return ss.str();
 }

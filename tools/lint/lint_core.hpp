@@ -26,6 +26,34 @@
 //                   hand-built JSON; all JSON emission funnels through the
 //                   json::Writer in src/common/json.hpp (which is exempt).
 //
+// Concurrency-readiness rules (docs/STATIC_ANALYSIS.md, added for the
+// deterministic multi-core engine):
+//
+//   prg-discipline  ad-hoc construction of a sequential generator (Rng, Prg,
+//                   gmp_randclass / gmp_randinit) under src/ outside the
+//                   blessed per-task derivation seam.  Lines that derive
+//                   their seed through prg::subseed / prg::derive_prg
+//                   (src/common/prg_stream.hpp) are blessed; the seam's own
+//                   files and the generator definitions are exempt.
+//                   Pre-existing derivations are whitelisted — changing them
+//                   would shift every seeded transcript.
+//   mutable-global  non-const namespace-scope or function-local `static`
+//                   mutable state under src/.  Every surviving instance
+//                   needs a reason-mandatory whitelist entry (the obs
+//                   singletons and cached instrument handles are the
+//                   reviewed list).
+//   one-shot        YOSO one-shot/erasure hygiene in the role-bearing scope
+//                   (src/mpc, src/yoso, src/itmpc, src/service): (a) two
+//                   publish() calls in one file with the same (committee
+//                   expression, label literal) — a role that can speak twice
+//                   under one identity; (b) a header member of type
+//                   Secret<...> in that scope — secret state a role could
+//                   retain past its speaking phase (whitelisted only with an
+//                   erasure story).
+//   tsan-suppression  every entry in tools/tsan/suppressions.txt must be
+//                   immediately preceded by a '#' comment giving the reason,
+//                   mirroring the whitelist's reason-mandatory policy.
+//
 // Tokens inside comments and string literals are ignored.  The scan is
 // line-based and self-contained (no external tooling), so it runs in CI and
 // as an ordinary ctest.
@@ -76,10 +104,15 @@ std::vector<Finding> lint_file(const std::string& rel_path, const std::string& c
                                const Whitelist& wl);
 
 // Walks <root>/src for .hpp/.cpp files, applies lint_file to each, then the
-// cross-file codec-switch rule.  Findings are sorted by (file, line).
+// cross-file codec-switch and tsan-suppression rules.  Findings are sorted
+// by (file, line).
 std::vector<Finding> lint_tree(const std::filesystem::path& root, const Whitelist& wl);
 
 // "path/to/file.cpp:12: [rule] message" per finding.
 std::string format_findings(const std::vector<Finding>& findings);
+
+// One JSON object per finding, one per line (JSONL), through the repo's
+// json::Writer funnel: {"rule":…,"file":…,"line":…,"message":…}.
+std::string findings_jsonl(const std::vector<Finding>& findings);
 
 }  // namespace yoso::lint

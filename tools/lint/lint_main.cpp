@@ -1,8 +1,10 @@
 // CLI wrapper for the secret-hygiene linter.
 //
-//   yoso_lint --root <repo-root> [--whitelist <file>]
+//   yoso_lint --root <repo-root> [--whitelist <file>] [--json]
 //
 // Exits 0 if the tree is clean, 1 with one finding per line otherwise.
+// --json emits one JSON object per finding (JSONL on stdout) so CI can
+// render annotations; the text mode is unchanged byte-for-byte.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -12,14 +14,17 @@
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string whitelist_path;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--whitelist" && i + 1 < argc) {
       whitelist_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else {
-      std::fprintf(stderr, "usage: yoso_lint --root <dir> [--whitelist <file>]\n");
+      std::fprintf(stderr, "usage: yoso_lint --root <dir> [--whitelist <file>] [--json]\n");
       return 2;
     }
   }
@@ -27,6 +32,10 @@ int main(int argc, char** argv) {
     yoso::lint::Whitelist wl;
     if (!whitelist_path.empty()) wl = yoso::lint::Whitelist::load(whitelist_path);
     const auto findings = yoso::lint::lint_tree(root, wl);
+    if (json) {
+      std::fputs(yoso::lint::findings_jsonl(findings).c_str(), stdout);
+      return findings.empty() ? 0 : 1;
+    }
     if (findings.empty()) {
       std::printf("yoso_lint: clean (%s)\n", root.c_str());
       return 0;

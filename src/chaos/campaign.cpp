@@ -95,6 +95,16 @@ void run_one_service(const FaultSchedule& schedule, RunReport& r) {
   cfg.pool.capacity = 2;
   cfg.pool.stalled = schedule.pool_stall;
   cfg.pool_circuit = schedule.circuit();
+  // Resilience schedules turn on the self-healing layer: Section 5.4
+  // resubmission with backoff, the phase watchdog, adaptive pool sizing and
+  // a one-restart lane budget.  Plain service schedules keep every knob at
+  // its legacy default, so their runs reproduce byte-for-byte.
+  if (schedule.max_resubmits > 0 || schedule.phase_timeout_s > 0) {
+    cfg.resilience.max_resubmits = schedule.max_resubmits;
+    cfg.resilience.phase_timeout_s = schedule.phase_timeout_s;
+    cfg.pool.adaptive = true;
+    cfg.pool.max_lane_restarts = 1;
+  }
 
   const Circuit circuit = schedule.circuit();
   std::vector<std::vector<std::vector<mpz_class>>> inputs;
@@ -133,7 +143,30 @@ void run_one_service(const FaultSchedule& schedule, RunReport& r) {
       check_board(*rec->board, r);
       r.total_bytes += rec->ledger->total().bytes;
     }
+    // Resilience contract: the resubmission budget is never exceeded, and
+    // the retry bytes the final attempt's ledger carries under the
+    // "session.resubmit" marker balance against the record's sunk-cost
+    // accounting.
+    r.svc_resubmits += rec->resubmits;
+    r.svc_timeouts += rec->timeouts;
+    r.svc_backoff_wait_s += rec->backoff_wait_s;
+    r.svc_sunk_bytes += rec->sunk_bytes;
+    if (rec->resubmits > schedule.max_resubmits) {
+      r.violations.push_back("session " + std::to_string(rec->id) +
+                             " exceeded the resubmission budget");
+    }
+    if (rec->ledger) {
+      const auto& setup = rec->ledger->categories(Phase::Setup);
+      const auto it = setup.find("session.resubmit");
+      const std::size_t marker = it == setup.end() ? 0 : it->second.bytes;
+      if (marker != rec->sunk_bytes) {
+        r.violations.push_back("session " + std::to_string(rec->id) +
+                               " retry ledger imbalance: marker " + std::to_string(marker) +
+                               " != sunk " + std::to_string(rec->sunk_bytes));
+      }
+    }
     if (rec->state == service::SessionState::Completed) {
+      if (rec->resubmits > 0) ++r.svc_recovered;
       const auto expected =
           circuit.eval(inputs[rec->id - 1], rec->plaintext_modulus);
       if (rec->outputs != expected) {
@@ -148,7 +181,9 @@ void run_one_service(const FaultSchedule& schedule, RunReport& r) {
                                  " inconsistent FailureReport: " + rec->failure->describe());
         }
         if (!r.failure) r.failure = rec->failure;  // surface the first diagnosis
-      } else {
+      } else if (rec->timeouts == 0) {
+        // A watchdog cut is a classified failure in its own right; anything
+        // else must carry a FailureReport.
         r.violations.push_back("session " + std::to_string(rec->id) +
                                " failed without a FailureReport: " + rec->error);
       }
@@ -169,6 +204,11 @@ void run_one_service(const FaultSchedule& schedule, RunReport& r) {
     r.outcome = Outcome::WrongOutput;
   } else if (any_failed) {
     r.outcome = Outcome::ClassifiedAbort;
+  } else if (r.svc_recovered > 0) {
+    // Every session delivered, at least one only via Section 5.4
+    // resubmission: the self-healing layer recovered the run.
+    r.recovered = true;
+    r.outcome = Outcome::Recovered;
   } else {
     r.outcome = Outcome::Correct;
   }
@@ -288,6 +328,12 @@ FaultSchedule CampaignRunner::service_campaign_schedule(std::uint64_t campaign_s
                                        static_cast<std::uint64_t>(i));
 }
 
+FaultSchedule CampaignRunner::churn_campaign_schedule(std::uint64_t campaign_seed,
+                                                      std::size_t i) {
+  return FaultSchedule::random_churn(net::mix64(campaign_seed) ^
+                                     static_cast<std::uint64_t>(i));
+}
+
 namespace {
 
 CampaignSummary run_campaign_with(
@@ -327,6 +373,13 @@ CampaignSummary CampaignRunner::run_service_campaign(
                            on_run);
 }
 
+CampaignSummary CampaignRunner::run_churn_campaign(
+    std::uint64_t campaign_seed, std::size_t count,
+    const std::function<void(const RunReport&)>& on_run) {
+  return run_campaign_with(campaign_seed, count, &CampaignRunner::churn_campaign_schedule,
+                           on_run);
+}
+
 std::string RunReport::to_json() const {
   json::Writer w;
   w.begin_object();
@@ -349,6 +402,11 @@ std::string RunReport::to_json() const {
     w.field("rejected", static_cast<std::uint64_t>(svc_rejected));
     w.field("pool_hits", static_cast<std::uint64_t>(svc_pool_hits));
     w.field("pool_misses", static_cast<std::uint64_t>(svc_pool_misses));
+    w.field("resubmits", static_cast<std::uint64_t>(svc_resubmits));
+    w.field("timeouts", static_cast<std::uint64_t>(svc_timeouts));
+    w.field("recovered_sessions", static_cast<std::uint64_t>(svc_recovered));
+    w.field("backoff_wait_s", svc_backoff_wait_s);
+    w.field("sunk_bytes", static_cast<std::uint64_t>(svc_sunk_bytes));
     w.end_object();
   }
   if (failure) w.key("failure").raw(failure->to_json());

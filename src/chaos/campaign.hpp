@@ -55,6 +55,12 @@ struct RunReport {
   std::size_t svc_rejected = 0;
   std::size_t svc_pool_hits = 0;
   std::size_t svc_pool_misses = 0;
+  // Resilience accounting (Section 5.4 self-healing sessions).
+  std::size_t svc_resubmits = 0;    // extra attempts across sessions
+  std::size_t svc_timeouts = 0;     // attempts cut by the phase watchdog
+  std::size_t svc_recovered = 0;    // sessions completed after resubmission
+  double svc_backoff_wait_s = 0;    // total virtual backoff
+  std::size_t svc_sunk_bytes = 0;   // abandoned-attempt bytes (ledger markers)
 
   // Board accounting, summed over every board the run used (two under
   // degradation: strict attempt + retry; one per session + unclaimed pool
@@ -109,9 +115,21 @@ public:
       std::uint64_t campaign_seed, std::size_t count,
       const std::function<void(const RunReport&)>& on_run = {});
 
+  // WAN/churn resilience campaign: every schedule layers heterogeneous link
+  // classes, background churn and a Section 5.4 resubmission budget on top
+  // of the service-mode faults (FaultSchedule::random_churn).  The contract
+  // extends per-session: every admitted session delivers within bounds —
+  // possibly after bounded resubmission — or ends in a classified
+  // FailureReport / watchdog timeout, and the retry accounting balances on
+  // the ledger ("session.resubmit" marker == the record's sunk bytes).
+  static CampaignSummary run_churn_campaign(
+      std::uint64_t campaign_seed, std::size_t count,
+      const std::function<void(const RunReport&)>& on_run = {});
+
   // The i-th schedule of a campaign (what run_campaign executes).
   static FaultSchedule campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
   static FaultSchedule service_campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
+  static FaultSchedule churn_campaign_schedule(std::uint64_t campaign_seed, std::size_t i);
 };
 
 }  // namespace yoso::chaos

@@ -44,6 +44,18 @@ const Dimension kDimensions[] = {
     {"late", [](const FaultSchedule& s) { return s.late_prob > 0; },
      [](FaultSchedule& s) { s.late_prob = 0; },
      [](FaultSchedule& s) { halve_real(s.late_prob); }},
+    {"churn", [](const FaultSchedule& s) { return s.churn_prob > 0; },
+     [](FaultSchedule& s) {
+       s.churn_prob = 0;
+       s.churn_cap = 0;
+     },
+     [](FaultSchedule& s) { halve_real(s.churn_prob); }},
+    // The link class shrinks to the uniform baseline or not at all (there is
+    // no meaningful "half a WAN"); halving is the same step, and the no-op
+    // candidate == schedule skip keeps phase 2 terminating.
+    {"link_class", [](const FaultSchedule& s) { return s.link_class != "lan"; },
+     [](FaultSchedule& s) { s.link_class = "lan"; },
+     [](FaultSchedule& s) { s.link_class = "lan"; }},
 };
 
 }  // namespace

@@ -37,6 +37,18 @@ AdversaryPlan FaultSchedule::adversary() const {
 
 net::NetConfig FaultSchedule::net_config() const {
   net::NetConfig cfg;
+  if (link_class == "geo-mix" || link_class == "mobile-edge") {
+    // Heterogeneous per-member profiles; the assignment seed is decorrelated
+    // from the link-fault stream.
+    cfg.link_mix = net::LinkClassMix::by_name(link_class, net::mix64(seed ^ 0x11acULL));
+  } else if (link_class != "lan") {
+    cfg.link = net::LinkModel::by_name(link_class);  // throws on unknown
+  }
+  if (churn_prob > 0) {
+    cfg.churn.leave_prob = churn_prob;
+    cfg.churn.max_per_committee = churn_cap;
+    cfg.churn.seed = net::mix64(seed ^ 0xc09aULL);
+  }
   cfg.faults.silence_per_committee = silenced;
   cfg.faults.extra_delay_s = extra_delay_s;
   cfg.faults.drop_prob = drop_prob;
@@ -62,8 +74,13 @@ bool FaultSchedule::in_bounds() const {
   // Probabilistic loss can silence any role: no static guarantee.
   if (drop_prob > 0 || bitflip_prob > 0 || truncate_prob > 0) return false;
   if (late_prob > 0 && late_delay_s > grace_window_s) return false;
+  // Uncapped churn can empty a committee; the watchdog can cut a run that
+  // would have delivered (conservative: no static guarantee either way).
+  if (churn_prob > 0 && churn_cap == 0) return false;
+  if (phase_timeout_s > 0) return false;
   // Duplicates (ignored by the board) and graced late posts are harmless.
-  const unsigned silent = failstop + silenced +
+  const unsigned churned = churn_prob > 0 ? churn_cap : 0;
+  const unsigned silent = failstop + silenced + churned +
                           (strategy == MaliciousStrategy::Silent ? malicious : 0);
   const unsigned absent = silent + (strategy == MaliciousStrategy::Silent ? 0 : malicious);
   if (absent >= n) return false;
@@ -81,6 +98,8 @@ unsigned FaultSchedule::active_faults() const {
   active += truncate_prob > 0 ? 1 : 0;
   active += duplicate_prob > 0 ? 1 : 0;
   active += late_prob > 0 ? 1 : 0;
+  active += churn_prob > 0 ? 1 : 0;
+  active += link_class != "lan" ? 1 : 0;
   return active;
 }
 
@@ -108,6 +127,11 @@ std::string FaultSchedule::to_json() const {
   w.field("grace_window_s", grace_window_s);
   w.field("service_sessions", service_sessions);
   w.field("pool_stall", pool_stall ? 1 : 0);
+  w.field("link_class", link_class);
+  w.field("churn_prob", churn_prob);
+  w.field("churn_cap", churn_cap);
+  w.field("phase_timeout_s", phase_timeout_s);
+  w.field("max_resubmits", max_resubmits);
   w.end_object();
   return w.take();
 }
@@ -146,6 +170,14 @@ FaultSchedule FaultSchedule::from_json(const std::string& json) {
   s.grace_window_s = doc.num_or("grace_window_s", 0);
   s.service_sessions = static_cast<unsigned>(doc.u64_or("service_sessions", 0));
   s.pool_stall = doc.u64_or("pool_stall", 0) != 0;
+  s.link_class = doc.str_or("link_class", s.link_class);
+  if (s.link_class != "geo-mix" && s.link_class != "mobile-edge") {
+    (void)net::LinkModel::by_name(s.link_class);  // throws on an unknown class
+  }
+  s.churn_prob = doc.num_or("churn_prob", 0);
+  s.churn_cap = static_cast<unsigned>(doc.u64_or("churn_cap", 0));
+  s.phase_timeout_s = doc.num_or("phase_timeout_s", 0);
+  s.max_resubmits = static_cast<unsigned>(doc.u64_or("max_resubmits", 0));
   return s;
 }
 
@@ -188,6 +220,26 @@ FaultSchedule FaultSchedule::random_service(std::uint64_t seed) {
   Stream st(net::mix64(seed ^ 0x5e571ceULL));
   s.service_sessions = 2 + static_cast<unsigned>(st.below(3));  // 2..4 sessions
   s.pool_stall = st.below(4) == 0;
+  return s;
+}
+
+FaultSchedule FaultSchedule::random_churn(std::uint64_t seed) {
+  FaultSchedule s = random_service(seed);
+  Stream st(net::mix64(seed ^ 0xc08a51ceULL));
+  switch (st.below(4)) {
+    case 0: s.link_class = "wan"; break;
+    case 1: s.link_class = "geo-mix"; break;
+    case 2: s.link_class = "mobile-edge"; break;
+    default: s.link_class = "lan"; break;
+  }
+  s.churn_prob = 0.05 + 0.30 * st.unit();
+  s.churn_cap = static_cast<unsigned>(st.below(3));  // 0 = uncapped (out of bounds)
+  s.max_resubmits = 1 + static_cast<unsigned>(st.below(2));
+  if (st.below(3) == 0) s.phase_timeout_s = 30.0;  // generous on these link classes
+  // The resilience layer owns recovery here: strict first attempts, the
+  // Section 5.4 parameterization only on resubmission.
+  s.degradation = false;
+  s.failstop_mode = false;
   return s;
 }
 

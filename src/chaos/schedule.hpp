@@ -45,6 +45,18 @@ struct FaultSchedule {
   double extra_delay_s = 0;
   double drop_prob = 0;
 
+  // --- Network class + churn (net::LinkClassMix / net::ChurnPlan) ----------
+  // link_class names either a uniform LinkModel preset ("lan", "wan", ...)
+  // or a heterogeneous mix ("geo-mix", "mobile-edge") assigning every party
+  // a deterministic per-member profile.
+  std::string link_class = "lan";
+  double churn_prob = 0;        // per-role departure probability at spawn
+  unsigned churn_cap = 0;       // max departures per committee (0 = unbounded)
+
+  // --- Self-healing (service::ResilienceConfig) ----------------------------
+  double phase_timeout_s = 0;   // per-phase silence watchdog (0 = off)
+  unsigned max_resubmits = 0;   // Section 5.4 resubmission budget per session
+
   // --- Wire faults (net::WireFaultPlan) ------------------------------------
   double bitflip_prob = 0;
   double truncate_prob = 0;
@@ -89,6 +101,11 @@ struct FaultSchedule {
   // roll.  Kept separate so existing campaign seeds keep reproducing the
   // exact single-run schedules they always did.
   static FaultSchedule random_service(std::uint64_t seed);
+  // WAN/churn sampler: random_service(seed) plus a link class (uniform or
+  // heterogeneous mix), background churn, and a Section 5.4 resubmission
+  // budget — the resilience campaign's schedule space.  The decorrelated
+  // extra stream leaves the base service draws untouched.
+  static FaultSchedule random_churn(std::uint64_t seed);
 
   bool operator==(const FaultSchedule&) const = default;
 };

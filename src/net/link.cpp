@@ -2,6 +2,9 @@
 
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
+
+#include "net/wire_faults.hpp"  // mix64 / mix64_str (deterministic draws)
 
 namespace yoso::net {
 
@@ -38,6 +41,64 @@ LinkModel LinkModel::wan() {
   return m;
 }
 
+LinkModel LinkModel::geo_metro() {
+  LinkModel m;
+  m.name = "geo-metro";
+  m.latency_s = 0.005;
+  m.bandwidth_bps = 400e6;
+  m.frame_mtu = 1500;
+  m.frame_overhead = 66;
+  return m;
+}
+
+LinkModel LinkModel::geo_continental() {
+  LinkModel m;
+  m.name = "geo-continental";
+  m.latency_s = 0.030;
+  m.bandwidth_bps = 100e6;
+  m.frame_mtu = 1500;
+  m.frame_overhead = 66;
+  return m;
+}
+
+LinkModel LinkModel::geo_intercontinental() {
+  LinkModel m;
+  m.name = "geo-intercontinental";
+  m.latency_s = 0.130;
+  m.bandwidth_bps = 25e6;
+  m.frame_mtu = 1500;
+  m.frame_overhead = 66;
+  return m;
+}
+
+LinkModel LinkModel::mobile() {
+  LinkModel m;
+  m.name = "mobile";
+  m.latency_s = 0.060;
+  m.bandwidth_bps = 12e6;
+  m.frame_mtu = 1400;  // tunneled MTU
+  m.frame_overhead = 80;
+  return m;
+}
+
+LinkModel LinkModel::by_name(const std::string& name) {
+  if (name == "lan") return lan();
+  if (name == "wan") return wan();
+  if (name == "geo-metro") return geo_metro();
+  if (name == "geo-continental") return geo_continental();
+  if (name == "geo-intercontinental") return geo_intercontinental();
+  if (name == "mobile") return mobile();
+  if (name == "blockchain-bb") return blockchain_bb();
+  throw std::invalid_argument("LinkModel: unknown link class '" + name + "'");
+}
+
+const std::vector<std::string>& LinkModel::class_names() {
+  static const std::vector<std::string> names = {
+      "lan",    "wan",    "geo-metro", "geo-continental", "geo-intercontinental",
+      "mobile", "blockchain-bb"};
+  return names;
+}
+
 LinkModel LinkModel::blockchain_bb() {
   LinkModel m;
   m.name = "blockchain-bb";
@@ -61,6 +122,59 @@ const char* topology_name(Topology t) {
     case Topology::UniformMesh: return "uniform-mesh";
   }
   return "?";
+}
+
+const LinkModel& LinkClassMix::pick(const std::string& party) const {
+  if (classes.size() == 1) return classes.front();
+  double total = 0;
+  for (double w : weights) total += w;
+  // Uniform over classes when the weights are degenerate.
+  const std::uint64_t h = mix64(mix64_str(seed, party));
+  if (total <= 0) return classes[h % classes.size()];
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53 * total;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    u -= weights[i];
+    if (u < 0) return classes[i];
+  }
+  return classes.back();
+}
+
+LinkClassMix LinkClassMix::geo(std::uint64_t seed) {
+  LinkClassMix m;
+  m.name = "geo-mix";
+  m.classes = {LinkModel::geo_metro(), LinkModel::geo_continental(),
+               LinkModel::geo_intercontinental()};
+  m.weights = {0.4, 0.4, 0.2};
+  m.seed = seed;
+  return m;
+}
+
+LinkClassMix LinkClassMix::mobile_edge(std::uint64_t seed) {
+  LinkClassMix m;
+  m.name = "mobile-edge";
+  m.classes = {LinkModel::geo_continental(), LinkModel::mobile()};
+  m.weights = {0.5, 0.5};
+  m.seed = seed;
+  return m;
+}
+
+LinkClassMix LinkClassMix::by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "geo-mix") return geo(seed);
+  if (name == "mobile-edge") return mobile_edge(seed);
+  // A uniform preset wrapped as a one-class mix.
+  LinkClassMix m;
+  m.name = name;
+  m.classes = {LinkModel::by_name(name)};  // throws on an unknown name
+  m.weights = {1.0};
+  m.seed = seed;
+  return m;
+}
+
+bool ChurnPlan::leaves(const std::string& committee, unsigned role) const {
+  if (leave_prob <= 0) return false;
+  const std::uint64_t h = mix64(mix64_str(seed, committee) ^ role);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < leave_prob;
 }
 
 }  // namespace yoso::net

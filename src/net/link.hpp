@@ -4,8 +4,15 @@
 // latency, serialization bandwidth, and per-frame overhead (the message is
 // fragmented into MTU-sized frames, each paying header bytes).  Presets
 // cover the settings the MPC-performance literature measures against
-// (LAN / WAN) plus a blockchain bulletin board whose block interval
-// dominates everything else.
+// (LAN / WAN), geo-distributed latency/bandwidth tiers, a mobile edge
+// profile, plus a blockchain bulletin board whose block interval dominates
+// everything else.
+//
+// Named link classes compose into a LinkClassMix: a weighted set of
+// classes from which every party's access link is drawn as a pure function
+// of (seed, party name), so a committee can mix metro members with
+// intercontinental stragglers deterministically — the heterogeneous
+// large-network regime of "Secure MPC in Large Networks".
 //
 // The Topology says how a broadcast reaches the observers:
 //   * StarViaBoard — the YOSO model: one upload to the bulletin board, then
@@ -17,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace yoso::net {
 
@@ -39,11 +47,48 @@ struct LinkModel {
   static LinkModel lan();
   // Wide-area setting (the SoK's WAN profile): 50 Mbps, 50 ms one-way.
   static LinkModel wan();
+  // Geo tiers: members in the same metro area, on the same continent, and
+  // across an ocean.
+  static LinkModel geo_metro();             // 5 ms, 400 Mbps
+  static LinkModel geo_continental();       // 30 ms, 100 Mbps
+  static LinkModel geo_intercontinental();  // 130 ms, 25 Mbps
+  // Mobile edge member: high latency, thin uplink, small effective MTU.
+  static LinkModel mobile();                // 60 ms, 12 Mbps
   // Blockchain bulletin board: the "link" is block inclusion — 12 s
   // one-way (block interval), ~2 Mbps effective goodput, big frames.
   static LinkModel blockchain_bb();
 
+  // Preset lookup by its `name` field; throws std::invalid_argument on an
+  // unknown class (schedules carry class names through JSON).
+  static LinkModel by_name(const std::string& name);
+  static const std::vector<std::string>& class_names();
+
   std::string describe() const;
+};
+
+// Heterogeneous per-member link profiles: each party's access link is one
+// of the named classes, chosen by weight as a pure function of
+// (seed, party name).  An empty mix means every party uses the uniform
+// NetConfig link.
+struct LinkClassMix {
+  std::string name = "uniform";
+  std::vector<LinkModel> classes;  // empty = uniform link for everyone
+  std::vector<double> weights;     // parallel to classes; relative weights
+  std::uint64_t seed = 1;
+
+  bool empty() const { return classes.empty(); }
+  // Deterministic weighted draw for `party` (stable across calls).
+  const LinkModel& pick(const std::string& party) const;
+
+  // Geo-distributed committee: 40% metro, 40% continental, 20%
+  // intercontinental members.
+  static LinkClassMix geo(std::uint64_t seed);
+  // Mobile-edge committee: half continental, half mobile members.
+  static LinkClassMix mobile_edge(std::uint64_t seed);
+  // Mix (or uniform preset wrapped as a one-class mix) by name:
+  // "geo-mix", "mobile-edge", or any LinkModel preset name.  Throws
+  // std::invalid_argument on an unknown name.
+  static LinkClassMix by_name(const std::string& name, std::uint64_t seed);
 };
 
 enum class Topology { StarViaBoard, UniformMesh };
@@ -63,6 +108,24 @@ struct FaultPlan {
   bool empty() const {
     return silence_per_committee == 0 && extra_delay_s == 0 && drop_prob == 0;
   }
+};
+
+// Seeded background churn: members leave (and are replaced) between
+// committee activations.  A role whose member departed before its
+// committee activates has nobody holding its one-shot keys, so it is
+// realized as a fail-stop role at spawn — stacking with the FaultPlan's
+// silence injection and the adversary's own fail-stop corruptions.
+// Departures are a pure function of (seed, committee name, role index);
+// max_per_committee bounds them, which is what lets a schedule stay inside
+// the Section 5.4 envelope under nonzero churn.
+struct ChurnPlan {
+  double leave_prob = 0;           // per-role departure probability per activation
+  unsigned max_per_committee = 0;  // cap on departures per committee (0 = unbounded)
+  std::uint64_t seed = 1;
+
+  bool empty() const { return leave_prob <= 0; }
+  // Deterministic departure decision for one role of one committee.
+  bool leaves(const std::string& committee, unsigned role) const;
 };
 
 }  // namespace yoso::net

@@ -29,7 +29,8 @@ const char* phase_key(std::size_t idx) {
 
 NetBulletin::NetBulletin(Ledger& ledger, NetConfig cfg)
     : Bulletin(ledger), cfg_(std::move(cfg)),
-      transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults) {
+      transport_(loop_, cfg_.link, cfg_.topology, cfg_.observers, cfg_.faults,
+                 cfg_.link_mix) {
 #ifndef OBS_DISABLED
   // Spans begun while this board is alive get deterministic virtual
   // timestamps.  Keyed by `this` so destroying an old board (degradation
@@ -222,6 +223,21 @@ void NetBulletin::publish_external(const std::string& who, Phase phase, const st
 
 void NetBulletin::on_committee_spawn(Committee& committee) {
   if (transport_.observers() == 0) transport_.set_observers(committee.n());
+  // Churn first: a role whose member left between activations is silent
+  // regardless of the link fault plan.  Silence injection below then skips
+  // already-churned roles (they are no longer Honest), so the two fault
+  // sources stack rather than overlap.
+  unsigned churned = 0;
+  if (!cfg_.churn.empty()) {
+    for (unsigned i = 0; i < committee.n(); ++i) {
+      if (cfg_.churn.max_per_committee != 0 && churned >= cfg_.churn.max_per_committee) break;
+      if (committee.corruption.status[i] != RoleStatus::Honest) continue;
+      if (!cfg_.churn.leaves(committee.name, i)) continue;
+      committee.corruption.status[i] = RoleStatus::FailStop;
+      ++churned;
+    }
+  }
+  roles_churned_ += churned;
   unsigned silenced = 0;
   for (unsigned i = committee.n(); i-- > 0 && silenced < cfg_.faults.silence_per_committee;) {
     if (committee.corruption.status[i] == RoleStatus::Honest) {
@@ -314,7 +330,7 @@ std::string NetBulletin::report_json() const {
   const TransportStats& ts = transport_.stats();
   json::Writer w;
   w.begin_object();
-  w.field("link", cfg_.link.name);
+  w.field("link", cfg_.link_mix.empty() ? cfg_.link.name : cfg_.link_mix.name);
   w.field("topology", topology_name(cfg_.topology));
   w.field("elapsed_s", clock_);
   // Always stated, even when zero: an absent key would be ambiguous between
@@ -354,6 +370,14 @@ std::string NetBulletin::report_json() const {
   w.field("fuzz_rejected", static_cast<std::uint64_t>(fuzz_rejected_));
   w.field("fuzz_decoded", static_cast<std::uint64_t>(fuzz_decoded_));
   w.field("roles_silenced", static_cast<std::uint64_t>(roles_silenced_));
+  w.field("roles_churned", static_cast<std::uint64_t>(roles_churned_));
+  if (!ts.link_class_counts.empty()) {
+    w.key("link_classes").begin_object();
+    for (const auto& [cls, count] : ts.link_class_counts) {
+      w.field(cls, static_cast<std::uint64_t>(count));
+    }
+    w.end_object();
+  }
   w.key("flow").begin_object();
   {
     // flow() flushes and finalizes pending edges to "observers".

@@ -46,9 +46,15 @@ namespace yoso::net {
 
 struct NetConfig {
   LinkModel link = LinkModel::lan();
+  // Heterogeneous per-member link classes; non-empty overrides `link` with
+  // a deterministic per-party class assignment.
+  LinkClassMix link_mix = {};
   Topology topology = Topology::StarViaBoard;
   unsigned observers = 0;  // downloading parties; 0 = first committee's n
   FaultPlan faults = {};
+  // Background churn realized at committee spawn (departed members' roles
+  // become fail-stop, Section 5.4).
+  ChurnPlan churn = {};
   WireFaultPlan wire_faults = {};
   double grace_window_s = 0;  // late posts within this window still count
   bool decode_check = true;   // round-trip every payload through the codec
@@ -96,9 +102,11 @@ public:
 
   bool wants_payload() const override { return true; }
 
-  // Realizes the fault plan: the last `silence_per_committee` honest roles
-  // of every committee have their links down for the whole activation, so
-  // they behave as fail-stop parties (Section 5.4).
+  // Realizes churn and the fault plan at activation: roles whose members
+  // departed between activations (ChurnPlan, deterministic per committee
+  // and role) and the last `silence_per_committee` honest roles have their
+  // links down for the whole activation, so they behave as fail-stop
+  // parties (Section 5.4).
   void on_committee_spawn(Committee& committee) override;
 
   // Delivers any buffered round.  Accessors below flush implicitly; call
@@ -112,6 +120,7 @@ public:
   const NetConfig& config() const { return cfg_; }
   std::size_t decode_failures() const { return decode_failures_; }
   unsigned roles_silenced() const { return roles_silenced_; }
+  unsigned roles_churned() const { return roles_churned_; }
 
   // Post accounting (chaos invariants + report_json).
   const PhasePosts& phase_posts(Phase phase) const;
@@ -166,6 +175,7 @@ private:
   std::size_t fuzz_decoded_ = 0;
   std::uint64_t post_seq_ = 0;  // wire-fault roll sequence
   unsigned roles_silenced_ = 0;
+  unsigned roles_churned_ = 0;
 };
 
 }  // namespace yoso::net

@@ -33,6 +33,9 @@ struct TransportStats {
   std::size_t delivered = 0;        // message copies handed to observers
   std::size_t dropped = 0;          // messages lost to fault injection
   double downlink_queue_seconds = 0;
+  // Heterogeneous profiles: parties per assigned link class (uplinks and
+  // downlinks; empty under a uniform link).
+  std::map<std::string, std::size_t> link_class_counts;
 
   void note_size(std::size_t bytes);
   std::size_t total_payload_bytes() const;
@@ -42,7 +45,7 @@ struct TransportStats {
 class Transport {
 public:
   Transport(EventLoop& loop, LinkModel link, Topology topo, unsigned observers,
-            FaultPlan faults = {});
+            FaultPlan faults = {}, LinkClassMix mix = {});
 
   // Queues a broadcast of `bytes` payload from `sender`, released no
   // earlier than virtual time `release`.  Returns false when the fault
@@ -67,18 +70,25 @@ public:
   double last_delivery() const { return last_delivery_; }
   const TransportStats& stats() const { return stats_; }
   const LinkModel& link() const { return link_; }
+  // The access link pricing `party`'s traffic: the uniform link, or the
+  // party's deterministically assigned class under a heterogeneous mix.
+  const LinkModel& link_for(const std::string& party);
   Topology topology() const { return topo_; }
   unsigned observers() const { return observers_; }
   void set_observers(unsigned n) { observers_ = n; }
 
 private:
   bool should_drop(const std::string& sender);
+  const LinkModel& downlink_for(unsigned observer);
 
   EventLoop* loop_;
   LinkModel link_;
   Topology topo_;
   unsigned observers_;
   FaultPlan faults_;
+  LinkClassMix mix_;
+  std::map<std::string, LinkModel> assigned_;  // heterogeneous per-party cache
+  std::vector<const LinkModel*> downlinks_;    // per-observer class (mix only)
   std::map<std::string, double> uplink_free_;
   std::vector<double> downlink_free_;
   double last_delivery_ = 0;

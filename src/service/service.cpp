@@ -66,6 +66,7 @@ void MpcService::arrive(std::uint64_t id) {
   SessionRecord& rec = *records_[id - 1];
   rec.submit_s = loop_.now();
   const Circuit& c = rec.request.circuit;
+  if (cfg_.pool.adaptive) pool_->note_arrival();
 
   bool shutting = false;
   {
@@ -140,9 +141,32 @@ void MpcService::try_dispatch() {
 void MpcService::execute(std::uint64_t id) {
   SessionRecord& rec = *records_[id - 1];
   rec.state = SessionState::Running;
-  rec.start_s = loop_.now();
+  if (rec.attempts == 0) rec.start_s = loop_.now();
+  rec.attempts += 1;
+  const unsigned attempt = rec.attempts;
+  rec.failure.reset();
+  rec.error.clear();
+  rec.outputs.clear();
 
-  std::shared_ptr<PooledUnit> unit = pool_->claim(rec.request.circuit.fingerprint());
+  // First attempt: claim the pool and run exactly as the fail-fast service
+  // did (byte-identical when resilience is off).  Resubmissions never claim
+  // — banked units are strict-parameterized — and run inline on a fresh
+  // board, under the Section 5.4 fail-stop parameters when those genuinely
+  // lower the reconstruction bar.
+  bool degraded_attempt = false;
+  ProtocolParams attempt_params = params_;
+  if (attempt >= 2) {
+    const ProtocolParams failstop =
+        ProtocolParams::for_gap(cfg_.n, cfg_.eps, cfg_.paillier_bits, /*failstop_mode=*/true);
+    if (failstop.recon_threshold() < params_.recon_threshold()) {
+      attempt_params = failstop;
+      degraded_attempt = true;
+      rec.degraded = true;
+    }
+  }
+
+  std::shared_ptr<PooledUnit> unit =
+      attempt == 1 ? pool_->claim(rec.request.circuit.fingerprint()) : nullptr;
   if (unit) {
     rec.pool_hit = true;
     rec.ledger = std::move(unit->ledger);
@@ -150,12 +174,33 @@ void MpcService::execute(std::uint64_t id) {
     rec.mpc = std::move(unit->mpc);
     OBS_COUNT("service.pool.hit");
   } else {
+    // The abandoned attempt's total (which already folds in earlier
+    // attempts via its own marker) becomes the new board's sunk-cost
+    // marker, so retry bytes accumulate on the final attempt's ledger.
+    const std::size_t prev_bytes = rec.ledger ? rec.ledger->total().bytes : 0;
+    rec.pool_hit = false;
     rec.ledger = std::make_unique<Ledger>();
     net::NetConfig net = cfg_.net;
     net.wire_faults.seed = net::mix64(cfg_.net.wire_faults.seed ^ (0x5e55ULL + id));
+    std::uint64_t mpc_seed = net::mix64(cfg_.seed ^ (0x0de1ULL + id));
+    if (attempt >= 2) {
+      // Fresh wire/churn/protocol randomness per attempt (the departed-member
+      // set is redrawn; parties' link classes stay put — geography is stable).
+      const std::uint64_t a = attempt;
+      net.wire_faults.seed = net::mix64(net.wire_faults.seed ^ (0xa77eULL * a));
+      if (!net.churn.empty()) net.churn.seed = net::mix64(net.churn.seed ^ (0xc4a1ULL * a));
+      mpc_seed = net::mix64(mpc_seed ^ (0x5eedULL * a));
+    }
     rec.board = std::make_unique<net::NetBulletin>(*rec.ledger, net);
-    rec.mpc = std::make_unique<YosoMpc>(params_, rec.request.circuit, plan_,
-                                        net::mix64(cfg_.seed ^ (0x0de1ULL + id)),
+    if (attempt >= 2) {
+      rec.sunk_bytes = prev_bytes;
+      rec.board->publish_external("service", Phase::Setup, "session.resubmit", prev_bytes, 0);
+      if (degraded_attempt) {
+        rec.board->publish_external("degrade", Phase::Setup, "degrade.retry", 0, 1);
+      }
+      OBS_COUNT_N("service.session.resubmit_bytes", prev_bytes);
+    }
+    rec.mpc = std::make_unique<YosoMpc>(attempt_params, rec.request.circuit, plan_, mpc_seed,
                                         rec.board.get());
     OBS_COUNT("service.pool.miss");
   }
@@ -169,7 +214,8 @@ void MpcService::execute(std::uint64_t id) {
   obs::Span span("session." + std::to_string(id), "service");
   span.attr("tag", rec.tag)
       .attr("priority", static_cast<std::int64_t>(rec.priority))
-      .attr("pool_hit", static_cast<std::int64_t>(rec.pool_hit ? 1 : 0));
+      .attr("pool_hit", static_cast<std::int64_t>(rec.pool_hit ? 1 : 0))
+      .attr("attempt", static_cast<std::int64_t>(attempt));
 
   bool success = false;
   try {
@@ -191,13 +237,50 @@ void MpcService::execute(std::uint64_t id) {
 
   // A pool hit already paid setup+offline on the production timeline; the
   // session's own latency is the online phase.  A miss pays all three inline.
-  double duration = rec.board->phase_traffic(Phase::Online).seconds;
-  if (!rec.pool_hit) {
-    duration += rec.board->phase_traffic(Phase::Setup).seconds +
-                rec.board->phase_traffic(Phase::Offline).seconds;
+  // The phase watchdog cuts any inline phase whose virtual time exceeds the
+  // timeout — the attempt counts as failed (the board went silent too long
+  // for the client to keep waiting) and the timeline stops at the cut.
+  const ResilienceConfig& res = cfg_.resilience;
+  bool attempt_timed_out = false;
+  double duration = 0;
+  for (Phase p : {Phase::Setup, Phase::Offline, Phase::Online}) {
+    if (rec.pool_hit && p != Phase::Online) continue;
+    const double s = rec.board->phase_traffic(p).seconds;
+    if (res.phase_timeout_s > 0 && s > res.phase_timeout_s) {
+      attempt_timed_out = true;
+      rec.timeouts += 1;
+      rec.timeout_phase = p;
+      duration += res.phase_timeout_s;
+      break;
+    }
+    duration += s;
+  }
+  if (attempt_timed_out) {
+    success = false;
+    rec.outputs.clear();
+    if (!rec.failure.has_value() && rec.error.empty()) {
+      rec.error = std::string("phase timeout: ") + phase_name(rec.timeout_phase);
+    }
+    OBS_COUNT("service.session.timeout");
   }
   span.attr("success", static_cast<std::int64_t>(success ? 1 : 0));
   span.end();
+
+  // Self-healing: a timed-out or silence-decisive failure is resubmitted
+  // (bounded by max_resubmits) after capped exponential backoff; the runner
+  // slot is held through the backoff so occupancy stays honest.
+  const bool silence_failure = rec.failure.has_value() && rec.failure->silence_decisive();
+  if (!success && rec.resubmits < res.max_resubmits &&
+      (attempt_timed_out || silence_failure)) {
+    rec.resubmits += 1;
+    const double backoff =
+        std::min(res.backoff_base_s * std::ldexp(1.0, static_cast<int>(rec.resubmits) - 1),
+                 res.backoff_cap_s);
+    rec.backoff_wait_s += backoff;
+    OBS_COUNT("service.session.resubmit");
+    loop_.schedule_in(duration + backoff, [this, id] { execute(id); });
+    return;
+  }
 
   loop_.schedule_in(duration, [this, id, success] { finish(id, success); });
 }
@@ -208,6 +291,7 @@ void MpcService::finish(std::uint64_t id, bool success) {
   rec.state = success ? SessionState::Completed : SessionState::Failed;
   if (success) {
     OBS_COUNT("service.session.completed");
+    if (rec.resubmits > 0) OBS_COUNT("service.session.recovered");
   } else {
     OBS_COUNT("service.session.failed");
   }
@@ -259,11 +343,19 @@ ServiceStats MpcService::stats() const {
   double first_submit = -1, last_finish = -1;
   for (const auto& rec : records_) {
     switch (rec->state) {
-      case SessionState::Rejected: s.rejected += 1; break;
+      case SessionState::Rejected:
+        s.rejected += 1;
+        s.rejected_by_reason[reject_reason_name(rec->reject_reason)] += 1;
+        break;
       case SessionState::Completed: s.completed += 1; break;
       case SessionState::Failed: s.failed += 1; break;
       default: break;
     }
+    s.resubmits += rec->resubmits;
+    s.timeouts += rec->timeouts;
+    s.backoff_wait_s += rec->backoff_wait_s;
+    s.sunk_bytes += rec->sunk_bytes;
+    if (rec->state == SessionState::Completed && rec->resubmits > 0) s.recovered += 1;
     if (rec->state == SessionState::Completed || rec->state == SessionState::Failed) {
       latencies.push_back(rec->latency_s());
       if (first_submit < 0 || rec->submit_s < first_submit) first_submit = rec->submit_s;
@@ -304,6 +396,12 @@ std::string MpcService::report_json() const {
   w.field("max_queue", static_cast<std::uint64_t>(cfg_.max_queue));
   w.field("max_clients", static_cast<std::uint64_t>(cfg_.max_clients));
   w.field("max_mul_depth", static_cast<std::uint64_t>(cfg_.max_mul_depth));
+  w.key("resilience").begin_object();
+  w.field("max_resubmits", static_cast<std::uint64_t>(cfg_.resilience.max_resubmits));
+  w.field("phase_timeout_s", cfg_.resilience.phase_timeout_s);
+  w.field("backoff_base_s", cfg_.resilience.backoff_base_s);
+  w.field("backoff_cap_s", cfg_.resilience.backoff_cap_s);
+  w.end_object();
   w.end_object();
   w.key("stats").begin_object();
   w.field("submitted", static_cast<std::uint64_t>(s.submitted));
@@ -314,6 +412,16 @@ std::string MpcService::report_json() const {
   w.field("sessions_per_sec", s.sessions_per_sec);
   w.field("latency_p50_s", s.latency_p50_s);
   w.field("latency_p99_s", s.latency_p99_s);
+  w.field("resubmits", static_cast<std::uint64_t>(s.resubmits));
+  w.field("timeouts", static_cast<std::uint64_t>(s.timeouts));
+  w.field("recovered", static_cast<std::uint64_t>(s.recovered));
+  w.field("backoff_wait_s", s.backoff_wait_s);
+  w.field("sunk_bytes", static_cast<std::uint64_t>(s.sunk_bytes));
+  w.key("rejected_by_reason").begin_object();
+  for (const auto& [reason, count] : s.rejected_by_reason) {
+    w.field(reason, static_cast<std::uint64_t>(count));
+  }
+  w.end_object();
   w.end_object();
   w.key("pool").raw(pool_->report_json());
   w.key("sessions").begin_array();

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -38,6 +39,19 @@
 #include "yoso/adversary.hpp"
 
 namespace yoso::service {
+
+// Self-healing knobs (Section 5.4).  With max_resubmits > 0, a session whose
+// attempt times out on the phase watchdog or fails with a silence-decisive
+// FailureReport is automatically resubmitted on a fresh board under the
+// fail-stop parameterization (when that genuinely lowers the reconstruction
+// bar), after capped exponential backoff on the virtual clock.  The defaults
+// keep the legacy fail-fast behavior.
+struct ResilienceConfig {
+  unsigned max_resubmits = 0;    // extra attempts per session; 0 = fail fast
+  double phase_timeout_s = 0;    // per-phase silence watchdog; 0 = off
+  double backoff_base_s = 0.05;  // k-th resubmit waits min(base * 2^(k-1), cap)
+  double backoff_cap_s = 2.0;
+};
 
 struct ServiceConfig {
   // Protocol parameterization shared by every session (Theorem 1 knobs).
@@ -59,6 +73,9 @@ struct ServiceConfig {
   PoolConfig pool;
   Circuit pool_circuit;
 
+  // Self-healing resubmission policy (defaults = legacy fail-fast).
+  ResilienceConfig resilience;
+
   // Network model every session and pool lane runs under.
   net::NetConfig net;
   // Corruption pattern (defaults to all-honest committees of size n).
@@ -74,6 +91,14 @@ struct ServiceStats {
   double sessions_per_sec = 0;  // completed per virtual second
   double latency_p50_s = 0;     // nearest-rank percentiles over run sessions
   double latency_p99_s = 0;
+  // Resilience accounting (Section 5.4 self-healing).
+  std::size_t resubmits = 0;    // extra attempts across all sessions
+  std::size_t timeouts = 0;     // attempts cut by the phase watchdog
+  std::size_t recovered = 0;    // completed only after >= 1 resubmission
+  double backoff_wait_s = 0;    // total virtual backoff across sessions
+  std::size_t sunk_bytes = 0;   // bytes sunk in abandoned attempts
+  // Structured rejection breakdown, keyed by reject_reason_name().
+  std::map<std::string, std::size_t> rejected_by_reason;
   PoolStats pool;
 };
 

@@ -40,6 +40,13 @@ std::string SessionRecord::to_json() const {
   w.field("finish_s", finish_s);
   w.field("latency_s", latency_s());
   w.field("pool_hit", pool_hit);
+  w.field("attempts", static_cast<std::uint64_t>(attempts));
+  w.field("resubmits", static_cast<std::uint64_t>(resubmits));
+  w.field("degraded", degraded);
+  w.field("timeouts", static_cast<std::uint64_t>(timeouts));
+  if (timeouts > 0) w.field("timeout_phase", phase_name(timeout_phase));
+  w.field("backoff_wait_s", backoff_wait_s);
+  w.field("sunk_bytes", static_cast<std::uint64_t>(sunk_bytes));
   if (failure.has_value()) {
     w.key("failure").raw(failure->to_json());
   }

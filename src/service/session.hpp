@@ -64,9 +64,21 @@ struct SessionRecord {
   double start_s = -1;
   double finish_s = -1;
 
-  bool pool_hit = false;  // served from the banked triple pool
+  bool pool_hit = false;  // final attempt served from the banked triple pool
   std::optional<FailureReport> failure;  // classified diagnosis when Failed
   std::string error;                     // abort message when no report exists
+
+  // Self-healing accounting (Section 5.4; see ResilienceConfig).  An
+  // attempt that times out or fails silence-decisively is resubmitted on a
+  // fresh board; the abandoned attempts' bytes stay ledger-visible through
+  // the "session.resubmit" marker on the final attempt's ledger.
+  unsigned attempts = 0;       // execution attempts (1 = never resubmitted)
+  unsigned resubmits = 0;      // attempts - 1 once terminal
+  bool degraded = false;       // a resubmission ran the fail-stop parameters
+  unsigned timeouts = 0;       // attempts cut by the phase watchdog
+  Phase timeout_phase = Phase::Setup;  // last watchdog phase (valid when timeouts > 0)
+  double backoff_wait_s = 0;   // total backoff spent on the virtual clock
+  std::size_t sunk_bytes = 0;  // bytes sunk in abandoned attempts (marker value)
 
   SessionRequest request;
   std::vector<mpz_class> outputs;  // Completed: in circuit.outputs() order

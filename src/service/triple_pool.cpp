@@ -1,5 +1,7 @@
 #include "service/triple_pool.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/json.hpp"
@@ -20,7 +22,8 @@ TriplePool::TriplePool(ProtocolParams params, Circuit circuit, net::NetConfig ne
       cfg_(cfg),
       loop_(loop),
       fingerprint_(circuit_.fingerprint()),
-      parked_(cfg.lanes, false) {}
+      parked_(cfg.lanes, false),
+      restarts_(cfg.lanes, 0) {}
 
 TriplePool::~TriplePool() {
 #ifndef OBS_DISABLED
@@ -32,6 +35,32 @@ void TriplePool::set_depth_gauge() {
   stats_.depth = bank_.size();
   if (stats_.depth > stats_.peak_depth) stats_.peak_depth = stats_.depth;
   OBS_GAUGE_SET("service.pool.depth", stats_.depth);
+}
+
+// Park threshold: capacity, or in adaptive mode the EWMA-derived demand
+// target ceil(produce / interarrival) once both estimators have samples
+// (prefill to capacity until then), clamped to [1, capacity].
+std::size_t TriplePool::target() {
+  std::size_t t = cfg_.capacity;
+  if (cfg_.adaptive && ewma_interarrival_s_ > 0 && ewma_produce_s_ > 0) {
+    const double demand = std::ceil(ewma_produce_s_ / ewma_interarrival_s_);
+    t = std::min(cfg_.capacity,
+                 static_cast<std::size_t>(std::max(1.0, demand)));
+  }
+  stats_.target_depth = t;
+  if (cfg_.adaptive) OBS_GAUGE_SET("service.pool.target_depth", t);
+  return t;
+}
+
+void TriplePool::wake_parked() {
+  if (halted_ || cfg_.stalled) return;
+  for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
+    if (!parked_[lane]) continue;
+    parked_[lane] = false;
+    // Deferred through the loop, so the resumed lane_cycle never runs
+    // under this lock.
+    loop_->schedule_at(loop_->now(), [this, lane] { lane_cycle(lane); });
+  }
 }
 
 void TriplePool::start() {
@@ -51,8 +80,8 @@ void TriplePool::lane_cycle(unsigned lane) {
   {
     MutexLock lock(&mu_);
     if (halted_ || cfg_.stalled) return;
-    if (bank_.size() + in_flight_ >= cfg_.capacity) {
-      parked_[lane] = true;  // claim() wakes us when a slot frees up
+    if (bank_.size() + in_flight_ >= target()) {
+      parked_[lane] = true;  // claim()/note_arrival() wake us on demand
       return;
     }
     id = ++next_unit_;
@@ -80,13 +109,25 @@ void TriplePool::lane_cycle(unsigned lane) {
   try {
     unit->mpc->preprocess();
   } catch (const std::exception&) {
-    // Production failed (faulted offline phase under chaos).  The lane halts
-    // — retrying against the same fault plan would spin — and the unit's
-    // traffic is kept for the aggregate ledger fold.
+    // Production failed (faulted offline phase under chaos).  The unit's
+    // traffic is kept for the aggregate ledger fold.  With a restart budget
+    // the lane comes back after capped exponential backoff — the next unit
+    // draws fresh seeds, so a transient fault does not starve the bank;
+    // without one the lane halts (retrying the *same* plan would spin).
     span.attr("failed", "true");
     MutexLock lock(&mu_);
     stats_.production_failed += 1;
     retired_.push_back(std::move(unit));
+    if (restarts_[lane] < cfg_.max_lane_restarts && !halted_ && !cfg_.stalled) {
+      restarts_[lane] += 1;
+      stats_.lane_restarts += 1;
+      const double backoff =
+          std::min(cfg_.restart_backoff_s *
+                       std::ldexp(1.0, static_cast<int>(restarts_[lane]) - 1),
+                   cfg_.restart_backoff_cap_s);
+      OBS_COUNT("service.pool.lane_restart");
+      loop_->schedule_in(backoff, [this, lane] { lane_cycle(lane); });
+    }
     return;
   }
   unit->board->flush();
@@ -100,6 +141,10 @@ void TriplePool::lane_cycle(unsigned lane) {
   {
     MutexLock lock(&mu_);
     in_flight_ += 1;
+    ewma_produce_s_ = ewma_produce_s_ <= 0
+                          ? produce_s
+                          : cfg_.ewma_alpha * produce_s +
+                                (1 - cfg_.ewma_alpha) * ewma_produce_s_;
   }
   loop_->schedule_in(produce_s, [this, lane, unit] { bank(lane, unit); });
 }
@@ -126,16 +171,25 @@ std::shared_ptr<PooledUnit> TriplePool::claim(std::uint64_t fingerprint) {
   bank_.pop_front();
   stats_.hits += 1;
   set_depth_gauge();
-  if (!halted_ && !cfg_.stalled) {
-    for (unsigned lane = 0; lane < cfg_.lanes; ++lane) {
-      if (!parked_[lane]) continue;
-      parked_[lane] = false;
-      // Deferred through the loop, so the resumed lane_cycle never runs
-      // under this lock.
-      loop_->schedule_at(loop_->now(), [this, lane] { lane_cycle(lane); });
-    }
-  }
+  wake_parked();
   return unit;
+}
+
+void TriplePool::note_arrival() {
+  if (!cfg_.adaptive) return;
+  MutexLock lock(&mu_);
+  const double now = loop_->now();
+  if (last_arrival_s_ >= 0) {
+    const double gap = now - last_arrival_s_;
+    ewma_interarrival_s_ = ewma_interarrival_s_ <= 0
+                               ? gap
+                               : cfg_.ewma_alpha * gap +
+                                     (1 - cfg_.ewma_alpha) * ewma_interarrival_s_;
+  }
+  last_arrival_s_ = now;
+  // Demand may have grown the target; parked lanes re-check and re-park if
+  // not (the wake is deterministic — it depends only on arrival times).
+  if (bank_.size() + in_flight_ < target()) wake_parked();
 }
 
 PoolStats TriplePool::stats() const {
@@ -156,6 +210,8 @@ std::string TriplePool::report_json() const {
   w.field("lanes", static_cast<std::uint64_t>(cfg_.lanes));
   w.field("capacity", static_cast<std::uint64_t>(cfg_.capacity));
   w.field("stalled", cfg_.stalled);
+  w.field("adaptive", cfg_.adaptive);
+  w.field("max_lane_restarts", static_cast<std::uint64_t>(cfg_.max_lane_restarts));
   w.key("fingerprint").str(std::to_string(fingerprint_));
   w.field("produced", static_cast<std::uint64_t>(stats_.produced));
   w.field("production_failed", static_cast<std::uint64_t>(stats_.production_failed));
@@ -164,6 +220,8 @@ std::string TriplePool::report_json() const {
   w.field("hit_rate", stats_.hit_rate());
   w.field("depth", static_cast<std::uint64_t>(stats_.depth));
   w.field("peak_depth", static_cast<std::uint64_t>(stats_.peak_depth));
+  w.field("target_depth", static_cast<std::uint64_t>(stats_.target_depth));
+  w.field("lane_restarts", static_cast<std::uint64_t>(stats_.lane_restarts));
   w.end_object();
   return w.take();
 }

@@ -31,6 +31,21 @@ struct PoolConfig {
   unsigned lanes = 2;        // concurrent producer lanes
   std::size_t capacity = 8;  // banked + in-flight units before lanes park
   bool stalled = false;      // chaos knob: production never starts (all misses)
+
+  // Adaptive target depth: lanes park at an EWMA-derived target —
+  // ceil(EWMA produce time / EWMA interarrival), clamped to [1, capacity] —
+  // instead of at capacity, so a slow trickle of sessions stops paying for
+  // a full bank.  Until both EWMAs have samples the pool prefills to
+  // capacity.  Exported as the `service.pool.target_depth` gauge.
+  bool adaptive = false;
+  double ewma_alpha = 0.3;  // weight of the newest sample
+
+  // Lane self-healing: a failed production restarts the lane after capped
+  // exponential backoff (the next unit draws fresh seeds) instead of
+  // halting it for good.  0 keeps the legacy halt-on-failure behavior.
+  unsigned max_lane_restarts = 0;  // per lane
+  double restart_backoff_s = 0.1;
+  double restart_backoff_cap_s = 5.0;
 };
 
 // One banked preprocessed instance.  The ledger/board/mpc triple moves into
@@ -53,6 +68,8 @@ struct PoolStats {
   std::size_t misses = 0;
   std::size_t depth = 0;       // currently banked
   std::size_t peak_depth = 0;
+  std::size_t target_depth = 0;   // current park threshold (adaptive sizing)
+  std::size_t lane_restarts = 0;  // failed productions retried after backoff
   double hit_rate() const {
     return hits + misses == 0 ? 0.0 : static_cast<double>(hits) / (hits + misses);
   }
@@ -77,6 +94,11 @@ public:
   // shape differs.  Parked lanes resume on the freed slot.
   std::shared_ptr<PooledUnit> claim(std::uint64_t fingerprint);
 
+  // Feeds the adaptive-target EWMA one session arrival (called by the
+  // service at admission time); wakes parked lanes when the target grew.
+  // No-op unless cfg.adaptive.
+  void note_arrival();
+
   PoolStats stats() const;  // snapshot under the pool lock
   std::uint64_t fingerprint() const { return fingerprint_; }
 
@@ -91,6 +113,8 @@ private:
   void lane_cycle(unsigned lane);
   void bank(unsigned lane, std::shared_ptr<PooledUnit> unit);
   void set_depth_gauge() REQUIRES(mu_);
+  std::size_t target() REQUIRES(mu_);  // park threshold (capacity when not adaptive)
+  void wake_parked() REQUIRES(mu_);
 
   ProtocolParams params_;
   Circuit circuit_;
@@ -110,7 +134,11 @@ private:
   std::deque<std::shared_ptr<PooledUnit>> bank_ GUARDED_BY(mu_);
   std::vector<std::shared_ptr<PooledUnit>> retired_ GUARDED_BY(mu_);  // failed productions
   std::vector<bool> parked_ GUARDED_BY(mu_);
+  std::vector<unsigned> restarts_ GUARDED_BY(mu_);  // per-lane restart budget used
   std::size_t in_flight_ GUARDED_BY(mu_) = 0;  // preprocessed, banking event pending
+  double ewma_interarrival_s_ GUARDED_BY(mu_) = 0;  // 0 = no sample yet
+  double ewma_produce_s_ GUARDED_BY(mu_) = 0;       // 0 = no sample yet
+  double last_arrival_s_ GUARDED_BY(mu_) = -1;
   bool halted_ GUARDED_BY(mu_) = false;
   std::uint64_t next_unit_ GUARDED_BY(mu_) = 0;
   PoolStats stats_ GUARDED_BY(mu_);

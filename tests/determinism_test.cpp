@@ -100,5 +100,18 @@ TEST(DeterminismTest, ServiceRunReplays) {
   });
 }
 
+// A churn schedule that only delivers after a Section 5.4 resubmission must
+// replay byte-identically — retry accounting, backoff, ledger markers and
+// all.  Campaign seed 42, index 2 is a known recovering schedule.
+TEST(DeterminismTest, ChurnServiceRunWithRetryReplays) {
+  expect_replay_identical([] {
+    const auto s = chaos::CampaignRunner::churn_campaign_schedule(42, 2);
+    const chaos::RunReport r = chaos::CampaignRunner::run_one(s);
+    EXPECT_EQ(r.outcome, chaos::Outcome::Recovered);
+    EXPECT_GT(r.svc_resubmits, 0u);
+    return r.to_json();
+  });
+}
+
 }  // namespace
 }  // namespace yoso

@@ -1,0 +1,359 @@
+// WAN/churn resilience tests: named link classes and heterogeneous
+// per-member profiles, the deterministic background-churn process, the
+// self-healing service (phase watchdog, Section 5.4 resubmission with
+// capped backoff, ledger-visible retry bytes), adaptive pool sizing and
+// lane restart, per-reason rejection counters, and the minimizer's churn /
+// link-class dimensions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "chaos/campaign.hpp"
+#include "chaos/minimize.hpp"
+#include "circuit/workloads.hpp"
+#include "net/net_bulletin.hpp"
+#include "service/service.hpp"
+
+namespace yoso {
+namespace {
+
+using chaos::CampaignRunner;
+using chaos::FaultSchedule;
+using chaos::Outcome;
+using chaos::RunReport;
+using chaos::ScheduleMinimizer;
+using service::MpcService;
+using service::ServiceConfig;
+using service::SessionRequest;
+using service::SessionState;
+
+std::vector<std::vector<mpz_class>> stats_inputs(unsigned parties, unsigned base) {
+  std::vector<std::vector<mpz_class>> inputs;
+  for (unsigned i = 0; i < parties; ++i) inputs.push_back({mpz_class(base + i)});
+  return inputs;
+}
+
+SessionRequest stats_request(const std::string& tag, unsigned parties, unsigned base) {
+  SessionRequest req;
+  req.tag = tag;
+  req.circuit = statistics_circuit(parties);
+  req.inputs = stats_inputs(parties, base);
+  return req;
+}
+
+// --- Link classes -----------------------------------------------------------
+
+TEST(LinkClassTest, EveryNamedClassRoundTripsThroughByName) {
+  for (const std::string& name : net::LinkModel::class_names()) {
+    EXPECT_EQ(net::LinkModel::by_name(name).name, name);
+  }
+  EXPECT_THROW(net::LinkModel::by_name("carrier-pigeon"), std::invalid_argument);
+}
+
+TEST(LinkClassTest, GeoTiersAreOrderedBySpeed) {
+  const auto metro = net::LinkModel::geo_metro();
+  const auto cont = net::LinkModel::geo_continental();
+  const auto inter = net::LinkModel::geo_intercontinental();
+  EXPECT_LT(metro.latency_s, cont.latency_s);
+  EXPECT_LT(cont.latency_s, inter.latency_s);
+  EXPECT_GT(metro.bandwidth_bps, cont.bandwidth_bps);
+  EXPECT_GT(cont.bandwidth_bps, inter.bandwidth_bps);
+}
+
+TEST(LinkClassMixTest, PickIsDeterministicPerParty) {
+  const auto mix = net::LinkClassMix::geo(99);
+  for (const char* party : {"P0", "P1", "gateway.3"}) {
+    EXPECT_EQ(mix.pick(party).name, mix.pick(party).name);
+  }
+  // A committee's worth of parties spreads over more than one class.
+  std::set<std::string> seen;
+  for (int i = 0; i < 24; ++i) seen.insert(mix.pick("member#" + std::to_string(i)).name);
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(LinkClassMixTest, ByNameWrapsUniformPresetsAndRejectsUnknown) {
+  EXPECT_EQ(net::LinkClassMix::by_name("geo-mix", 1).name, "geo-mix");
+  EXPECT_EQ(net::LinkClassMix::by_name("mobile-edge", 1).name, "mobile-edge");
+  const auto wan = net::LinkClassMix::by_name("wan", 1);
+  ASSERT_EQ(wan.classes.size(), 1u);
+  EXPECT_EQ(wan.pick("anyone").name, "wan");
+  EXPECT_THROW(net::LinkClassMix::by_name("carrier-pigeon", 1), std::invalid_argument);
+}
+
+// --- Background churn -------------------------------------------------------
+
+TEST(ChurnPlanTest, LeavesIsDeterministicAndRespectsProbability) {
+  net::ChurnPlan plan;
+  plan.leave_prob = 0.5;
+  plan.seed = 7;
+  unsigned left = 0;
+  for (unsigned role = 0; role < 64; ++role) {
+    const bool first = plan.leaves("epoch.3", role);
+    EXPECT_EQ(first, plan.leaves("epoch.3", role));
+    left += first ? 1 : 0;
+  }
+  EXPECT_GT(left, 0u);
+  EXPECT_LT(left, 64u);
+  net::ChurnPlan off;
+  EXPECT_TRUE(off.empty());
+  EXPECT_FALSE(off.leaves("epoch.3", 0));
+}
+
+TEST(ChurnTest, ChurnedRolesBehaveAsFailStopAndStayCounted) {
+  // Section 5.4 parameterization survives the capped departures.
+  auto params = ProtocolParams::for_gap(4, 0.25, 96, /*failstop_mode=*/true);
+  Circuit c = statistics_circuit(3);
+  auto inputs = stats_inputs(3, 10);
+  Ledger ledger;
+  net::NetConfig cfg;
+  cfg.churn.leave_prob = 0.9;
+  cfg.churn.max_per_committee = 1;
+  cfg.churn.seed = 11;
+  cfg.link_mix = net::LinkClassMix::geo(11);
+  net::NetBulletin board(ledger, cfg);
+  YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 11, &board);
+  auto result = mpc.run(inputs);
+  board.flush();
+  EXPECT_EQ(result.outputs, c.eval(inputs, mpc.plaintext_modulus()));
+  EXPECT_GE(board.roles_churned(), 1u);
+  const std::string report = board.report_json();
+  EXPECT_NE(report.find("\"roles_churned\""), std::string::npos);
+  EXPECT_NE(report.find("\"link_classes\""), std::string::npos);
+  EXPECT_NE(report.find("\"link\":\"geo-mix\""), std::string::npos);
+}
+
+// --- Self-healing sessions --------------------------------------------------
+
+// Strict n = 4 needs 3 speakers; churn removes 2, so the first attempt
+// aborts silence-decisively and the Section 5.4 resubmission (reconstruction
+// bar 1) delivers.  The abandoned attempt's bytes must surface through the
+// "session.resubmit" ledger marker.
+TEST(ResilienceTest, ChurnedSessionRecoversViaResubmission) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  cfg.net.churn.leave_prob = 0.9;
+  cfg.net.churn.max_per_committee = 2;
+  cfg.net.churn.seed = 3;
+  cfg.resilience.max_resubmits = 2;
+  MpcService svc(cfg);
+  svc.submit_at(0.01, stats_request("heal", 2, 10));
+  svc.run();
+
+  const auto& rec = svc.session(1);
+  ASSERT_EQ(rec.state, SessionState::Completed);
+  EXPECT_GE(rec.resubmits, 1u);
+  EXPECT_EQ(rec.attempts, rec.resubmits + 1);
+  EXPECT_TRUE(rec.degraded);
+  EXPECT_GT(rec.sunk_bytes, 0u);
+  EXPECT_GT(rec.backoff_wait_s, 0.0);
+  EXPECT_EQ(rec.outputs, rec.request.circuit.eval(rec.request.inputs, rec.plaintext_modulus));
+
+  // Retry accounting balances: the final ledger's marker carries exactly the
+  // sunk bytes, and the service stats roll the recovery up.
+  const auto& setup = rec.ledger->categories(Phase::Setup);
+  const auto it = setup.find("session.resubmit");
+  ASSERT_NE(it, setup.end());
+  EXPECT_EQ(it->second.bytes, rec.sunk_bytes);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.recovered, 1u);
+  EXPECT_EQ(stats.resubmits, rec.resubmits);
+  EXPECT_GT(stats.sunk_bytes, 0u);
+}
+
+TEST(ResilienceTest, ExhaustedBudgetFailsClassified) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  // Uncapped churn at p ~ 1 silences everyone on every attempt.
+  cfg.net.churn.leave_prob = 0.999;
+  cfg.net.churn.seed = 3;
+  cfg.resilience.max_resubmits = 1;
+  MpcService svc(cfg);
+  svc.submit_at(0.01, stats_request("doomed", 2, 10));
+  svc.run();
+
+  const auto& rec = svc.session(1);
+  EXPECT_EQ(rec.state, SessionState::Failed);
+  EXPECT_EQ(rec.resubmits, 1u);
+  EXPECT_TRUE(rec.failure.has_value());
+  EXPECT_GT(rec.sunk_bytes, 0u);
+}
+
+TEST(ResilienceTest, PhaseWatchdogCutsSilentSessions) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  cfg.resilience.phase_timeout_s = 1e-9;  // every phase overruns immediately
+  MpcService svc(cfg);
+  svc.submit_at(0.01, stats_request("slow", 2, 10));
+  svc.run();
+
+  const auto& rec = svc.session(1);
+  EXPECT_EQ(rec.state, SessionState::Failed);
+  EXPECT_GE(rec.timeouts, 1u);
+  EXPECT_TRUE(rec.outputs.empty());
+  EXPECT_NE(rec.error.find("phase timeout"), std::string::npos);
+  EXPECT_GE(svc.stats().timeouts, 1u);
+}
+
+TEST(ResilienceTest, RejectionCountersSplitByReason) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  cfg.max_mul_depth = 0;
+  MpcService svc(cfg);
+  // Mul-free circuit so the short inputs trip bad_inputs, not too_deep
+  // (depth is checked first).
+  Circuit sum;
+  sum.output(sum.add(sum.input(0), sum.input(1)), 0);
+  SessionRequest bad;
+  bad.tag = "bad";
+  bad.circuit = sum;
+  bad.inputs = {{mpz_class(1)}};
+  svc.submit_at(0.01, std::move(bad));
+  svc.submit_at(0.02, stats_request("deep", 2, 10));  // statistics has mul depth
+  svc.run();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.rejected_by_reason.at("bad_inputs"), 1u);
+  EXPECT_EQ(stats.rejected_by_reason.at("too_deep"), 1u);
+  EXPECT_NE(svc.report_json().find("\"rejected_by_reason\""), std::string::npos);
+}
+
+// --- Adaptive pool + lane restart -------------------------------------------
+
+TEST(PoolResilienceTest, AdaptiveTargetTracksSlowDemand) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  cfg.pool.lanes = 1;
+  cfg.pool.capacity = 8;
+  cfg.pool.adaptive = true;
+  cfg.pool_circuit = statistics_circuit(2);
+  MpcService svc(cfg);
+  // A slow trickle: interarrival dwarfs production time, so the EWMA target
+  // collapses to 1 and the pool stops prefilling the whole bank.
+  for (unsigned s = 0; s < 3; ++s) {
+    svc.submit_at(10.0 * (s + 1), stats_request("trickle-" + std::to_string(s), 2, 10 + s));
+  }
+  svc.run();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.pool.target_depth, 1u);
+  EXPECT_LT(stats.pool.target_depth, cfg.pool.capacity);
+  // A fixed-depth pool refills to capacity after every claim (capacity + 3
+  // productions here); the adaptive target stops refilling once demand is
+  // measured.
+  EXPECT_LT(stats.pool.produced, cfg.pool.capacity + 3);
+  EXPECT_NE(svc.report_json().find("\"target_depth\""), std::string::npos);
+}
+
+TEST(PoolResilienceTest, FailedLaneRestartsWithinBudget) {
+  ServiceConfig cfg;
+  cfg.n = 4;
+  cfg.eps = 0.25;
+  cfg.paillier_bits = 96;
+  cfg.seed = 7;
+  cfg.pool.lanes = 1;
+  cfg.pool.capacity = 2;
+  cfg.pool.max_lane_restarts = 2;
+  cfg.pool_circuit = statistics_circuit(2);
+  cfg.net.faults.silence_per_committee = 4;  // every production aborts
+  MpcService svc(cfg);
+  svc.run();  // no sessions: just the pool against the dead network
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.pool.lane_restarts, 2u);
+  EXPECT_EQ(stats.pool.production_failed, 3u);  // initial try + 2 restarts
+  EXPECT_EQ(stats.pool.produced, 0u);
+}
+
+// --- Chaos integration ------------------------------------------------------
+
+TEST(ChurnScheduleTest, SamplerJsonAndBoundsCoverChurnFields) {
+  const FaultSchedule a = FaultSchedule::random_churn(404);
+  EXPECT_EQ(a, FaultSchedule::random_churn(404));
+  EXPECT_GT(a.churn_prob, 0.0);
+  EXPECT_GE(a.max_resubmits, 1u);
+  EXPECT_EQ(FaultSchedule::from_json(a.to_json()), a);
+
+  FaultSchedule bad = a;
+  bad.link_class = "carrier-pigeon";
+  EXPECT_THROW(FaultSchedule::from_json(bad.to_json()), std::invalid_argument);
+
+  // Uncapped churn and an armed watchdog both void the static guarantee; a
+  // cap folds into the silent worst case (n = 6 strict needs 4 speakers).
+  FaultSchedule s;
+  s.n = 6;
+  ASSERT_TRUE(s.in_bounds());
+  s.churn_prob = 0.5;
+  EXPECT_FALSE(s.in_bounds());
+  s.churn_cap = 2;
+  EXPECT_TRUE(s.in_bounds());
+  s.churn_cap = 3;
+  EXPECT_FALSE(s.in_bounds());
+  s.churn_cap = 2;
+  s.phase_timeout_s = 30.0;
+  EXPECT_FALSE(s.in_bounds());
+}
+
+TEST(ChurnCampaignTest, SmokeCampaignUpholdsTheResilienceContract) {
+  const auto summary = CampaignRunner::run_churn_campaign(42, 6);
+  EXPECT_TRUE(summary.all_acceptable());
+  EXPECT_EQ(summary.crashed, 0u);
+  EXPECT_EQ(summary.invariant_violations, 0u);
+  // Seed 42 is known to recover at least one schedule via resubmission.
+  EXPECT_GE(summary.recovered, 1u);
+}
+
+TEST(ChurnCampaignTest, RecoveredRunCarriesRetryBytes) {
+  const RunReport r = CampaignRunner::run_one(CampaignRunner::churn_campaign_schedule(42, 2));
+  ASSERT_EQ(r.outcome, Outcome::Recovered);
+  EXPECT_GT(r.svc_resubmits, 0u);
+  EXPECT_GT(r.svc_recovered, 0u);
+  EXPECT_GT(r.svc_sunk_bytes, 0u);
+  EXPECT_GT(r.svc_backoff_wait_s, 0.0);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// --- Minimizer churn coverage -----------------------------------------------
+
+TEST(ScheduleMinimizerTest, ChurnFailureShrinksToAtMostTwoDimensions) {
+  FaultSchedule planted;
+  planted.seed = 5;
+  planted.n = 5;
+  planted.eps = 0.25;
+  planted.paillier_bits = 96;
+  planted.circuit_width = 1;
+  planted.churn_prob = 0.9;  // uncapped: silences nearly everyone
+  planted.link_class = "wan";
+  planted.duplicate_prob = 0.2;
+  planted.extra_delay_s = 0.01;
+
+  const auto res = ScheduleMinimizer::minimize(planted, [](const FaultSchedule& c) {
+    const RunReport r = CampaignRunner::run_one(c);
+    return r.outcome != Outcome::Correct && r.outcome != Outcome::Recovered;
+  });
+  EXPECT_LE(res.schedule.active_faults(), 2u);
+  EXPECT_GT(res.schedule.churn_prob, 0.0);
+  EXPECT_EQ(res.schedule.link_class, "lan");
+  EXPECT_EQ(res.schedule.duplicate_prob, 0.0);
+  EXPECT_EQ(res.schedule.extra_delay_s, 0.0);
+}
+
+}  // namespace
+}  // namespace yoso

@@ -8,7 +8,12 @@
 //       (src/service): admission, queueing and the triple pool under the
 //       same layered faults — pool starvation and mid-session fail-stop
 //       included — checked against the same contract.
-//   chaos sample [--seed S]
+//   chaos churn [--seed S] [--count N] [--verbose]
+//       WAN/churn resilience campaign: service schedules plus heterogeneous
+//       link classes, background churn, the phase watchdog and the Section
+//       5.4 resubmission budget, checked against the resilience contract
+//       (bounded resubmission, ledger-balanced retry bytes).
+//   chaos sample [--seed S] [--churn]
 //       Print the schedule S deterministically expands to (no run).
 //   chaos replay '<schedule-json>'
 //       Re-run one schedule from its JSON reproducer; print its RunReport.
@@ -35,7 +40,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: chaos campaign [--seed S] [--count N] [--verbose]\n"
                "       chaos service  [--seed S] [--count N] [--verbose]\n"
-               "       chaos sample   [--seed S]\n"
+               "       chaos churn    [--seed S] [--count N] [--verbose]\n"
+               "       chaos sample   [--seed S] [--churn]\n"
                "       chaos replay   '<schedule-json>'\n"
                "       chaos minimize [--violation] '<schedule-json>'\n");
   return 2;
@@ -46,6 +52,7 @@ struct Options {
   std::size_t count = 50;
   bool verbose = false;
   bool violation = false;
+  bool churn = false;
   std::string json;
 };
 
@@ -59,6 +66,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.verbose = true;
     } else if (std::strcmp(argv[i], "--violation") == 0) {
       opt.violation = true;
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      opt.churn = true;
     } else if (argv[i][0] == '{') {
       opt.json = argv[i];
     } else {
@@ -85,8 +94,19 @@ int cmd_service(const Options& opt) {
   return summary.all_acceptable() ? 0 : 1;
 }
 
+int cmd_churn(const Options& opt) {
+  auto summary =
+      CampaignRunner::run_churn_campaign(opt.seed, opt.count, [&](const RunReport& r) {
+        if (opt.verbose || !r.acceptable()) std::printf("%s\n", r.to_json().c_str());
+      });
+  std::printf("%s\n", summary.to_json().c_str());
+  return summary.all_acceptable() ? 0 : 1;
+}
+
 int cmd_sample(const Options& opt) {
-  std::printf("%s\n", FaultSchedule::random(opt.seed).to_json().c_str());
+  const FaultSchedule s =
+      opt.churn ? FaultSchedule::random_churn(opt.seed) : FaultSchedule::random(opt.seed);
+  std::printf("%s\n", s.to_json().c_str());
   return 0;
 }
 
@@ -123,6 +143,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "campaign") return cmd_campaign(opt);
     if (cmd == "service") return cmd_service(opt);
+    if (cmd == "churn") return cmd_churn(opt);
     if (cmd == "sample") return cmd_sample(opt);
     if (cmd == "replay") return cmd_replay(opt);
     if (cmd == "minimize") return cmd_minimize(opt);

@@ -110,6 +110,16 @@ std::string stats_json(const MpcService& svc, std::size_t verified) {
   w.field("triple_pool_hit_rate", stats.pool.hit_rate());
   w.field("session_latency_p50_s", stats.latency_p50_s);
   w.field("session_latency_p99_s", stats.latency_p99_s);
+  w.field("resubmits", static_cast<std::uint64_t>(stats.resubmits));
+  w.field("timeouts", static_cast<std::uint64_t>(stats.timeouts));
+  w.field("recovered", static_cast<std::uint64_t>(stats.recovered));
+  w.field("backoff_wait_s", stats.backoff_wait_s);
+  w.field("sunk_bytes", static_cast<std::uint64_t>(stats.sunk_bytes));
+  w.key("rejected_by_reason").begin_object();
+  for (const auto& [reason, count] : stats.rejected_by_reason) {
+    w.field(reason, static_cast<std::uint64_t>(count));
+  }
+  w.end_object();
   w.end_object();
   return w.take();
 }

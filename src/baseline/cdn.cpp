@@ -3,6 +3,7 @@
 #include "field/zn_ring.hpp"
 #include "mpc/contrib.hpp"
 #include "nizk/plaintext_proof.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace yoso {
@@ -29,6 +30,7 @@ void CdnBaseline::preprocess() {
   preprocessed_ = true;
 
   obs::Span span("cdn.preprocess", "cdn");
+  obs::ScopedOpContext op_ctx(obs::PhaseCtx::Cdn);
   span.attr("n", params_.n);
   ThresholdKeys keys = tkgen(params_.paillier_bits, params_.s, params_.n, params_.t, rng_);
   tkeys_ = keys;
@@ -66,6 +68,7 @@ CdnResult CdnBaseline::evaluate(const std::vector<std::vector<mpz_class>>& input
   evaluated_ = true;
 
   obs::Span span("cdn.evaluate", "cdn");
+  obs::ScopedOpContext op_ctx(obs::PhaseCtx::Cdn);
   span.attr("n", params_.n).attr("gates", circuit_.gates().size());
   const PaillierPK& pk = chain_->tpk().pk;
   ZnRing ring(pk.ns);

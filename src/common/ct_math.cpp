@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace yoso {
 
@@ -29,25 +29,25 @@ mpz_class powm_sec_raw(const mpz_class& base, const mpz_class& exp, const mpz_cl
 }  // namespace
 
 mpz_class powm_sec(const mpz_class& base, const SecretMpz& exp, const mpz_class& mod) {
-  OBS_COUNT("ct.powm_sec");
+  OBS_OP(CtPowmSec);
   return powm_sec_raw(base, exp.declassify(), mod);
 }
 
 SecretMpz powm_sec(const SecretMpz& base, const mpz_class& exp, const mpz_class& mod) {
-  OBS_COUNT("ct.powm_sec");
+  OBS_OP(CtPowmSec);
   if (exp < 0) throw std::invalid_argument("powm_sec: secret-base exponent must be >= 0");
   return SecretMpz(powm_sec_raw(base.declassify(), exp, mod));
 }
 
 mpz_class powm_pub(const mpz_class& base, const mpz_class& exp, const mpz_class& mod) {
-  OBS_COUNT("ct.powm_pub");
+  OBS_OP(CtPowmPub);
   mpz_class r;
   mpz_powm(r.get_mpz_t(), base.get_mpz_t(), exp.get_mpz_t(), mod.get_mpz_t());
   return r;
 }
 
 mpz_class mod_inverse(const mpz_class& a, const mpz_class& m) {
-  OBS_COUNT("ct.mod_inverse");
+  OBS_OP(CtModInverse);
   mpz_class r;
   if (mpz_invert(r.get_mpz_t(), a.get_mpz_t(), m.get_mpz_t()) == 0) {
     throw std::domain_error("mod_inverse: operand not invertible");

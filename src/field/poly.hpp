@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace yoso {
 
 // Evaluates the polynomial with coefficient vector `coeffs` (low order
@@ -21,6 +23,7 @@ namespace yoso {
 template <typename R>
 typename R::Elem poly_eval(const R& ring, const std::vector<typename R::Elem>& coeffs,
                            const typename R::Elem& x) {
+  OBS_OP_COUNT_N(FieldMul, coeffs.size());
   typename R::Elem acc = ring.zero();
   for (std::size_t i = coeffs.size(); i-- > 0;) {
     acc = ring.add(ring.mul(acc, x), coeffs[i]);
@@ -38,6 +41,9 @@ typename R::Elem lagrange_at(const R& ring, const std::vector<std::int64_t>& poi
     throw std::invalid_argument("lagrange_at: size mismatch");
   }
   using Elem = typename R::Elem;
+  // 2(m-1) inner + 2 combine muls and one inversion per basis term.
+  OBS_OP_COUNT_N(FieldMul, points.size() * 2 * points.size());
+  OBS_OP_COUNT_N(FieldInv, points.size());
   Elem result = ring.zero();
   const Elem x = ring.from_int(at);
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -63,6 +69,9 @@ std::vector<typename R::Elem> lagrange_coeffs(const R& ring,
                                               const std::vector<std::int64_t>& points,
                                               std::int64_t at) {
   using Elem = typename R::Elem;
+  // 2(m-1) + 1 muls and one inversion per basis coefficient.
+  OBS_OP_COUNT_N(FieldMul, points.size() * (2 * points.size() - 1));
+  OBS_OP_COUNT_N(FieldInv, points.size());
   std::vector<Elem> out(points.size());
   const Elem x = ring.from_int(at);
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -90,6 +99,9 @@ std::vector<typename R::Elem> interpolate_coeffs(const R& ring,
   using Elem = typename R::Elem;
   const std::size_t m = points.size();
   if (values.size() != m || m == 0) throw std::invalid_argument("interpolate_coeffs: size");
+  // Divided differences: m(m-1)/2 mul+inv pairs; expansion: ~m^2 muls.
+  OBS_OP_COUNT_N(FieldMul, m * (m - 1) / 2 + m * m);
+  OBS_OP_COUNT_N(FieldInv, m * (m - 1) / 2);
   // Newton's divided differences.
   std::vector<Elem> xs(m);
   for (std::size_t i = 0; i < m; ++i) xs[i] = ring.from_int(points[i]);

@@ -1,6 +1,7 @@
 #include "mpc/protocol.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace yoso {
@@ -34,6 +35,7 @@ void YosoMpc::preprocess() {
   const unsigned depth = circuit_.mul_depth();
   {
     obs::Span span("phase.setup", "phase");
+    obs::ScopedOpContext op_ctx(obs::PhaseCtx::Setup);
     span.attr("n", params_.n).attr("depth", depth);
     setup_ = run_setup(params_, depth, circuit_.num_clients(), *board_, rng_);
   }
@@ -71,6 +73,7 @@ void YosoMpc::preprocess() {
     off.layer_holders.clear();
   }
   obs::Span span("phase.offline", "phase");
+  obs::ScopedOpContext op_ctx(obs::PhaseCtx::Offline);
   span.attr("n", params_.n).attr("depth", depth).attr("gates", circuit_.gates().size());
   offline_ = run_offline(params_, circuit_, *setup_, *chain_, off, *board_, rng_);
 }
@@ -80,6 +83,7 @@ OnlineResult YosoMpc::evaluate(const std::vector<std::vector<mpz_class>>& inputs
   if (evaluated_) throw std::logic_error("YosoMpc: roles speak once; evaluate called twice");
   evaluated_ = true;
   obs::Span span("phase.online", "phase");
+  obs::ScopedOpContext op_ctx(obs::PhaseCtx::Online);
   span.attr("n", params_.n).attr("gates", circuit_.gates().size());
   return run_online(params_, circuit_, *setup_, *offline_, *chain_, online_coms_, inputs,
                     *board_, rng_);

@@ -271,13 +271,27 @@ void NetBulletin::flush() {
   // Sample the round's shape on the virtual clock: what was in flight, how
   // deep the board queue ran, and the bandwidth the round achieved.  These
   // render as Perfetto counter tracks under the span timeline.
-  auto& ts = obs::timeseries();
-  ts.series("net.queue.posts").sample(round_start, static_cast<double>(round_posts));
-  ts.series("net.inflight.bytes").sample(round_start, static_cast<double>(round_bytes));
-  ts.series("net.inflight.bytes").sample(round_end, 0);
-  if (round_end > round_start) {
-    ts.series(std::string("net.bw.") + phase_key(phase_idx(pending_phase_)))
-        .sample(round_end, static_cast<double>(round_bytes) / (round_end - round_start));
+  //
+  // Handles are resolved once and cached (docs/OBSERVABILITY.md, "Cached
+  // handles"): flush() runs every broadcast round, and the per-call lookup
+  // — registry lock plus string hash, with a string concatenation for the
+  // bandwidth series — was the last repeated registry access on the net hot
+  // path.  Registry handles are stable for the process lifetime (reset()
+  // clears points, never nodes), so the cached pointers never dangle.
+  static obs::Series* const queue_posts = &obs::timeseries().series("net.queue.posts");
+  static obs::Series* const inflight = &obs::timeseries().series("net.inflight.bytes");
+  static obs::Series* const bw_by_phase[3] = {
+      &obs::timeseries().series("net.bw.setup"),
+      &obs::timeseries().series("net.bw.offline"),
+      &obs::timeseries().series("net.bw.online"),
+  };
+  queue_posts->sample(round_start, static_cast<double>(round_posts));
+  inflight->sample(round_start, static_cast<double>(round_bytes));
+  inflight->sample(round_end, 0);
+  const std::size_t pidx = phase_idx(pending_phase_);
+  if (round_end > round_start && pidx < 3) {
+    bw_by_phase[pidx]->sample(round_end,
+                              static_cast<double>(round_bytes) / (round_end - round_start));
   }
 #else
   (void)round_start;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/ct.hpp"
+#include "obs/profile.hpp"
 
 namespace yoso {
 
@@ -44,6 +45,7 @@ std::size_t LinkProof::wire_bytes() const {
 }
 
 LinkProof link_prove(const LinkStatement& st, const LinkWitness& w, Rng& rng) {
+  OBS_OP(NizkProve);
   if (w.rs.size() != st.paillier_legs.size()) {
     throw std::invalid_argument("link_prove: randomness count mismatch");
   }
@@ -138,6 +140,7 @@ bool link_verify_with_challenge(const LinkStatement& st, const LinkProof& proof,
 }
 
 bool link_verify(const LinkStatement& st, const LinkProof& proof) {
+  OBS_OP(NizkVerify);
   if (proof.a_paillier.size() != st.paillier_legs.size() ||
       proof.a_exponent.size() != st.exponent_legs.size() ||
       proof.z_rs.size() != st.paillier_legs.size()) {

@@ -1,6 +1,7 @@
 #include "nizk/mult_proof.hpp"
 
 #include "crypto/ct.hpp"
+#include "obs/profile.hpp"
 #include "crypto/transcript.hpp"
 #include "nizk/link_proof.hpp"  // for kKappa / kStat
 
@@ -31,6 +32,7 @@ std::size_t MultProof::wire_bytes() const {
 MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
                      const mpz_class& c_p, const SecretMpz& b, const SecretMpz& r_b,
                      const SecretMpz& rho, Rng& rng) {
+  OBS_OP(NizkProve);
   const unsigned mask_bits =
       static_cast<unsigned>(mpz_sizeinbase(pk.ns.get_mpz_t(), 2)) + kKappa + kStat;
   SecretMpz x(rng.bits(mask_bits));
@@ -51,6 +53,7 @@ MultProof prove_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class
 
 bool verify_mult(const PaillierPK& pk, const mpz_class& c_a, const mpz_class& c_b,
                  const mpz_class& c_p, const MultProof& proof) {
+  OBS_OP(NizkVerify);
   if (!pk.valid_ciphertext(c_a) || !pk.valid_ciphertext(c_b) || !pk.valid_ciphertext(c_p)) {
     return false;
   }

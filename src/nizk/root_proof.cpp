@@ -1,6 +1,7 @@
 #include "nizk/root_proof.hpp"
 
 #include "crypto/ct.hpp"
+#include "obs/profile.hpp"
 #include "crypto/transcript.hpp"
 #include "nizk/link_proof.hpp"  // kKappa
 
@@ -22,6 +23,7 @@ mpz_class challenge(const PaillierPK& pk, const mpz_class& u, const mpz_class& a
 std::size_t RootProof::wire_bytes() const { return mpz_wire_size(a) + mpz_wire_size(z); }
 
 RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const SecretMpz& rho, Rng& rng) {
+  OBS_OP(NizkProve);
   SecretMpz u0(rng.unit_mod(pk.n));
   RootProof proof;
   proof.a = powm_sec(u0, pk.ns, pk.ns1).declassify();
@@ -31,6 +33,7 @@ RootProof prove_root(const PaillierPK& pk, const mpz_class& u, const SecretMpz& 
 }
 
 bool verify_root(const PaillierPK& pk, const mpz_class& u, const RootProof& proof) {
+  OBS_OP(NizkVerify);
   if (u <= 0 || u >= pk.ns1) return false;
   const mpz_class e = challenge(pk, u, proof.a);
   mpz_class lhs = powm_pub(proof.z, pk.ns, pk.ns1);

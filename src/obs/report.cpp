@@ -3,6 +3,7 @@
 #include "common/json.hpp"
 #include "mpc/failure.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "yoso/bulletin.hpp"
 
 namespace yoso::obs {
@@ -13,8 +14,13 @@ std::string run_report_json(const Bulletin& board, const FailureReport* failure)
   w.key("board").raw(board.report_json());
 #ifndef OBS_DISABLED
   w.key("metrics").raw(metrics().report_json());
+  // Per-primitive op counts with per-phase attribution (src/obs/profile.hpp).
+  // Counts only — deterministic, so run reports stay byte-identical across
+  // replays; measured self-times live in the op_costs bench key instead.
+  w.key("op_costs").raw(profiler().op_costs_json(false));
 #else
   w.key("metrics").begin_object().end_object();
+  w.key("op_costs").begin_object().end_object();
 #endif
   if (failure != nullptr) w.key("failure").raw(failure->to_json());
   w.end_object();

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/json.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 
 namespace yoso::obs {
@@ -156,6 +157,42 @@ std::string Tracer::chrome_trace_json(bool include_wall) const {
       w.key("ts").num(t * 1e6);
       w.key("args").begin_object();
       w.key("value").num(v);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Op-granularity counter tracks from the compute profiler: cumulative
+  // per-primitive counts sampled at phase boundaries (deterministic — both
+  // the counts and the virtual clock are), plus, when wall timings are
+  // requested, one final self-µs sample per op so Perfetto shows where the
+  // CPU went next to where the bytes went.
+  for (const OpTrackSample& s : profiler().op_track_samples()) {
+    w.begin_object();
+    w.field("ph", "C").field("pid", 1).field("tid", 1);
+    w.field("name", std::string("op.count.") + op_name(s.op));
+    w.key("ts").num(s.t * 1e6);
+    w.key("args").begin_object();
+    w.key("value").num(static_cast<double>(s.value));
+    w.end_object();
+    w.end_object();
+  }
+  if (include_wall) {
+    const InstrumentCell cell = profiler().snapshot();
+    double last_ts = 0;
+    for (const OpTrackSample& s : profiler().op_track_samples()) {
+      if (s.t * 1e6 > last_ts) last_ts = s.t * 1e6;
+    }
+    for (unsigned o = 0; o < kOpCount; ++o) {
+      const Op op = static_cast<Op>(o);
+      const std::uint64_t self_ns = cell.op_total_self_ns(op);
+      if (self_ns == 0) continue;
+      w.begin_object();
+      w.field("ph", "C").field("pid", 1).field("tid", 1);
+      w.field("name", std::string("op.self_us.") + op_name(op));
+      w.key("ts").num(last_ts);
+      w.key("args").begin_object();
+      w.key("value").num(static_cast<double>(self_ns) / 1e3);
       w.end_object();
       w.end_object();
     }

@@ -69,6 +69,11 @@ public:
     MutexLock lock(&mu_);
     return static_cast<bool>(vclock_);
   }
+  // Current virtual time in seconds, or -1 when no clock is attached.
+  double virtual_now() const {
+    MutexLock lock(&mu_);
+    return vclock_ ? vclock_() : -1.0;
+  }
 
   std::uint32_t begin_span(std::string name, std::string cat);
   void end_span(std::uint32_t id);

@@ -2,12 +2,12 @@
 
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace yoso {
 
 mpz_class PaillierPK::enc(const mpz_class& m, const mpz_class& r) const {
-  OBS_COUNT("paillier.enc");
+  OBS_OP(PaillierEnc);
   mpz_class mm = m % ns;
   if (mm < 0) mm += ns;
   mpz_class g_m = powm_pub(n + 1, mm, ns1);
@@ -22,7 +22,7 @@ mpz_class PaillierPK::enc(const mpz_class& m, Rng& rng, mpz_class* r_out) const 
 }
 
 mpz_class PaillierPK::enc_secret(const SecretMpz& m, const mpz_class& r) const {
-  OBS_COUNT("paillier.enc_secret");
+  OBS_OP(PaillierEncSecret);
   // Branch-free normalization into [0, N^s): one reduction can leave a
   // negative representative, adding N^s and reducing again cannot.
   SecretMpz mm = (m % ns + ns) % ns;
@@ -38,22 +38,22 @@ mpz_class PaillierPK::enc_secret(const SecretMpz& m, Rng& rng, mpz_class* r_out)
 }
 
 mpz_class PaillierPK::add(const mpz_class& c1, const mpz_class& c2) const {
-  OBS_COUNT("paillier.add");
+  OBS_OP_COUNT(PaillierAdd);
   return c1 * c2 % ns1;
 }
 
 mpz_class PaillierPK::scal(const mpz_class& c, const mpz_class& k) const {
-  OBS_COUNT("paillier.scal");
+  OBS_OP_COUNT(PaillierScal);
   return powm_pub(c, k, ns1);  // GMP inverts the base for negative exponents
 }
 
 mpz_class PaillierPK::scal_secret(const mpz_class& c, const SecretMpz& k) const {
-  OBS_COUNT("paillier.scal_secret");
+  OBS_OP_COUNT(PaillierScalSecret);
   return powm_sec(c, k, ns1);
 }
 
 mpz_class PaillierPK::rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out) const {
-  OBS_COUNT("paillier.rerandomize");
+  OBS_OP_COUNT(PaillierRerandomize);
   mpz_class r = rng.unit_mod(n);
   if (r_out != nullptr) *r_out = r;
   // r is the rerandomization witness (handed to NIZK provers); keep its
@@ -64,7 +64,7 @@ mpz_class PaillierPK::rerandomize(const mpz_class& c, Rng& rng, mpz_class* r_out
 mpz_class PaillierPK::eval(const std::vector<mpz_class>& cts,
                            const std::vector<mpz_class>& coeffs) const {
   if (cts.size() != coeffs.size()) throw std::invalid_argument("PaillierPK::eval: size mismatch");
-  OBS_COUNT("paillier.eval");
+  OBS_OP(PaillierEval);
   mpz_class acc = 1;
   for (std::size_t i = 0; i < cts.size(); ++i) {
     acc = acc * scal(cts[i], coeffs[i]) % ns1;
@@ -115,13 +115,13 @@ mpz_class dlog_1pn(const PaillierPK& pk, const mpz_class& u) {
 }
 
 mpz_class PaillierSK::dec(const mpz_class& c) const {
-  OBS_COUNT("paillier.dec");
+  OBS_OP(PaillierDec);
   mpz_class u = powm_sec(c, d, pk.ns1);
   return dlog_1pn(pk, u);
 }
 
 SecretMpz PaillierSK::extract_root(const mpz_class& u) const {
-  OBS_COUNT("paillier.extract_root");
+  OBS_OP(PaillierExtractRoot);
   // u = rho^{N^s} for some unit rho; the (1+N)-component of u is trivial,
   // so a root is u^{(N^s)^{-1} mod lambda} where lambda = lcm(p-1, q-1).
   mpz_class lambda;

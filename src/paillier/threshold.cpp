@@ -4,7 +4,7 @@
 
 #include "crypto/ct.hpp"
 #include "field/zn_ring.hpp"
-#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace yoso {
 
@@ -74,7 +74,7 @@ ThresholdKeys tkgen(unsigned modulus_bits, unsigned s, unsigned n, unsigned t, R
 }
 
 mpz_class tpdec(const ThresholdPK& tpk, const ThresholdKeyShare& share, const mpz_class& c) {
-  OBS_COUNT("paillier.tpdec");
+  OBS_OP(PaillierTpdec);
   return powm_sec(c, share.d_i * mpz_class(2), tpk.pk.ns1);
 }
 

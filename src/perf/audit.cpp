@@ -87,6 +87,9 @@ AuditReport audit_scaling(const json::Value& bench) {
   for (const obs::ExponentCheck& check : report.checks) {
     report.pass = report.pass && check.pass;
   }
+
+  report.cost_model = fit_cost_model(bench);
+  if (report.cost_model.ok) report.pass = report.pass && report.cost_model.pass;
   return report;
 }
 
@@ -124,6 +127,7 @@ std::string audit_report_json(const AuditReport& report) {
   w.field("speedup", report.speedup.speedup);
   w.field("floor", report.speedup_floor);
   w.end_object();
+  w.key("cost_model").raw(cost_model_json(report.cost_model));
   w.end_object();
   return w.take();
 }

@@ -20,6 +20,7 @@
 
 #include "common/json.hpp"
 #include "obs/scaling.hpp"
+#include "perf/opcosts.hpp"
 
 namespace yoso::perf {
 
@@ -27,6 +28,11 @@ struct AuditReport {
   std::vector<obs::ExponentCheck> checks;
   obs::SpeedupDerivation speedup;
   double speedup_floor = 28.0;  // the paper's headline ratio
+  // Per-phase compute cost model, fitted when the bench file carries an
+  // op_costs section (perf/opcosts.hpp).  Absent data is a note, not a
+  // failure — pre-PR-9 bench files stay auditable — but a fitted model
+  // below its explained-fraction floor fails the audit.
+  CostModel cost_model;
   bool pass = false;
   std::string error;  // non-empty when the bench data was unusable
 };

@@ -19,6 +19,7 @@ void flatten_into(const json::Value& v, const std::string& prefix,
   if (v.is_object()) {
     for (const auto& [key, val] : v.members) {
       if (key == "categories") continue;  // too volatile for a baseline
+      if (key == "by_phase") continue;    // cost-model input, not a gate
       flatten_into(val, prefix + "." + key, out);
     }
   }
@@ -28,7 +29,12 @@ void flatten_into(const json::Value& v, const std::string& prefix,
 }  // namespace
 
 double tolerance_for(const std::string& metric) {
-  return ends_with(metric, ".bytes") ? 0.10 : 0.0;
+  if (ends_with(metric, ".bytes")) return 0.10;
+  // Measured wall-clock (op self-times, phase walls): the gate exists to
+  // catch order-of-magnitude regressions — a primitive suddenly 5x slower —
+  // not scheduler jitter, so the band is a wide 4x factor.
+  if (ends_with(metric, "_us")) return 4.0;
+  return 0.0;
 }
 
 std::map<std::string, double> flatten_metrics(const json::Value& root,

@@ -8,7 +8,10 @@
 //
 // Tolerances are by metric suffix: ".bytes" leaves get a relative band
 // (serialized sizes may drift a few percent with encoder changes that are
-// not regressions), everything else — message and element counts, the
+// not regressions), "_us" leaves — the op_costs self-times and phase
+// wall-clocks — get a wide 4x factor band (they are real measured time and
+// vary by machine; the gate exists to catch order-of-magnitude cliffs),
+// everything else — message and element counts, op call counts, the
 // recorded t/k/gates parameters — must match exactly, because the benches
 // are seeded and deterministic.  A metric present in the baseline but
 // missing from the current run is a failure, not a skip: silently dropping

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/secret.hpp"
-#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "crypto/rand.hpp"
 #include "field/poly.hpp"
 
@@ -54,7 +54,7 @@ PackedShares<R> packed_share(const R& ring, const std::vector<typename R::Elem>&
                              unsigned degree, unsigned n, Rng& rng) {
   const unsigned k = static_cast<unsigned>(secrets.size());
   if (k == 0) throw std::invalid_argument("packed_share: no secrets");
-  OBS_COUNT_N("shares.packed", k);
+  OBS_OP_N(SharePack, k);
   if (degree + 1 < k) throw std::invalid_argument("packed_share: degree < k - 1");
   if (degree >= n + k) throw std::invalid_argument("packed_share: degree too large for n");
 
@@ -107,7 +107,7 @@ PackedShares<R> packed_share_public(const R& ring, const std::vector<typename R:
                                     unsigned n) {
   const unsigned k = static_cast<unsigned>(c.size());
   if (k == 0) throw std::invalid_argument("packed_share_public: no secrets");
-  OBS_COUNT_N("shares.packed", k);
+  OBS_OP_N(SharePack, k);
   std::vector<std::int64_t> pts(k);
   for (unsigned i = 0; i < k; ++i) pts[i] = secret_point(i);
   const auto coeffs = interpolate_coeffs(ring, pts, c);
@@ -136,7 +136,7 @@ std::vector<typename R::Elem> packed_reconstruct(const R& ring,
   if (points.size() < degree + 1) {
     throw std::invalid_argument("packed_reconstruct: not enough shares");
   }
-  OBS_COUNT_N("shares.unpacked", k);
+  OBS_OP_N(ShareUnpack, k);
   std::vector<std::int64_t> pts(points.begin(), points.begin() + degree + 1);
   std::vector<typename R::Elem> vals(shares.begin(), shares.begin() + degree + 1);
   std::vector<typename R::Elem> secrets;

@@ -101,6 +101,25 @@ TEST(Baseline, ToleranceBySuffix) {
   EXPECT_DOUBLE_EQ(perf::tolerance_for("a.b.messages"), 0.0);
   EXPECT_DOUBLE_EQ(perf::tolerance_for("a.b.elements"), 0.0);
   EXPECT_DOUBLE_EQ(perf::tolerance_for("scaling_audit.n4.k"), 0.0);
+  // Measured time gets the wide factor band; op call counts stay exact.
+  EXPECT_DOUBLE_EQ(perf::tolerance_for("op_costs.n4.costs.ops.ct.powm_sec.self_us"), 4.0);
+  EXPECT_DOUBLE_EQ(perf::tolerance_for("op_costs.n4.costs.ops.ct.powm_sec.count"), 0.0);
+}
+
+// The op_costs point payload: "ops" totals flatten (count exact, self_us
+// factor-banded via the suffix above) while the per-phase breakdown — the
+// cost model's input, not a gate — is skipped like "categories".
+TEST(Baseline, FlattensOpCostsButSkipsByPhase) {
+  const json::Value doc = json::parse(
+      R"({"op_costs":{"n4":{"k":1,"costs":{"ops":{"ct.powm_sec":{"count":96,"self_us":1875.2}},)"
+      R"("by_phase":{"setup":{"wall_us":9000,"ops":{"ct.powm_sec":{"count":40,"self_us":800}}}}}}}})");
+  auto metrics = perf::flatten_metrics(doc, {"op_costs"});
+  EXPECT_EQ(metrics.at("op_costs.n4.k"), 1);
+  EXPECT_EQ(metrics.at("op_costs.n4.costs.ops.ct.powm_sec.count"), 96);
+  EXPECT_DOUBLE_EQ(metrics.at("op_costs.n4.costs.ops.ct.powm_sec.self_us"), 1875.2);
+  for (const auto& [key, value] : metrics) {
+    EXPECT_EQ(key.find("by_phase"), std::string::npos) << key;
+  }
 }
 
 TEST(Baseline, CheckFlagsRegressionsMissingAndPasses) {
@@ -159,6 +178,36 @@ TEST(History, AppendsAndLoadsSnapshots) {
   // One snapshot per line, parseable standalone.
   const std::string text = slurp(path);
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+// History files straddle the introduction of the profiler: snapshots
+// recorded before the "profile" / "op_costs" bench keys existed sit next to
+// lines that carry the flattened op counts.  Both generations must load
+// from one file, and the old lines simply have no op metrics — absence, not
+// an error.
+TEST(History, MixedGenerationLinesLoadTogether) {
+  const std::string path = temp_path("history_compat.jsonl");
+  // A pre-profiler line, exactly as older `perf record` builds wrote it.
+  spit(path,
+       R"({"timestamp":"2026-07-01T00:00:00Z","label":"pre-profiler",)"
+       R"("metrics":{"online_comm.n4.ours.online.total.bytes":1234}})"
+       "\n");
+  perf::HistorySnapshot current{
+      "2026-08-08T00:00:00Z",
+      "with-profile",
+      {{"online_comm.n4.ours.online.total.bytes", 1240},
+       {"profile.n4.counts.ops.ct.powm_sec.count", 96},
+       {"op_costs.n4.costs.ops.ct.powm_sec.self_us", 1875.2}}};
+  perf::append_history(path, current);
+
+  auto snaps = perf::load_history(path);
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].label, "pre-profiler");
+  EXPECT_EQ(snaps[0].metrics.size(), 1u);
+  EXPECT_EQ(snaps[0].metrics.count("profile.n4.counts.ops.ct.powm_sec.count"), 0u);
+  EXPECT_EQ(snaps[1].metrics.at("profile.n4.counts.ops.ct.powm_sec.count"), 96);
+  // Round trip: the new-generation line re-parses bit-exactly.
+  EXPECT_EQ(perf::snapshot_json(snaps[1]), perf::snapshot_json(current));
 }
 
 TEST(History, MalformedLineNamesItsLineNumber) {

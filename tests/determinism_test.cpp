@@ -15,6 +15,7 @@
 #include "mpc/protocol.hpp"
 #include "net/net_bulletin.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "perf/sweep.hpp"
@@ -31,6 +32,7 @@ std::string replay(const std::function<std::string()>& body) {
   obs::metrics().reset();
   obs::tracer().reset();
   obs::timeseries().reset();
+  obs::profiler().reset();
   return body();
 }
 
@@ -98,6 +100,29 @@ TEST(DeterminismTest, ServiceRunReplays) {
     svc.run();
     return svc.report_json();
   });
+}
+
+// The profiler's determinism split (src/obs/profile.hpp): per-primitive op
+// COUNTS are a pure function of the seeded run, so the counts-only snapshot
+// must be byte-identical whether timing capture is enabled or muted — and
+// across replays in either mode.
+TEST(DeterminismTest, OpCountsIdenticalEnabledVsMuted) {
+  auto body = [] {
+    auto params = ProtocolParams::for_gap(4, 0.25, 96);
+    Circuit c = statistics_circuit(3);
+    auto inputs = seeded_inputs(c, 4242);
+    YosoMpc mpc(params, c, AdversaryPlan::honest(params.n), 4242);
+    (void)mpc.run(inputs);
+    return obs::profiler().op_costs_json(false);
+  };
+  obs::set_enabled(true);
+  const std::string enabled_counts = replay(body);
+  obs::set_enabled(false);
+  const std::string muted_counts = replay(body);
+  obs::set_enabled(true);
+  ASSERT_FALSE(enabled_counts.empty());
+  EXPECT_NE(enabled_counts, "{}");
+  EXPECT_EQ(enabled_counts, muted_counts) << "op counts depend on the mute switch";
 }
 
 // A churn schedule that only delivers after a Section 5.4 resubmission must

@@ -139,6 +139,26 @@ TEST(LintFixtures, OneShotFires) {
   EXPECT_EQ(findings[1].line, 9u);
 }
 
+TEST(LintFixtures, ObsHotLoopFires) {
+  auto findings = lint_tree(fixture("obs_hot_loop"), Whitelist());
+  EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"obs-hot-loop"});
+  // The raw OBS_COUNT / OBS_HIST sites fire; the OBS_OP profiler seam is
+  // clean, and the same macro outside src/crypto|paillier (src/obs/ok.cpp)
+  // is out of the rule's path scope.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/paillier/bad.cpp");
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_EQ(findings[1].line, 7u);
+}
+
+TEST(LintFixtures, ObsHotLoopWhitelistSuppresses) {
+  std::string err;
+  Whitelist wl =
+      Whitelist::parse("obs-hot-loop src/paillier/bad.cpp -- fixture exemption\n", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(lint_tree(fixture("obs_hot_loop"), wl).empty());
+}
+
 TEST(LintFixtures, TsanSuppressionWithoutReasonFires) {
   auto findings = lint_tree(fixture("tsan_reason"), Whitelist());
   EXPECT_EQ(rules_fired(findings), std::vector<std::string>{"tsan-suppression"});

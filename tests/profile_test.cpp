@@ -1,0 +1,254 @@
+// The compute profiler (src/obs/profile.hpp): phase attribution, the
+// counts-always/timings-gated determinism split, task-local cells merging
+// join-order-independently, and the snapshot JSON surface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/runtime.hpp"
+
+namespace yoso::obs {
+namespace {
+
+#ifndef OBS_DISABLED
+
+// Every test starts from a clean profiler with recording on (the obs
+// singletons are process-global; see tests/determinism_test.cpp).
+class ProfileTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    set_enabled(true);
+    profiler().reset();
+  }
+  void TearDown() override { set_enabled(true); }
+};
+
+// A deterministic little workload: `salt` varies the mix so distinct task
+// cells carry distinct numbers.
+void record_workload(unsigned salt) {
+  ScopedOpContext setup(PhaseCtx::Setup);
+  for (unsigned i = 0; i < 2 + salt; ++i) {
+    OBS_OP(CtPowmSec);
+  }
+  {
+    ScopedOpContext online(PhaseCtx::Online);
+    OBS_OP_COUNT_N(FieldMul, 10 * (salt + 1));
+    OBS_OP_N(SharePack, salt + 1);
+    { OBS_OP(NizkProve); }
+  }
+  OBS_OP_COUNT(PaillierAdd);  // context restored: lands back in Setup
+}
+
+TEST_F(ProfileTest, CountsAttributeToEnclosingPhase) {
+  record_workload(1);
+  const InstrumentCell cell = profiler().snapshot();
+  EXPECT_EQ(cell.op_count(PhaseCtx::Setup, Op::CtPowmSec), 3u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Setup, Op::PaillierAdd), 1u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Online, Op::FieldMul), 20u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Online, Op::SharePack), 2u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Online, Op::NizkProve), 1u);
+  // Nothing leaked into the other contexts.
+  EXPECT_EQ(cell.op_count(PhaseCtx::Other, Op::CtPowmSec), 0u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Online, Op::CtPowmSec), 0u);
+  EXPECT_EQ(cell.op_total_count(Op::CtPowmSec), 3u);
+}
+
+TEST_F(ProfileTest, TimedOpRecordsSelfTimeHistogramAndPhaseWall) {
+  {
+    ScopedOpContext ctx(PhaseCtx::Offline);
+    OBS_OP(CtPowmSec);
+    volatile unsigned src = 3;
+    unsigned sink = 0;
+    for (unsigned i = 0; i < 50000; ++i) sink += src * i;
+    EXPECT_NE(sink, 0u);
+  }
+  const InstrumentCell cell = profiler().snapshot();
+  EXPECT_EQ(cell.op_total_count(Op::CtPowmSec), 1u);
+  EXPECT_GT(cell.op_self_ns(PhaseCtx::Offline, Op::CtPowmSec), 0u);
+  EXPECT_GT(cell.phase_wall_ns(PhaseCtx::Offline), 0u);
+  // Exactly one histogram entry, for exactly one timed call.
+  std::uint64_t hist_total = 0;
+  for (int b = 0; b < InstrumentCell::kHistBuckets; ++b) {
+    hist_total += cell.hist_bucket(Op::CtPowmSec, b);
+  }
+  EXPECT_EQ(hist_total, 1u);
+}
+
+// Self-times partition elapsed time: nested timed ops subtract their
+// elapsed from the parent's self, so the per-phase self-time sum can never
+// exceed the phase wall-clock that encloses every timer.
+TEST_F(ProfileTest, NestedTimersSelfTimeStaysWithinPhaseWall) {
+  {
+    ScopedOpContext ctx(PhaseCtx::Online);
+    OBS_OP(NizkProve);
+    volatile unsigned src = 3;
+    unsigned sink = 0;
+    for (unsigned i = 0; i < 20000; ++i) sink += src * i;
+    {
+      OBS_OP(CtPowmSec);
+      for (unsigned i = 0; i < 20000; ++i) sink += src * i;
+    }
+    EXPECT_NE(sink, 0u);
+  }
+  const InstrumentCell cell = profiler().snapshot();
+  const std::uint64_t parent_self = cell.op_self_ns(PhaseCtx::Online, Op::NizkProve);
+  const std::uint64_t child_self = cell.op_self_ns(PhaseCtx::Online, Op::CtPowmSec);
+  EXPECT_GT(parent_self, 0u);
+  EXPECT_GT(child_self, 0u);
+  std::uint64_t phase_self = 0;
+  for (unsigned o = 0; o < kOpCount; ++o) {
+    phase_self += cell.op_self_ns(PhaseCtx::Online, static_cast<Op>(o));
+  }
+  EXPECT_LE(phase_self, cell.phase_wall_ns(PhaseCtx::Online));
+}
+
+TEST_F(ProfileTest, MutedRunStillCountsButSkipsTimings) {
+  set_enabled(false);
+  record_workload(0);
+  const InstrumentCell cell = profiler().snapshot();
+  EXPECT_EQ(cell.op_count(PhaseCtx::Setup, Op::CtPowmSec), 2u);
+  EXPECT_EQ(cell.op_count(PhaseCtx::Online, Op::FieldMul), 10u);
+  // No clock reads when muted: zero self-time, zero wall, empty histograms.
+  EXPECT_EQ(cell.op_total_self_ns(Op::CtPowmSec), 0u);
+  EXPECT_EQ(cell.phase_wall_ns(PhaseCtx::Setup), 0u);
+  EXPECT_EQ(cell.phase_wall_ns(PhaseCtx::Online), 0u);
+  for (int b = 0; b < InstrumentCell::kHistBuckets; ++b) {
+    EXPECT_EQ(cell.hist_bucket(Op::CtPowmSec, b), 0u);
+  }
+}
+
+// The determinism contract: the counts-only snapshot is byte-identical
+// between an enabled and a muted run of the same workload.
+TEST_F(ProfileTest, CountsSnapshotIdenticalEnabledVsMuted) {
+  auto run = [](bool enabled) {
+    set_enabled(enabled);
+    profiler().reset();
+    record_workload(2);
+    set_enabled(true);
+    return profiler().op_costs_json(false);
+  };
+  const std::string on = run(true);
+  const std::string off = run(false);
+  EXPECT_FALSE(on.empty());
+  EXPECT_EQ(on, off);
+  // And the deterministic document really excludes the timed fields.
+  EXPECT_EQ(on.find("self_us"), std::string::npos);
+  EXPECT_EQ(on.find("wall"), std::string::npos);
+  EXPECT_EQ(on.find("hist"), std::string::npos);
+}
+
+TEST_F(ProfileTest, ScopedCellInstallsAndRestoresTaskCell) {
+  InstrumentCell task;
+  {
+    ScopedCell guard(&task);
+    ASSERT_EQ(&profiler().cell(), &task);
+    ScopedOpContext ctx(PhaseCtx::Offline);
+    OBS_OP_COUNT_N(FieldInv, 5);
+  }
+  EXPECT_EQ(task.op_count(PhaseCtx::Offline, Op::FieldInv), 5u);
+  // The root saw nothing while the task cell was installed...
+  EXPECT_EQ(profiler().snapshot().op_total_count(Op::FieldInv), 0u);
+  // ...and recording lands back in the root once the guard is gone.
+  profiler().cell().count(Op::FieldInv, 2);
+  EXPECT_EQ(profiler().snapshot().op_total_count(Op::FieldInv), 2u);
+}
+
+// merge() is an elementwise sum, so the owner can merge task cells back in
+// ANY join order and the root snapshot — timings included — is
+// byte-identical.
+TEST_F(ProfileTest, MergeIsJoinOrderIndependent) {
+  constexpr unsigned kTasks = 4;
+  std::vector<InstrumentCell> cells(kTasks);
+  for (unsigned s = 0; s < kTasks; ++s) {
+    ScopedCell guard(&cells[s]);
+    record_workload(s);
+  }
+
+  std::vector<unsigned> order(kTasks);
+  std::iota(order.begin(), order.end(), 0u);
+  std::string first;
+  do {
+    InstrumentCell root;
+    for (unsigned idx : order) root.merge(cells[idx]);
+    const std::string snap = root.snapshot_json(true);
+    if (first.empty()) {
+      first = snap;
+    } else {
+      ASSERT_EQ(snap, first) << "join order changed the merged snapshot";
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_FALSE(first.empty());
+
+  // Merged totals are the elementwise sums of the parts.
+  InstrumentCell root;
+  for (const InstrumentCell& c : cells) root.merge(c);
+  std::uint64_t expected = 0;
+  for (const InstrumentCell& c : cells) expected += c.op_total_count(Op::CtPowmSec);
+  EXPECT_EQ(root.op_total_count(Op::CtPowmSec), expected);
+  // Live state does not merge: the target keeps its own context.
+  EXPECT_EQ(root.context(), PhaseCtx::Other);
+}
+
+TEST_F(ProfileTest, SnapshotJsonParsesAndSortsOps) {
+  record_workload(1);
+  const std::string snap = profiler().op_costs_json(false);
+  const json::Value doc = json::parse(snap);
+  const json::Value* ops = doc.find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_TRUE(ops->is_object());
+  EXPECT_EQ(ops->find("ct.powm_sec")->u64_or("count", 0), 3u);
+  // Op names come out lexicographically sorted — a stable diffable order.
+  std::vector<std::string> names;
+  for (const auto& [name, v] : ops->members) names.push_back(name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Per-phase attribution rides along.
+  const json::Value* by_phase = ops->find("field.mul")->find("by_phase");
+  ASSERT_NE(by_phase, nullptr);
+  EXPECT_EQ(by_phase->find("online")->u64_or("count", 0), 20u);
+}
+
+TEST_F(ProfileTest, OpTrackSamplesRecordCumulativeCounts) {
+  {
+    ScopedOpContext ctx(PhaseCtx::Setup);
+    OBS_OP_COUNT_N(FieldMul, 3);
+  }
+  profiler().sample_op_tracks(1.25);
+  const auto& samples = profiler().op_track_samples();
+  ASSERT_FALSE(samples.empty());
+  bool found = false;
+  for (const OpTrackSample& s : samples) {
+    if (s.op == Op::FieldMul) {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.t, 1.25);
+      EXPECT_EQ(s.value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  profiler().reset();
+  EXPECT_TRUE(profiler().op_track_samples().empty());
+}
+
+#else  // OBS_DISABLED: the stub surface must stay source-compatible.
+
+TEST(ProfileTest, DisabledStubsCompileAndEmitEmpty) {
+  InstrumentCell cell;
+  cell.merge(InstrumentCell{});
+  cell.reset();
+  EXPECT_EQ(cell.snapshot_json(true), "{}");
+  ScopedCell guard(&cell);
+  ScopedOpContext ctx(PhaseCtx::Setup);
+  OBS_OP(CtPowmSec);
+  OBS_OP_N(SharePack, 4);
+  OBS_OP_COUNT(PaillierAdd);
+  OBS_OP_COUNT_N(FieldMul, 7);
+}
+
+#endif
+
+}  // namespace
+}  // namespace yoso::obs

@@ -1,0 +1,3 @@
+// Out of the rule's path scope: the obs layer itself may use its own
+// registry macros freely.
+void obs_layer_site() { OBS_COUNT("board.posts"); }

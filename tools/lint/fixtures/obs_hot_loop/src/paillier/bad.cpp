@@ -1,0 +1,8 @@
+// Negative fixture: registry-backed metrics macros on a Paillier hot path.
+// Hot primitives must record through the profiler seam (OBS_OP*) or a
+// cached series handle; the raw OBS_* macros pay a name lookup per site.
+void paillier_hot_loop() {
+  OBS_COUNT("paillier.enc");
+  OBS_OP(PaillierEnc);  // profiler seam: clean
+  OBS_HIST("paillier.enc.ns", 12);
+}

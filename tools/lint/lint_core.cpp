@@ -298,6 +298,27 @@ std::vector<Finding> lint_file(const std::string& rel_path, const std::string& c
     }
   }
 
+  // obs-hot-loop: registry-backed OBS_* macros in the crypto hot loops.
+  // Each expansion resolves a name->handle map lookup (a static, but the
+  // first call per site takes the registry lock) — on the primitive funnels
+  // that is the pattern PR 9 removed.  Hot-path recording goes through the
+  // profiler's OBS_OP* macros (array-indexed task-local cells,
+  // src/obs/profile.hpp) or a cached obs::Series handle
+  // (docs/OBSERVABILITY.md); anything else needs a whitelist reason.
+  if ((starts_with(rel_path, "src/crypto/") || starts_with(rel_path, "src/paillier/") ||
+       starts_with(rel_path, "src/common/ct_math")) &&
+      !wl.allows("obs-hot-loop", rel_path)) {
+    static const std::regex obs_macro(R"(\bOBS_(COUNT|COUNT_N|HIST|GAUGE_SET)\s*\()");
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+      if (std::regex_search(lines[ln], obs_macro)) {
+        findings.push_back(Finding{"obs-hot-loop", rel_path, ln + 1,
+                                   "registry-backed OBS_* macro on a crypto hot path; record "
+                                   "through OBS_OP* (obs/profile.hpp) or a cached series handle "
+                                   "(docs/OBSERVABILITY.md), or whitelist with a reason"});
+      }
+    }
+  }
+
   // one-shot: YOSO role hygiene in the role-bearing scope.
   if (in_role_scope(rel_path) && !wl.allows("one-shot", rel_path)) {
     // (a) Two publish() calls in one file with the same (committee

@@ -2,12 +2,13 @@
 //
 //   perf record [--sweep 4,6,8,12,16] [--json FILE] [--history FILE]
 //               [--label STR]
-//       Run the online/offline/audit sweeps and merge the results into the
-//       bench file (default BENCH_comm.json, keys online_comm /
-//       offline_comm / scaling_audit); append a timestamped snapshot to
-//       the history file (default BENCH_history.jsonl, "" to skip).
-//       Deterministic: seeded protocol runs, so two records of the same
-//       sweep produce identical metrics.
+//       Run the online/offline/audit/profile sweeps and merge the results
+//       into the bench file (default BENCH_comm.json, keys online_comm /
+//       offline_comm / scaling_audit / profile / op_costs); append a
+//       timestamped snapshot to the history file (default
+//       BENCH_history.jsonl, "" to skip).  Deterministic except the
+//       op_costs "_us" leaves: seeded protocol runs, so two records of the
+//       same sweep produce identical counts; self-times are measured.
 //   perf check [--json FILE] --baseline FILE
 //       Compare the recorded metrics against a committed baseline; exit
 //       nonzero listing every violated tolerance (bytes +-10%, counts and
@@ -34,13 +35,15 @@
 #include "perf/baseline.hpp"
 #include "perf/benchfile.hpp"
 #include "perf/history.hpp"
+#include "perf/opcosts.hpp"
 #include "perf/sweep.hpp"
 
 namespace {
 
 using namespace yoso;
 
-const std::vector<std::string> kBenchKeys = {"online_comm", "offline_comm", "scaling_audit"};
+const std::vector<std::string> kBenchKeys = {"online_comm", "offline_comm", "scaling_audit",
+                                             "profile", "op_costs"};
 
 int usage() {
   std::fprintf(stderr,
@@ -91,6 +94,7 @@ int cmd_record(const std::vector<unsigned>& sweep, const std::string& json_path,
   std::vector<perf::OnlinePoint> online;
   std::vector<perf::OfflinePoint> offline;
   std::vector<perf::AuditPoint> audit;
+  std::vector<perf::ProfilePoint> profile;
   for (unsigned n : sweep) {
     std::printf("recording n=%u: online...", n);
     std::fflush(stdout);
@@ -101,11 +105,16 @@ int cmd_record(const std::vector<unsigned>& sweep, const std::string& json_path,
     std::printf(" audit (k=%u)...", perf::audit_packing(n));
     std::fflush(stdout);
     audit.push_back(perf::run_audit_point(n));
+    std::printf(" profile...");
+    std::fflush(stdout);
+    profile.push_back(perf::run_profile_point(n));
     std::printf(" done\n");
   }
   perf::merge_bench_json(json_path, "online_comm", perf::online_comm_json(online));
   perf::merge_bench_json(json_path, "offline_comm", perf::offline_comm_json(offline));
   perf::merge_bench_json(json_path, "scaling_audit", perf::scaling_audit_json(audit));
+  perf::merge_bench_json(json_path, "profile", perf::profile_sweep_json(profile));
+  perf::merge_bench_json(json_path, "op_costs", perf::op_costs_sweep_json(profile));
 
   if (!history_path.empty()) {
     perf::HistorySnapshot snap;
@@ -170,6 +179,31 @@ int cmd_audit(const std::string& json_path, const std::string& report_path) {
                 sd.speedup >= report.speedup_floor ? "PASS" : "FAIL");
   } else {
     std::printf("\nHeadline re-derivation: infeasible (missing audit data)  FAIL\n");
+  }
+  const perf::CostModel& cm = report.cost_model;
+  if (cm.ok) {
+    std::printf("\nPer-phase compute cost model (phase wall ~= sum count_p * us_p):\n");
+    std::printf("  %-24s %12s %12s %12s\n", "primitive", "calls", "self_us", "us/call");
+    for (const perf::CostTerm& t : cm.terms) {
+      if (t.count == 0) continue;
+      std::printf("  %-24s %12llu %12.1f %12.4f\n", t.op.c_str(),
+                  static_cast<unsigned long long>(t.count), t.self_us, t.us_per_op);
+    }
+    std::printf("  %-18s %4s %14s %14s %10s\n", "phase", "n", "predicted_us", "measured_us",
+                "explained");
+    for (const perf::CostModelRow& row : cm.rows) {
+      std::printf("  %-18s %4u %14.1f %14.1f %9.1f%%\n", row.phase.c_str(), row.n,
+                  row.predicted_us, row.measured_us, row.explained * 100.0);
+    }
+    if (cm.fit.ok) {
+      std::printf("  OLS measured ~ %.3f * predicted + %.1f us  (r^2 %.4f, %zu points)\n",
+                  cm.fit.slope, cm.fit.intercept, cm.fit.r2, cm.fit.points);
+    }
+    std::printf("  explained at n=%u: %.1f%% (floor %.0f%%)  %s\n", cm.n_max,
+                cm.explained_at_n_max * 100.0, cm.explained_floor * 100.0,
+                cm.pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("\nPer-phase compute cost model: skipped (%s)\n", cm.error.c_str());
   }
   if (!report_path.empty()) {
     std::ofstream out(report_path, std::ios::trunc | std::ios::binary);

@@ -10,13 +10,21 @@
 //       Validate a trace document (stdin when FILE is absent); exit nonzero
 //       on schema violations.
 //   trace summarize [FILE]
-//       Per-span-name table: count, total/mean duration, category.
+//       Per-span-name table (count, total/mean duration, category), the
+//       top-5 most expensive spans, and — when the trace carries op.count.*
+//       counter tracks — a per-primitive count/total-µs table.
 //   trace diff A B
-//       Compare two traces by span name: count and total-duration deltas.
+//       Compare two traces by span name (count and total-duration deltas)
+//       and by per-primitive op counts; exit nonzero when either differs.
+//   trace costs [--seed S] [--n N] [--width W] [--degrade]
+//       Run with the compute profiler on and print the per-primitive cost
+//       table: calls, self-µs, µs/call, per-phase breakdown (E15's live
+//       twin; docs/PROFILING.md).
 //   trace export FILE --cat C
 //       Re-emit a trace keeping only events of category C (plus metadata).
 #include <cstdint>
 #include <cstdio>
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,6 +42,7 @@
 #include "net/net_bulletin.hpp"
 #include "net/wire_faults.hpp"  // mix64
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +58,7 @@ int usage() {
                "       trace check [FILE]\n"
                "       trace summarize [FILE]\n"
                "       trace diff A B\n"
+               "       trace costs [--seed S] [--n N] [--width W] [--degrade]\n"
                "       trace export FILE --cat C\n");
   return 2;
 }
@@ -95,12 +105,18 @@ struct RunOptions {
   std::string report;
 };
 
-int cmd_run(const RunOptions& opt) {
-#ifdef OBS_DISABLED
-  (void)opt;
-  std::fprintf(stderr, "trace run: built with OBS_DISABLED; no tracer available\n");
-  return 1;
-#else
+#ifndef OBS_DISABLED
+
+struct BoardBox {
+  yoso::Ledger ledger;
+  yoso::net::NetBulletin board;
+  explicit BoardBox(yoso::net::NetConfig cfg) : board(ledger, std::move(cfg)) {}
+};
+
+// Resets the obs singletons and replays the schedule's protocol run with
+// recording on.  Shared by `trace run` and `trace costs`.
+int run_traced(const RunOptions& opt, std::vector<std::unique_ptr<BoardBox>>& boards,
+               std::optional<yoso::FailureReport>& failure) {
   FaultSchedule schedule;
   schedule.seed = opt.seed;
   schedule.n = opt.n;
@@ -110,23 +126,17 @@ int cmd_run(const RunOptions& opt) {
   yoso::obs::tracer().reset();
   yoso::obs::metrics().reset();
   yoso::obs::timeseries().reset();
+  yoso::obs::profiler().reset();
   yoso::obs::set_enabled(true);
 
   const yoso::Circuit circuit = schedule.circuit();
   const auto inputs = inputs_for(circuit, opt.seed);
 
-  struct BoardBox {
-    yoso::Ledger ledger;
-    yoso::net::NetBulletin board;
-    explicit BoardBox(yoso::net::NetConfig cfg) : board(ledger, std::move(cfg)) {}
-  };
-  std::vector<std::unique_ptr<BoardBox>> boards;
   const auto make_board = [&](bool) -> yoso::Bulletin* {
     boards.push_back(std::make_unique<BoardBox>(schedule.net_config()));
     return &boards.back()->board;
   };
 
-  std::optional<yoso::FailureReport> failure;
   int status = 0;
   try {
     if (opt.degrade) {
@@ -145,6 +155,20 @@ int cmd_run(const RunOptions& opt) {
     status = 1;
   }
   for (auto& box : boards) box->board.flush();
+  return status;
+}
+
+#endif  // OBS_DISABLED
+
+int cmd_run(const RunOptions& opt) {
+#ifdef OBS_DISABLED
+  (void)opt;
+  std::fprintf(stderr, "trace run: built with OBS_DISABLED; no tracer available\n");
+  return 1;
+#else
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  std::optional<yoso::FailureReport> failure;
+  int status = run_traced(opt, boards, failure);
 
   const std::string trace = yoso::obs::tracer().chrome_trace_json(opt.wall);
   if (!write_output(opt.out, trace)) {
@@ -159,6 +183,51 @@ int cmd_run(const RunOptions& opt) {
       return 1;
     }
   }
+  return status;
+#endif
+}
+
+int cmd_costs(const RunOptions& opt) {
+#ifdef OBS_DISABLED
+  (void)opt;
+  std::fprintf(stderr, "trace costs: built with OBS_DISABLED; no profiler available\n");
+  return 1;
+#else
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  std::optional<yoso::FailureReport> failure;
+  const int status = run_traced(opt, boards, failure);
+
+  const yoso::obs::InstrumentCell cell = yoso::obs::profiler().snapshot();
+  std::printf("per-primitive compute costs (seed %llu, n=%u, width=%u):\n",
+              static_cast<unsigned long long>(opt.seed), opt.n, opt.width);
+  std::printf("%-24s %10s %12s %10s", "primitive", "calls", "self_us", "us/call");
+  for (unsigned p = 0; p < yoso::obs::kPhaseCtxCount; ++p) {
+    std::printf(" %9s", yoso::obs::phase_ctx_name(static_cast<yoso::obs::PhaseCtx>(p)));
+  }
+  std::printf("\n");
+  for (unsigned o = 0; o < yoso::obs::kOpCount; ++o) {
+    const auto op = static_cast<yoso::obs::Op>(o);
+    const std::uint64_t calls = cell.op_total_count(op);
+    if (calls == 0) continue;
+    const double self_us = static_cast<double>(cell.op_total_self_ns(op)) / 1e3;
+    std::printf("%-24s %10llu %12.1f %10.4f", yoso::obs::op_name(op),
+                static_cast<unsigned long long>(calls), self_us,
+                self_us / static_cast<double>(calls));
+    for (unsigned p = 0; p < yoso::obs::kPhaseCtxCount; ++p) {
+      std::printf(" %9llu",
+                  static_cast<unsigned long long>(
+                      cell.op_count(static_cast<yoso::obs::PhaseCtx>(p), op)));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-24s", "phase wall (ms)");
+  std::printf(" %10s %12s %10s", "", "", "");
+  for (unsigned p = 0; p < yoso::obs::kPhaseCtxCount; ++p) {
+    std::printf(" %9.1f",
+                static_cast<double>(
+                    cell.phase_wall_ns(static_cast<yoso::obs::PhaseCtx>(p))) / 1e6);
+  }
+  std::printf("\n");
   return status;
 #endif
 }
@@ -195,6 +264,31 @@ std::map<std::string, NameStats> aggregate(const yoso::json::Value& doc) {
   return by_name;
 }
 
+// Final values of the profiler's op.count.* / op.self_us.* counter tracks.
+// The samples are cumulative and time-ordered per op, so "final" = last.
+struct OpStats {
+  double count = 0;
+  double self_us = -1;  // -1: trace carried no self-time track for this op
+};
+
+std::map<std::string, OpStats> aggregate_ops(const yoso::json::Value& doc) {
+  std::map<std::string, OpStats> ops;
+  const yoso::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return ops;
+  for (const auto& ev : events->items) {
+    if (ev.str_or("ph", "") != "C") continue;
+    const std::string name = ev.str_or("name", "");
+    const yoso::json::Value* args = ev.find("args");
+    const double value = args == nullptr ? 0 : args->num_or("value", 0);
+    if (name.rfind("op.count.", 0) == 0) {
+      ops[name.substr(9)].count = value;
+    } else if (name.rfind("op.self_us.", 0) == 0) {
+      ops[name.substr(11)].self_us = value;
+    }
+  }
+  return ops;
+}
+
 int cmd_summarize(const std::string& path) {
   const yoso::json::Value doc = yoso::json::parse(read_input(path));
   const auto by_name = aggregate(doc);
@@ -202,6 +296,40 @@ int cmd_summarize(const std::string& path) {
   for (const auto& [name, s] : by_name) {
     std::printf("%-24s %-10s %8zu %14.3f %14.3f\n", name.c_str(), s.cat.c_str(), s.count,
                 s.total_us / 1e3, s.total_us / 1e3 / static_cast<double>(s.count));
+  }
+
+  std::vector<std::pair<std::string, NameStats>> ranked(by_name.begin(), by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) return a.second.total_us > b.second.total_us;
+    return a.first < b.first;
+  });
+  const std::size_t top = ranked.size() < 5 ? ranked.size() : 5;
+  if (top > 0) {
+    std::printf("\ntop %zu spans by total duration:\n", top);
+    for (std::size_t i = 0; i < top; ++i) {
+      std::printf("  %zu. %-24s %14.3f ms (%zu spans)\n", i + 1, ranked[i].first.c_str(),
+                  ranked[i].second.total_us / 1e3, ranked[i].second.count);
+    }
+  }
+
+  const auto ops = aggregate_ops(doc);
+  if (!ops.empty()) {
+    bool any_us = false;
+    for (const auto& [name, s] : ops) any_us = any_us || s.self_us >= 0;
+    std::printf("\n%-24s %12s", "primitive", "count");
+    if (any_us) std::printf(" %14s", "total_us");
+    std::printf("\n");
+    for (const auto& [name, s] : ops) {
+      std::printf("%-24s %12.0f", name.c_str(), s.count);
+      if (any_us) {
+        if (s.self_us >= 0) {
+          std::printf(" %14.1f", s.self_us);
+        } else {
+          std::printf(" %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
   }
   return 0;
 }
@@ -219,6 +347,22 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
     if (sa.count != sb.count || sa.total_us != sb.total_us) differs = true;
     std::printf("%-24s %10zu %10zu %14.3f\n", name.c_str(), sa.count, sb.count,
                 (sb.total_us - sa.total_us) / 1e3);
+  }
+
+  // op_costs comparison: final per-primitive counts.  Counts are
+  // deterministic, so any delta is a real behavioral difference.
+  const auto oa = aggregate_ops(yoso::json::parse(read_input(a_path)));
+  const auto ob = aggregate_ops(yoso::json::parse(read_input(b_path)));
+  if (!oa.empty() || !ob.empty()) {
+    std::map<std::string, std::pair<double, double>> op_merged;
+    for (const auto& [name, s] : oa) op_merged[name].first = s.count;
+    for (const auto& [name, s] : ob) op_merged[name].second = s.count;
+    std::printf("\n%-24s %12s %12s %12s\n", "primitive", "count_a", "count_b", "delta");
+    for (const auto& [name, pair] : op_merged) {
+      if (pair.first != pair.second) differs = true;
+      std::printf("%-24s %12.0f %12.0f %+12.0f\n", name.c_str(), pair.first, pair.second,
+                  pair.second - pair.first);
+    }
   }
   return differs ? 1 : 0;
 }
@@ -254,7 +398,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "run") {
+    if (cmd == "run" || cmd == "costs") {
       RunOptions opt;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -275,7 +419,7 @@ int main(int argc, char** argv) {
           return usage();
         }
       }
-      return cmd_run(opt);
+      return cmd == "run" ? cmd_run(opt) : cmd_costs(opt);
     }
     if (cmd == "check") return cmd_check(argc > 2 ? argv[2] : "");
     if (cmd == "summarize") return cmd_summarize(argc > 2 ? argv[2] : "");

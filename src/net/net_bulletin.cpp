@@ -6,6 +6,7 @@
 #include "crypto/ct.hpp"
 #include "crypto/sha256.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "wire/codec.hpp"
@@ -103,6 +104,12 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
                                 const std::string& label, std::size_t bytes,
                                 std::size_t elements, bool first_post_of_role,
                                 const std::vector<std::uint8_t>* payload) {
+  // Close the compute window since the previous publish boundary: the delta
+  // belongs to the posting role (the protocol interleaves "compute message
+  // j, publish j"); everything between here and dag_.end_post — the
+  // decode-check round-trip, fault probing — is the post's pipeline work.
+  dag_.begin_post(committee.name, index0, static_cast<std::uint8_t>(phase_idx(phase)),
+                  /*external=*/false);
   Bulletin::publish(committee, index0, phase, label, bytes, elements, first_post_of_role,
                     payload);
   // A committee that begins publishing has just activated; in the YOSO
@@ -128,6 +135,7 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
     OBS_COUNT("post.dropped_link");
     obs::Span("post.dropped_link", "net").attr("sender", sender).attr("phase", phase_name(phase));
     enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/true, 0);
+    dag_.end_post(label, bytes, /*delivered=*/false);
     return PostStatus::DroppedLink;
   }
 
@@ -147,6 +155,7 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       OBS_COUNT("post.corrupt");
       obs::Span("post.corrupt", "net").attr("sender", sender).attr("phase", phase_name(phase));
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
+      dag_.end_post(label, bytes, /*delivered=*/false);
       return PostStatus::CorruptPayload;
     }
     case WireFault::Truncate: {
@@ -161,6 +170,7 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       obs::Span("post.truncated", "net").attr("sender", sender).attr("phase", phase_name(phase));
       // Only the truncated prefix ever hit the wire.
       enqueue(key, phase, sender, cut, nullptr, /*link_dropped=*/false, 0);
+      dag_.end_post(label, bytes, /*delivered=*/false);
       return PostStatus::Truncated;
     }
     case WireFault::Duplicate: {
@@ -177,6 +187,9 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
       obs::Span("post.duplicate", "net").attr("sender", sender).attr("phase", phase_name(phase));
       const bool dup_dropped = transport_.roll_drop(sender);
       enqueue(key, phase, sender, bytes, nullptr, dup_dropped, 0);
+      // One DAG post for the original only: the injected copy never becomes
+      // a board post, so it must never grow consume edges.
+      dag_.end_post(label, bytes, /*delivered=*/true);
       return PostStatus::Accepted;
     }
     case WireFault::LatePost: {
@@ -189,12 +202,14 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
         flow_.record(committee.name, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes,
                      elements);
         enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
+        dag_.end_post(label, bytes, /*delivered=*/true);
         return PostStatus::Accepted;
       }
       ++pp.late;
       OBS_COUNT("post.late");
       obs::Span("post.late", "net").attr("sender", sender).attr("phase", phase_name(phase));
       enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, delay);
+      dag_.end_post(label, bytes, /*delivered=*/false);
       return PostStatus::Late;
     }
     case WireFault::None: break;
@@ -204,12 +219,14 @@ PostStatus NetBulletin::publish(Committee& committee, unsigned index0, Phase pha
   flow_.record(committee.name, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes,
                elements);
   enqueue(key, phase, sender, bytes, payload, /*link_dropped=*/false, 0);
+  dag_.end_post(label, bytes, /*delivered=*/true);
   return PostStatus::Accepted;
 }
 
 void NetBulletin::publish_external(const std::string& who, Phase phase, const std::string& label,
                                    std::size_t bytes, std::size_t elements,
                                    const std::vector<std::uint8_t>* payload) {
+  dag_.begin_post(who, 0, static_cast<std::uint8_t>(phase_idx(phase)), /*external=*/true);
   Bulletin::publish_external(who, phase, label, bytes, elements, payload);
   if (payload != nullptr) bytes = payload->size();
   // External senders (clients, the dealer) are outside the committee fault
@@ -219,6 +236,7 @@ void NetBulletin::publish_external(const std::string& who, Phase phase, const st
   ++pp.delivered;
   flow_.record(who, label, static_cast<std::uint8_t>(phase_idx(phase)), bytes, elements);
   enqueue("x:" + label, phase, who, bytes, payload, /*link_dropped=*/false, 0);
+  dag_.end_post(label, bytes, /*delivered=*/true);
 }
 
 void NetBulletin::on_committee_spawn(Committee& committee) {
@@ -324,6 +342,12 @@ const obs::FlowMatrix& NetBulletin::flow() {
   return flow_;
 }
 
+const obs::dag::DagRecorder& NetBulletin::dag() {
+  flush();
+  dag_.finalize();
+  return dag_;
+}
+
 PhasePosts NetBulletin::total_posts() const {
   PhasePosts total;
   for (const PhasePosts& pp : posts_) {
@@ -344,6 +368,10 @@ std::string NetBulletin::report_json() const {
   const TransportStats& ts = transport_.stats();
   json::Writer w;
   w.begin_object();
+  // Self-describing header: what build/obs generation produced this report
+  // (obs/report.hpp) — cross-run diffs warn on mismatch instead of
+  // reporting spurious deltas.
+  w.key("meta").raw(obs::run_metadata_json());
   w.field("link", cfg_.link_mix.empty() ? cfg_.link.name : cfg_.link_mix.name);
   w.field("topology", topology_name(cfg_.topology));
   w.field("elapsed_s", clock_);
@@ -406,6 +434,8 @@ std::string NetBulletin::report_json() const {
 #endif
   }
   w.end_object();
+  // Happens-before DAG summary (counts only — deterministic).
+  w.key("dag").raw(const_cast<NetBulletin*>(this)->dag().report_json());
   w.key("base").raw(Bulletin::report_json());
   w.end_object();
   return w.take();

@@ -39,6 +39,7 @@
 #include "net/link.hpp"
 #include "net/transport.hpp"
 #include "net/wire_faults.hpp"
+#include "obs/dag/dag.hpp"
 #include "obs/flow.hpp"
 #include "yoso/bulletin.hpp"
 
@@ -136,6 +137,12 @@ public:
   std::size_t fuzz_rejected() const { return fuzz_rejected_; }
   std::size_t fuzz_decoded() const { return fuzz_decoded_; }
 
+  // Happens-before DAG of the run as the board observed it (obs/dag).
+  // Finalizes the trailing compute residue; meaningful for boards that host
+  // one protocol run (service boards interleave sessions on one profiler
+  // cell, so their deltas blur across sessions — docs/OBSERVABILITY.md).
+  const obs::dag::DagRecorder& dag();
+
   std::string report_json() const override;
 
 private:
@@ -169,6 +176,7 @@ private:
   std::array<PhaseTraffic, 3> traffic_{};
   std::array<PhasePosts, 3> posts_{};
   obs::FlowMatrix flow_;
+  obs::dag::DagRecorder dag_;
   std::string flow_actor_;  // committee currently publishing (flow consumer tracking)
   std::size_t decode_failures_ = 0;
   std::size_t fuzz_rejected_ = 0;

@@ -6,6 +6,10 @@
 #include <chrono>
 #include <string_view>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +29,21 @@ std::uint64_t wall_now_ns() {
 // multi-core engine records without synchronization; merge-on-join folds
 // the cells back deterministically (docs/STATIC_ANALYSIS.md).
 thread_local InstrumentCell* tls_cell = nullptr;
+
+// Process peak RSS in bytes; 0 when the platform has no getrusage.
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
 
 constexpr const char* kOpNames[kOpCount] = {
     "ct.powm_sec",           // CtPowmSec
@@ -46,6 +65,8 @@ constexpr const char* kOpNames[kOpCount] = {
     "share.unpack",          // ShareUnpack
     "field.mul",             // FieldMul
     "field.inv",             // FieldInv
+    "codec.encode",          // CodecEncode
+    "codec.decode",          // CodecDecode
 };
 
 constexpr const char* kPhaseCtxNames[kPhaseCtxCount] = {
@@ -81,6 +102,11 @@ void InstrumentCell::merge(const InstrumentCell& other) {
       self_ns_[p][o] += other.self_ns_[p][o];
     }
     phase_wall_ns_[p] += other.phase_wall_ns_[p];
+    // Peak RSS is a process-wide high-water mark, not an accumulator: the
+    // max over cells is the max the process saw, a sum would double-count.
+    if (other.mem_peak_bytes_[p] > mem_peak_bytes_[p]) {
+      mem_peak_bytes_[p] = other.mem_peak_bytes_[p];
+    }
   }
   for (unsigned o = 0; o < kOpCount; ++o) {
     for (int b = 0; b < kHistBuckets; ++b) hist_[o][b] += other.hist_[o][b];
@@ -94,6 +120,7 @@ void InstrumentCell::reset() {
       self_ns_[p][o] = 0;
     }
     phase_wall_ns_[p] = 0;
+    mem_peak_bytes_[p] = 0;
   }
   for (unsigned o = 0; o < kOpCount; ++o) {
     for (int b = 0; b < kHistBuckets; ++b) hist_[o][b] = 0;
@@ -162,6 +189,12 @@ std::string InstrumentCell::snapshot_json(bool include_wall) const {
       w.field(kPhaseCtxNames[p], static_cast<double>(phase_wall_ns_[p]) / 1e3);
     }
     w.end_object();
+    w.key("mem_peak_bytes").begin_object();
+    for (unsigned p = 0; p < kPhaseCtxCount; ++p) {
+      if (mem_peak_bytes_[p] == 0) continue;
+      w.field(kPhaseCtxNames[p], mem_peak_bytes_[p]);
+    }
+    w.end_object();
   }
   w.end_object();
   return w.take();
@@ -208,6 +241,9 @@ ScopedOpContext::~ScopedOpContext() {
     if (wall_start_ns_ != 0) {
       cell_->phase_wall_ns_[static_cast<unsigned>(ctx_)] += wall_now_ns() - wall_start_ns_;
     }
+    const std::uint64_t rss = peak_rss_bytes();
+    const unsigned pc = static_cast<unsigned>(ctx_);
+    if (rss > cell_->mem_peak_bytes_[pc]) cell_->mem_peak_bytes_[pc] = rss;
     const double vt = tracer().virtual_now();
     if (vt >= 0) profiler().sample_op_tracks(vt);
   }

@@ -64,6 +64,8 @@ enum class Op : unsigned {
   ShareUnpack,
   FieldMul,
   FieldInv,
+  CodecEncode,
+  CodecDecode,
   kCount
 };
 
@@ -114,6 +116,12 @@ public:
   std::uint64_t phase_wall_ns(PhaseCtx ctx) const {
     return phase_wall_ns_[static_cast<unsigned>(ctx)];
   }
+  // Peak RSS observed while this phase context was active (getrusage, sampled
+  // at context boundaries).  Timing-gated like wall: machine-dependent, so it
+  // never enters the deterministic exports.
+  std::uint64_t mem_peak_bytes(PhaseCtx ctx) const {
+    return mem_peak_bytes_[static_cast<unsigned>(ctx)];
+  }
   PhaseCtx context() const { return ctx_; }
 
   // {"ops":{"<name>":{"count":...,"by_phase":{...}}},...} through the
@@ -129,6 +137,7 @@ private:
   std::uint64_t self_ns_[kPhaseCtxCount][kOpCount] = {};
   std::uint64_t hist_[kOpCount][kHistBuckets] = {};
   std::uint64_t phase_wall_ns_[kPhaseCtxCount] = {};
+  std::uint64_t mem_peak_bytes_[kPhaseCtxCount] = {};  // merged via max, not sum
 
   // Live (unmerged) state: current phase attribution and the innermost open
   // timer, for self-time = elapsed - time spent in nested profiled ops.
@@ -188,12 +197,20 @@ Profiler& profiler();
 // task cell on join: profiler().cell().merge(task_cell).
 class ScopedCell {
 public:
-  explicit ScopedCell(InstrumentCell* c) : prev_(profiler().install_cell(c)) {}
-  ~ScopedCell() { profiler().install_cell(prev_); }
+  explicit ScopedCell(InstrumentCell* c) : cell_(c), prev_(profiler().install_cell(c)) {}
+  ~ScopedCell() {
+    // LIFO-checked restore: only uninstall if our cell is still the innermost
+    // installation.  An exception unwinding past an unmatched install_cell()
+    // call (no scope guard) would otherwise have this dtor clobber the newer
+    // installation with a possibly-dangling prev_.
+    InstrumentCell* displaced = profiler().install_cell(prev_);
+    if (displaced != cell_) profiler().install_cell(displaced);
+  }
   ScopedCell(const ScopedCell&) = delete;
   ScopedCell& operator=(const ScopedCell&) = delete;
 
 private:
+  InstrumentCell* cell_;
   InstrumentCell* prev_;
 };
 

@@ -8,9 +8,28 @@
 
 namespace yoso::obs {
 
+std::string run_metadata_json() {
+  json::Writer w;
+  w.begin_object();
+  w.field("obs_generation", kObsGeneration);
+#ifdef NDEBUG
+  w.field("build", "release");
+#else
+  w.field("build", "debug");
+#endif
+#ifdef OBS_DISABLED
+  w.field("obs_disabled", true);
+#else
+  w.field("obs_disabled", false);
+#endif
+  w.end_object();
+  return w.take();
+}
+
 std::string run_report_json(const Bulletin& board, const FailureReport* failure) {
   json::Writer w;
   w.begin_object();
+  w.key("meta").raw(run_metadata_json());
   w.key("board").raw(board.report_json());
 #ifndef OBS_DISABLED
   w.key("metrics").raw(metrics().report_json());

@@ -20,7 +20,20 @@ struct FailureReport;
 
 namespace yoso::obs {
 
-// {"board":{...},"metrics":{...}[,"failure":{...}]}
+// Observability schema generation.  Bumped whenever the shape of exported
+// documents changes incompatibly (new op enum entries, new report keys):
+// tools comparing two recordings (`trace diff`, baseline checks) warn when
+// generations differ instead of reporting spurious behavioral deltas.
+//   1 — PR 9 compute observatory (op_costs, profile keys)
+//   2 — PR 10 causality observatory (run metadata, codec ops, dag/critpath)
+inline constexpr int kObsGeneration = 2;
+
+// {"obs_generation":2,"build":"release|debug","obs_disabled":false}
+// The self-describing header stamped into every report/trace document so
+// cross-run comparisons know what produced them.
+std::string run_metadata_json();
+
+// {"meta":{...},"board":{...},"metrics":{...}[,"failure":{...}]}
 // Under OBS_DISABLED the metrics section is an empty object.
 std::string run_report_json(const Bulletin& board, const FailureReport* failure = nullptr);
 

@@ -6,6 +6,7 @@
 
 #include "common/json.hpp"
 #include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 
 namespace yoso::obs {
@@ -102,6 +103,10 @@ std::string Tracer::chrome_trace_json(bool include_wall) const {
   json::Writer w;
   w.begin_object();
   w.key("displayTimeUnit").str("ms");
+  // Self-describing header (satellite of the causality observatory): which
+  // build and obs generation produced this trace.  `trace diff` warns when
+  // two documents disagree.
+  w.key("runMeta").raw(run_metadata_json());
   w.key("traceEvents").begin_array();
 
   w.begin_object();
@@ -193,6 +198,21 @@ std::string Tracer::chrome_trace_json(bool include_wall) const {
       w.key("ts").num(last_ts);
       w.key("args").begin_object();
       w.key("value").num(static_cast<double>(self_ns) / 1e3);
+      w.end_object();
+      w.end_object();
+    }
+    // Per-phase peak-RSS gauges, same timing gate as self-times (getrusage
+    // is machine-dependent, so it stays out of deterministic exports).
+    for (unsigned p = 0; p < kPhaseCtxCount; ++p) {
+      const PhaseCtx ctx = static_cast<PhaseCtx>(p);
+      const std::uint64_t peak = cell.mem_peak_bytes(ctx);
+      if (peak == 0) continue;
+      w.begin_object();
+      w.field("ph", "C").field("pid", 1).field("tid", 1);
+      w.field("name", std::string("mem.peak_bytes.") + phase_ctx_name(ctx));
+      w.key("ts").num(last_ts);
+      w.key("args").begin_object();
+      w.key("value").num(static_cast<double>(peak));
       w.end_object();
       w.end_object();
     }

@@ -90,6 +90,11 @@ AuditReport audit_scaling(const json::Value& bench) {
 
   report.cost_model = fit_cost_model(bench);
   if (report.cost_model.ok) report.pass = report.pass && report.cost_model.pass;
+
+  report.critpath = check_critpath(bench, &report.critpath_note);
+  for (const CritpathCheck& check : report.critpath) {
+    report.pass = report.pass && check.pass();
+  }
   return report;
 }
 
@@ -128,6 +133,22 @@ std::string audit_report_json(const AuditReport& report) {
   w.field("floor", report.speedup_floor);
   w.end_object();
   w.key("cost_model").raw(cost_model_json(report.cost_model));
+  w.key("critpath").begin_object();
+  if (!report.critpath_note.empty()) w.field("note", report.critpath_note);
+  w.key("points").begin_array();
+  for (const CritpathCheck& check : report.critpath) {
+    w.begin_object();
+    w.field("point", check.point);
+    w.field("pass", check.pass());
+    w.field("monotone", check.monotone);
+    w.field("bounded", check.bounded);
+    w.field("parallelism", check.parallelism);
+    w.field("max_speedup", check.max_speedup);
+    if (!check.error.empty()) w.field("error", check.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.end_object();
   return w.take();
 }

@@ -20,6 +20,7 @@
 
 #include "common/json.hpp"
 #include "obs/scaling.hpp"
+#include "perf/critpath.hpp"
 #include "perf/opcosts.hpp"
 
 namespace yoso::perf {
@@ -33,6 +34,11 @@ struct AuditReport {
   // failure — pre-PR-9 bench files stay auditable — but a fitted model
   // below its explained-fraction floor fails the audit.
   CostModel cost_model;
+  // Forecast-curve checks over the "critpath" key (perf/critpath.hpp):
+  // speedup(k) non-decreasing, <= k, <= the parallelism ceiling.  Same
+  // absent-is-a-note policy as the cost model.
+  std::vector<CritpathCheck> critpath;
+  std::string critpath_note;
   bool pass = false;
   std::string error;  // non-empty when the bench data was unusable
 };

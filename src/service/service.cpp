@@ -7,6 +7,7 @@
 #include "common/json.hpp"
 #include "net/wire_faults.hpp"  // mix64 (seed derivation)
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace yoso::service {
@@ -386,6 +387,7 @@ std::string MpcService::report_json() const {
   const ServiceStats s = stats();
   json::Writer w;
   w.begin_object();
+  w.key("meta").raw(obs::run_metadata_json());
   w.key("config").begin_object();
   w.field("n", static_cast<std::uint64_t>(cfg_.n));
   w.field("eps", cfg_.eps);

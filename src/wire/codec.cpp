@@ -1,6 +1,7 @@
 #include "wire/codec.hpp"
 
 #include "crypto/transcript.hpp"
+#include "obs/profile.hpp"
 
 namespace yoso {
 
@@ -88,6 +89,7 @@ void Decoder::expect_done() const {
 // --- LinkProof -------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_link_proof(const LinkProof& p) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagLink);
   e.mpz_vec(p.a_paillier);
@@ -98,6 +100,7 @@ std::vector<std::uint8_t> encode_link_proof(const LinkProof& p) {
 }
 
 LinkProof decode_link_proof(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagLink) throw CodecError("link proof: bad tag");
   LinkProof p;
@@ -112,6 +115,7 @@ LinkProof decode_link_proof(const std::vector<std::uint8_t>& data) {
 // --- MultProof -------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_mult_proof(const MultProof& p) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagMult);
   e.mpz(p.a1);
@@ -123,6 +127,7 @@ std::vector<std::uint8_t> encode_mult_proof(const MultProof& p) {
 }
 
 MultProof decode_mult_proof(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagMult) throw CodecError("mult proof: bad tag");
   MultProof p;
@@ -138,6 +143,7 @@ MultProof decode_mult_proof(const std::vector<std::uint8_t>& data) {
 // --- RootProof -------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_root_proof(const RootProof& p) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagRoot);
   e.mpz(p.a);
@@ -146,6 +152,7 @@ std::vector<std::uint8_t> encode_root_proof(const RootProof& p) {
 }
 
 RootProof decode_root_proof(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagRoot) throw CodecError("root proof: bad tag");
   RootProof p;
@@ -158,6 +165,7 @@ RootProof decode_root_proof(const std::vector<std::uint8_t>& data) {
 // --- MaskMsg ---------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_mask_msg(const MaskMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagMask);
   e.mpz(m.a);
@@ -167,6 +175,7 @@ std::vector<std::uint8_t> encode_mask_msg(const MaskMsg& m) {
 }
 
 MaskMsg decode_mask_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagMask) throw CodecError("mask msg: bad tag");
   MaskMsg m;
@@ -183,6 +192,7 @@ MaskMsg decode_mask_msg(const std::vector<std::uint8_t>& data) {
 // --- HandoverMsg -----------------------------------------------------------
 
 std::vector<std::uint8_t> encode_handover_msg(const HandoverMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagHandover);
   e.u32(m.from_index);
@@ -194,6 +204,7 @@ std::vector<std::uint8_t> encode_handover_msg(const HandoverMsg& m) {
 }
 
 HandoverMsg decode_handover_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagHandover) throw CodecError("handover msg: bad tag");
   HandoverMsg m;
@@ -215,6 +226,7 @@ HandoverMsg decode_handover_msg(const std::vector<std::uint8_t>& data) {
 // --- FutureCt --------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_future_ct(const FutureCt& f) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagFuture);
   e.mpz(f.masked);
@@ -223,6 +235,7 @@ std::vector<std::uint8_t> encode_future_ct(const FutureCt& f) {
 }
 
 FutureCt decode_future_ct(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagFuture) throw CodecError("future ct: bad tag");
   FutureCt f;
@@ -249,6 +262,7 @@ std::vector<std::uint8_t> read_embedded(Decoder& d) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_pdec_msg(const PdecMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagPdecMsg);
   e.mpz_vec(m.partials);
@@ -258,6 +272,7 @@ std::vector<std::uint8_t> encode_pdec_msg(const PdecMsg& m) {
 }
 
 PdecMsg decode_pdec_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagPdecMsg) throw CodecError("pdec msg: bad tag");
   PdecMsg m;
@@ -271,6 +286,7 @@ PdecMsg decode_pdec_msg(const std::vector<std::uint8_t>& data) {
 }
 
 std::vector<std::uint8_t> encode_contrib_msg(const ContribMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagContribMsg);
   e.mpz_vec(m.cts);
@@ -280,6 +296,7 @@ std::vector<std::uint8_t> encode_contrib_msg(const ContribMsg& m) {
 }
 
 ContribMsg decode_contrib_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagContribMsg) throw CodecError("contrib msg: bad tag");
   ContribMsg m;
@@ -293,6 +310,7 @@ ContribMsg decode_contrib_msg(const std::vector<std::uint8_t>& data) {
 }
 
 std::vector<std::uint8_t> encode_beaver_msg(const BeaverMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagBeaverMsg);
   e.mpz_vec(m.cb);
@@ -303,6 +321,7 @@ std::vector<std::uint8_t> encode_beaver_msg(const BeaverMsg& m) {
 }
 
 BeaverMsg decode_beaver_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagBeaverMsg) throw CodecError("beaver msg: bad tag");
   BeaverMsg m;
@@ -317,6 +336,7 @@ BeaverMsg decode_beaver_msg(const std::vector<std::uint8_t>& data) {
 }
 
 std::vector<std::uint8_t> encode_mult_share_msg(const MultShareMsg& m) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagMultShareMsg);
   e.mpz_vec(m.p_int);
@@ -326,6 +346,7 @@ std::vector<std::uint8_t> encode_mult_share_msg(const MultShareMsg& m) {
 }
 
 MultShareMsg decode_mult_share_msg(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagMultShareMsg) throw CodecError("mult share msg: bad tag");
   MultShareMsg m;
@@ -339,6 +360,7 @@ MultShareMsg decode_mult_share_msg(const std::vector<std::uint8_t>& data) {
 }
 
 std::vector<std::uint8_t> encode_mask_batch(const std::vector<MaskMsg>& batch) {
+  OBS_OP(CodecEncode);
   Encoder e;
   e.u8(kTagMaskBatch);
   e.u32(static_cast<std::uint32_t>(batch.size()));
@@ -347,6 +369,7 @@ std::vector<std::uint8_t> encode_mask_batch(const std::vector<MaskMsg>& batch) {
 }
 
 std::vector<MaskMsg> decode_mask_batch(const std::vector<std::uint8_t>& data) {
+  OBS_OP(CodecDecode);
   Decoder d(data);
   if (d.u8() != kTagMaskBatch) throw CodecError("mask batch: bad tag");
   std::uint32_t count = d.u32();

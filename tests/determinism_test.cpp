@@ -18,6 +18,7 @@
 #include "obs/profile.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "perf/critpath.hpp"
 #include "perf/sweep.hpp"
 #include "service/service.hpp"
 
@@ -123,6 +124,19 @@ TEST(DeterminismTest, OpCountsIdenticalEnabledVsMuted) {
   ASSERT_FALSE(enabled_counts.empty());
   EXPECT_NE(enabled_counts, "{}");
   EXPECT_EQ(enabled_counts, muted_counts) << "op counts depend on the mute switch";
+}
+
+// The causality observatory end to end (src/perf/critpath.hpp): DAG
+// reconstruction + reference-table pricing + the k-worker forecast are all
+// counts-driven, so a same-seed replay must reproduce the whole critpath
+// bench point — crit report and DAG summary — byte for byte.
+TEST(DeterminismTest, CritpathPointReplays) {
+  expect_replay_identical([] {
+    perf::CritpathOptions opt;
+    opt.n = 4;
+    const perf::CritpathPoint pt = perf::run_critpath_point(opt);
+    return pt.crit_json + "\n" + pt.dag_json;
+  });
 }
 
 // A churn schedule that only delivers after a Section 5.4 resubmission must

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,81 @@ TEST_F(ProfileTest, ScopedCellInstallsAndRestoresTaskCell) {
   // ...and recording lands back in the root once the guard is gone.
   profiler().cell().count(Op::FieldInv, 2);
   EXPECT_EQ(profiler().snapshot().op_total_count(Op::FieldInv), 2u);
+}
+
+// The abort path: an exception unwinding through a ScopedCell restores the
+// previous cell, and the partial counts recorded before the abort are still
+// sitting in the task cell, ready for the owner to merge.
+TEST_F(ProfileTest, AbortedTaskCellRestoresAndStillMerges) {
+  InstrumentCell task;
+  auto worker = [&task] {
+    ScopedCell guard(&task);
+    ScopedOpContext ctx(PhaseCtx::Offline);
+    OBS_OP_COUNT_N(FieldInv, 3);
+    throw std::runtime_error("protocol abort");
+  };
+  EXPECT_THROW(worker(), std::runtime_error);
+  // The root is current again after the unwind...
+  profiler().cell().count(Op::FieldMul, 1);
+  EXPECT_EQ(profiler().snapshot().op_total_count(Op::FieldMul), 1u);
+  // ...and the aborted task's partial counts merge like any clean join.
+  EXPECT_EQ(task.op_count(PhaseCtx::Offline, Op::FieldInv), 3u);
+  profiler().cell().merge(task);
+  EXPECT_EQ(profiler().snapshot().op_count(PhaseCtx::Offline, Op::FieldInv), 3u);
+}
+
+// Non-LIFO teardown (an unmatched install_cell with no guard, unwound past):
+// the guard's dtor must not clobber the newer installation with its stale
+// prev_ pointer.
+TEST_F(ProfileTest, ScopedCellKeepsNewerInstallOnNonLifoTeardown) {
+  InstrumentCell a;
+  InstrumentCell b;
+  {
+    ScopedCell guard(&a);
+    profiler().install_cell(&b);  // deliberately unguarded
+  }
+  EXPECT_EQ(&profiler().cell(), &b);
+  profiler().install_cell(nullptr);  // back to the root for the next test
+  EXPECT_NE(&profiler().cell(), &b);
+}
+
+// The mem.peak gauge rides the timing gate: sampled on enabled runs (every
+// Unix has getrusage), absent on muted ones, and never in the deterministic
+// counts-only export.
+TEST_F(ProfileTest, MemPeakGaugeIsTimingGated) {
+  {
+    ScopedOpContext ctx(PhaseCtx::Online);
+    OBS_OP_COUNT(FieldMul);
+  }
+  EXPECT_GT(profiler().snapshot().mem_peak_bytes(PhaseCtx::Online), 0u);
+  EXPECT_NE(profiler().op_costs_json(true).find("mem_peak_bytes"), std::string::npos);
+  EXPECT_EQ(profiler().op_costs_json(false).find("mem_peak_bytes"), std::string::npos);
+
+  set_enabled(false);
+  profiler().reset();
+  {
+    ScopedOpContext ctx(PhaseCtx::Online);
+    OBS_OP_COUNT(FieldMul);
+  }
+  EXPECT_EQ(profiler().snapshot().mem_peak_bytes(PhaseCtx::Online), 0u);
+}
+
+// Peak RSS is a high-water mark: merging the same cell twice must not
+// double it the way summed counters double.
+TEST_F(ProfileTest, MemPeakMergesByMaxNotSum) {
+  InstrumentCell task;
+  {
+    ScopedCell guard(&task);
+    ScopedOpContext ctx(PhaseCtx::Setup);
+    OBS_OP_COUNT(FieldMul);
+  }
+  const std::uint64_t peak = task.mem_peak_bytes(PhaseCtx::Setup);
+  ASSERT_GT(peak, 0u);
+  InstrumentCell root;
+  root.merge(task);
+  root.merge(task);
+  EXPECT_EQ(root.mem_peak_bytes(PhaseCtx::Setup), peak);
+  EXPECT_EQ(root.op_count(PhaseCtx::Setup, Op::FieldMul), 2u);  // sums, by contrast
 }
 
 // merge() is an elementwise sum, so the owner can merge task cells back in

@@ -31,9 +31,11 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/report.hpp"
 #include "perf/audit.hpp"
 #include "perf/baseline.hpp"
 #include "perf/benchfile.hpp"
+#include "perf/critpath.hpp"
 #include "perf/history.hpp"
 #include "perf/opcosts.hpp"
 #include "perf/sweep.hpp"
@@ -43,7 +45,7 @@ namespace {
 using namespace yoso;
 
 const std::vector<std::string> kBenchKeys = {"online_comm", "offline_comm", "scaling_audit",
-                                             "profile", "op_costs"};
+                                             "profile", "op_costs", "critpath"};
 
 int usage() {
   std::fprintf(stderr,
@@ -95,6 +97,7 @@ int cmd_record(const std::vector<unsigned>& sweep, const std::string& json_path,
   std::vector<perf::OfflinePoint> offline;
   std::vector<perf::AuditPoint> audit;
   std::vector<perf::ProfilePoint> profile;
+  std::vector<perf::CritpathPoint> critpath;
   for (unsigned n : sweep) {
     std::printf("recording n=%u: online...", n);
     std::fflush(stdout);
@@ -108,6 +111,11 @@ int cmd_record(const std::vector<unsigned>& sweep, const std::string& json_path,
     std::printf(" profile...");
     std::fflush(stdout);
     profile.push_back(perf::run_profile_point(n));
+    std::printf(" critpath...");
+    std::fflush(stdout);
+    perf::CritpathOptions copt;
+    copt.n = n;
+    critpath.push_back(perf::run_critpath_point(copt));
     std::printf(" done\n");
   }
   perf::merge_bench_json(json_path, "online_comm", perf::online_comm_json(online));
@@ -115,6 +123,9 @@ int cmd_record(const std::vector<unsigned>& sweep, const std::string& json_path,
   perf::merge_bench_json(json_path, "scaling_audit", perf::scaling_audit_json(audit));
   perf::merge_bench_json(json_path, "profile", perf::profile_sweep_json(profile));
   perf::merge_bench_json(json_path, "op_costs", perf::op_costs_sweep_json(profile));
+  perf::merge_bench_json(json_path, "critpath", perf::critpath_sweep_json(critpath));
+  // Self-describing header: which build / obs generation recorded the file.
+  perf::merge_bench_json(json_path, "meta", obs::run_metadata_json());
 
   if (!history_path.empty()) {
     perf::HistorySnapshot snap;
@@ -204,6 +215,22 @@ int cmd_audit(const std::string& json_path, const std::string& report_path) {
                 cm.pass ? "PASS" : "FAIL");
   } else {
     std::printf("\nPer-phase compute cost model: skipped (%s)\n", cm.error.c_str());
+  }
+  if (!report.critpath_note.empty()) {
+    std::printf("\nCritical-path forecast: skipped (%s)\n", report.critpath_note.c_str());
+  } else if (!report.critpath.empty()) {
+    std::printf("\nCritical-path forecast gates (monotone, <= k, <= parallelism):\n");
+    std::printf("  %-6s %12s %12s %9s %9s %s\n", "point", "parallelism", "max_speedup",
+                "monotone", "bounded", "verdict");
+    for (const perf::CritpathCheck& check : report.critpath) {
+      if (!check.error.empty()) {
+        std::printf("  %-6s %s  FAIL\n", check.point.c_str(), check.error.c_str());
+        continue;
+      }
+      std::printf("  %-6s %12.2f %12.2f %9s %9s %s\n", check.point.c_str(), check.parallelism,
+                  check.max_speedup, check.monotone ? "yes" : "NO",
+                  check.bounded ? "yes" : "NO", check.pass() ? "PASS" : "FAIL");
+    }
   }
   if (!report_path.empty()) {
     std::ofstream out(report_path, std::ios::trunc | std::ios::binary);

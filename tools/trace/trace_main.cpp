@@ -20,6 +20,17 @@
 //       Run with the compute profiler on and print the per-primitive cost
 //       table: calls, self-µs, µs/call, per-phase breakdown (E15's live
 //       twin; docs/PROFILING.md).
+//   trace critpath [--seed S] [--n N] [--width W] [--degrade] [--silence R]
+//                  [--churn P] [--measured] [--lanes K] [--out FILE]
+//                  [--perfetto FILE]
+//       Reconstruct the happens-before DAG of the run (src/obs/dag), print
+//       the per-phase work/span table, the forecast speedup curve for
+//       k ∈ {1,2,4,8,16}, and the top critical-path bottlenecks; --out
+//       writes the deterministic critpath JSON, --perfetto a standalone
+//       Chrome-trace document with the critical path and the k-worker
+//       schedule as dedicated tracks.  --silence/--churn inject fail-stop
+//       faults to show how they serialize the run; --measured prices nodes
+//       with this machine's self-times instead of the reference table.
 //   trace export FILE --cat C
 //       Re-emit a trace keeping only events of category C (plus metadata).
 #include <cstdint>
@@ -41,6 +52,7 @@
 #include "mpc/protocol.hpp"
 #include "net/net_bulletin.hpp"
 #include "net/wire_faults.hpp"  // mix64
+#include "obs/dag/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
@@ -59,6 +71,9 @@ int usage() {
                "       trace summarize [FILE]\n"
                "       trace diff A B\n"
                "       trace costs [--seed S] [--n N] [--width W] [--degrade]\n"
+               "       trace critpath [--seed S] [--n N] [--width W] [--degrade]\n"
+               "                      [--silence R] [--churn P] [--measured] [--lanes K]\n"
+               "                      [--out FILE] [--perfetto FILE]\n"
                "       trace export FILE --cat C\n");
   return 2;
 }
@@ -103,6 +118,12 @@ struct RunOptions {
   bool wall = false;
   std::string out;
   std::string report;
+  // critpath-only knobs.
+  unsigned silence = 0;    // fail-stop roles per committee
+  double churn = 0;        // per-role departure probability per activation
+  bool measured = false;   // price nodes with live self-times
+  unsigned lanes = 4;      // worker lanes in the Perfetto export
+  std::string perfetto;    // Perfetto artifact path
 };
 
 #ifndef OBS_DISABLED
@@ -122,6 +143,8 @@ int run_traced(const RunOptions& opt, std::vector<std::unique_ptr<BoardBox>>& bo
   schedule.n = opt.n;
   schedule.circuit_width = opt.width;
   schedule.degradation = opt.degrade;
+  schedule.silenced = opt.silence;
+  schedule.churn_prob = opt.churn;
 
   yoso::obs::tracer().reset();
   yoso::obs::metrics().reset();
@@ -232,6 +255,93 @@ int cmd_costs(const RunOptions& opt) {
 #endif
 }
 
+int cmd_critpath(const RunOptions& opt) {
+#ifdef OBS_DISABLED
+  (void)opt;
+  std::fprintf(stderr, "trace critpath: built with OBS_DISABLED; no DAG recorder available\n");
+  return 1;
+#else
+  namespace dag = yoso::obs::dag;
+  std::vector<std::unique_ptr<BoardBox>> boards;
+  std::optional<yoso::FailureReport> failure;
+  const int status = run_traced(opt, boards, failure);
+  if (boards.empty()) {
+    std::fprintf(stderr, "trace critpath: run produced no board\n");
+    return 1;
+  }
+  // boards.back() is the run that completed (degradation retries create
+  // fresh boards; earlier ones hold the aborted attempts).
+  const dag::DagRecorder& rec = boards.back()->board.dag();
+  std::string dag_error;
+  if (!rec.validate(&dag_error)) {
+    std::fprintf(stderr, "trace critpath: invalid DAG: %s\n", dag_error.c_str());
+    return 1;
+  }
+  const dag::CostCoeffs coeffs =
+      opt.measured ? dag::CostCoeffs::measured(yoso::obs::profiler().snapshot())
+                   : dag::CostCoeffs::reference_table();
+  const dag::CritReport report = dag::analyze(rec.nodes(), coeffs);
+
+  std::printf("critical path (seed %llu, n=%u, width=%u%s%s): %s\n",
+              static_cast<unsigned long long>(opt.seed), opt.n, opt.width,
+              opt.silence > 0 || opt.churn > 0 ? ", faulted" : "",
+              opt.measured ? ", measured costs" : "",
+              yoso::obs::run_metadata_json().c_str());
+  std::printf("%-10s %8s %14s %14s %12s\n", "phase", "nodes", "work_ms", "span_ms",
+              "parallelism");
+  static constexpr const char* kPhaseNames[3] = {"setup", "offline", "online"};
+  for (unsigned p = 0; p < 3; ++p) {
+    const dag::PhaseCrit& pc = report.phases[p];
+    std::printf("%-10s %8zu %14.3f %14.3f %12.2f\n", kPhaseNames[p], pc.nodes, pc.work / 1e3,
+                pc.span / 1e3, pc.parallelism());
+  }
+  std::printf("%-10s %8zu %14.3f %14.3f %12.2f\n", "total", report.total.nodes,
+              report.total.work / 1e3, report.total.span / 1e3, report.total.parallelism());
+
+  std::printf("\nforecast (list-scheduled on k virtual workers):\n ");
+  for (const dag::ForecastPoint& fp : report.forecast) {
+    std::printf(" k=%-2u %5.2fx", fp.k, fp.speedup);
+  }
+  std::printf("\n");
+
+  // Bottleneck table: the heaviest nodes on the critical path.
+  std::vector<std::uint32_t> path = report.critical_path;
+  std::sort(path.begin(), path.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double wa = dag::node_work_us(rec.nodes()[a], coeffs);
+    const double wb = dag::node_work_us(rec.nodes()[b], coeffs);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  const std::size_t top = path.size() < 5 ? path.size() : 5;
+  if (top > 0 && report.total.span > 0) {
+    std::printf("\ntop %zu critical-path bottlenecks (of %zu path nodes):\n", top,
+                report.critical_path.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const dag::DagNode& node = rec.nodes()[path[i]];
+      const double work = dag::node_work_us(node, coeffs);
+      std::printf("  %zu. %-28s %-9s %12.3f ms  %5.1f%% of span\n", i + 1,
+                  dag::node_display_name(node).c_str(), dag::node_kind_name(node.kind),
+                  work / 1e3, 100.0 * work / report.total.span);
+    }
+  }
+
+  if (!opt.out.empty()) {
+    if (!write_output(opt.out, dag::crit_report_json(report))) {
+      std::fprintf(stderr, "trace critpath: cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+  }
+  if (!opt.perfetto.empty()) {
+    const std::string doc = dag::critpath_perfetto_json(rec.nodes(), coeffs, opt.lanes);
+    if (!write_output(opt.perfetto, doc)) {
+      std::fprintf(stderr, "trace critpath: cannot write %s\n", opt.perfetto.c_str());
+      return 1;
+    }
+  }
+  return status;
+#endif
+}
+
 int cmd_check(const std::string& path) {
   const std::string text = read_input(path);
   std::string error;
@@ -289,6 +399,24 @@ std::map<std::string, OpStats> aggregate_ops(const yoso::json::Value& doc) {
   return ops;
 }
 
+// Final per-phase "mem.peak_bytes.<phase>" gauge values (only present in
+// traces captured with --wall); empty map otherwise.
+std::map<std::string, double> aggregate_mem(const yoso::json::Value& doc) {
+  std::map<std::string, double> mem;
+  const yoso::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return mem;
+  for (const auto& ev : events->items) {
+    if (ev.str_or("ph", "") != "C") continue;
+    const std::string name = ev.str_or("name", "");
+    if (name.rfind("mem.peak_bytes.", 0) != 0) continue;
+    const yoso::json::Value* args = ev.find("args");
+    const double value = args == nullptr ? 0 : args->num_or("value", 0);
+    double& slot = mem[name.substr(15)];
+    if (value > slot) slot = value;
+  }
+  return mem;
+}
+
 int cmd_summarize(const std::string& path) {
   const yoso::json::Value doc = yoso::json::parse(read_input(path));
   const auto by_name = aggregate(doc);
@@ -331,12 +459,38 @@ int cmd_summarize(const std::string& path) {
       std::printf("\n");
     }
   }
+
+  const auto mem = aggregate_mem(doc);
+  if (!mem.empty()) {
+    std::printf("\n%-24s %14s\n", "phase", "mem_peak_mib");
+    for (const auto& [phase, bytes] : mem) {
+      std::printf("%-24s %14.1f\n", phase.c_str(), bytes / (1024.0 * 1024.0));
+    }
+  }
   return 0;
 }
 
 int cmd_diff(const std::string& a_path, const std::string& b_path) {
-  const auto a = aggregate(yoso::json::parse(read_input(a_path)));
-  const auto b = aggregate(yoso::json::parse(read_input(b_path)));
+  const yoso::json::Value doc_a = yoso::json::parse(read_input(a_path));
+  const yoso::json::Value doc_b = yoso::json::parse(read_input(b_path));
+
+  // Traces from different obs generations (or builds with obs compiled out)
+  // count different things; deltas then reflect instrumentation drift, not
+  // behavior.  Warn loudly but still diff — the span table is often usable.
+  const yoso::json::Value* meta_a = doc_a.find("runMeta");
+  const yoso::json::Value* meta_b = doc_b.find("runMeta");
+  const double gen_a = meta_a == nullptr ? -1 : meta_a->num_or("obs_generation", -1);
+  const double gen_b = meta_b == nullptr ? -1 : meta_b->num_or("obs_generation", -1);
+  if (gen_a != gen_b) {
+    std::fprintf(stderr,
+                 "trace diff: warning: obs generation mismatch (a=%s, b=%s); "
+                 "op-count deltas may reflect instrumentation changes, not behavior\n",
+                 gen_a < 0 ? "absent" : std::to_string(static_cast<int>(gen_a)).c_str(),
+                 gen_b < 0 ? "absent" : std::to_string(static_cast<int>(gen_b)).c_str());
+  }
+
+  const auto a = aggregate(doc_a);
+  const auto b = aggregate(doc_b);
   std::map<std::string, std::pair<NameStats, NameStats>> merged;
   for (const auto& [name, s] : a) merged[name].first = s;
   for (const auto& [name, s] : b) merged[name].second = s;
@@ -351,8 +505,8 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
 
   // op_costs comparison: final per-primitive counts.  Counts are
   // deterministic, so any delta is a real behavioral difference.
-  const auto oa = aggregate_ops(yoso::json::parse(read_input(a_path)));
-  const auto ob = aggregate_ops(yoso::json::parse(read_input(b_path)));
+  const auto oa = aggregate_ops(doc_a);
+  const auto ob = aggregate_ops(doc_b);
   if (!oa.empty() || !ob.empty()) {
     std::map<std::string, std::pair<double, double>> op_merged;
     for (const auto& [name, s] : oa) op_merged[name].first = s.count;
@@ -398,7 +552,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "run" || cmd == "costs") {
+    if (cmd == "run" || cmd == "costs" || cmd == "critpath") {
       RunOptions opt;
       for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -415,10 +569,21 @@ int main(int argc, char** argv) {
           opt.out = argv[++i];
         } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
           opt.report = argv[++i];
+        } else if (std::strcmp(argv[i], "--silence") == 0 && i + 1 < argc) {
+          opt.silence = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--churn") == 0 && i + 1 < argc) {
+          opt.churn = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--measured") == 0) {
+          opt.measured = true;
+        } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+          opt.lanes = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+          opt.perfetto = argv[++i];
         } else {
           return usage();
         }
       }
+      if (cmd == "critpath") return cmd_critpath(opt);
       return cmd == "run" ? cmd_run(opt) : cmd_costs(opt);
     }
     if (cmd == "check") return cmd_check(argc > 2 ? argv[2] : "");
